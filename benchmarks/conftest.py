@@ -1,0 +1,26 @@
+"""Shared bench configuration.
+
+Each bench regenerates one of the paper's tables or figures.  Benches run
+the full measurement through pytest-benchmark (one round -- these are
+macro-benchmarks of whole experiments, not micro-benchmarks) and print
+the regenerated artifact so ``pytest benchmarks/ --benchmark-only``
+output reads like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+#: Bench measurement windows: larger than the unit-test windows for
+#: stability, smaller than the calibration defaults for wall-clock sanity.
+BENCH_WARMUP_NS = 400_000.0
+BENCH_MEASURE_NS = 2_000_000.0
+BENCH_LATENCY_MEASURE_NS = 3_000_000.0
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,251 @@
+"""Ablation benches for the design choices the paper's taxonomy calls out.
+
+Not a paper artifact: these sweeps isolate each modelled mechanism --
+batching, poll vs interrupt I/O, zero-copy vs copy, flow caching -- and
+show its quantitative effect, which is the understanding Sec. 3 argues a
+fair comparison requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import BENCH_LATENCY_MEASURE_NS, BENCH_MEASURE_NS, BENCH_WARMUP_NS, run_once
+from repro.analysis.tables import format_table
+from repro.measure.latency import measure_latency_at
+from repro.measure.runner import drive
+from repro.measure.throughput import measure_throughput
+from repro.scenarios import p2p, v2v
+from repro.scenarios.base import Testbed as _SimTestbed
+from repro.nic.port import NicPort
+from repro.scenarios.base import connect_ports
+from repro.switches.params import OVS_PARAMS, VALE_PARAMS, VPP_PARAMS
+from repro.switches.registry import params_for
+from repro.traffic.moongen import MoonGenRx, MoonGenTx, saturating_rate
+
+
+def _p2p_with_params(params, frame_size=64, rate_pps=None, flow_count=1, seed=1):
+    """A p2p testbed with overridden switch parameters."""
+    from repro.switches.registry import create_switch
+    from repro.core.engine import Simulator
+    from repro.core.rng import RngRegistry
+    from repro.cpu.numa import Machine
+
+    sim = Simulator()
+    machine = Machine(sim)
+    rngs = RngRegistry(seed)
+    switch = create_switch(params.name, sim, rngs=rngs, bus=machine.node0.bus, params=params)
+    sut_core = machine.node0.add_core("sut")
+    gen0, gen1 = NicPort(sim, "g0"), NicPort(sim, "g1")
+    sut0, sut1 = NicPort(sim, "s0"), NicPort(sim, "s1")
+    connect_ports(gen0, sut0)
+    connect_ports(gen1, sut1)
+    switch.add_path(switch.attach_phy(sut0), switch.attach_phy(sut1))
+    switch.bind_core(sut_core)
+    rate = rate_pps if rate_pps is not None else saturating_rate(frame_size)
+    tx = MoonGenTx(sim, gen0, rate, frame_size, probe_interval_ns=20_000.0, flow_count=flow_count)
+    rx = MoonGenRx(sim, gen1, frame_size)
+    tx.start(0.0)
+    tb = _SimTestbed(sim, machine, rngs, switch, sut_core, frame_size, scenario="p2p-ablation")
+    tb.meters.append(rx.meter)
+    tb.latency_meters.append(rx.meter)
+    return tb
+
+
+def _gbps(tb):
+    return drive(tb, warmup_ns=BENCH_WARMUP_NS, measure_ns=BENCH_MEASURE_NS).gbps
+
+
+def test_ablation_vector_size(benchmark):
+    """VPP's vector processing: throughput vs maximum vector size."""
+
+    def sweep():
+        rows = []
+        for vector in (1, 4, 16, 64, 256):
+            params = replace(VPP_PARAMS, batch_size=vector)
+            rows.append([vector, _gbps(_p2p_with_params(params))])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(["vector size", "p2p 64B (Gbps)"], rows, title="Ablation: VPP vector size"))
+    assert rows[-1][1] > rows[0][1]  # big vectors amortise dispatch
+
+
+def test_ablation_interrupt_vs_poll(benchmark):
+    """VALE's interrupt I/O vs a hypothetical poll-mode VALE."""
+
+    def sweep():
+        poll_params = replace(
+            VALE_PARAMS, interrupt_driven=False, rx_moderation_ns=None
+        )
+        results = {}
+        for label, params in (("interrupt", VALE_PARAMS), ("poll-mode", poll_params)):
+            tb = _p2p_with_params(params, rate_pps=1_000_000.0)
+            result = drive(tb, warmup_ns=BENCH_WARMUP_NS, measure_ns=BENCH_LATENCY_MEASURE_NS)
+            results[label] = result.latency.mean_us
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(
+        format_table(
+            ["I/O discipline", "p2p RTT @1Mpps (us)"],
+            [[k, v] for k, v in results.items()],
+            title="Ablation: interrupt vs poll I/O (VALE)",
+        )
+    )
+    # Busy-polling removes the ITR + wake-up floor.
+    assert results["poll-mode"] < results["interrupt"] / 3
+
+
+def test_ablation_zero_copy(benchmark):
+    """VALE's port-to-port isolation copy: default vs hypothetical zero-copy."""
+
+    def sweep():
+        zero_copy = replace(
+            VALE_PARAMS, proc=replace(VALE_PARAMS.proc, per_byte=0.0)
+        )
+        out = {}
+        for label, params in (("with copy", VALE_PARAMS), ("zero copy", zero_copy)):
+            tb = _p2p_with_params(params, frame_size=1024)
+            out[label] = _gbps(tb)
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(
+        format_table(
+            ["variant", "p2p 1024B (Gbps)"],
+            [[k, v] for k, v in results.items()],
+            title="Ablation: VALE isolation copy",
+        )
+    )
+    assert results["zero copy"] >= results["with copy"]
+
+
+def test_ablation_flow_cache(benchmark):
+    """OvS-DPDK EMC: single flow vs flow counts beyond the 8k-entry EMC."""
+
+    def sweep():
+        rows = []
+        for flows in (1, 1024, 8192, 32768):
+            tb = _p2p_with_params(OVS_PARAMS, flow_count=flows)
+            gbps = _gbps(tb)
+            switch = tb.switch
+            hit_rate = switch.emc_hits / max(1, switch.emc_hits + switch.emc_misses)
+            rows.append([flows, gbps, 100 * hit_rate])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(
+        format_table(
+            ["flows", "p2p 64B (Gbps)", "EMC hit rate (%)"],
+            rows,
+            title="Ablation: OvS-DPDK flow cache under flow-count pressure",
+        )
+    )
+    # Paper Sec. 5.2: with one flow the cache is always hit -- and does not
+    # help (the hit path is the cost).  Past EMC capacity, misses bite.
+    assert rows[0][2] > 99.0
+    assert rows[-1][1] < rows[0][1]
+    assert rows[-1][2] < 50.0
+
+
+def test_ablation_snabb_stalls(benchmark):
+    """LuaJIT stalls: Snabb's p2p latency tail with and without the JIT."""
+
+    def sweep():
+        from repro.switches.params import SNABB_PARAMS
+
+        no_jit = replace(SNABB_PARAMS, stall_period_ns=None, stall_cycles=0.0)
+        out = {}
+        for label, params in (("with JIT stalls", SNABB_PARAMS), ("no stalls", no_jit)):
+            tb = _p2p_with_params(params, rate_pps=6_000_000.0)
+            result = drive(tb, warmup_ns=BENCH_WARMUP_NS, measure_ns=BENCH_LATENCY_MEASURE_NS)
+            out[label] = (result.latency.mean_us, result.latency.percentile_us(99))
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(
+        format_table(
+            ["variant", "mean RTT (us)", "p99 RTT (us)"],
+            [[k, *v] for k, v in results.items()],
+            title="Ablation: Snabb LuaJIT stalls",
+        )
+    )
+    assert results["with JIT stalls"][1] >= results["no stalls"][1]
+
+
+def test_ablation_p4_programs(benchmark):
+    """t4p4s recompiled for richer P4 programs (stateful SDN, Sec. 5.4)."""
+
+    def sweep():
+        from repro.switches.p4 import L2FWD_PROGRAM, L3FWD_PROGRAM, compile_program
+        from repro.switches.params import T4P4S_PARAMS
+        from dataclasses import replace as dreplace
+        from repro.cpu.costmodel import Cost
+
+        rows = []
+        for program in (L2FWD_PROGRAM, L3FWD_PROGRAM):
+            compiled = compile_program(program)
+            params = dreplace(
+                T4P4S_PARAMS,
+                proc=Cost(per_batch=T4P4S_PARAMS.proc.per_batch) + compiled.proc,
+            )
+            gbps = _gbps(_p2p_with_params(params))
+            rows.append([program.name, compiled.proc.per_packet, gbps])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(
+        format_table(
+            ["P4 program", "proc cycles/pkt", "p2p 64B (Gbps)"],
+            rows,
+            title="Ablation: t4p4s recompiled for richer P4 programs",
+        )
+    )
+    l2fwd, l3fwd = rows
+    assert l3fwd[2] < l2fwd[2]  # the stateful pipeline costs throughput
+
+
+def test_ablation_vpp_graph_paths(benchmark):
+    """VPP reconfigured as bridge / router / ACL'd router (Sec. 5.4's
+    "full-fledged software network function")."""
+
+    def sweep():
+        from dataclasses import replace as dreplace
+
+        from repro.switches.vppgraph import (
+            IP4_ACL_ROUTER_PATH,
+            IP4_ROUTER_PATH,
+            L2_BRIDGE_PATH,
+            L2PATCH_PATH,
+            compile_path,
+        )
+
+        rows = []
+        for label, path in (
+            ("l2patch (paper)", L2PATCH_PATH),
+            ("l2 bridge", L2_BRIDGE_PATH),
+            ("ip4 router", IP4_ROUTER_PATH),
+            ("ip4 router + ACL", IP4_ACL_ROUTER_PATH),
+        ):
+            compiled = compile_path(path)
+            params = dreplace(VPP_PARAMS, proc=compiled.proc)
+            rows.append([label, compiled.depth, compiled.proc.per_packet, _gbps(_p2p_with_params(params))])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(
+        format_table(
+            ["graph path", "nodes", "cycles/pkt", "p2p 64B (Gbps)"],
+            rows,
+            title="Ablation: VPP graph paths (l2patch -> full router)",
+        )
+    )
+    assert rows[0][3] >= rows[-1][3]  # richer graphs cost throughput

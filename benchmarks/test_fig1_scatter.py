@@ -1,0 +1,58 @@
+"""Fig. 1: the motivating scatter plots.
+
+Bidirectional p2p at 64 B: measure each switch's maximum throughput, then
+its RTT at an offered load of 0.95 x that maximum.  Left plot: throughput
+vs mean latency (negatively correlated).  Right plot: latency mean vs
+standard deviation (no pattern).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import BENCH_LATENCY_MEASURE_NS, BENCH_MEASURE_NS, BENCH_WARMUP_NS, run_once
+from repro.analysis.tables import format_table
+from repro.measure.latency import measure_latency_at
+from repro.measure.throughput import measure_throughput
+from repro.scenarios import p2p
+from repro.switches.registry import ALL_SWITCHES
+
+
+def _measure():
+    points = {}
+    for name in ALL_SWITCHES:
+        max_tput = measure_throughput(
+            p2p.build, name, 64, bidirectional=True,
+            warmup_ns=BENCH_WARMUP_NS, measure_ns=BENCH_MEASURE_NS,
+        )
+        per_direction_pps = max_tput.mpps * 1e6 / 2
+        point = measure_latency_at(
+            p2p.build, name, 64,
+            rate_pps=0.95 * per_direction_pps, fraction=0.95,
+            warmup_ns=BENCH_WARMUP_NS, measure_ns=BENCH_LATENCY_MEASURE_NS,
+            bidirectional=True,
+        )
+        points[name] = (max_tput.gbps, point.mean_us, point.std_us)
+    return points
+
+
+def test_fig1_scatter(benchmark):
+    points = run_once(benchmark, _measure)
+    print()
+    rows = [[name, *values] for name, values in points.items()]
+    print(
+        format_table(
+            ["switch", "throughput (Gbps)", "mean RTT (us)", "std RTT (us)"],
+            rows,
+            title="Fig. 1 -- bidirectional p2p 64B: throughput vs latency @0.95*max",
+        )
+    )
+    throughput = np.array([v[0] for v in points.values()])
+    mean_lat = np.array([v[1] for v in points.values()])
+    corr = float(np.corrcoef(throughput, mean_lat)[0, 1])
+    print(f"throughput/latency correlation: {corr:.2f} (paper: negative)")
+    # The paper's headline observation: higher throughput <-> lower latency.
+    assert corr < 0
+    # And the std-vs-mean panel shows no tight pattern: the best-throughput
+    # switch is not the lowest-variance one or vice versa for all.
+    assert len({round(v[2], 1) for v in points.values()}) > 3

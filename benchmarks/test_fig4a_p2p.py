@@ -1,0 +1,47 @@
+"""Fig. 4a: p2p throughput, {64,256,1024} B x {uni,bidi}, all switches."""
+
+from __future__ import annotations
+
+from conftest import BENCH_MEASURE_NS, BENCH_WARMUP_NS, run_once
+from repro.analysis.paper_values import FIG4A_P2P_BIDI_64B, FIG4A_P2P_UNI_64B
+from repro.analysis.tables import format_table
+from repro.core.units import PAPER_FRAME_SIZES
+from repro.measure.throughput import measure_throughput
+from repro.scenarios import p2p
+from repro.switches.registry import ALL_SWITCHES
+
+
+def _measure_grid():
+    rows = []
+    for name in ALL_SWITCHES:
+        row = [name]
+        for size in PAPER_FRAME_SIZES:
+            for bidi in (False, True):
+                result = measure_throughput(
+                    p2p.build, name, size, bidirectional=bidi,
+                    warmup_ns=BENCH_WARMUP_NS, measure_ns=BENCH_MEASURE_NS,
+                )
+                row.append(result.gbps)
+        row.append(FIG4A_P2P_UNI_64B[name])
+        row.append(FIG4A_P2P_BIDI_64B[name])
+        rows.append(row)
+    return rows
+
+
+def test_fig4a_p2p_throughput(benchmark):
+    rows = run_once(benchmark, _measure_grid)
+    print()
+    print(
+        format_table(
+            ["switch", "64u", "64b", "256u", "256b", "1024u", "1024b", "paper64u", "paper64b"],
+            rows,
+            title="Fig. 4a -- p2p throughput (Gbps), measured vs paper",
+        )
+    )
+    by_name = {row[0]: row for row in rows}
+    # Shape checks mirroring the paper's prose.
+    for name in ("bess", "fastclick", "vpp"):
+        assert by_name[name][1] > 9.5
+    assert by_name["bess"][2] > 14.0
+    for name in ALL_SWITCHES:
+        assert by_name[name][3] > 9.0  # everyone saturates uni at 256B

@@ -1,0 +1,59 @@
+"""Fig. 4b: p2v throughput grid, plus the VPP reversed-path probe."""
+
+from __future__ import annotations
+
+from conftest import BENCH_MEASURE_NS, BENCH_WARMUP_NS, run_once
+from repro.analysis.paper_values import (
+    BESS_P2V_BIDI_64B,
+    FIG4B_P2V_UNI_64B,
+    VPP_P2V_BIDI_64B,
+    VPP_P2V_REVERSED_64B,
+)
+from repro.analysis.tables import format_table
+from repro.core.units import PAPER_FRAME_SIZES
+from repro.measure.throughput import measure_throughput
+from repro.scenarios import p2v
+from repro.switches.registry import ALL_SWITCHES
+
+
+def _measure_grid():
+    rows = []
+    for name in ALL_SWITCHES:
+        row = [name]
+        for size in PAPER_FRAME_SIZES:
+            for bidi in (False, True):
+                result = measure_throughput(
+                    p2v.build, name, size, bidirectional=bidi,
+                    warmup_ns=BENCH_WARMUP_NS, measure_ns=BENCH_MEASURE_NS,
+                )
+                row.append(result.gbps)
+        row.append(FIG4B_P2V_UNI_64B[name])
+        rows.append(row)
+    reversed_vpp = measure_throughput(
+        p2v.build, "vpp", 64, reversed_path=True,
+        warmup_ns=BENCH_WARMUP_NS, measure_ns=BENCH_MEASURE_NS,
+    ).gbps
+    return rows, reversed_vpp
+
+
+def test_fig4b_p2v_throughput(benchmark):
+    rows, reversed_vpp = run_once(benchmark, _measure_grid)
+    print()
+    print(
+        format_table(
+            ["switch", "64u", "64b", "256u", "256b", "1024u", "1024b", "paper64u"],
+            rows,
+            title="Fig. 4b -- p2v throughput (Gbps), measured vs paper",
+        )
+    )
+    print(
+        f"VPP reversed path (VM->NIC) 64B: {reversed_vpp:.2f} Gbps "
+        f"(paper: {VPP_P2V_REVERSED_64B}); "
+        f"paper bidi anchors: BESS {BESS_P2V_BIDI_64B}, VPP {VPP_P2V_BIDI_64B}"
+    )
+    by_name = {row[0]: row for row in rows}
+    assert by_name["bess"][1] > 9.0          # BESS holds 10G despite vhost
+    assert by_name["t4p4s"][1] < 5.2         # t4p4s worst
+    assert by_name["vale"][1] >= 0.95 * 5.33  # ptnet: no p2v tax
+    forward_vpp = by_name["vpp"][1]
+    assert reversed_vpp < forward_vpp        # the vhost RX penalty

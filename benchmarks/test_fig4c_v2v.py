@@ -1,0 +1,54 @@
+"""Fig. 4c: v2v throughput grid (memory-bound, no NICs)."""
+
+from __future__ import annotations
+
+from conftest import BENCH_MEASURE_NS, BENCH_WARMUP_NS, run_once
+from repro.analysis.paper_values import (
+    FIG4C_V2V_UNI_64B,
+    VALE_V2V_BIDI_RATIO,
+)
+from repro.analysis.tables import format_table
+from repro.core.units import PAPER_FRAME_SIZES
+from repro.measure.throughput import measure_throughput
+from repro.scenarios import v2v
+from repro.switches.registry import ALL_SWITCHES
+
+
+def _measure_grid():
+    rows = []
+    for name in ALL_SWITCHES:
+        row = [name]
+        for size in PAPER_FRAME_SIZES:
+            for bidi in (False, True):
+                result = measure_throughput(
+                    v2v.build, name, size, bidirectional=bidi,
+                    warmup_ns=BENCH_WARMUP_NS, measure_ns=BENCH_MEASURE_NS,
+                )
+                row.append(result.gbps)
+        row.append(FIG4C_V2V_UNI_64B[name])
+        rows.append(row)
+    return rows
+
+
+def test_fig4c_v2v_throughput(benchmark):
+    rows = run_once(benchmark, _measure_grid)
+    print()
+    print(
+        format_table(
+            ["switch", "64u", "64b", "256u", "256b", "1024u", "1024b", "paper64u"],
+            rows,
+            title="Fig. 4c -- v2v throughput (Gbps), measured vs paper",
+        )
+    )
+    by_name = {row[0]: row for row in rows}
+    vale = by_name["vale"]
+    # VALE dominates at 64B; everyone else below it (Sec. 5.2).
+    for name in ALL_SWITCHES:
+        if name != "vale":
+            assert by_name[name][1] < vale[1], name
+    # Memory-bound: VALE's 1024B v2v goes far past the 10G wire.
+    assert vale[5] > 20.0
+    # Bidirectional degradation for VALE at 1024B (paper: 64% of uni).
+    ratio = vale[6] / vale[5]
+    print(f"VALE 1024B bidi/uni ratio: {ratio:.2f} (paper: {VALE_V2V_BIDI_RATIO})")
+    assert ratio < 1.0

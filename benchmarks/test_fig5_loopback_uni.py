@@ -1,0 +1,66 @@
+"""Fig. 5: unidirectional loopback throughput, chains of 1-5 VNFs."""
+
+from __future__ import annotations
+
+from conftest import BENCH_MEASURE_NS, BENCH_WARMUP_NS, run_once
+from repro.analysis.paper_values import LOOPBACK_FINDINGS
+from repro.analysis.tables import format_table
+from repro.core.units import PAPER_FRAME_SIZES
+from repro.measure.throughput import measure_throughput
+from repro.scenarios import loopback
+from repro.switches.registry import ALL_SWITCHES
+from repro.vm.machine import QemuCompatibilityError
+
+CHAINS = (1, 2, 3, 4, 5)
+
+
+def _measure(bidirectional=False):
+    grids = {}
+    for size in PAPER_FRAME_SIZES:
+        rows = []
+        for name in ALL_SWITCHES:
+            row = [name]
+            for n in CHAINS:
+                try:
+                    result = measure_throughput(
+                        loopback.build, name, size,
+                        bidirectional=bidirectional, n_vnfs=n,
+                        warmup_ns=BENCH_WARMUP_NS, measure_ns=BENCH_MEASURE_NS,
+                    )
+                    row.append(result.gbps)
+                except QemuCompatibilityError:
+                    row.append(None)  # the paper's '-' cells for BESS
+            rows.append(row)
+        grids[size] = rows
+    return grids
+
+
+def test_fig5_loopback_unidirectional(benchmark):
+    grids = run_once(benchmark, _measure)
+    print()
+    for size, rows in grids.items():
+        print(
+            format_table(
+                ["switch"] + [f"{n} VNF" for n in CHAINS],
+                rows,
+                title=f"Fig. 5 -- loopback unidirectional throughput (Gbps), {size}B",
+            )
+        )
+        print()
+    print("Paper findings reproduced:")
+    for finding in LOOPBACK_FINDINGS:
+        print(f"  - {finding}")
+
+    rows64 = {row[0]: row for row in grids[64]}
+    rows1024 = {row[0]: row for row in grids[1024]}
+    # BESS wins at 1 VNF, is absent beyond 3.
+    assert rows64["bess"][1] == max(rows64[n][1] for n in ALL_SWITCHES)
+    assert rows64["bess"][4] is None and rows64["bess"][5] is None
+    # Snabb collapses at 4 VNFs.
+    assert rows64["snabb"][4] < rows64["snabb"][3] / 3
+    # VALE stays near 10G at 1024B up to 3 VNFs and decays gently after.
+    assert rows1024["vale"][1] > 9.0
+    assert rows1024["vale"][3] > 8.0
+    # Chains monotonically degrade vhost switches.
+    vpp = rows64["vpp"][1:]
+    assert all(a >= b for a, b in zip(vpp, vpp[1:]))

@@ -1,0 +1,33 @@
+"""Fig. 6: bidirectional loopback throughput, chains of 1-5 VNFs."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.analysis.tables import format_table
+from repro.switches.registry import ALL_SWITCHES
+
+from test_fig5_loopback_uni import CHAINS, _measure
+
+
+def test_fig6_loopback_bidirectional(benchmark):
+    grids = run_once(benchmark, lambda: _measure(bidirectional=True))
+    print()
+    for size, rows in grids.items():
+        print(
+            format_table(
+                ["switch"] + [f"{n} VNF" for n in CHAINS],
+                rows,
+                title=f"Fig. 6 -- loopback bidirectional throughput (Gbps, aggregate), {size}B",
+            )
+        )
+        print()
+    rows64 = {row[0]: row for row in grids[64]}
+    rows1024 = {row[0]: row for row in grids[1024]}
+    # Degradation with chain length for every switch (Sec. 5.2).
+    for name in ALL_SWITCHES:
+        series = [g for g in rows64[name][1:] if g is not None]
+        assert series[0] >= series[-1], name
+    # VALE's 1024B bidirectional performance drops beyond short chains.
+    assert rows1024["vale"][4] < rows1024["vale"][1]
+    # Snabb's overload is even harsher bidirectionally.
+    assert rows64["snabb"][4] < rows64["snabb"][3]

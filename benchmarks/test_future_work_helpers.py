@@ -1,0 +1,68 @@
+"""Testbed builders shared by the future-work benches (not a test module)."""
+
+from __future__ import annotations
+
+from repro.core.engine import Simulator
+from repro.core.rng import RngRegistry
+from repro.cpu.numa import Machine
+from repro.nic.port import NicPort
+from repro.scenarios.base import Testbed, connect_ports
+from repro.switches.registry import create_switch
+from repro.traffic.moongen import MoonGenRx, MoonGenTx
+from repro.traffic.profiles import SizeProfile
+
+__test__ = False
+
+
+def build_p2p_multicore(switch_name: str, n_cores: int, frame_size: int = 64, seed: int = 1) -> Testbed:
+    """Bidirectional p2p with the switch spread over ``n_cores`` workers."""
+    sim = Simulator()
+    machine = Machine(sim)
+    rngs = RngRegistry(seed)
+    switch = create_switch(switch_name, sim, rngs=rngs, bus=machine.node0.bus)
+    gen0, gen1 = NicPort(sim, "g0"), NicPort(sim, "g1")
+    sut0, sut1 = NicPort(sim, "s0"), NicPort(sim, "s1")
+    connect_ports(gen0, sut0)
+    connect_ports(gen1, sut1)
+    a0 = switch.attach_phy(sut0)
+    a1 = switch.attach_phy(sut1)
+    switch.add_path(a0, a1)
+    switch.add_path(a1, a0)
+    cores = [machine.node0.add_core(f"sut{i}") for i in range(n_cores)]
+    switch.bind_cores(cores)
+    tb = Testbed(sim, machine, rngs, switch, cores[0], frame_size, scenario="p2p-multicore")
+    from repro.traffic.moongen import saturating_rate
+
+    rate = saturating_rate(frame_size)
+    for gen, mon in ((gen0, gen1), (gen1, gen0)):
+        tx = MoonGenTx(sim, gen, rate, frame_size)
+        rx = MoonGenRx(sim, mon, frame_size)
+        tx.start(0.0)
+        tb.meters.append(rx.meter)
+    return tb
+
+
+def build_p2p_profile(switch_name: str, profile: SizeProfile, seed: int = 1) -> Testbed:
+    """Unidirectional p2p with a frame-size mix instead of fixed frames."""
+    sim = Simulator()
+    machine = Machine(sim)
+    rngs = RngRegistry(seed)
+    switch = create_switch(switch_name, sim, rngs=rngs, bus=machine.node0.bus)
+    sut_core = machine.node0.add_core("sut")
+    gen0, gen1 = NicPort(sim, "g0"), NicPort(sim, "g1")
+    sut0, sut1 = NicPort(sim, "s0"), NicPort(sim, "s1")
+    connect_ports(gen0, sut0)
+    connect_ports(gen1, sut1)
+    switch.add_path(switch.attach_phy(sut0), switch.attach_phy(sut1))
+    switch.bind_core(sut_core)
+
+    mean_size = int(round(profile.mean_size))
+    tx = MoonGenTx(
+        sim, gen0, profile.line_rate_pps(), mean_size,
+        size_profile=profile, rng=rngs.stream("moongen.sizes"),
+    )
+    rx = MoonGenRx(sim, gen1, mean_size)
+    tx.start(0.0)
+    tb = Testbed(sim, machine, rngs, switch, sut_core, mean_size, scenario=f"p2p-{profile.name}")
+    tb.meters.append(rx.meter)
+    return tb

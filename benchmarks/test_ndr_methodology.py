@@ -1,0 +1,47 @@
+"""Methodology bench: RFC 2544 NDR vs the paper's R+ (footnote 3).
+
+Regenerates the argument behind the paper's measurement design: a strict
+binary search for the Non-Drop-Rate is derailed by sporadic driver-level
+drops on software testbeds, while R+ -- the average throughput under
+saturating input -- is stable.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_MEASURE_NS, BENCH_WARMUP_NS, run_once
+from repro.analysis.tables import format_table
+from repro.measure.ndr import ndr_search
+from repro.measure.throughput import estimate_r_plus
+from repro.scenarios import p2p
+from repro.switches.registry import ALL_SWITCHES
+
+WINDOWS = dict(warmup_ns=BENCH_WARMUP_NS, measure_ns=BENCH_MEASURE_NS)
+
+
+def _measure():
+    rows = []
+    for name in ALL_SWITCHES:
+        r_plus = estimate_r_plus(p2p.build, name, 64, **WINDOWS) / 1e6
+        strict = ndr_search(p2p.build, name, 64, iterations=8, **WINDOWS).ndr_mpps
+        tolerant = ndr_search(
+            p2p.build, name, 64, iterations=8, tolerance_packets=64, **WINDOWS
+        ).ndr_mpps
+        rows.append([name, r_plus, strict, tolerant, strict / r_plus if r_plus else 0.0])
+    return rows
+
+
+def test_ndr_vs_rplus_methodology(benchmark):
+    rows = run_once(benchmark, _measure)
+    print()
+    print(
+        format_table(
+            ["switch", "R+ (Mpps)", "strict NDR", "NDR +64pkt tol.", "strict/R+"],
+            rows,
+            title="Methodology: RFC 2544 NDR vs the paper's R+ (64B p2p)",
+        )
+    )
+    by_name = {row[0]: row for row in rows}
+    # At least one fast switch gets badly underestimated by strict NDR...
+    assert any(row[4] < 0.8 for row in rows)
+    # ...while the tolerant variant tracks R+ closely for stable switches.
+    assert by_name["bess"][3] > 0.9 * by_name["bess"][1]

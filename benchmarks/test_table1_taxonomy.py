@@ -1,0 +1,57 @@
+"""Tables 1, 2 and 5: the qualitative artifacts, rendered and checked."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.analysis.tables import format_table
+from repro.switches.registry import ALL_SWITCHES, params_for
+from repro.switches.taxonomy import TAXONOMY, TUNINGS, USE_CASES
+
+
+def _build_tables():
+    taxonomy_rows = [
+        [
+            row.name,
+            row.architecture.value,
+            row.paradigm.value,
+            row.processing_model.value,
+            row.virtual_interface,
+            row.reprogrammability.value,
+            "/".join(row.languages),
+            row.main_purpose,
+        ]
+        for row in TAXONOMY.values()
+    ]
+    tuning_rows = [[name, text] for name, text in TUNINGS.items()]
+    usecase_rows = [[name, best, remarks] for name, (best, remarks) in USE_CASES.items()]
+    return taxonomy_rows, tuning_rows, usecase_rows
+
+
+def test_table1_2_5_taxonomy(benchmark):
+    taxonomy_rows, tuning_rows, usecase_rows = run_once(benchmark, _build_tables)
+    print()
+    print(
+        format_table(
+            ["switch", "architecture", "paradigm", "model", "vif", "reprog.", "languages", "purpose"],
+            taxonomy_rows,
+            title="Table 1 -- design-space taxonomy",
+        )
+    )
+    print()
+    print(format_table(["switch", "applied tuning"], tuning_rows, title="Table 2 -- parameter tuning"))
+    print()
+    print(format_table(["switch", "best at", "remarks"], usecase_rows, title="Table 5 -- use cases"))
+
+    # Consistency: the qualitative tables agree with the executable models.
+    assert len(taxonomy_rows) == 7
+    for name in ALL_SWITCHES:
+        params = params_for(name)
+        row = TAXONOMY[name]
+        assert params.pipeline == (row.processing_model.value == "pipeline")
+        assert params.interrupt_driven == (row.virtual_interface == "ptnet")
+    assert params_for("fastclick").nic_rx_slots == 4096  # Table 2 applied
+
+    from repro.core.engine import Simulator
+    from repro.switches.t4p4s import T4P4S
+
+    assert not T4P4S(Simulator()).mac_learning  # Table 2 applied

@@ -1,0 +1,62 @@
+"""Table 3: RTT latency for p2p and loopback chains at 0.10/0.50/0.99 R+."""
+
+from __future__ import annotations
+
+from conftest import BENCH_LATENCY_MEASURE_NS, BENCH_WARMUP_NS, run_once
+from repro.analysis.paper_values import TABLE3
+from repro.analysis.tables import format_table
+from repro.measure.latency import LOAD_FRACTIONS, latency_sweep
+from repro.scenarios import loopback, p2p
+from repro.switches.registry import ALL_SWITCHES
+from repro.vm.machine import QemuCompatibilityError
+
+#: Chain lengths benchmarked (the full Table 3 runs 1-4; trimmed here for
+#: bench wall-clock -- extend via REPRO_TABLE3_CHAINS if desired).
+CHAINS = (1, 2)
+
+
+def _sweep(build, name, **kwargs):
+    points = latency_sweep(
+        build, name, 64,
+        warmup_ns=BENCH_WARMUP_NS, measure_ns=BENCH_LATENCY_MEASURE_NS,
+        **kwargs,
+    )
+    return tuple(points[f].mean_us for f in LOAD_FRACTIONS)
+
+
+def _measure():
+    table = {}
+    for name in ALL_SWITCHES:
+        table[(name, "p2p")] = _sweep(p2p.build, name)
+        for n in CHAINS:
+            try:
+                table[(name, n)] = _sweep(loopback.build, name, n_vnfs=n)
+            except QemuCompatibilityError:
+                table[(name, n)] = None
+    return table
+
+
+def test_table3_latency(benchmark):
+    table = run_once(benchmark, _measure)
+    print()
+    headers = ["switch", "0.1R+", "0.5R+", "0.99R+", "paper 0.1", "paper 0.5", "paper 0.99"]
+    for scenario in ["p2p", *CHAINS]:
+        rows = []
+        for name in ALL_SWITCHES:
+            measured = table[(name, scenario)]
+            paper = TABLE3[name][scenario if scenario == "p2p" else scenario]
+            cells = list(measured) if measured else [None] * 3
+            paper_cells = list(paper) if paper else [None] * 3
+            rows.append([name, *cells, *paper_cells])
+        label = "p2p" if scenario == "p2p" else f"{scenario}-VNF loopback"
+        print(format_table(headers, rows, title=f"Table 3 -- RTT (us), {label}"))
+        print()
+
+    # Shape assertions from Sec. 5.3.
+    p2p_rows = {name: table[(name, "p2p")] for name in ALL_SWITCHES}
+    assert p2p_rows["bess"][1] < p2p_rows["snabb"][1] < p2p_rows["vale"][1]
+    assert p2p_rows["t4p4s"][2] > 5 * p2p_rows["bess"][2]
+    # Loopback: 0.10R+ exceeds 0.50R+ for l2fwd chains, not for VALE.
+    for name in ("vpp", "fastclick", "snabb"):
+        assert table[(name, 1)][0] > table[(name, 1)][1], name
+    assert table[("vale", 1)][0] < table[("vale", 1)][1] * 1.5

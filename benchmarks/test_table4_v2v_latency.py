@@ -1,0 +1,42 @@
+"""Table 4: v2v RTT latency at 1 Mpps with software timestamping."""
+
+from __future__ import annotations
+
+from conftest import BENCH_LATENCY_MEASURE_NS, BENCH_WARMUP_NS, run_once
+from repro.analysis.paper_values import TABLE4
+from repro.analysis.tables import format_table
+from repro.measure.runner import drive
+from repro.scenarios import v2v
+from repro.switches.registry import ALL_SWITCHES
+
+
+def _measure():
+    rtts = {}
+    for name in ALL_SWITCHES:
+        tb = v2v.build_latency(name)
+        result = drive(tb, warmup_ns=BENCH_WARMUP_NS, measure_ns=BENCH_LATENCY_MEASURE_NS)
+        rtts[name] = (result.latency.mean_us, result.latency.std_us)
+    return rtts
+
+
+def test_table4_v2v_latency(benchmark):
+    rtts = run_once(benchmark, _measure)
+    print()
+    rows = [
+        [name, mean, std, TABLE4[name]]
+        for name, (mean, std) in rtts.items()
+    ]
+    print(
+        format_table(
+            ["switch", "RTT (us)", "std (us)", "paper (us)"],
+            rows,
+            title="Table 4 -- v2v RTT latency, measured vs paper",
+        )
+    )
+    means = {name: mean for name, (mean, std) in rtts.items()}
+    # Orderings from Sec. 5.3.
+    assert means["vale"] == min(means.values())             # ping over ptnet wins
+    assert means["t4p4s"] > means["bess"]                   # worst pipeline
+    assert means["snabb"] > means["vpp"]                    # inter-app buffers
+    quartet = [means[n] for n in ("bess", "fastclick", "vpp", "ovs-dpdk")]
+    assert max(quartet) < 1.6 * min(quartet)                # "very similar"

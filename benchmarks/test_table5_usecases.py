@@ -1,0 +1,68 @@
+"""Table 5: use-case summary, *derived* from measurements.
+
+The paper's Table 5 condenses the whole evaluation into per-switch
+recommendations.  This bench recomputes the quantitative half of those
+claims from fresh measurements and checks them against the curated
+:data:`repro.switches.taxonomy.USE_CASES`.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_MEASURE_NS, BENCH_WARMUP_NS, run_once
+from repro.analysis.tables import format_table
+from repro.measure.throughput import measure_throughput
+from repro.scenarios import loopback, p2p, v2v
+from repro.switches.registry import ALL_SWITCHES
+from repro.switches.taxonomy import USE_CASES
+from repro.vm.machine import QemuCompatibilityError
+
+
+def _measure():
+    scores = {}
+    for name in ALL_SWITCHES:
+        p2p_gbps = measure_throughput(
+            p2p.build, name, 64, bidirectional=True,
+            warmup_ns=BENCH_WARMUP_NS, measure_ns=BENCH_MEASURE_NS,
+        ).gbps
+        v2v_gbps = measure_throughput(
+            v2v.build, name, 64,
+            warmup_ns=BENCH_WARMUP_NS, measure_ns=BENCH_MEASURE_NS,
+        ).gbps
+        try:
+            chain_gbps = measure_throughput(
+                loopback.build, name, 1024, n_vnfs=4,
+                warmup_ns=BENCH_WARMUP_NS, measure_ns=BENCH_MEASURE_NS,
+            ).gbps
+            chain_note = ""
+        except QemuCompatibilityError:
+            chain_gbps = None
+            chain_note = "QEMU limit (max 3 VMs)"
+        scores[name] = (p2p_gbps, v2v_gbps, chain_gbps, chain_note)
+    return scores
+
+
+def test_table5_use_cases(benchmark):
+    scores = run_once(benchmark, _measure)
+    print()
+    rows = [
+        [name, *values[:3], USE_CASES[name][0]]
+        for name, values in scores.items()
+    ]
+    print(
+        format_table(
+            ["switch", "p2p bidi 64B", "v2v 64B", "4-VNF chain 1024B", "paper: best at"],
+            rows,
+            title="Table 5 -- use cases, derived from measurement",
+        )
+    )
+    # "BESS: forwarding between physical NICs" -- best p2p.
+    assert scores["bess"][0] == max(s[0] for s in scores.values())
+    # "BESS: incompatible with newer QEMU" -- no 4-VNF chain result.
+    assert scores["bess"][2] is None
+    # "VALE: VNF chaining with high workload" -- best 4-VNF 1024B chain.
+    chains = {n: s[2] for n, s in scores.items() if s[2] is not None}
+    assert chains["vale"] == max(chains.values())
+    # "Snabb: bottlenecked with multiple VNFs".
+    assert chains["snabb"] == min(chains.values())
+    # VALE also dominates inter-VM switching.
+    assert scores["vale"][1] == max(s[1] for s in scores.values())

@@ -1,0 +1,137 @@
+"""Appendix A, executable: configure each switch with its own control plane.
+
+The paper's appendix lists, per switch, the exact configuration that
+realises the p2p scenario -- a BESS script, a Click one-liner, VPP
+l2patch commands, ovs-vsctl/ovs-ofctl invocations, vale-ctl commands, a
+Snabb config object.  This example feeds those *verbatim* snippets to
+the library's miniature control planes, then pushes traffic through each
+switch to show the configuration took effect.
+
+Usage::
+
+    python examples/appendix_configs.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.tables import format_table
+from repro.core.engine import Simulator
+from repro.core.packet import Packet
+from repro.cpu.cores import Core
+from repro.nic.port import NicPort
+from repro.switches.control import (
+    BessScript,
+    OvsCtl,
+    SnabbConfig,
+    ValeCtl,
+    VppCli,
+    apply_click_config,
+)
+from repro.switches.registry import create_switch
+
+
+def testbed(switch_name):
+    sim = Simulator()
+    switch = create_switch(switch_name, sim)
+    p0, p1 = NicPort(sim, "p0"), NicPort(sim, "p1")
+    peer0, peer1 = NicPort(sim, "peer0"), NicPort(sim, "peer1")
+    p0.connect(peer0)
+    p1.connect(peer1)
+    return sim, switch, p0, p1
+
+
+def run_traffic(sim, switch, src, dst, n=64):
+    received = []
+    dst.peer.sink = received.extend
+    switch.bind_core(Core(sim, "sut"))
+    src.rx_ring.push_batch([Packet() for _ in range(n)])
+    sim.run_until(5_000_000)
+    return len(received)
+
+
+def configure_bess(switch, p0, p1):
+    BessScript(switch, ports={0: p0, 1: p1}).run(
+        """
+        inport::PMDPort(port_id=0)
+        outport::PMDPort(port_id=1)
+        in0::QueueInc(port=inport, qid=0)
+        out0::QueueOut(port=outport, qid=0)
+        in0 -> out0
+        """
+    )
+    return "bessctl script (PMDPort/QueueInc/QueueOut)"
+
+
+def configure_fastclick(switch, p0, p1):
+    apply_click_config(switch, "FromDPDKDevice(0)->ToDPDKDevice(1)", {"0": p0, "1": p1})
+    return "Click: FromDPDKDevice(0)->ToDPDKDevice(1)"
+
+
+def configure_vpp(switch, p0, p1):
+    VppCli(switch, {"port0": p0, "port1": p1}).exec("test l2patch rx port0 tx port1")
+    return "vppctl: test l2patch rx port0 tx port1"
+
+
+def configure_ovs(switch, p0, p1):
+    ctl = OvsCtl(switch, {"dpdk0": p0, "dpdk1": p1})
+    ctl.vsctl("add-br br0")
+    ctl.vsctl("add-port br0 dpdk0")
+    ctl.vsctl("add-port br0 dpdk1")
+    ctl.ofctl_add_flow("br0", "in_port=1,actions=output:2")
+    return "ovs-vsctl add-br/add-port + ovs-ofctl add-flow"
+
+
+def configure_vale(switch, p0, p1):
+    ctl = ValeCtl(switch, {"p1": p0, "p2": p1})
+    ctl.exec("vale-ctl -a vale0:p1")
+    ctl.exec("vale-ctl -a vale0:p2")
+    return "vale-ctl -a vale0:p1 / vale-ctl -a vale0:p2"
+
+
+def configure_snabb(switch, p0, p1):
+    config = SnabbConfig(switch)
+    config.app("nic1", p0)
+    config.app("nic2", p1)
+    config.link("nic1.tx -> nic2.rx")
+    return 'config.app x2 + config.link("nic1.tx -> nic2.rx")'
+
+
+def configure_t4p4s(switch, p0, p1):
+    # t4p4s forwards on its predefined dmac table (Appendix A.1): the
+    # model installs entries as paths are declared.
+    a0 = switch.attach_phy(p0)
+    a1 = switch.attach_phy(p1)
+    switch.add_path(a0, a1)
+    return "l2fwd P4 table: dmac -> output port"
+
+
+CONFIGURATORS = {
+    "bess": configure_bess,
+    "fastclick": configure_fastclick,
+    "vpp": configure_vpp,
+    "ovs-dpdk": configure_ovs,
+    "vale": configure_vale,
+    "snabb": configure_snabb,
+    "t4p4s": configure_t4p4s,
+}
+
+
+def main() -> int:
+    rows = []
+    for name, configure in CONFIGURATORS.items():
+        sim, switch, p0, p1 = testbed(name)
+        description = configure(switch, p0, p1)
+        forwarded = run_traffic(sim, switch, p0, p1)
+        rows.append([name, description, f"{forwarded}/64"])
+    print("=== Appendix A p2p configurations, executed ===\n")
+    print(format_table(["switch", "configured via", "forwarded"], rows))
+    assert all(row[2] == "64/64" for row in rows)
+    print("\nAll seven switches forward the full burst under their own")
+    print("control plane, matching the paper's appendix.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

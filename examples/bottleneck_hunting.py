@@ -1,0 +1,80 @@
+"""Bottleneck hunting: watch *where* a switch loses its packets.
+
+The paper infers bottlenecks from aggregate throughput ("the overhead
+imposed by vhost-user", "packet copies between VALE ports").  The
+simulated testbed can show them directly: this example instruments a
+loopback chain with telemetry probes on every queue and the SUT core,
+runs it at saturating load, and prints a per-stage report -- occupancy,
+drops and core utilisation -- that localises the bottleneck.
+
+Usage::
+
+    python examples/bottleneck_hunting.py [switch] [n_vnfs]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.tables import format_table
+from repro.core.trace import Telemetry
+from repro.measure.runner import drive
+from repro.scenarios import loopback
+from repro.switches.registry import params_for, switch_names
+
+
+def main() -> int:
+    switch_name = sys.argv[1] if len(sys.argv) > 1 else "vpp"
+    n_vnfs = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+    if switch_name not in switch_names():
+        print(f"unknown switch {switch_name!r}")
+        return 1
+
+    tb = loopback.build(switch_name, n_vnfs=n_vnfs, frame_size=64)
+    telemetry = Telemetry(tb.sim, period_ns=50_000.0)
+
+    # Probe every queue along the chain, in traversal order.
+    sut0, sut1 = tb.extras["sut_ports"]
+    telemetry.watch_ring("NIC0 rx ring", sut0.rx_ring)
+    telemetry.watch_ring_drops("NIC0 rx drops", sut0.rx_ring)
+    for i, vm in enumerate(tb.vms, start=1):
+        for vif in vm.interfaces:
+            telemetry.watch_ring(f"{vif.name} to-guest", vif.to_guest)
+            telemetry.watch_ring(f"{vif.name} to-host", vif.to_host)
+    telemetry.watch_core_busy("SUT core", tb.sut_core)
+    telemetry.start()
+
+    result = drive(tb)
+    print(
+        f"=== {params_for(switch_name).display_name}, {n_vnfs}-VNF loopback chain, "
+        f"64B saturating input ===\n"
+    )
+    print(f"throughput: {result.gbps:.2f} Gbps\n")
+
+    rows = []
+    for name, series in telemetry.series.items():
+        if name == "SUT core":
+            continue
+        rows.append([name, series.mean, series.peak, series.last()])
+    print(format_table(["queue", "mean depth", "peak depth", "final"], rows))
+
+    utilisation = telemetry.utilization("SUT core")
+    print(f"\nSUT core utilisation: {100 * utilisation:.1f}%")
+    ingress_drops = telemetry.series["NIC0 rx drops"].last()
+    print(f"NIC0 ingress drops: {ingress_drops:.0f} packets")
+    if utilisation > 0.95 and ingress_drops > 0:
+        print(
+            "\nDiagnosis: the SUT core is saturated and the loss happens at\n"
+            "the NIC ingress ring -- the switch data path is the bottleneck,\n"
+            "exactly the regime the paper's saturating-load methodology probes."
+        )
+    elif utilisation < 0.8:
+        print(
+            "\nDiagnosis: the SUT core has headroom; the constraint lies\n"
+            "elsewhere (wire rate, guest apps, or interrupt moderation)."
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

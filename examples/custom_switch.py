@@ -1,0 +1,87 @@
+"""Extending the library: model a new software switch and benchmark it.
+
+The registry is an extension point: define a :class:`SoftwareSwitch`
+subclass with its own cost parameters (and optionally behaviour hooks),
+register it, and every scenario builder, measurement routine and table
+renderer works with it unchanged.
+
+This example sketches "TurboSwitch", a hypothetical DPDK switch with a
+SIMD-optimised classifier (cheap per-packet cost) but a naive vhost-user
+integration (expensive per-byte copies), then runs it through the
+paper's methodology against two built-ins.
+
+Usage::
+
+    python examples/custom_switch.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.tables import format_table
+from repro.cpu.costmodel import Cost
+from repro.measure.throughput import measure_throughput
+from repro.scenarios import loopback, p2p, p2v
+from repro.switches.base import SoftwareSwitch
+from repro.switches.params import SwitchParams
+from repro.switches.registry import create_switch, register_switch
+from repro.vif.vhost_user import DEFAULT_VHOST_COSTS
+from repro.vif.virtio import VifCosts
+
+TURBO_PARAMS = SwitchParams(
+    name="turboswitch",
+    display_name="TurboSwitch",
+    # SIMD classifier: half of BESS's per-packet work.
+    proc=Cost(per_batch=40.0, per_packet=24.0),
+    # ...but a naive vhost-user port ruins virtualised scenarios.
+    vif_costs=VifCosts(
+        host_tx=Cost(per_batch=200.0, per_packet=150.0, per_byte=1.2),
+        host_rx=Cost(per_batch=200.0, per_packet=160.0, per_byte=1.2),
+        guest_tx=DEFAULT_VHOST_COSTS.guest_tx,
+        guest_rx=DEFAULT_VHOST_COSTS.guest_rx,
+        host_copy_factor=1.0,
+    ),
+    jitter_sigma=0.05,
+)
+
+
+class TurboSwitch(SoftwareSwitch):
+    """A minimal custom model: base mechanics, custom cost profile."""
+
+    def __init__(self, sim, rngs=None, bus=None, params=TURBO_PARAMS):
+        super().__init__(sim, params, rngs=rngs, bus=bus)
+
+
+def main() -> int:
+    register_switch("turboswitch", TurboSwitch, TURBO_PARAMS)
+
+    contenders = ("turboswitch", "bess", "vpp")
+    rows = []
+    for name in contenders:
+        p2p_gbps = measure_throughput(p2p.build, name, 64, bidirectional=True).gbps
+        p2v_gbps = measure_throughput(p2v.build, name, 64).gbps
+        chain = measure_throughput(loopback.build, name, 64, n_vnfs=2).gbps
+        rows.append([name, p2p_gbps, p2v_gbps, chain])
+
+    print("=== TurboSwitch vs built-ins (the paper's methodology) ===\n")
+    print(
+        format_table(
+            ["switch", "p2p bidi 64B", "p2v uni 64B", "2-VNF chain 64B"],
+            rows,
+        )
+    )
+    print(
+        "\nReading: a fast classifier wins the p2p column, but the naive\n"
+        "vhost-user port loses every virtualised scenario -- the same\n"
+        "design-space lesson the paper draws (Sec. 5.4): pick the switch\n"
+        "for the NFV context, not the headline forwarding number."
+    )
+    turbo, bess, vpp = rows
+    assert turbo[1] > bess[1], "TurboSwitch should win raw forwarding"
+    assert turbo[3] < vpp[3], "...and lose service chaining"
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""SDN flow-cache study: OvS-DPDK beyond the paper's single-flow workload.
+
+The paper notes its synthetic traffic is one flow of identical packets,
+so "OvS-DPDK's flow cache does not help" (Sec. 5.2).  This example asks
+the follow-up question an SDN operator would: what happens with *real*
+flow counts?  It sweeps concurrent flows through the modelled three-level
+OvS datapath (EMC -> dpcls megaflow -> ofproto upcall) and reports
+throughput, cache hit rates and upcall counts.
+
+Usage::
+
+    python examples/flow_cache_study.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.tables import format_table
+from repro.core.engine import Simulator
+from repro.core.rng import RngRegistry
+from repro.cpu.numa import Machine
+from repro.measure.runner import drive
+from repro.nic.port import NicPort
+from repro.scenarios.base import Testbed, connect_ports
+from repro.switches.ovs_dpdk import OvsDpdk
+from repro.traffic.moongen import MoonGenRx, MoonGenTx, saturating_rate
+
+FLOW_COUNTS = (1, 128, 2048, 8192, 16384, 65536)
+
+
+def measure_with_flows(flow_count: int, frame_size: int = 64):
+    sim = Simulator()
+    machine = Machine(sim)
+    rngs = RngRegistry(1)
+    switch = OvsDpdk(sim, rngs=rngs, bus=machine.node0.bus)
+    sut_core = machine.node0.add_core("sut")
+
+    gen0, gen1 = NicPort(sim, "g0"), NicPort(sim, "g1")
+    sut0, sut1 = NicPort(sim, "s0"), NicPort(sim, "s1")
+    connect_ports(gen0, sut0)
+    connect_ports(gen1, sut1)
+    switch.add_path(switch.attach_phy(sut0), switch.attach_phy(sut1))
+    switch.bind_core(sut_core)
+
+    tx = MoonGenTx(sim, gen0, saturating_rate(frame_size), frame_size, flow_count=flow_count)
+    rx = MoonGenRx(sim, gen1, frame_size)
+    tx.start(0.0)
+
+    tb = Testbed(sim, machine, rngs, switch, sut_core, frame_size, scenario="ovs-flows")
+    tb.meters.append(rx.meter)
+    # Long warm-up: megaflow installation (one upcall per new flow) must
+    # finish before the steady-state window opens.
+    result = drive(tb, warmup_ns=3_000_000.0, measure_ns=5_000_000.0)
+    lookups = switch.emc_hits + switch.emc_misses
+    hit_rate = switch.emc_hits / lookups if lookups else 0.0
+    return result.gbps, hit_rate, switch.upcalls
+
+
+def main() -> int:
+    print("=== OvS-DPDK flow-cache behaviour under flow-count pressure ===")
+    print("(EMC capacity: 8192 exact-match entries, as in OvS 2.11)\n")
+    rows = []
+    for flows in FLOW_COUNTS:
+        gbps, hit_rate, upcalls = measure_with_flows(flows)
+        rows.append([flows, gbps, 100.0 * hit_rate, upcalls])
+    print(
+        format_table(
+            ["flows", "throughput (Gbps)", "EMC hit rate (%)", "upcalls"],
+            rows,
+        )
+    )
+    print(
+        "\nReading: with one flow the EMC always hits, matching the paper's\n"
+        "8 Gbps -- the match/action pipeline itself is the cost.  Once the\n"
+        "flow count exceeds the EMC, misses fall through to the megaflow\n"
+        "classifier and throughput drops further; every new flow also costs\n"
+        "one slow-path upcall."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Quickstart: measure one software switch on the simulated testbed.
+
+Runs the paper's simplest experiment -- the p2p forwarding test of
+Fig. 2a -- for a single switch, at the three paper frame sizes, and
+prints throughput plus an RTT latency sweep.
+
+Usage::
+
+    python examples/quickstart.py [switch]
+
+where ``switch`` is one of: bess, fastclick, ovs-dpdk, snabb, vpp, vale,
+t4p4s (default: vpp).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.tables import ascii_bars, format_table
+from repro.core.units import PAPER_FRAME_SIZES
+from repro.measure.latency import LOAD_FRACTIONS, latency_sweep
+from repro.measure.throughput import measure_throughput
+from repro.scenarios import p2p
+from repro.switches.registry import params_for, switch_names
+
+
+def main() -> int:
+    switch = sys.argv[1] if len(sys.argv) > 1 else "vpp"
+    if switch not in switch_names():
+        print(f"unknown switch {switch!r}; choose from {', '.join(sorted(switch_names()))}")
+        return 1
+
+    params = params_for(switch)
+    print(f"=== {params.display_name} on the simulated 2x10GbE testbed ===\n")
+
+    print("p2p throughput (saturating input, Sec. 5.2 methodology):")
+    bars = {}
+    for size in PAPER_FRAME_SIZES:
+        uni = measure_throughput(p2p.build, switch, size)
+        bidi = measure_throughput(p2p.build, switch, size, bidirectional=True)
+        bars[f"{size}B uni"] = uni.gbps
+        bars[f"{size}B bidi"] = bidi.gbps
+    print(ascii_bars(bars))
+
+    print("\np2p RTT latency at fractions of R+ (Sec. 5.3 methodology):")
+    points = latency_sweep(p2p.build, switch, 64)
+    rows = [
+        [f"{fraction:.2f} R+", points[fraction].mean_us, points[fraction].std_us, len(points[fraction].sample)]
+        for fraction in LOAD_FRACTIONS
+    ]
+    print(format_table(["load", "mean RTT (us)", "std (us)", "probes"], rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

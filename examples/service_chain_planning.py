@@ -1,0 +1,88 @@
+"""Service-chain planning: which switch should steer *your* NFV chain?
+
+The paper's central conclusion is that "no single software switch
+prevails in all scenarios" -- the right choice depends on chain length,
+packet size and direction.  This example takes a concrete deployment
+(chain length, packet size, bidirectional or not) and ranks the seven
+switches for it, reproducing the Sec. 5.4 decision process as runnable
+code.
+
+Usage::
+
+    python examples/service_chain_planning.py [n_vnfs] [frame_size] [--bidi]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.tables import format_series, format_table
+from repro.measure.throughput import measure_throughput
+from repro.scenarios import loopback
+from repro.switches.registry import ALL_SWITCHES, params_for
+from repro.switches.taxonomy import USE_CASES
+from repro.vm.machine import QemuCompatibilityError
+
+
+def rank_switches(n_vnfs: int, frame_size: int, bidirectional: bool):
+    results = {}
+    for name in ALL_SWITCHES:
+        try:
+            result = measure_throughput(
+                loopback.build, name, frame_size,
+                bidirectional=bidirectional, n_vnfs=n_vnfs,
+            )
+            results[name] = result.gbps
+        except QemuCompatibilityError:
+            results[name] = None
+    return results
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    n_vnfs = int(args[0]) if args else 3
+    frame_size = int(args[1]) if len(args) > 1 else 256
+    bidirectional = "--bidi" in sys.argv
+
+    direction = "bidirectional" if bidirectional else "unidirectional"
+    print(
+        f"=== Planning a {n_vnfs}-VNF service chain "
+        f"({frame_size}B, {direction}) ===\n"
+    )
+
+    results = rank_switches(n_vnfs, frame_size, bidirectional)
+    ranked = sorted(
+        ((name, gbps) for name, gbps in results.items() if gbps is not None),
+        key=lambda item: item[1],
+        reverse=True,
+    )
+    rows = []
+    for rank, (name, gbps) in enumerate(ranked, start=1):
+        rows.append([rank, params_for(name).display_name, gbps, USE_CASES[name][1]])
+    for name, gbps in results.items():
+        if gbps is None:
+            rows.append(["-", params_for(name).display_name, None, USE_CASES[name][1]])
+    print(format_table(["rank", "switch", "Gbps", "caveat (paper Table 5)"], rows))
+
+    best = ranked[0][0]
+    print(f"\nRecommendation: {params_for(best).display_name}")
+
+    print("\nHow the winner scales with chain length:")
+    lengths = [1, 2, 3, 4, 5]
+    series = []
+    for n in lengths:
+        try:
+            series.append(
+                measure_throughput(
+                    loopback.build, best, frame_size,
+                    bidirectional=bidirectional, n_vnfs=n,
+                ).gbps
+            )
+        except QemuCompatibilityError:
+            series.append(None)
+    print(format_series(params_for(best).display_name, [f"{n}VNF" for n in lengths], series))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""repro: simulation-based reproduction of "Comparing the Performance of
+State-of-the-Art Software Switches for NFV" (Zhang et al., CoNEXT 2019).
+
+The package rebuilds the paper's entire methodology on a discrete-event
+simulated testbed: seven behavioural switch models (BESS, FastClick,
+OvS-DPDK, Snabb, VPP, VALE, t4p4s), the four NFV test scenarios (p2p,
+p2v, v2v, loopback service chains) and the two metrics (saturating-load
+throughput and RTT latency at fractions of R+).
+
+Quick start::
+
+    from repro.scenarios import p2p
+    from repro.measure import measure_throughput
+
+    result = measure_throughput(p2p.build, "vpp", frame_size=64)
+    print(result.gbps)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results of every table and figure.
+"""
+
+from repro.measure import (
+    LatencyPoint,
+    RunResult,
+    drive,
+    estimate_r_plus,
+    latency_sweep,
+    measure_latency_at,
+    measure_throughput,
+)
+from repro.scenarios import BUILDERS, Testbed, loopback, p2p, p2v, v2v
+from repro.switches import ALL_SWITCHES, create_switch, params_for, switch_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_SWITCHES",
+    "BUILDERS",
+    "LatencyPoint",
+    "RunResult",
+    "Testbed",
+    "__version__",
+    "create_switch",
+    "drive",
+    "estimate_r_plus",
+    "latency_sweep",
+    "loopback",
+    "measure_latency_at",
+    "measure_throughput",
+    "p2p",
+    "p2v",
+    "params_for",
+    "switch_names",
+    "v2v",
+]

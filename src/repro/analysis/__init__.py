@@ -1,0 +1,16 @@
+"""Analysis: capacity model, paper values, renderers, validation."""
+
+from repro.analysis.bottleneck import CapacityEstimate, estimate
+from repro.analysis.tables import ascii_bars, format_series, format_table
+from repro.analysis.validate import Check, summarize, validate
+
+__all__ = [
+    "CapacityEstimate",
+    "Check",
+    "ascii_bars",
+    "estimate",
+    "format_series",
+    "format_table",
+    "summarize",
+    "validate",
+]

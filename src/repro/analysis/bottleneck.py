@@ -1,0 +1,131 @@
+"""Closed-form capacity model.
+
+The single-core methodology makes throughput predictable: a switch
+forwarding over hops with per-packet cycle costs c_1..c_k on one core of
+frequency f sustains at most f / sum(c_i) packets per second, further
+clipped by the 10 Gbps wire (scenarios with NICs) and the generator's
+ceiling.  This module evaluates that bound from the same
+:class:`~repro.switches.params.SwitchParams` the simulator uses -- an
+independent implementation that tests compare against the discrete-event
+results (they must agree within queueing noise), and that the ablation
+benches use for fast parameter sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.cores import DEFAULT_FREQ_HZ
+from repro.switches.params import SwitchParams
+from repro.switches.registry import params_for
+from repro.switches.taxonomy import TAXONOMY
+from repro.core.units import line_rate_pps, pps_to_gbps
+
+
+@dataclass(frozen=True)
+class CapacityEstimate:
+    """Predicted sustained rate for one scenario configuration."""
+
+    switch: str
+    scenario: str
+    frame_size: int
+    bidirectional: bool
+    core_capacity_pps: float
+    offered_pps: float
+    predicted_pps: float
+
+    @property
+    def predicted_gbps(self) -> float:
+        return pps_to_gbps(self.predicted_pps, self.frame_size)
+
+
+def _hop_cost(params: SwitchParams, kind: str, frame_size: int, bidir: bool) -> float:
+    """Per-packet cycles for one forwarding hop of a given kind."""
+    batch = params.batch_size
+    proc = params.proc.cycles_per_packet(frame_size, batch)
+    nic_rx = params.nic_rx.cycles_per_packet(frame_size, batch)
+    nic_tx = params.nic_tx.cycles_per_packet(frame_size, batch)
+    vif_tx = params.vif_costs.host_tx.cycles_per_packet(frame_size, batch)
+    vif_rx = params.vif_costs.host_rx.cycles_per_packet(frame_size, batch)
+    if bidir:
+        vif_tx *= params.bidir_vif_penalty
+        vif_rx *= params.bidir_vif_penalty
+    overhead = 0.0
+    if params.pipeline:
+        overhead = params.app_overhead_cycles / max(1, batch)
+    if kind == "p2p":
+        cost = nic_rx + proc + nic_tx
+    elif kind == "p2v":
+        cost = nic_rx + proc + vif_tx
+    elif kind == "v2p":
+        cost = vif_rx + proc + nic_tx
+    elif kind == "v2v":
+        cost = vif_rx + proc + vif_tx
+    else:
+        raise ValueError(f"unknown hop kind {kind!r}")
+    return cost + overhead
+
+
+def _thrash(params: SwitchParams, attachments: int) -> float:
+    if params.thrash_attachments is not None and attachments >= params.thrash_attachments:
+        return params.thrash_factor
+    return 1.0
+
+
+def _scenario_hops(scenario: str, n_vnfs: int) -> tuple[list[str], int]:
+    """Hop kinds along one direction, plus attachment count."""
+    if scenario == "p2p":
+        return ["p2p"], 2
+    if scenario == "p2v":
+        return ["p2v"], 2
+    if scenario == "v2v":
+        return ["v2v"], 2
+    if scenario == "loopback":
+        hops = ["p2v"] + ["v2v"] * (n_vnfs - 1) + ["v2p"]
+        return hops, 2 + 2 * n_vnfs
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def estimate(
+    switch_name: str,
+    scenario: str,
+    frame_size: int = 64,
+    bidirectional: bool = False,
+    n_vnfs: int = 1,
+    offered_pps: float | None = None,
+    freq_hz: float = DEFAULT_FREQ_HZ,
+    params: SwitchParams | None = None,
+) -> CapacityEstimate:
+    """Bottleneck throughput prediction for one configuration.
+
+    For bidirectional runs the estimate is the *aggregate* over both
+    directions (the paper's reporting convention).
+    """
+    if params is None:
+        params = params_for(switch_name)
+    hops, attachments = _scenario_hops(scenario, n_vnfs)
+    per_packet = sum(_hop_cost(params, hop, frame_size, bidirectional) for hop in hops)
+    per_packet *= _thrash(params, attachments)
+    core_capacity = freq_hz / per_packet  # pps through the whole chain
+
+    line = line_rate_pps(frame_size)
+    if offered_pps is None:
+        if scenario == "v2v" and TAXONOMY[switch_name].virtual_interface == "ptnet":
+            # pkt-gen over ptnet is not bound to a 10G vNIC.
+            offered_pps = 60e6
+        else:
+            offered_pps = line
+    directions = 2 if bidirectional else 1
+    demand = offered_pps * directions
+    predicted = min(demand, core_capacity)
+    if scenario != "v2v":
+        predicted = min(predicted, line * directions)
+    return CapacityEstimate(
+        switch=params.name,
+        scenario=scenario,
+        frame_size=frame_size,
+        bidirectional=bidirectional,
+        core_capacity_pps=core_capacity,
+        offered_pps=offered_pps,
+        predicted_pps=predicted,
+    )

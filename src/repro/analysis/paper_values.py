@@ -1,0 +1,138 @@
+"""The paper's reported numbers, as machine-readable reference data.
+
+Sources: Sec. 5.2 prose for throughput (figures are plots; the text quotes
+the load-bearing values), Table 3 and Table 4 verbatim for latency.  Used
+by the benches to print measured-vs-paper columns and by EXPERIMENTS.md
+generation.  ``None`` means the paper shows the value only graphically.
+"""
+
+from __future__ import annotations
+
+#: Fig. 4a, 64 B unidirectional p2p throughput (Gbps).
+FIG4A_P2P_UNI_64B = {
+    "bess": 10.0,
+    "fastclick": 10.0,
+    "vpp": 10.0,
+    "ovs-dpdk": 8.05,
+    "snabb": 8.9,
+    "vale": 5.56,
+    "t4p4s": 5.6,
+}
+
+#: Fig. 4a, 64 B bidirectional aggregates quoted in the text.
+FIG4A_P2P_BIDI_64B = {
+    "bess": 16.0,       # "BESS even reaches 16 Gbps"
+    "fastclick": None,  # "manage to exceed 10 Gbps"
+    "vpp": None,        # "manage to exceed 10 Gbps"
+    "ovs-dpdk": None,
+    "snabb": None,
+    "vale": None,
+    "t4p4s": None,
+}
+
+#: Fig. 4b, 64 B unidirectional p2v throughput (Gbps).
+FIG4B_P2V_UNI_64B = {
+    "bess": 10.0,
+    "fastclick": None,  # "5 to 7 Gbps"
+    "vpp": 6.9,
+    "ovs-dpdk": None,   # "5 to 7 Gbps"
+    "snabb": 5.97,
+    "vale": 5.77,
+    "t4p4s": 4.04,
+}
+
+#: Sec. 5.2 extra p2v data points.
+VPP_P2V_REVERSED_64B = 5.59
+BESS_P2V_BIDI_64B = 11.38
+VPP_P2V_BIDI_64B = 5.9
+VALE_P2V_BIDI_1024B = 15.0
+
+#: Fig. 4c, 64 B unidirectional v2v throughput (Gbps).
+FIG4C_V2V_UNI_64B = {
+    "bess": None,      # "lower than 7.4"
+    "fastclick": None,
+    "vpp": None,
+    "ovs-dpdk": None,
+    "snabb": 6.42,
+    "vale": 10.5,
+    "t4p4s": None,
+}
+
+#: Sec. 5.2: VALE bidirectional v2v at 1024 B is 35 Gbps = 64% of uni.
+VALE_V2V_BIDI_1024B = 35.0
+VALE_V2V_BIDI_RATIO = 0.64
+
+#: Table 3: RTT latency (us) for p2p and loopback 1-4 VNFs at
+#: (0.10, 0.50, 0.99) x R+.  '-' in the paper (BESS > 3 VNFs) is None.
+TABLE3 = {
+    "bess": {
+        "p2p": (4.0, 4.6, 6.4),
+        1: (35, 15, 39),
+        2: (67, 33, 136),
+        3: (167, 55, 147),
+        4: None,
+    },
+    "fastclick": {
+        "p2p": (5.3, 7.8, 8.4),
+        1: (69, 26, 37),
+        2: (164, 47, 70),
+        3: (368, 73, 129),
+        4: (978, 107, 149),
+    },
+    "ovs-dpdk": {
+        "p2p": (4.3, 5.2, 9.6),
+        1: (50, 23, 514),
+        2: (124, 42, 909),
+        3: (182, 90, 1052),
+        4: (235, 124, 336),
+    },
+    "snabb": {
+        "p2p": (7.3, 11.3, 22),
+        1: (70, 27, 74),
+        2: (123, 53, 146),
+        3: (186, 95, 266),
+        4: (406, 365, 1181),
+    },
+    "vpp": {
+        "p2p": (4.5, 5.9, 13.1),
+        1: (41, 20, 47),
+        2: (116, 47, 74),
+        3: (175, 73, 98),
+        4: (231, 87, 131),
+    },
+    "vale": {
+        "p2p": (32, 34, 59),
+        1: (32, 35, 65),
+        2: (41, 51, 90),
+        3: (54, 74, 132),
+        4: (67, 100, 166),
+    },
+    "t4p4s": {
+        "p2p": (32, 31, 174),
+        1: (169, 65, 2259),
+        2: (274, 117, 3911),
+        3: (434, 192, 5535),
+        4: (548, 228, 7275),
+    },
+}
+
+#: Table 4: v2v RTT latency (us).
+TABLE4 = {
+    "bess": 37.0,
+    "fastclick": 45.0,
+    "ovs-dpdk": 43.0,
+    "snabb": 67.0,
+    "vpp": 42.0,
+    "vale": 21.0,
+    "t4p4s": 70.0,
+}
+
+#: Sec. 5.2 loopback findings (qualitative anchors for Fig. 5 / Fig. 6).
+LOOPBACK_FINDINGS = (
+    "BESS yields the highest 1-VNF throughput",
+    "BESS cannot run more than 3 VNFs (QEMU incompatibility)",
+    "VALE outperforms vhost-user switches as chains grow",
+    "VALE sustains ~10 Gbps at 1024 B regardless of chain length",
+    "Snabb becomes overloaded at 4 VNFs and its throughput plummets",
+    "bidirectional chains degrade every switch, VALE most sharply",
+)

@@ -1,0 +1,62 @@
+"""Text renderers for the paper's tables and figures.
+
+Every bench prints its artifact through these helpers so the output of
+``pytest benchmarks/`` reads like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        if math.isnan(cell):
+            return "-"
+        if cell >= 100:
+            return f"{cell:.0f}"
+        if cell >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float | None]) -> str:
+    """One figure series as 'name: x=y, x=y, ...' (what a plot would show)."""
+    points = ", ".join(
+        f"{x}={_fmt(y)}" for x, y in zip(xs, ys)
+    )
+    return f"{name}: {points}"
+
+
+def ascii_bars(values: dict[str, float], width: int = 40, unit: str = "Gbps") -> str:
+    """Horizontal ASCII bar chart (for the examples' output)."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    lines = []
+    for key, value in values.items():
+        bar = "#" * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(f"{key.ljust(label_width)}  {bar} {value:.2f} {unit}")
+    return "\n".join(lines)

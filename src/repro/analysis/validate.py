@@ -1,0 +1,153 @@
+"""Reproduction validation: grade the simulation against the paper.
+
+Runs the quantitatively-anchored experiments (the numbers the paper's
+text states explicitly) and the qualitative orderings, and grades each
+as pass/fail with a tolerance.  This is the library's self-check --
+``repro-bench validate`` -- and the programmatic answer to "does this
+reproduction still hold after my change?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.paper_values import (
+    FIG4A_P2P_UNI_64B,
+    FIG4B_P2V_UNI_64B,
+    TABLE4,
+    VPP_P2V_REVERSED_64B,
+)
+from repro.measure.runner import drive
+from repro.measure.throughput import measure_throughput
+from repro.scenarios import loopback, p2p, p2v, v2v
+
+#: Relative tolerance for explicit paper values (the paper calls its own
+#: numbers "only indicative"; our calibration targets +-20%).
+VALUE_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class Check:
+    """One graded comparison against the paper."""
+
+    artifact: str
+    name: str
+    measured: float
+    expected: float | None
+    passed: bool
+    detail: str = ""
+
+
+def _value_check(artifact: str, name: str, measured: float, expected: float, tolerance: float = VALUE_TOLERANCE) -> Check:
+    passed = abs(measured - expected) <= tolerance * expected
+    return Check(artifact, name, measured, expected, passed, f"±{int(tolerance * 100)}%")
+
+
+def _ordering_check(artifact: str, name: str, condition: bool, measured: float, detail: str) -> Check:
+    return Check(artifact, name, measured, None, condition, detail)
+
+
+def validate(
+    warmup_ns: float = 300_000.0,
+    measure_ns: float = 1_500_000.0,
+    seed: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> list[Check]:
+    """Run the validation battery; returns one Check per criterion."""
+    windows = dict(warmup_ns=warmup_ns, measure_ns=measure_ns, seed=seed)
+    checks: list[Check] = []
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    # --- Fig. 4a anchors -------------------------------------------------
+    note("fig4a: p2p unidirectional 64B")
+    p2p_uni = {
+        name: measure_throughput(p2p.build, name, 64, **windows).gbps
+        for name in FIG4A_P2P_UNI_64B
+    }
+    for name, expected in FIG4A_P2P_UNI_64B.items():
+        checks.append(_value_check("fig4a", f"{name} p2p uni 64B", p2p_uni[name], expected))
+    note("fig4a: BESS bidirectional")
+    bess_bidi = measure_throughput(p2p.build, "bess", 64, bidirectional=True, **windows).gbps
+    checks.append(_value_check("fig4a", "bess p2p bidi 64B", bess_bidi, 16.0))
+
+    # --- Fig. 4b anchors -------------------------------------------------
+    note("fig4b: p2v anchors")
+    for name, expected in FIG4B_P2V_UNI_64B.items():
+        if expected is None:
+            continue
+        measured = measure_throughput(p2v.build, name, 64, **windows).gbps
+        checks.append(_value_check("fig4b", f"{name} p2v uni 64B", measured, expected))
+    reversed_vpp = measure_throughput(p2v.build, "vpp", 64, reversed_path=True, **windows).gbps
+    checks.append(_value_check("fig4b", "vpp p2v reversed 64B", reversed_vpp, VPP_P2V_REVERSED_64B))
+
+    # --- Fig. 4c orderings -----------------------------------------------
+    note("fig4c: v2v ordering")
+    vale_v2v = measure_throughput(v2v.build, "vale", 64, **windows).gbps
+    snabb_v2v = measure_throughput(v2v.build, "snabb", 64, **windows).gbps
+    snabb_p2v = measure_throughput(p2v.build, "snabb", 64, **windows).gbps
+    checks.append(_value_check("fig4c", "vale v2v uni 64B", vale_v2v, 10.5))
+    checks.append(
+        _ordering_check(
+            "fig4c", "snabb v2v > p2v", snabb_v2v > 0.95 * snabb_p2v, snabb_v2v,
+            "the only switch improving into v2v",
+        )
+    )
+
+    # --- Fig. 5 orderings ------------------------------------------------
+    note("fig5: loopback orderings")
+    loop1 = {
+        name: measure_throughput(loopback.build, name, 64, n_vnfs=1, **windows).gbps
+        for name in ("bess", "vpp", "vale", "t4p4s", "snabb")
+    }
+    checks.append(
+        _ordering_check(
+            "fig5", "bess wins 1-VNF", loop1["bess"] == max(loop1.values()), loop1["bess"],
+            "highest 1-VNF throughput",
+        )
+    )
+    checks.append(
+        _ordering_check(
+            "fig5", "t4p4s worst 1-VNF", loop1["t4p4s"] == min(loop1.values()), loop1["t4p4s"],
+            "lowest 1-VNF throughput",
+        )
+    )
+    snabb3 = measure_throughput(loopback.build, "snabb", 64, n_vnfs=3, **windows).gbps
+    snabb4 = measure_throughput(loopback.build, "snabb", 64, n_vnfs=4, **windows).gbps
+    checks.append(
+        _ordering_check(
+            "fig5", "snabb collapses at 4 VNFs", snabb4 < snabb3 / 3, snabb4,
+            "throughput plummets (Sec. 5.2)",
+        )
+    )
+
+    # --- Table 4 ----------------------------------------------------------
+    note("table4: v2v latency")
+    rtts = {}
+    for name in TABLE4:
+        tb = v2v.build_latency(name, seed=seed)
+        result = drive(tb, warmup_ns=warmup_ns, measure_ns=max(measure_ns, 2_000_000.0))
+        rtts[name] = result.latency.mean_us
+    checks.append(
+        _ordering_check(
+            "table4", "vale lowest v2v RTT", rtts["vale"] == min(rtts.values()), rtts["vale"],
+            "ping over ptnet",
+        )
+    )
+    checks.append(
+        _ordering_check(
+            "table4", "t4p4s/snabb highest v2v RTT",
+            sorted(rtts, key=rtts.get)[-2:] in (["snabb", "t4p4s"], ["t4p4s", "snabb"]),
+            rtts["t4p4s"],
+            "worst two pipelines",
+        )
+    )
+    return checks
+
+
+def summarize(checks: list[Check]) -> tuple[int, int]:
+    """(passed, total)."""
+    return sum(1 for c in checks if c.passed), len(checks)

@@ -1,0 +1,139 @@
+"""Command-line entry point: run one experiment from a shell.
+
+Examples::
+
+    repro-bench p2p --switch vpp --size 64 --bidirectional
+    repro-bench loopback --switch vale --vnfs 3 --size 1024
+    repro-bench p2p --switch bess --latency
+    repro-bench v2v-latency --switch snabb
+    repro-bench suite --switch vpp --suite smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import format_table
+from repro.measure.latency import latency_sweep
+from repro.measure.throughput import measure_throughput
+from repro.scenarios import loopback, p2p, p2v, v2v
+from repro.measure.runner import drive
+from repro.switches.registry import switch_names
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run one software-switch benchmark on the simulated testbed.",
+    )
+    parser.add_argument(
+        "scenario",
+        choices=["p2p", "p2v", "v2v", "loopback", "v2v-latency", "suite", "validate"],
+        help="test scenario (Sec. 4 of the paper), 'suite', or 'validate'",
+    )
+    parser.add_argument("--switch", default="vpp", choices=sorted(switch_names()))
+    parser.add_argument("--size", type=int, default=64, help="frame size in bytes")
+    parser.add_argument("--bidirectional", action="store_true")
+    parser.add_argument("--vnfs", type=int, default=1, help="loopback chain length")
+    parser.add_argument("--latency", action="store_true", help="run the R+ latency sweep")
+    parser.add_argument("--suite", default="smoke", help="suite name for the 'suite' command")
+    parser.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    builders = {"p2p": p2p.build, "p2v": p2v.build, "v2v": v2v.build, "loopback": loopback.build}
+
+    if args.scenario == "validate":
+        from repro.analysis.validate import summarize, validate
+
+        checks = validate(progress=lambda msg: print(f"[validate] {msg}"))
+        rows = [
+            [
+                check.artifact,
+                check.name,
+                check.measured,
+                check.expected,
+                "PASS" if check.passed else "FAIL",
+            ]
+            for check in checks
+        ]
+        print(
+            format_table(
+                ["artifact", "criterion", "measured", "paper", "verdict"],
+                rows,
+                title="Reproduction validation",
+            )
+        )
+        passed, total = summarize(checks)
+        print(f"\n{passed}/{total} criteria satisfied")
+        return 0 if passed == total else 2
+
+    if args.scenario == "suite":
+        from repro.measure.suites import SUITES
+
+        suite = SUITES.get(args.suite)
+        if suite is None:
+            print(f"unknown suite {args.suite!r}; known: {sorted(SUITES)}")
+            return 1
+        results = suite.run(args.switch, seed=args.seed)
+        rows = [
+            [name, result.gbps if result else None, result.mpps if result else None]
+            for name, result in results.items()
+        ]
+        print(
+            format_table(
+                ["experiment", "Gbps", "Mpps"],
+                rows,
+                title=f"suite '{suite.name}' for {args.switch}: {suite.description}",
+            )
+        )
+        return 0
+
+    if args.scenario == "v2v-latency":
+        tb = v2v.build_latency(args.switch, frame_size=args.size, seed=args.seed)
+        result = drive(tb)
+        latency = result.latency
+        mean = latency.mean_us if latency is not None and len(latency) else float("nan")
+        std = latency.std_us if latency is not None and len(latency) else float("nan")
+        print(f"v2v RTT latency for {args.switch}: mean={mean:.1f} us std={std:.1f} us")
+        return 0
+
+    build = builders[args.scenario]
+    extra = {"n_vnfs": args.vnfs} if args.scenario == "loopback" else {}
+
+    if args.latency:
+        points = latency_sweep(build, args.switch, frame_size=args.size, seed=args.seed, **extra)
+        rows = [
+            (f"{fraction:.2f} R+", point.mean_us, point.std_us, len(point.sample))
+            for fraction, point in sorted(points.items())
+        ]
+        print(
+            format_table(
+                ["load", "mean RTT (us)", "std (us)", "probes"],
+                rows,
+                title=f"{args.scenario} latency, {args.switch}, {args.size}B",
+            )
+        )
+        return 0
+
+    result = measure_throughput(
+        build,
+        args.switch,
+        frame_size=args.size,
+        bidirectional=args.bidirectional,
+        seed=args.seed,
+        **extra,
+    )
+    direction = "bidirectional" if args.bidirectional else "unidirectional"
+    print(
+        f"{args.scenario} {direction} {args.size}B {args.switch}: "
+        f"{result.gbps:.2f} Gbps ({result.mpps:.2f} Mpps)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

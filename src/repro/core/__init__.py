@@ -1,0 +1,22 @@
+"""Simulation core: event engine, packets, rings, units, statistics."""
+
+from repro.core.engine import SimulationError, Simulator
+from repro.core.packet import Packet, make_batch
+from repro.core.ring import Ring
+from repro.core.rng import RngRegistry
+from repro.core.stats import LatencySample, RateMeter, RunningStats
+from repro.core.trace import Series, Telemetry
+
+__all__ = [
+    "LatencySample",
+    "Packet",
+    "RateMeter",
+    "Ring",
+    "RngRegistry",
+    "RunningStats",
+    "Series",
+    "Telemetry",
+    "SimulationError",
+    "Simulator",
+    "make_batch",
+]

@@ -1,0 +1,79 @@
+"""Packet model.
+
+Packets are deliberately lightweight: the simulation is about *where time
+goes*, not about parsing bytes, so a packet carries the fields the paper's
+measurement tools actually use -- frame size, flow identity, MAC addresses
+(t4p4s forwards on destination MAC; VALE learns source MACs), creation and
+timestamping metadata for latency probes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.units import MIN_FRAME
+
+_packet_ids = itertools.count()
+
+
+@dataclass(slots=True)
+class Packet:
+    """A simulated Ethernet frame.
+
+    Attributes
+    ----------
+    size:
+        Frame size in bytes (64 for the paper's minimum-size workload).
+    flow_id:
+        Flow identity.  The paper's synthetic traffic is a *single* flow of
+        identical packets, which is why OvS-DPDK's flow cache "does not
+        help"; multi-flow profiles exercise cache behaviour.
+    src_mac / dst_mac:
+        Integer-encoded MAC addresses used by L2 forwarding logic.
+    t_created:
+        Simulated time (ns) at which the traffic generator emitted the frame.
+    is_probe:
+        True for PTP latency probes injected by MoonGen.
+    tx_timestamp / rx_timestamp:
+        Hardware or software timestamps (ns) recorded by the timestamping
+        engines; ``None`` until stamped.
+    hops:
+        Number of forwarding hops traversed so far (debug/verification aid).
+    """
+
+    size: int = MIN_FRAME
+    flow_id: int = 0
+    src_mac: int = 0x02_00_00_00_00_01
+    dst_mac: int = 0x02_00_00_00_00_02
+    t_created: float = 0.0
+    is_probe: bool = False
+    seq: int = field(default_factory=lambda: next(_packet_ids))
+    tx_timestamp: float | None = None
+    rx_timestamp: float | None = None
+    hops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < MIN_FRAME:
+            raise ValueError(f"frame size {self.size} below minimum {MIN_FRAME}")
+
+    @property
+    def latency_ns(self) -> float | None:
+        """RTT as observed by the timestamping tool, or None if unstamped."""
+        if self.tx_timestamp is None or self.rx_timestamp is None:
+            return None
+        return self.rx_timestamp - self.tx_timestamp
+
+
+def make_batch(
+    count: int,
+    size: int,
+    t_created: float,
+    flow_id: int = 0,
+    dst_mac: int = 0x02_00_00_00_00_02,
+) -> list[Packet]:
+    """Create ``count`` identical synthetic frames (one flow, like MoonGen)."""
+    return [
+        Packet(size=size, flow_id=flow_id, t_created=t_created, dst_mac=dst_mac)
+        for _ in range(count)
+    ]

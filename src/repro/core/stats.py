@@ -1,0 +1,170 @@
+"""Measurement statistics.
+
+The paper reports: throughput in Gbps (normalised to wire footprint),
+packet rate in Mpps, and RTT latency mean / standard deviation (Fig. 1)
+plus per-load averages (Tables 3 and 4).  This module provides the
+accumulators those measurements are built from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.units import pps_to_gbps
+
+
+class RunningStats:
+    """Streaming mean/variance/min/max (Welford's algorithm)."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0 if self.count else math.nan
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        variance = self.variance
+        return math.sqrt(variance) if variance == variance else math.nan
+
+
+class LatencySample:
+    """Collects individual RTT samples (ns) and summarises them.
+
+    Stores raw samples -- probe counts are small (MoonGen injects PTP
+    probes sparsely into the background traffic), so a full reservoir is
+    affordable and lets us compute exact percentiles.
+    """
+
+    def __init__(self) -> None:
+        self.samples_ns: list[float] = []
+        self._running = RunningStats()
+
+    def add(self, rtt_ns: float) -> None:
+        self.samples_ns.append(rtt_ns)
+        self._running.add(rtt_ns)
+
+    def __len__(self) -> int:
+        return len(self.samples_ns)
+
+    @property
+    def mean_us(self) -> float:
+        return self._running.mean / 1e3
+
+    @property
+    def std_us(self) -> float:
+        return self._running.std / 1e3
+
+    @property
+    def min_us(self) -> float:
+        return self._running.min / 1e3 if self.samples_ns else math.nan
+
+    @property
+    def max_us(self) -> float:
+        return self._running.max / 1e3 if self.samples_ns else math.nan
+
+    def percentile_us(self, q: float) -> float:
+        """Exact percentile (q in [0, 100]) by sorting the reservoir."""
+        if not self.samples_ns:
+            return math.nan
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile {q} out of range [0, 100]")
+        ordered = sorted(self.samples_ns)
+        # Nearest-rank with linear interpolation, matching numpy's default.
+        rank = (len(ordered) - 1) * q / 100
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low] / 1e3
+        frac = rank - low
+        return (ordered[low] * (1 - frac) + ordered[high] * frac) / 1e3
+
+
+@dataclass
+class RateMeter:
+    """Counts packets/bytes received inside a measurement window.
+
+    ``open_window`` is called once warm-up ends; packets before that are
+    counted separately (so conservation checks can still add up) but do not
+    influence the reported throughput.
+    """
+
+    frame_size_hint: int | None = None
+    window_start_ns: float | None = None
+    window_end_ns: float | None = None
+    packets: int = 0
+    bytes: int = 0
+    warmup_packets: int = 0
+    latency: LatencySample = field(default_factory=LatencySample)
+
+    def open_window(self, now_ns: float) -> None:
+        self.window_start_ns = now_ns
+
+    def close_window(self, now_ns: float) -> None:
+        self.window_end_ns = now_ns
+
+    def record(self, now_ns: float, size: int) -> None:
+        in_window = (
+            self.window_start_ns is not None
+            and now_ns >= self.window_start_ns
+            and (self.window_end_ns is None or now_ns <= self.window_end_ns)
+        )
+        if in_window:
+            self.packets += 1
+            self.bytes += size
+        else:
+            self.warmup_packets += 1
+
+    @property
+    def duration_ns(self) -> float:
+        if self.window_start_ns is None or self.window_end_ns is None:
+            return math.nan
+        return self.window_end_ns - self.window_start_ns
+
+    @property
+    def pps(self) -> float:
+        duration = self.duration_ns
+        if not duration or duration != duration:
+            return math.nan
+        return self.packets * 1e9 / duration
+
+    def gbps(self, frame_size: int | None = None) -> float:
+        """Throughput in the paper's normalised Gbps (wire footprint).
+
+        Computed from the actual byte count, so frame-size mixes (IMIX,
+        data-centre profiles) normalise correctly; for fixed-size traffic
+        this equals ``pps_to_gbps(pps, frame_size)`` exactly.
+        """
+        if frame_size is None and self.frame_size_hint is None:
+            raise ValueError("frame size required to normalise throughput")
+        duration = self.duration_ns
+        if not duration or duration != duration:
+            return math.nan
+        from repro.core.units import WIRE_OVERHEAD
+
+        wire_bits = (self.bytes + self.packets * WIRE_OVERHEAD) * 8
+        return wire_bits / duration  # bits/ns == Gbps

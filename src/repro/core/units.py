@@ -1,0 +1,87 @@
+"""Unit conversions and Ethernet framing arithmetic.
+
+Throughout the library, simulated time is kept in integer *nanoseconds*,
+CPU work in *cycles*, link speeds in *bits per second* and packet sizes in
+*bytes of Ethernet frame* (as reported by traffic generators, i.e. from the
+first byte of the destination MAC to the last byte of the payload, CRC
+included in ``ETHERNET_CRC``).
+
+The paper reports throughput in Gbps normalised to the 10 Gbps line rate:
+64 B packets at full line rate are "10 Gbps (about 14.88 Mpps)".  That
+normalisation counts the full on-wire footprint of a frame -- preamble,
+start-of-frame delimiter and inter-frame gap included -- so this module is
+the single place where that accounting lives.
+"""
+
+from __future__ import annotations
+
+# --- Ethernet framing constants (bytes) ------------------------------------
+ETHERNET_PREAMBLE = 7
+ETHERNET_SFD = 1
+ETHERNET_IFG = 12
+ETHERNET_CRC = 4
+#: Per-frame overhead on the wire that is *not* part of the frame size the
+#: traffic generator reports: preamble + SFD + inter-frame gap.
+WIRE_OVERHEAD = ETHERNET_PREAMBLE + ETHERNET_SFD + ETHERNET_IFG  # 20 bytes
+
+#: Minimum and maximum legal Ethernet frame sizes (without wire overhead).
+MIN_FRAME = 64
+MAX_FRAME = 1518
+
+#: The paper's packet-size sweep.
+PAPER_FRAME_SIZES = (64, 256, 1024)
+
+#: Physical link speed of the testbed's Intel 82599 ports.
+LINE_RATE_BPS = 10_000_000_000
+
+NS_PER_S = 1_000_000_000
+US_PER_S = 1_000_000
+
+
+def wire_bytes(frame_size: int) -> int:
+    """Total bytes a frame occupies on the wire, framing overhead included."""
+    if frame_size < MIN_FRAME:
+        raise ValueError(f"frame size {frame_size} below Ethernet minimum {MIN_FRAME}")
+    return frame_size + WIRE_OVERHEAD
+
+
+def wire_time_ns(frame_size: int, rate_bps: int = LINE_RATE_BPS) -> float:
+    """Serialization delay of one frame on a link of ``rate_bps``."""
+    return wire_bytes(frame_size) * 8 * NS_PER_S / rate_bps
+
+
+def line_rate_pps(frame_size: int, rate_bps: int = LINE_RATE_BPS) -> float:
+    """Maximum packet rate of a link for a fixed frame size.
+
+    >>> round(line_rate_pps(64) / 1e6, 2)
+    14.88
+    """
+    return rate_bps / (wire_bytes(frame_size) * 8)
+
+
+def pps_to_gbps(pps: float, frame_size: int) -> float:
+    """Convert a packet rate to the paper's normalised Gbps (wire footprint).
+
+    14.88 Mpps of 64 B frames maps back to 10 Gbps exactly.
+    """
+    return pps * wire_bytes(frame_size) * 8 / 1e9
+
+
+def gbps_to_pps(gbps: float, frame_size: int) -> float:
+    """Inverse of :func:`pps_to_gbps`."""
+    return gbps * 1e9 / (wire_bytes(frame_size) * 8)
+
+
+def cycles_to_ns(cycles: float, freq_hz: float) -> float:
+    """CPU cycles to nanoseconds at a given core frequency."""
+    return cycles * NS_PER_S / freq_hz
+
+
+def ns_to_cycles(ns: float, freq_hz: float) -> float:
+    """Nanoseconds to CPU cycles at a given core frequency."""
+    return ns * freq_hz / NS_PER_S
+
+
+def mpps(pps: float) -> float:
+    """Packets per second to millions of packets per second."""
+    return pps / 1e6

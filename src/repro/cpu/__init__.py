@@ -1,0 +1,17 @@
+"""CPU substrate: cores, cycle cost model, NUMA topology."""
+
+from repro.cpu.cores import DEFAULT_FREQ_HZ, Core, Task
+from repro.cpu.costmodel import ZERO_COST, Cost
+from repro.cpu.numa import DEFAULT_MEM_BW_BYTES_PER_S, Machine, MemoryBus, NumaNode
+
+__all__ = [
+    "Core",
+    "Cost",
+    "DEFAULT_FREQ_HZ",
+    "DEFAULT_MEM_BW_BYTES_PER_S",
+    "Machine",
+    "MemoryBus",
+    "NumaNode",
+    "Task",
+    "ZERO_COST",
+]

@@ -1,0 +1,132 @@
+"""CPU core model.
+
+A :class:`Core` executes the poll loops of the tasks pinned to it, one
+iteration at a time, advancing simulated time by the cycles the tasks
+report.  This captures the two effects the paper's single-core methodology
+hinges on:
+
+* *sharing*: all ports/directions of a switch run on one core, so
+  bidirectional traffic halves the per-direction budget (Sec. 5.1:
+  "Software switches are always deployed on a single core");
+* *I/O discipline*: DPDK-style switches busy-wait (poll mode) while
+  VALE/netmap sleeps and is woken by interrupts, paying a wake-up latency
+  that dominates its low-load RTT (Sec. 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.core.units import cycles_to_ns
+
+if TYPE_CHECKING:
+    from repro.core.engine import Simulator
+
+#: Default clock of the paper's Xeon E5-2690 v3 (Turbo Boost disabled,
+#: governor pinned to "performance" -- Sec. 5.1).
+DEFAULT_FREQ_HZ = 2.6e9
+
+
+class Task(Protocol):
+    """Anything schedulable on a core: returns cycles consumed per poll."""
+
+    def poll(self, core: "Core") -> float:
+        """Run one poll-loop iteration; return CPU cycles consumed (0 = idle)."""
+        ...
+
+
+class Core:
+    """A cycle-accounted CPU core running pinned tasks round-robin.
+
+    Parameters
+    ----------
+    sim:
+        Shared simulator.
+    name:
+        Diagnostic label ("numa0/core2").
+    freq_hz:
+        Core clock; cycles reported by tasks convert to time at this rate.
+    interrupt_driven:
+        If True the core sleeps after ``idle_polls_before_sleep`` empty
+        iterations and must be woken via :meth:`wake` (netmap/VALE model).
+        If False it busy-waits, re-polling every ``idle_loop_cycles``.
+    interrupt_latency_ns:
+        Wake-up cost: interrupt delivery + scheduler + syscall return.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        freq_hz: float = DEFAULT_FREQ_HZ,
+        interrupt_driven: bool = False,
+        interrupt_latency_ns: float = 6_000.0,
+        idle_loop_cycles: float = 80.0,
+        idle_polls_before_sleep: int = 8,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.freq_hz = freq_hz
+        self.interrupt_driven = interrupt_driven
+        self.interrupt_latency_ns = interrupt_latency_ns
+        self.idle_loop_cycles = idle_loop_cycles
+        self.idle_polls_before_sleep = idle_polls_before_sleep
+
+        self.tasks: list[Task] = []
+        self.busy_ns = 0.0
+        self._started = False
+        self._sleeping = False
+        self._idle_streak = 0
+
+    def attach(self, task: Task) -> None:
+        """Pin a task to this core (appended to the round-robin order)."""
+        self.tasks.append(task)
+
+    def start(self) -> None:
+        """Begin executing the poll loop at the current simulated time."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.after(0, self._iterate)
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles_to_ns(cycles, self.freq_hz)
+
+    def wake(self) -> None:
+        """Interrupt: resume a sleeping core after the wake-up latency."""
+        if not self._started or not self._sleeping:
+            return
+        self._sleeping = False
+        self._idle_streak = 0
+        self.sim.after(self.interrupt_latency_ns, self._iterate)
+
+    @property
+    def sleeping(self) -> bool:
+        return self._sleeping
+
+    def _iterate(self) -> None:
+        if self._sleeping:
+            return
+        cycles = 0.0
+        for task in self.tasks:
+            cycles += task.poll(self)
+        if cycles > 0:
+            self._idle_streak = 0
+            delay = self.cycles_to_ns(cycles)
+            self.busy_ns += delay
+        else:
+            self._idle_streak += 1
+            if (
+                self.interrupt_driven
+                and self._idle_streak >= self.idle_polls_before_sleep
+            ):
+                self._sleeping = True
+                return
+            delay = self.cycles_to_ns(self.idle_loop_cycles)
+        self.sim.after(delay, self._iterate)
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Fraction of ``elapsed_ns`` spent doing useful work."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / elapsed_ns)

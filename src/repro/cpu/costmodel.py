@@ -1,0 +1,55 @@
+"""Cycle cost primitives.
+
+Everything a data plane does is expressed as a :class:`Cost`: a fixed
+per-batch component (function-call, ring-doorbell, virtio kick, graph-node
+dispatch), a per-packet component (descriptor handling, header work,
+table lookup) and a per-byte component (memcpy -- the currency vhost-user
+pays and ptnet avoids).
+
+These are the knobs calibrated against the paper's measurements; the
+per-switch values live in :mod:`repro.switches.params` next to the
+citations that justify them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Cost:
+    """Cycle cost of processing a batch of packets."""
+
+    per_batch: float = 0.0
+    per_packet: float = 0.0
+    per_byte: float = 0.0
+
+    def cycles(self, n_packets: int, total_bytes: int = 0) -> float:
+        """Total cycles to process ``n_packets`` totalling ``total_bytes``."""
+        if n_packets <= 0:
+            return 0.0
+        return self.per_batch + self.per_packet * n_packets + self.per_byte * total_bytes
+
+    def cycles_per_packet(self, frame_size: int, batch_size: int = 32) -> float:
+        """Amortised per-packet cost at a steady batch size (analytical model)."""
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        return self.per_batch / batch_size + self.per_packet + self.per_byte * frame_size
+
+    def __add__(self, other: "Cost") -> "Cost":
+        return Cost(
+            per_batch=self.per_batch + other.per_batch,
+            per_packet=self.per_packet + other.per_packet,
+            per_byte=self.per_byte + other.per_byte,
+        )
+
+    def scaled(self, factor: float) -> "Cost":
+        """A cost uniformly scaled by ``factor`` (ablation experiments)."""
+        return Cost(
+            per_batch=self.per_batch * factor,
+            per_packet=self.per_packet * factor,
+            per_byte=self.per_byte * factor,
+        )
+
+
+ZERO_COST = Cost()

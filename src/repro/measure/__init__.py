@@ -1,0 +1,40 @@
+"""Measurement methodology: throughput, R+, latency sweeps, run driver."""
+
+from repro.measure.latency import (
+    DEFAULT_LATENCY_MEASURE_NS,
+    LOAD_FRACTIONS,
+    LatencyPoint,
+    latency_sweep,
+    measure_latency_at,
+)
+from repro.measure.runner import (
+    DEFAULT_MEASURE_NS,
+    DEFAULT_WARMUP_NS,
+    RunResult,
+    drive,
+)
+from repro.measure.ndr import NdrResult, measure_loss, ndr_search
+from repro.measure.suites import NFV_SUITE, PAPER_SUITE, SMOKE_SUITE, SUITES, TestSuite
+from repro.measure.throughput import estimate_r_plus, measure_throughput
+
+__all__ = [
+    "DEFAULT_LATENCY_MEASURE_NS",
+    "DEFAULT_MEASURE_NS",
+    "DEFAULT_WARMUP_NS",
+    "LOAD_FRACTIONS",
+    "LatencyPoint",
+    "NFV_SUITE",
+    "NdrResult",
+    "PAPER_SUITE",
+    "RunResult",
+    "SMOKE_SUITE",
+    "SUITES",
+    "TestSuite",
+    "drive",
+    "estimate_r_plus",
+    "latency_sweep",
+    "measure_latency_at",
+    "measure_loss",
+    "measure_throughput",
+    "ndr_search",
+]

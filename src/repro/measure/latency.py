@@ -1,0 +1,102 @@
+"""Latency methodology (Sec. 5.3).
+
+RTT is measured with PTP probes injected into background traffic offered
+at a *fraction* of R+: 0.10 (batch-formation effects), 0.50 (normal
+load) and 0.99 (near-congestion).  R+ itself comes from the throughput
+test (:func:`repro.measure.throughput.estimate_r_plus`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.stats import LatencySample
+from repro.measure.runner import DEFAULT_WARMUP_NS, drive
+from repro.measure.throughput import estimate_r_plus
+from repro.scenarios.base import Testbed
+
+#: The paper's load points.
+LOAD_FRACTIONS = (0.10, 0.50, 0.99)
+
+#: Latency windows are longer than throughput windows: at 0.10 R+ the
+#: probe stream needs time to accumulate samples.
+DEFAULT_LATENCY_MEASURE_NS = 4_000_000.0
+DEFAULT_PROBE_INTERVAL_NS = 20_000.0
+
+
+@dataclass
+class LatencyPoint:
+    """RTT statistics at one load fraction."""
+
+    fraction: float
+    offered_pps: float
+    sample: LatencySample
+
+    @property
+    def mean_us(self) -> float:
+        return self.sample.mean_us
+
+    @property
+    def std_us(self) -> float:
+        return self.sample.std_us
+
+
+def measure_latency_at(
+    build: Callable[..., Testbed],
+    switch_name: str,
+    frame_size: int,
+    rate_pps: float,
+    fraction: float,
+    warmup_ns: float = DEFAULT_WARMUP_NS,
+    measure_ns: float = DEFAULT_LATENCY_MEASURE_NS,
+    probe_interval_ns: float = DEFAULT_PROBE_INTERVAL_NS,
+    seed: int = 1,
+    **build_kwargs,
+) -> LatencyPoint:
+    """RTT at one offered load (probes woven into background traffic)."""
+    tb = build(
+        switch_name,
+        frame_size=frame_size,
+        rate_pps=rate_pps,
+        probe_interval_ns=probe_interval_ns,
+        seed=seed,
+        **build_kwargs,
+    )
+    result = drive(tb, warmup_ns=warmup_ns, measure_ns=measure_ns)
+    sample = result.latency if result.latency is not None else LatencySample()
+    return LatencyPoint(fraction=fraction, offered_pps=rate_pps, sample=sample)
+
+
+def latency_sweep(
+    build: Callable[..., Testbed],
+    switch_name: str,
+    frame_size: int = 64,
+    fractions: tuple[float, ...] = LOAD_FRACTIONS,
+    r_plus_pps: float | None = None,
+    warmup_ns: float = DEFAULT_WARMUP_NS,
+    measure_ns: float = DEFAULT_LATENCY_MEASURE_NS,
+    probe_interval_ns: float = DEFAULT_PROBE_INTERVAL_NS,
+    seed: int = 1,
+    **build_kwargs,
+) -> dict[float, LatencyPoint]:
+    """The Table 3 per-switch procedure: estimate R+, probe at fractions."""
+    if r_plus_pps is None:
+        r_plus_pps = estimate_r_plus(
+            build, switch_name, frame_size, seed=seed, **build_kwargs
+        )
+    points = {}
+    for fraction in fractions:
+        points[fraction] = measure_latency_at(
+            build,
+            switch_name,
+            frame_size,
+            rate_pps=max(1.0, fraction * r_plus_pps),
+            fraction=fraction,
+            warmup_ns=warmup_ns,
+            measure_ns=measure_ns,
+            probe_interval_ns=probe_interval_ns,
+            seed=seed,
+            **build_kwargs,
+        )
+    return points

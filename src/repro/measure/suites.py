@@ -1,0 +1,116 @@
+"""Named test suites, in the spirit of FD.io CSIT and OPNFV VSperf.
+
+The paper positions its methodology against those two projects ("Our
+work covers all the test scenarios defined by the two projects",
+Sec. 2.2).  A :class:`TestSuite` bundles a set of experiment
+specifications that can be run for any switch with one call -- the shape
+a CI pipeline would consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.measure.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS, RunResult
+from repro.measure.throughput import measure_throughput
+from repro.scenarios import loopback, p2p, p2v, v2v
+from repro.vm.machine import QemuCompatibilityError
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment in a suite."""
+
+    name: str
+    build: Callable
+    frame_size: int = 64
+    bidirectional: bool = False
+    kwargs: tuple = ()
+
+    def run(self, switch_name: str, warmup_ns: float, measure_ns: float, seed: int) -> RunResult | None:
+        try:
+            return measure_throughput(
+                self.build,
+                switch_name,
+                self.frame_size,
+                bidirectional=self.bidirectional,
+                warmup_ns=warmup_ns,
+                measure_ns=measure_ns,
+                seed=seed,
+                **dict(self.kwargs),
+            )
+        except QemuCompatibilityError:
+            return None
+
+
+@dataclass(frozen=True)
+class TestSuite:
+    """A named collection of experiments."""
+
+    __test__ = False  # not a pytest class
+
+    name: str
+    description: str
+    experiments: tuple[ExperimentSpec, ...] = field(default_factory=tuple)
+
+    def run(
+        self,
+        switch_name: str,
+        warmup_ns: float = DEFAULT_WARMUP_NS,
+        measure_ns: float = DEFAULT_MEASURE_NS,
+        seed: int = 1,
+    ) -> dict[str, RunResult | None]:
+        """Run every experiment for one switch; None marks inapplicable."""
+        return {
+            spec.name: spec.run(switch_name, warmup_ns, measure_ns, seed)
+            for spec in self.experiments
+        }
+
+
+def _spec(name, build, size=64, bidi=False, **kwargs):
+    return ExperimentSpec(name, build, frame_size=size, bidirectional=bidi, kwargs=tuple(kwargs.items()))
+
+
+#: The paper's own grid: every scenario at every size, both directions.
+PAPER_SUITE = TestSuite(
+    name="paper",
+    description="The CoNEXT'19 evaluation grid (Figs. 4-6)",
+    experiments=tuple(
+        _spec(f"{scenario}-{size}B-{'bidi' if bidi else 'uni'}", build, size, bidi)
+        for scenario, build in (("p2p", p2p.build), ("p2v", p2v.build), ("v2v", v2v.build))
+        for size in (64, 256, 1024)
+        for bidi in (False, True)
+    )
+    + tuple(
+        _spec(f"loopback{n}-64B-uni", loopback.build, 64, False, n_vnfs=n)
+        for n in (1, 2, 3, 4, 5)
+    ),
+)
+
+#: A CSIT-style smoke suite: the cheapest experiment per scenario.
+SMOKE_SUITE = TestSuite(
+    name="smoke",
+    description="One quick experiment per scenario (CI smoke test)",
+    experiments=(
+        _spec("p2p-64B", p2p.build),
+        _spec("p2v-64B", p2v.build),
+        _spec("v2v-64B", v2v.build),
+        _spec("loopback1-64B", loopback.build, n_vnfs=1),
+    ),
+)
+
+#: A VSperf-style virtual-switch suite: the virtualised scenarios only.
+NFV_SUITE = TestSuite(
+    name="nfv",
+    description="Virtualised scenarios (OPNFV VSperf focus)",
+    experiments=(
+        _spec("p2v-64B-uni", p2v.build),
+        _spec("p2v-64B-bidi", p2v.build, bidi=True),
+        _spec("v2v-64B-uni", v2v.build),
+        _spec("loopback2-64B", loopback.build, n_vnfs=2),
+        _spec("loopback2-1024B", loopback.build, size=1024, n_vnfs=2),
+    ),
+)
+
+SUITES = {suite.name: suite for suite in (PAPER_SUITE, SMOKE_SUITE, NFV_SUITE)}

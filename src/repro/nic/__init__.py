@@ -1,0 +1,14 @@
+"""Physical NIC substrate: ports, wires, timestamping."""
+
+from repro.nic.port import DEFAULT_RX_SLOTS, DEFAULT_TX_SLOTS, PCIE_LATENCY_NS, NicPort, dual_port_nic
+from repro.nic.timestamp import HardwareTimestamper, SoftwareTimestamper
+
+__all__ = [
+    "DEFAULT_RX_SLOTS",
+    "DEFAULT_TX_SLOTS",
+    "HardwareTimestamper",
+    "NicPort",
+    "PCIE_LATENCY_NS",
+    "SoftwareTimestamper",
+    "dual_port_nic",
+]

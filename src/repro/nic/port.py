@@ -1,0 +1,182 @@
+"""Physical NIC ports and point-to-point wires.
+
+Models the testbed's Intel 82599 dual-port 10 GbE NICs: a port serialises
+frames onto the wire at line rate (framing overhead included, so 64 B
+frames peak at 14.88 Mpps), keeps a bounded transmit backlog (the tx
+descriptor ring), and lands received frames in a bounded rx descriptor
+ring that the attached data plane drains by polling (DPDK PMD) or upon
+interrupt (netmap).
+
+The 10 Gbps wire is "the theoretical bottleneck" for every scenario that
+touches a physical NIC (Sec. 5.1) -- it is enforced here and nowhere else.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.core.packet import Packet
+from repro.core.ring import Ring
+from repro.core.units import LINE_RATE_BPS, wire_time_ns
+
+if TYPE_CHECKING:
+    from repro.core.engine import Simulator
+
+#: Default descriptor ring sizes (DPDK ixgbe defaults).  FastClick's rings
+#: are enlarged to 4096 by the paper's tuning (Table 2).
+DEFAULT_RX_SLOTS = 512
+DEFAULT_TX_SLOTS = 512
+
+#: Fixed per-traversal latency of the path between the wire and host
+#: memory: descriptor write-back moderation, DMA completion, PCIe round
+#: trip.  Calibrated so an empty DPDK forwarder floor lands at the 4-5 us
+#: RTTs of Table 3.
+PCIE_LATENCY_NS = 2_400.0
+
+#: Probability of a sporadic driver-level drop per transmitted frame
+#: (mbuf allocation hiccup, descriptor race).  Real rigs see roughly one
+#: such drop per multi-second RFC 2544 trial; our millisecond windows
+#: carry ~10^4 frames, so the per-frame probability is scaled to keep
+#: the *per-trial* drop count realistic (~O(1)).  This is the
+#: "non-deterministic packet loss caused at the driver level" that makes
+#: strict NDR searches unreliable (paper footnote 3); its effect on
+#: throughput measurements is a negligible ~0.01%.
+DRIVER_DROP_PROB = 1e-4
+
+
+def _driver_hiccup(port_name: str, packet: Packet, index: int, prob: float) -> bool:
+    """Deterministic pseudo-random drop decision (reproducible runs).
+
+    Hashes stable per-run quantities (port name, creation time, position
+    in the burst) rather than any global counter, so results replay
+    bit-identically regardless of what ran earlier in the process.
+    """
+    if prob <= 0.0:
+        return False
+    value = 1469598103934665603
+    for byte in port_name.encode():
+        value = ((value ^ byte) * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+    fields = (int(packet.t_created), packet.size, packet.flow_id, packet.hops, index)
+    for field in fields:
+        value = ((value ^ (field & 0xFFFFFFFF)) * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+    return (value >> 11) / float(1 << 53) < prob
+
+
+class NicPort:
+    """One port of a physical NIC.
+
+    A port is connected to exactly one peer port by :meth:`connect`
+    (back-to-back cabling, as in the testbed where each NUMA node's NIC is
+    "directly connected to the other NUMA node's NIC", Fig. 3).
+
+    Receive side: frames arriving from the wire are pushed into
+    ``rx_ring`` after the PCIe/DMA latency; if the ring is full they are
+    dropped (counted in ``rx_ring.dropped``).  A ``sink`` callback may
+    replace the ring for pure monitors (MoonGen RX) that count frames at
+    wire arrival.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        rate_bps: int = LINE_RATE_BPS,
+        rx_slots: int = DEFAULT_RX_SLOTS,
+        tx_slots: int = DEFAULT_TX_SLOTS,
+        timestamp_tx: bool = False,
+        timestamp_rx: bool = False,
+        pcie_latency_ns: float = PCIE_LATENCY_NS,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.rx_ring = Ring(rx_slots, name=f"{name}.rx")
+        self.tx_slots = tx_slots
+        self.timestamp_tx = timestamp_tx
+        self.timestamp_rx = timestamp_rx
+        self.pcie_latency_ns = pcie_latency_ns
+        self.sink: Callable[[list[Packet]], None] | None = None
+        self.peer: "NicPort | None" = None
+        #: Interrupt moderation (ixgbe ITR): when set, received frames are
+        #: released to the host rx ring only on period boundaries, adding a
+        #: mean latency of half the period.  Poll-mode drivers leave this
+        #: None; netmap's interrupt-driven path sets it (VALE).
+        self.rx_moderation_ns: float | None = None
+
+        self._tx_busy_until_ns = 0.0
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.tx_dropped = 0
+        self.driver_drops = 0
+        self.driver_drop_prob = DRIVER_DROP_PROB
+        self.rx_packets = 0
+
+    def connect(self, peer: "NicPort") -> None:
+        """Cable this port to ``peer`` (full duplex, both directions)."""
+        self.peer = peer
+        peer.peer = self
+
+    def send_batch(self, packets: Sequence[Packet]) -> int:
+        """Serialise ``packets`` onto the wire towards the peer.
+
+        Returns the number of frames actually transmitted; frames that
+        would exceed the tx descriptor backlog are dropped (no
+        backpressure in a poll-mode data plane).
+        """
+        if self.peer is None:
+            raise RuntimeError(f"port {self.name} is not connected")
+        now = self.sim.now
+        arrivals: list[tuple[Packet, float]] = []
+        busy = max(now, self._tx_busy_until_ns)
+        for index, packet in enumerate(packets):
+            if _driver_hiccup(self.name, packet, index, self.driver_drop_prob):
+                self.driver_drops += 1
+                continue
+            # Descriptor-count backlog limit: a full tx ring of frames of
+            # this packet's size corresponds to this much serialization
+            # backlog (exact for the paper's fixed-size workloads).
+            max_backlog_ns = self.tx_slots * wire_time_ns(packet.size, self.rate_bps)
+            if busy - now > max_backlog_ns:
+                self.tx_dropped += 1
+                continue
+            start = busy
+            busy = start + wire_time_ns(packet.size, self.rate_bps)
+            if self.timestamp_tx and packet.is_probe and packet.tx_timestamp is None:
+                # 82599 hardware timestamping: stamp at start of transmission.
+                packet.tx_timestamp = start
+            arrivals.append((packet, busy))
+        self._tx_busy_until_ns = busy
+        if arrivals:
+            self.tx_packets += len(arrivals)
+            self.tx_bytes += sum(packet.size for packet, _ in arrivals)
+            peer = self.peer
+            self.sim.at(arrivals[-1][1], lambda: peer._receive(arrivals))
+        return len(arrivals)
+
+    def _receive(self, arrivals: list[tuple[Packet, float]]) -> None:
+        """Wire delivery: stamp, then hand to sink or rx descriptor ring."""
+        packets: list[Packet] = []
+        for packet, arrival_ns in arrivals:
+            if self.timestamp_rx and packet.is_probe:
+                packet.rx_timestamp = arrival_ns
+            packets.append(packet)
+        self.rx_packets += len(packets)
+        if self.sink is not None:
+            self.sink(packets)
+            return
+        # DMA into host memory after the PCIe latency; under interrupt
+        # moderation the host only learns of the frames at the next ITR
+        # boundary.
+        ring = self.rx_ring
+        delay = self.pcie_latency_ns
+        if self.rx_moderation_ns is not None:
+            ready = self.sim.now + delay
+            period = self.rx_moderation_ns
+            boundary = -(-ready // period) * period  # ceil to next ITR tick
+            delay = boundary - self.sim.now
+        self.sim.after(delay, lambda: ring.push_batch(packets))
+
+
+def dual_port_nic(sim: "Simulator", name: str, **kwargs) -> tuple[NicPort, NicPort]:
+    """Create the two ports of a dual-port NIC (Intel 82599ES)."""
+    return NicPort(sim, f"{name}.p0", **kwargs), NicPort(sim, f"{name}.p1", **kwargs)

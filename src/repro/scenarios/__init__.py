@@ -1,0 +1,23 @@
+"""The four test scenarios of Sec. 4: p2p, p2v, v2v, loopback."""
+
+from repro.scenarios import loopback, p2p, p2v, v2v
+from repro.scenarios.base import Testbed, make_guest_interface, new_testbed_parts, uses_ptnet
+
+BUILDERS = {
+    "p2p": p2p.build,
+    "p2v": p2v.build,
+    "v2v": v2v.build,
+    "loopback": loopback.build,
+}
+
+__all__ = [
+    "BUILDERS",
+    "Testbed",
+    "loopback",
+    "make_guest_interface",
+    "new_testbed_parts",
+    "p2p",
+    "p2v",
+    "uses_ptnet",
+    "v2v",
+]

@@ -1,0 +1,137 @@
+"""Scenario plumbing shared by p2p / p2v / v2v / loopback builders.
+
+A *scenario builder* assembles the full testbed of Fig. 3 for one switch:
+the dual-NUMA machine, NICs and back-to-back wires, the switch pinned to
+one core on node 0, VMs with the right virtual-interface backend and
+guest tools (pkt-gen for VALE, MoonGen/FloWatcher for the rest), and the
+traffic generators.  It returns a :class:`Testbed` the measurement runner
+drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.engine import Simulator
+from repro.core.rng import RngRegistry
+from repro.core.stats import RateMeter
+from repro.cpu.cores import Core
+from repro.cpu.numa import Machine
+from repro.nic.port import NicPort
+from repro.switches.base import SoftwareSwitch
+from repro.switches.registry import create_switch, params_for
+from repro.switches.taxonomy import TAXONOMY
+from repro.vif.ptnet import make_ptnet_interface
+from repro.vif.vhost_user import make_vhost_user_interface
+from repro.vif.virtio import VirtualInterface
+from repro.vm.machine import Hypervisor, VirtualMachine
+
+
+@dataclass
+class Testbed:
+    """A fully wired scenario, ready for the measurement runner."""
+
+    __test__ = False  # not a pytest test class despite the Test* name
+
+    sim: Simulator
+    machine: Machine
+    rngs: RngRegistry
+    switch: SoftwareSwitch
+    sut_core: Core
+    frame_size: int
+    scenario: str
+    #: meters counting delivered traffic, one per traffic direction.
+    meters: list[RateMeter] = field(default_factory=list)
+    #: meters that additionally collect probe RTTs.
+    latency_meters: list[RateMeter] = field(default_factory=list)
+    vms: list[VirtualMachine] = field(default_factory=list)
+    #: scenario-specific objects (NIC ports, guest apps...) for tests.
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def aggregate_gbps_parts(self) -> list[float]:
+        return [meter.gbps() for meter in self.meters]
+
+
+def new_testbed_parts(switch_name: str, seed: int) -> tuple[Simulator, Machine, RngRegistry, SoftwareSwitch, Core]:
+    """Simulator + machine + switch pinned to the node-0 SUT core."""
+    sim = Simulator()
+    machine = Machine(sim)
+    rngs = RngRegistry(seed)
+    switch = create_switch(switch_name, sim, rngs=rngs, bus=machine.node0.bus)
+    sut_core = machine.node0.add_core("sut")
+    return sim, machine, rngs, switch, sut_core
+
+
+def uses_ptnet(switch_name: str) -> bool:
+    """Whether this switch connects VMs via ptnet (VALE) or vhost-user.
+
+    Built-ins are answered from the Table 1 taxonomy; custom registered
+    switches from their cost contract (zero host copies == ptnet-style).
+    """
+    row = TAXONOMY.get(switch_name)
+    if row is not None:
+        return row.virtual_interface == "ptnet"
+    return params_for(switch_name).vif_costs.host_copy_factor == 0.0
+
+
+def make_guest_interface(
+    switch_name: str,
+    machine: Machine,
+    name: str,
+    virtualization: str = "vm",
+) -> VirtualInterface:
+    """Create the right backend of guest interface for a switch.
+
+    ``virtualization`` is "vm" (the paper's QEMU guests) or "container"
+    (the paper's future work): containers keep the host-side vhost costs
+    but lighten the guest-side driver path and the notification latency.
+    """
+    if virtualization not in ("vm", "container"):
+        raise ValueError(f"unknown virtualization {virtualization!r}")
+    params = params_for(switch_name)
+    bus = machine.node0.bus
+    if uses_ptnet(switch_name):
+        return make_ptnet_interface(name, slots=params.vring_slots, bus=bus)
+    costs = params.vif_costs
+    notify_ns = None
+    if virtualization == "container":
+        from dataclasses import replace
+
+        from repro.vm.container import CONTAINER_GUEST_COST_FACTOR, CONTAINER_NOTIFY_NS
+
+        costs = replace(
+            costs,
+            guest_tx=costs.guest_tx.scaled(CONTAINER_GUEST_COST_FACTOR),
+            guest_rx=costs.guest_rx.scaled(CONTAINER_GUEST_COST_FACTOR),
+        )
+        notify_ns = CONTAINER_NOTIFY_NS
+    if notify_ns is None:
+        return make_vhost_user_interface(
+            name, costs=costs, slots=params.vring_slots, bus=bus
+        )
+    return make_vhost_user_interface(
+        name, costs=costs, slots=params.vring_slots, bus=bus, notify_ns=notify_ns
+    )
+
+
+def make_hypervisor(
+    switch_name: str,
+    machine: Machine,
+    sim: Simulator,
+    virtualization: str = "vm",
+):
+    """Guest runtime: QEMU hypervisor (with the switch's compatibility
+    limit) for VMs, or a container runtime (no QEMU, no limit)."""
+    if virtualization == "container":
+        from repro.vm.container import ContainerRuntime
+
+        return ContainerRuntime(sim, machine.node0)
+    params = params_for(switch_name)
+    return Hypervisor(sim, machine.node0, max_vms=params.max_vms)
+
+
+def connect_ports(a: NicPort, b: NicPort) -> None:
+    """Back-to-back cable between a generator port and a SUT port."""
+    a.connect(b)

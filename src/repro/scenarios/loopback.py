@@ -1,0 +1,117 @@
+"""loopback scenario -- Fig. 2d / Fig. 3d: a full NFV service chain.
+
+MoonGen injects on one physical port; the SUT steers each packet through
+a chain of 1-5 VNF VMs and out of the other physical port back to
+MoonGen.  Every VM runs the DPDK ``l2fwd`` sample app cross-connecting
+its two virtio interfaces (or, for VALE, an in-guest VALE instance
+cross-connecting two ptnet ports -- "we need N+1 VALE instances for an
+N-VNF service chain").
+
+For an N-VNF chain the switch core services N+1 forwarding hops per
+direction -- the linear cost growth that drives Fig. 5/6, with VALE's
+cheap ptnet hops overtaking BESS beyond one VNF and Snabb collapsing at
+four.
+"""
+
+from __future__ import annotations
+
+from repro.nic.port import NicPort
+from repro.scenarios.base import (
+    Testbed,
+    connect_ports,
+    make_guest_interface,
+    make_hypervisor,
+    new_testbed_parts,
+    uses_ptnet,
+)
+from repro.traffic.moongen import MoonGenRx, MoonGenTx, saturating_rate
+from repro.vm.apps import GuestL2Fwd, GuestValeXConnect
+
+MAX_CHAIN_LENGTH = 5
+
+
+def build(
+    switch_name: str,
+    n_vnfs: int = 1,
+    frame_size: int = 64,
+    bidirectional: bool = False,
+    rate_pps: float | None = None,
+    probe_interval_ns: float | None = None,
+    virtualization: str = "vm",
+    seed: int = 1,
+) -> Testbed:
+    """Wire the loopback testbed with an ``n_vnfs``-VM service chain.
+
+    Raises :class:`~repro.vm.machine.QemuCompatibilityError` when the
+    switch cannot host the requested chain (BESS beyond 3 VMs).
+    """
+    if not 1 <= n_vnfs <= MAX_CHAIN_LENGTH:
+        raise ValueError(f"chain length must be in [1, {MAX_CHAIN_LENGTH}]")
+    sim, machine, rngs, switch, sut_core = new_testbed_parts(switch_name, seed)
+
+    gen0 = NicPort(sim, "gen-nic.p0")
+    gen1 = NicPort(sim, "gen-nic.p1")
+    sut0 = NicPort(sim, "sut-nic.p0")
+    sut1 = NicPort(sim, "sut-nic.p1")
+    connect_ports(gen0, sut0)
+    connect_ports(gen1, sut1)
+
+    hypervisor = make_hypervisor(switch_name, machine, sim, virtualization=virtualization)
+    ptnet = uses_ptnet(switch_name)
+
+    tb = Testbed(sim, machine, rngs, switch, sut_core, frame_size, scenario=f"loopback-{n_vnfs}")
+    phy_in = switch.attach_phy(sut0)
+    phy_out = switch.attach_phy(sut1)
+
+    # Build VMs, each with an upstream (a) and downstream (b) interface.
+    hops_in = []  # switch attachments, chain order
+    hops_out = []
+    for i in range(n_vnfs):
+        vm = hypervisor.spawn(f"vm{i + 1}")
+        vif_a = vm.plug(make_guest_interface(switch_name, machine, f"vm{i + 1}.eth0", virtualization=virtualization))
+        vif_b = vm.plug(make_guest_interface(switch_name, machine, f"vm{i + 1}.eth1", virtualization=virtualization))
+        if ptnet:
+            vnf = GuestValeXConnect(sim, vif_a, vif_b)
+        else:
+            vnf = GuestL2Fwd(sim, vif_a, vif_b)
+        vm.run(vnf, vcpu=0)
+        if bidirectional and not ptnet:
+            # l2fwd's single lcore also serves the reverse direction.
+            vm.run(GuestL2Fwd(sim, vif_b, vif_a), vcpu=0)
+        tb.vms.append(vm)
+        tb.extras[f"vnf{i + 1}"] = vnf
+        hops_in.append(switch.attach_vif(vif_a))
+        hops_out.append(switch.attach_vif(vif_b))
+
+    # Forward chain: NIC0 -> vm1 -> vm2 -> ... -> vmN -> NIC1.  The guest
+    # app carries eth0 -> eth1 inside each VM; the switch does the hops
+    # between them.
+    switch.add_path(phy_in, hops_in[0])
+    for i in range(n_vnfs - 1):
+        switch.add_path(hops_out[i], hops_in[i + 1])
+    switch.add_path(hops_out[-1], phy_out)
+    if bidirectional:
+        # Reverse chain: NIC1 -> vmN -> ... -> vm1 -> NIC0.
+        switch.add_path(phy_out, hops_out[-1])
+        for i in range(n_vnfs - 1, 0, -1):
+            switch.add_path(hops_in[i], hops_out[i - 1])
+        switch.add_path(hops_in[0], phy_in)
+    switch.bind_core(sut_core)
+
+    rate = rate_pps if rate_pps is not None else saturating_rate(frame_size)
+    tx0 = MoonGenTx(sim, gen0, rate, frame_size, probe_interval_ns=probe_interval_ns)
+    rx1 = MoonGenRx(sim, gen1, frame_size)
+    tx0.start(0.0)
+    tb.meters.append(rx1.meter)
+    tb.latency_meters.append(rx1.meter)
+    tb.extras.update(gen_ports=(gen0, gen1), sut_ports=(sut0, sut1), tx=[tx0], rx=[rx1])
+
+    if bidirectional:
+        tx1 = MoonGenTx(sim, gen1, rate, frame_size, probe_interval_ns=probe_interval_ns)
+        rx0 = MoonGenRx(sim, gen0, frame_size)
+        tx1.start(0.0)
+        tb.meters.append(rx0.meter)
+        tb.latency_meters.append(rx0.meter)
+        tb.extras["tx"].append(tx1)
+        tb.extras["rx"].append(rx0)
+    return tb

@@ -1,0 +1,114 @@
+"""p2v (physical-to-virtual) scenario -- Fig. 2b / Fig. 3b.
+
+MoonGen on node 1 sends over the wire into the SUT, which forwards into
+a guest through its virtual interface; the guest monitor (FloWatcher for
+vhost-user switches, pkt-gen for VALE) counts throughput.  For the
+bidirectional test a guest generator transmits back through the SUT and
+out of the physical port, where MoonGen's RX thread counts.
+
+VALE's bidirectional quirk is reproduced: two pkt-gen instances cannot
+share a ptnet port, so they attach through an in-VM VALE bridge that
+"imposes an extra hop of packet forwarding" (Sec. 5.2) -- the measured
+bidirectional numbers are therefore a lower bound, exactly as the paper
+warns.
+"""
+
+from __future__ import annotations
+
+from repro.nic.port import NicPort
+from repro.scenarios.base import (
+    Testbed,
+    connect_ports,
+    make_guest_interface,
+    make_hypervisor,
+    new_testbed_parts,
+    uses_ptnet,
+)
+from repro.traffic.flowatcher import FloWatcher
+from repro.traffic.moongen import MoonGenRx, MoonGenTx, saturating_rate
+from repro.traffic.pktgen import make_pktgen_rx, make_pktgen_tx
+from repro.traffic.guest import GuestTrafficGen
+from repro.vm.apps import GuestValeBridge
+
+
+def build(
+    switch_name: str,
+    frame_size: int = 64,
+    bidirectional: bool = False,
+    rate_pps: float | None = None,
+    reversed_path: bool = False,
+    probe_interval_ns: float | None = None,
+    virtualization: str = "vm",
+    seed: int = 1,
+) -> Testbed:
+    """Wire the p2v testbed.
+
+    ``reversed_path`` builds the paper's VM->NIC unidirectional probe
+    (used to expose VPP's vhost receive penalty, Sec. 5.2).
+    """
+    if reversed_path and bidirectional:
+        raise ValueError("reversed_path is a unidirectional experiment")
+    sim, machine, rngs, switch, sut_core = new_testbed_parts(switch_name, seed)
+
+    gen0 = NicPort(sim, "gen-nic.p0")
+    sut0 = NicPort(sim, "sut-nic.p0")
+    connect_ports(gen0, sut0)
+
+    hypervisor = make_hypervisor(switch_name, machine, sim, virtualization=virtualization)
+    vm = hypervisor.spawn("vm1")
+    vif = vm.plug(make_guest_interface(switch_name, machine, "vm1.eth0", virtualization=virtualization))
+
+    phy = switch.attach_phy(sut0)
+    virt = switch.attach_vif(vif)
+    rate = rate_pps if rate_pps is not None else saturating_rate(frame_size)
+    tb = Testbed(sim, machine, rngs, switch, sut_core, frame_size, scenario="p2v")
+    tb.vms.append(vm)
+    tb.extras.update(gen_port=gen0, sut_port=sut0, vif=vif)
+
+    ptnet = uses_ptnet(switch_name)
+    forward = not reversed_path
+    if forward:
+        switch.add_path(phy, virt)
+    if reversed_path or bidirectional:
+        switch.add_path(virt, phy)
+    switch.bind_core(sut_core)
+
+    if forward:
+        # NIC -> VM direction: MoonGen TX on node 1, monitor in the guest.
+        tx = MoonGenTx(sim, gen0, rate, frame_size, probe_interval_ns=probe_interval_ns)
+        tx.start(0.0)
+        tb.extras["tx"] = tx
+
+    needs_guest_tx = reversed_path or bidirectional
+    if ptnet:
+        if needs_guest_tx:
+            # pkt-gen pair multiplexed onto the ptnet port via a VALE bridge.
+            bridge = GuestValeBridge(sim, vif)
+            vm.run(bridge, vcpu=1)
+            if forward:
+                monitor = make_pktgen_rx(sim, None, frame_size, from_ring=bridge.bridge_to_monitor)
+                vm.run(monitor, vcpu=2)
+                tb.meters.append(monitor.meter)
+            guest_tx = make_pktgen_tx(sim, vif, rate, frame_size, via_ring=bridge.gen_to_bridge)
+            guest_tx.start(0.0)
+            tb.extras["bridge"] = bridge
+        else:
+            monitor = make_pktgen_rx(sim, vif, frame_size)
+            vm.run(monitor, vcpu=1)
+            tb.meters.append(monitor.meter)
+    else:
+        if forward:
+            monitor = FloWatcher(sim, vif, frame_size)
+            vm.run(monitor, vcpu=1)
+            tb.meters.append(monitor.meter)
+        if needs_guest_tx:
+            # MoonGen inside the guest; its virtio vNIC tops out at 10 Gbps.
+            guest_tx = GuestTrafficGen(sim, vif, min(rate, saturating_rate(frame_size)), frame_size)
+            guest_tx.start(0.0)
+
+    if needs_guest_tx:
+        rx0 = MoonGenRx(sim, gen0, frame_size)
+        tb.meters.append(rx0.meter)
+        tb.extras["rx_host"] = rx0
+        tb.extras["guest_tx"] = guest_tx
+    return tb

@@ -1,0 +1,172 @@
+"""v2v (virtual-to-virtual) scenario -- Fig. 2c / Fig. 3c.
+
+Everything runs on NUMA node 0; no physical NIC is involved, so "the
+traffic forwarding rate is only limited by the local memory speed"
+(Sec. 5.1).  A generator in VM1 injects towards the SUT, which forwards
+into VM2's monitor.  Bidirectionally, both VMs generate and monitor.
+
+Latency mode reproduces Table 4's setup: the probe stream runs at 1 Mpps
+(672 Mbps), VM2 bounces packets back with DPDK l2fwd over a second pair
+of interfaces, and MoonGen stamps in *software* (virtual interfaces have
+no PTP hardware); VALE instead uses standard tools (ping) over ptnet,
+with no software-stamping overhead.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.base import (
+    Testbed,
+    make_guest_interface,
+    make_hypervisor,
+    new_testbed_parts,
+    uses_ptnet,
+)
+from repro.nic.timestamp import SoftwareTimestamper
+from repro.traffic.flowatcher import FloWatcher
+from repro.traffic.moongen import saturating_rate
+from repro.traffic.pktgen import PKTGEN_MAX_RATE_PPS, make_pktgen_rx, make_pktgen_tx
+from repro.traffic.guest import GuestMonitor, GuestTrafficGen
+from repro.vm.apps import GuestL2Fwd, GuestValeBridge, GuestValeXConnect
+
+
+def build(
+    switch_name: str,
+    frame_size: int = 64,
+    bidirectional: bool = False,
+    rate_pps: float | None = None,
+    virtualization: str = "vm",
+    seed: int = 1,
+) -> Testbed:
+    """Wire the v2v throughput testbed."""
+    sim, machine, rngs, switch, sut_core = new_testbed_parts(switch_name, seed)
+    hypervisor = make_hypervisor(switch_name, machine, sim, virtualization=virtualization)
+    vm1 = hypervisor.spawn("vm1")
+    vm2 = hypervisor.spawn("vm2")
+    vif1 = vm1.plug(make_guest_interface(switch_name, machine, "vm1.eth0", virtualization=virtualization))
+    vif2 = vm2.plug(make_guest_interface(switch_name, machine, "vm2.eth0", virtualization=virtualization))
+
+    att1 = switch.attach_vif(vif1)
+    att2 = switch.attach_vif(vif2)
+    switch.add_path(att1, att2)
+    if bidirectional:
+        switch.add_path(att2, att1)
+    switch.bind_core(sut_core)
+
+    ptnet = uses_ptnet(switch_name)
+    tb = Testbed(sim, machine, rngs, switch, sut_core, frame_size, scenario="v2v")
+    tb.vms.extend((vm1, vm2))
+    tb.extras.update(vifs=(vif1, vif2))
+
+    if rate_pps is not None:
+        rate = rate_pps
+    elif ptnet:
+        # pkt-gen over ptnet is not a 10G vNIC; offer its full rate so the
+        # memory-bound ceiling (Sec. 5.2) is observable.
+        rate = PKTGEN_MAX_RATE_PPS
+    else:
+        rate = saturating_rate(frame_size)
+    directions = [(vm1, vif1, vm2, vif2)]
+    if bidirectional:
+        directions.append((vm2, vif2, vm1, vif1))
+
+    for idx, (src_vm, src_vif, dst_vm, dst_vif) in enumerate(directions):
+        if ptnet:
+            if bidirectional:
+                # pkt-gen TX and RX share the ptnet port via a VALE bridge
+                # in each VM (the Sec. 5.2 workaround).
+                bridge = tb.extras.setdefault(f"bridge{src_vm.name}", GuestValeBridge(sim, src_vif))
+                if f"bridge{src_vm.name}_started" not in tb.extras:
+                    src_vm.run(bridge, vcpu=1)
+                    tb.extras[f"bridge{src_vm.name}_started"] = True
+                gen = make_pktgen_tx(sim, src_vif, rate, frame_size, via_ring=bridge.gen_to_bridge)
+                dst_bridge = tb.extras.setdefault(f"bridge{dst_vm.name}", GuestValeBridge(sim, dst_vif))
+                if f"bridge{dst_vm.name}_started" not in tb.extras:
+                    dst_vm.run(dst_bridge, vcpu=1)
+                    tb.extras[f"bridge{dst_vm.name}_started"] = True
+                monitor = make_pktgen_rx(sim, None, frame_size, from_ring=dst_bridge.bridge_to_monitor)
+            else:
+                gen = make_pktgen_tx(sim, src_vif, rate, frame_size)
+                monitor = make_pktgen_rx(sim, dst_vif, frame_size)
+        else:
+            # MoonGen in the source guest (virtio vNIC: 10 Gbps ceiling),
+            # FloWatcher in the destination guest.
+            gen = GuestTrafficGen(sim, src_vif, min(rate, saturating_rate(frame_size)), frame_size)
+            monitor = FloWatcher(sim, dst_vif, frame_size)
+        gen.start(0.0)
+        dst_vm.run(monitor, vcpu=2 + idx)
+        tb.meters.append(monitor.meter)
+        tb.extras[f"gen{idx}"] = gen
+    return tb
+
+
+#: Table 4 probe rate: "Packets are transmitted at 672 Mbps (=1 Mpps)".
+V2V_LATENCY_RATE_PPS = 1_000_000.0
+
+#: ICMP stack traversal + syscall wake-up inside a guest (each direction of
+#: the ping used to measure VALE's v2v RTT, Sec. 5.3).
+PING_STACK_NS = 6_500.0
+
+
+def build_latency(
+    switch_name: str,
+    frame_size: int = 64,
+    probe_interval_ns: float = 20_000.0,
+    seed: int = 1,
+) -> Testbed:
+    """Wire the Table 4 v2v latency testbed (VM1 gen+rx, VM2 l2fwd bounce)."""
+    sim, machine, rngs, switch, sut_core = new_testbed_parts(switch_name, seed)
+    hypervisor = make_hypervisor(switch_name, machine, sim)
+    vm1 = hypervisor.spawn("vm1")
+    vm2 = hypervisor.spawn("vm2")
+    # Two interfaces per VM (Sec. 5.3 v2v latency setup).
+    vif1a = vm1.plug(make_guest_interface(switch_name, machine, "vm1.eth0"))
+    vif1b = vm1.plug(make_guest_interface(switch_name, machine, "vm1.eth1"))
+    vif2a = vm2.plug(make_guest_interface(switch_name, machine, "vm2.eth0"))
+    vif2b = vm2.plug(make_guest_interface(switch_name, machine, "vm2.eth1"))
+
+    a1 = switch.attach_vif(vif1a)
+    b1 = switch.attach_vif(vif1b)
+    a2 = switch.attach_vif(vif2a)
+    b2 = switch.attach_vif(vif2b)
+    switch.add_path(a1, a2)  # VM1 -> VM2
+    switch.add_path(b2, b1)  # VM2 -> VM1 (the bounce)
+    switch.bind_core(sut_core)
+
+    ptnet = uses_ptnet(switch_name)
+    tb = Testbed(sim, machine, rngs, switch, sut_core, frame_size, scenario="v2v-latency")
+    tb.vms.extend((vm1, vm2))
+
+    if ptnet:
+        # VALE: "standard tools can be used" -- ping over the guest kernel
+        # stack and ptnet; the VNF in VM2 is a VALE cross-connect.  ping
+        # pays ICMP stack + syscall time at each end instead of MoonGen's
+        # software-stamping overhead.
+        def stamp_tx(packet, now_ns, _stack_ns=PING_STACK_NS):
+            packet.tx_timestamp = now_ns - _stack_ns
+
+        def stamp_rx(packet, now_ns, _stack_ns=PING_STACK_NS):
+            packet.rx_timestamp = now_ns + _stack_ns
+
+        bounce = GuestValeXConnect(sim, vif2a, vif2b)
+    else:
+        stamper = SoftwareTimestamper(rngs.stream("v2v.swts"))
+        stamp_tx = stamper.stamp_tx
+        stamp_rx = stamper.stamp_rx
+        bounce = GuestL2Fwd(sim, vif2a, vif2b)
+    vm2.run(bounce, vcpu=0)
+
+    gen = GuestTrafficGen(
+        sim,
+        vif1a,
+        V2V_LATENCY_RATE_PPS,
+        frame_size,
+        probe_interval_ns=probe_interval_ns,
+        stamp_probe_tx=stamp_tx,
+    )
+    gen.start(0.0)
+    monitor = GuestMonitor(sim, vif1b, frame_size, stamp_probe_rx=stamp_rx)
+    vm1.run(monitor, vcpu=1)
+    tb.meters.append(monitor.meter)
+    tb.latency_meters.append(monitor.meter)
+    tb.extras.update(gen=gen, bounce=bounce)
+    return tb

@@ -1,0 +1,93 @@
+"""The seven switch models, their parameters, registry and taxonomy."""
+
+from repro.switches.base import (
+    Attachment,
+    ForwardingPath,
+    PhyAttachment,
+    SoftwareSwitch,
+    VifAttachment,
+)
+from repro.switches.bess import Bess
+from repro.switches.control import (
+    BessScript,
+    ConfigError,
+    OvsCtl,
+    SnabbConfig,
+    ValeCtl,
+    VppCli,
+    apply_click_config,
+)
+from repro.switches.fastclick import FastClick, parse_click_config
+from repro.switches.jitter import CostJitter, StallProcess
+from repro.switches.openflow import FlowMatch, FlowRule, OpenFlowTable
+from repro.switches.ovs_dpdk import OvsDpdk
+from repro.switches.p4 import (
+    L2FWD_PROGRAM,
+    L3FWD_PROGRAM,
+    CompiledPipeline,
+    MatchKind,
+    P4Program,
+    P4TableSpec,
+    compile_program,
+)
+from repro.switches.params import ALL_PARAMS, SwitchParams
+from repro.switches.registry import (
+    ALL_SWITCHES,
+    create_switch,
+    params_for,
+    register_switch,
+    switch_names,
+)
+from repro.switches.snabb import Snabb
+from repro.switches.t4p4s import T4P4S, P4Table
+from repro.switches.taxonomy import TAXONOMY, TUNINGS, USE_CASES, TaxonomyRow
+from repro.switches.vale import Vale
+from repro.switches.vpp import NodeRuntime, Vpp
+
+__all__ = [
+    "ALL_PARAMS",
+    "ALL_SWITCHES",
+    "Attachment",
+    "Bess",
+    "BessScript",
+    "CompiledPipeline",
+    "ConfigError",
+    "FlowMatch",
+    "FlowRule",
+    "L2FWD_PROGRAM",
+    "L3FWD_PROGRAM",
+    "MatchKind",
+    "OpenFlowTable",
+    "OvsCtl",
+    "P4Program",
+    "P4TableSpec",
+    "SnabbConfig",
+    "ValeCtl",
+    "VppCli",
+    "apply_click_config",
+    "compile_program",
+    "CostJitter",
+    "FastClick",
+    "ForwardingPath",
+    "NodeRuntime",
+    "OvsDpdk",
+    "P4Table",
+    "PhyAttachment",
+    "Snabb",
+    "SoftwareSwitch",
+    "StallProcess",
+    "SwitchParams",
+    "T4P4S",
+    "TAXONOMY",
+    "TUNINGS",
+    "TaxonomyRow",
+    "USE_CASES",
+    "Vale",
+    "VifAttachment",
+    "Vpp",
+    "create_switch",
+    "params_for",
+    "parse_click_config",
+    "register_switch",
+    "switch_names",
+]

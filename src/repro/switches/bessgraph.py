@@ -1,0 +1,83 @@
+"""BESS module graphs, compiled to the BESS cost model.
+
+BESS composes "a set of built-in modules used to compose network
+services" (Sec. 2.1).  Like the Click and VPP compilers, this derives a
+processing cost from a module pipeline's structure; the paper's minimal
+``QueueInc -> QueueOut`` configuration compiles to the calibrated
+``BESS_PARAMS.proc`` exactly, and richer pipelines (match tables, load
+balancers, rate limiters -- the "custom policies, resource sharing, and
+traffic shaping" of Sec. 3.8) model heavier BESS deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.costmodel import Cost
+from repro.switches.params import BESS_PARAMS
+
+#: Per-module cycle weights.  The queue pair carries BESS's whole
+#: minimal data path ("only performs very simple tasks like collecting
+#: statistics"); richer modules follow BESS's own benchmark ordering.
+MODULE_COSTS: dict[str, Cost] = {
+    "QueueInc": Cost(per_packet=26.0),
+    "QueueOut": Cost(per_packet=22.0),
+    "PortInc": Cost(per_packet=30.0),
+    "PortOut": Cost(per_packet=26.0),
+    "ExactMatch": Cost(per_packet=64.0),
+    "WildcardMatch": Cost(per_packet=120.0),
+    "HashLB": Cost(per_packet=34.0),
+    "RandomSplit": Cost(per_packet=14.0),
+    "Measure": Cost(per_packet=20.0),
+    "TokenBucket": Cost(per_packet=28.0),
+    "VLANPush": Cost(per_packet=16.0),
+    "IPChecksum": Cost(per_packet=26.0, per_byte=0.08),
+}
+
+#: The bessd scheduler's per-batch cost (traffic-class arbitration), kept
+#: from the calibrated parameters.
+SCHEDULER_PER_BATCH = BESS_PARAMS.proc.per_batch
+
+
+class UnknownModuleError(ValueError):
+    """A pipeline references a module without a cost model."""
+
+
+@dataclass(frozen=True)
+class CompiledBessPipeline:
+    """A BESS module pipeline with its derived processing cost."""
+
+    modules: tuple[str, ...]
+    proc: Cost
+
+    @property
+    def depth(self) -> int:
+        return len(self.modules)
+
+
+def compile_pipeline(modules: list[str] | tuple[str, ...]) -> CompiledBessPipeline:
+    """Sum module costs along a pipeline, plus the scheduler's batch cost."""
+    if not modules:
+        raise ValueError("a pipeline needs at least one module")
+    per_packet = 0.0
+    per_byte = 0.0
+    for module in modules:
+        cost = MODULE_COSTS.get(module)
+        if cost is None:
+            raise UnknownModuleError(
+                f"no cost model for BESS module {module!r}; known: {sorted(MODULE_COSTS)}"
+            )
+        per_packet += cost.per_packet
+        per_byte += cost.per_byte
+    return CompiledBessPipeline(
+        modules=tuple(modules),
+        proc=Cost(per_batch=SCHEDULER_PER_BATCH, per_packet=per_packet, per_byte=per_byte),
+    )
+
+
+#: The paper's Appendix A.1 configuration.
+PAPER_P2P_PIPELINE = ("QueueInc", "QueueOut")
+
+#: A BESS deployment doing real classification + shaping (Sec. 3.8's
+#: "custom policies, resource sharing, and traffic shaping").
+SHAPER_PIPELINE = ("QueueInc", "ExactMatch", "TokenBucket", "Measure", "QueueOut")

@@ -1,0 +1,360 @@
+"""Control-plane front-ends: configure switches the way the paper does.
+
+Appendix A of the paper gives, for each switch, the configuration snippet
+that realises each scenario -- a BESS script, a Click one-liner, VPP
+l2patch CLI commands, ovs-vsctl/ovs-ofctl invocations, vale-ctl commands,
+a Snabb config object.  This module implements a miniature version of
+each of those control planes, translating the paper's exact syntax into
+``attach_*``/``add_path`` calls on a switch model.
+
+These front-ends are how the *examples* and *tests* reproduce Appendix A
+verbatim; the scenario builders call the model API directly for speed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.nic.port import NicPort
+from repro.switches.base import Attachment, SoftwareSwitch
+from repro.vif.virtio import VirtualInterface
+
+Device = NicPort | VirtualInterface
+
+
+def _attach(switch: SoftwareSwitch, device: Device) -> Attachment:
+    """Attach a NIC or vif, reusing an existing attachment if present."""
+    for attachment in switch.attachments:
+        if getattr(attachment, "port", None) is device:
+            return attachment
+        if getattr(attachment, "vif", None) is device:
+            return attachment
+    if isinstance(device, NicPort):
+        return switch.attach_phy(device)
+    return switch.attach_vif(device)
+
+
+class ConfigError(ValueError):
+    """Raised for malformed or unresolvable configuration input."""
+
+
+# ---------------------------------------------------------------------------
+# BESS: the Appendix A.1/A.2 script pidgin.
+#
+#   inport::PMDPort(port_id=0)
+#   outport::PMDPort(port_id=1)
+#   in0::QueueInc(port=inport, qid=0)
+#   out0::QueueOut(port=outport, qid=0)
+#   in0 -> out0
+#   v1::PMDPort(vdev="name,iface=path")
+#   in0 -> PortOut(port=v1.name)
+# ---------------------------------------------------------------------------
+
+_BESS_DECL = re.compile(r"^(?P<name>\w+)::(?P<module>\w+)\((?P<args>.*)\)$")
+_BESS_EDGE = re.compile(r"^(?P<src>\w+)\s*->\s*(?P<dst>\w+(\(.*\))?)$")
+
+
+class BessScript:
+    """Interprets the paper's BESS configuration scripts."""
+
+    def __init__(
+        self,
+        switch: SoftwareSwitch,
+        ports: dict[int, NicPort] | None = None,
+        vdevs: dict[str, VirtualInterface] | None = None,
+    ) -> None:
+        self.switch = switch
+        self.ports = ports or {}
+        self.vdevs = vdevs or {}
+        #: declared module name -> backing device (PMDPort) or upstream
+        #: queue's device (QueueInc/QueueOut).
+        self._modules: dict[str, tuple[str, Device]] = {}
+
+    def run(self, script: str) -> None:
+        for raw in script.strip().splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "::" in line:
+                self._declare(line)
+            elif "->" in line:
+                self._link(line)
+            else:
+                raise ConfigError(f"cannot parse BESS line {line!r}")
+
+    def _declare(self, line: str) -> None:
+        match = _BESS_DECL.match(line)
+        if match is None:
+            raise ConfigError(f"bad declaration {line!r}")
+        name, module, args = match.group("name", "module", "args")
+        if module == "PMDPort":
+            self._modules[name] = ("PMDPort", self._resolve_pmd(args, line))
+        elif module in ("QueueInc", "QueueOut"):
+            port_ref = self._kwarg(args, "port")
+            if port_ref not in self._modules:
+                raise ConfigError(f"unknown port module {port_ref!r} in {line!r}")
+            self._modules[name] = (module, self._modules[port_ref][1])
+        else:
+            raise ConfigError(f"unsupported BESS module {module!r}")
+
+    def _resolve_pmd(self, args: str, line: str) -> Device:
+        port_id = self._kwarg(args, "port_id", optional=True)
+        if port_id is not None:
+            try:
+                return self.ports[int(port_id)]
+            except (KeyError, ValueError):
+                raise ConfigError(f"unknown port_id {port_id!r} in {line!r}") from None
+        vdev = self._kwarg(args, "vdev", optional=True)
+        if vdev is not None:
+            key = vdev.strip("\"'").split(",")[0]
+            if key not in self.vdevs:
+                raise ConfigError(f"unknown vdev {key!r} in {line!r}")
+            return self.vdevs[key]
+        raise ConfigError(f"PMDPort needs port_id or vdev: {line!r}")
+
+    @staticmethod
+    def _kwarg(args: str, key: str, optional: bool = False) -> str | None:
+        for part in args.split(","):
+            part = part.strip()
+            if part.startswith(f"{key}="):
+                return part[len(key) + 1 :].strip()
+        if optional:
+            return None
+        raise ConfigError(f"missing {key}= in {args!r}")
+
+    def _link(self, line: str) -> None:
+        match = _BESS_EDGE.match(line)
+        if match is None:
+            raise ConfigError(f"bad edge {line!r}")
+        src, dst = match.group("src", "dst")
+        src_device = self._device_of(src)
+        if dst.startswith("PortOut("):
+            ref = self._kwarg(dst[len("PortOut(") : -1], "port")
+            name = ref.split(".")[0]
+            dst_device = self._device_of(name)
+        else:
+            dst_device = self._device_of(dst)
+        self.switch.add_path(_attach(self.switch, src_device), _attach(self.switch, dst_device))
+
+    def _device_of(self, name: str) -> Device:
+        if name not in self._modules:
+            raise ConfigError(f"unknown module {name!r}")
+        return self._modules[name][1]
+
+
+# ---------------------------------------------------------------------------
+# VPP: the l2patch CLI of Appendix A.1.
+#
+#   test l2patch rx port0 tx port1
+# ---------------------------------------------------------------------------
+
+_L2PATCH = re.compile(r"^test\s+l2patch\s+rx\s+(?P<rx>\S+)\s+tx\s+(?P<tx>\S+)$")
+
+
+class VppCli:
+    """Interprets the subset of vppctl used by the paper."""
+
+    def __init__(self, switch: SoftwareSwitch, interfaces: dict[str, Device]):
+        self.switch = switch
+        self.interfaces = interfaces
+
+    def exec(self, command: str) -> None:
+        command = command.strip()
+        match = _L2PATCH.match(command)
+        if match is None:
+            raise ConfigError(f"unsupported vppctl command {command!r}")
+        rx, tx = match.group("rx", "tx")
+        for name in (rx, tx):
+            if name not in self.interfaces:
+                raise ConfigError(f"unknown interface {name!r}")
+        self.switch.add_path(
+            _attach(self.switch, self.interfaces[rx]),
+            _attach(self.switch, self.interfaces[tx]),
+        )
+
+    def exec_script(self, script: str) -> None:
+        for line in script.strip().splitlines():
+            if line.strip():
+                self.exec(line)
+
+
+# ---------------------------------------------------------------------------
+# OvS: ovs-vsctl bridge/port management + ovs-ofctl flow rules.
+#
+#   ovs-vsctl add-br br0
+#   ovs-vsctl add-port br0 p1
+#   ovs-ofctl add-flow br0 in_port=1,actions=output:2
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _OvsBridge:
+    name: str
+    ports: list[str] = field(default_factory=list)
+    flows: list[tuple[int, int]] = field(default_factory=list)
+
+
+class OvsCtl:
+    """Interprets the ovs-vsctl / ovs-ofctl subset of Appendix A.1."""
+
+    _FLOW = re.compile(r"^in_port=(?P<inp>\d+),actions=output:(?P<out>\d+)$")
+
+    def __init__(self, switch: SoftwareSwitch, devices: dict[str, Device]):
+        self.switch = switch
+        self.devices = devices
+        self.bridges: dict[str, _OvsBridge] = {}
+
+    def vsctl(self, command: str) -> None:
+        tokens = command.split()
+        if tokens[:1] == ["add-br"] and len(tokens) == 2:
+            bridge = tokens[1]
+            if bridge in self.bridges:
+                raise ConfigError(f"bridge {bridge!r} exists")
+            self.bridges[bridge] = _OvsBridge(bridge)
+        elif tokens[:1] == ["add-port"] and len(tokens) == 3:
+            bridge, port = tokens[1], tokens[2]
+            if bridge not in self.bridges:
+                raise ConfigError(f"no bridge {bridge!r}")
+            if port not in self.devices:
+                raise ConfigError(f"unknown device {port!r}")
+            self.bridges[bridge].ports.append(port)
+        else:
+            raise ConfigError(f"unsupported ovs-vsctl command {command!r}")
+
+    def ofctl_add_flow(self, bridge: str, flow: str) -> None:
+        match = self._FLOW.match(flow.replace(" ", ""))
+        if match is None:
+            raise ConfigError(f"unsupported flow {flow!r}")
+        if bridge not in self.bridges:
+            raise ConfigError(f"no bridge {bridge!r}")
+        br = self.bridges[bridge]
+        in_port = int(match.group("inp"))
+        out_port = int(match.group("out"))
+        for ofport in (in_port, out_port):
+            if not 1 <= ofport <= len(br.ports):
+                raise ConfigError(f"ofport {ofport} out of range for {bridge!r}")
+        br.flows.append((in_port, out_port))
+        src = self.devices[br.ports[in_port - 1]]
+        dst = self.devices[br.ports[out_port - 1]]
+        self.switch.add_path(_attach(self.switch, src), _attach(self.switch, dst))
+        # Populate the ofproto rule table when the model carries one (the
+        # OvS-DPDK model does); upcalls will consult and account it.
+        flow_table = getattr(self.switch, "flow_table", None)
+        if flow_table is not None:
+            from repro.switches.openflow import FlowMatch, FlowRule
+
+            flow_table.add_rule(
+                FlowRule(match=FlowMatch(in_port=in_port - 1), action=f"output:{out_port - 1}")
+            )
+
+
+# ---------------------------------------------------------------------------
+# VALE: vale-ctl of Appendix A.1/A.2.
+#
+#   vale-ctl -a vale0:p1     (attach port p1 to bridge vale0)
+#   vale-ctl -n v0           (create virtual interface v0)
+# ---------------------------------------------------------------------------
+
+
+class ValeCtl:
+    """Interprets the vale-ctl subset used by the paper.
+
+    VALE is an L2 learning switch: attaching ports to the same bridge
+    creates full-mesh bidirectional forwarding between them.
+    """
+
+    def __init__(self, switch: SoftwareSwitch, devices: dict[str, Device]):
+        self.switch = switch
+        self.devices = devices
+        self.bridges: dict[str, list[str]] = {}
+
+    def exec(self, command: str) -> None:
+        tokens = command.split()
+        if tokens[:2] == ["vale-ctl", "-a"] and len(tokens) == 3:
+            bridge_port = tokens[2]
+            if ":" not in bridge_port:
+                raise ConfigError(f"expected bridge:port, got {bridge_port!r}")
+            bridge, port = bridge_port.split(":", 1)
+            if port not in self.devices:
+                raise ConfigError(f"unknown device {port!r}")
+            members = self.bridges.setdefault(bridge, [])
+            new_att = _attach(self.switch, self.devices[port])
+            for existing in members:
+                old_att = _attach(self.switch, self.devices[existing])
+                self.switch.add_path(old_att, new_att)
+                self.switch.add_path(new_att, old_att)
+            members.append(port)
+        elif tokens[:2] == ["vale-ctl", "-n"] and len(tokens) == 3:
+            # Interface creation: the caller provides the actual vif in
+            # ``devices``; -n just validates the name is known.
+            if tokens[2] not in self.devices:
+                raise ConfigError(f"-n names an unknown interface {tokens[2]!r}")
+        else:
+            raise ConfigError(f"unsupported vale-ctl command {command!r}")
+
+
+# ---------------------------------------------------------------------------
+# Snabb: the config object of Appendix A.1.
+#
+#   local c = config.new()
+#   config.app(c, "nic1", ..., {pciaddr = pci1})
+#   config.link(c, "nic1.tx -> nic2.rx")
+# ---------------------------------------------------------------------------
+
+
+class SnabbConfig:
+    """The config.new()/config.app()/config.link() workflow."""
+
+    _LINK = re.compile(r"^(?P<src>\w+)\.tx\s*->\s*(?P<dst>\w+)\.rx$")
+
+    def __init__(self, switch: SoftwareSwitch):
+        self.switch = switch
+        self._apps: dict[str, Device] = {}
+
+    def app(self, name: str, device: Device) -> None:
+        if name in self._apps:
+            raise ConfigError(f"app {name!r} already defined")
+        self._apps[name] = device
+
+    def link(self, spec: str) -> None:
+        match = self._LINK.match(spec.strip())
+        if match is None:
+            raise ConfigError(f"bad link spec {spec!r}")
+        src, dst = match.group("src", "dst")
+        for name in (src, dst):
+            if name not in self._apps:
+                raise ConfigError(f"unknown app {name!r}")
+        self.switch.add_path(
+            _attach(self.switch, self._apps[src]),
+            _attach(self.switch, self._apps[dst]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# FastClick: wire the parsed Click graph (Appendix A.1 one-liners).
+# ---------------------------------------------------------------------------
+
+
+def apply_click_config(switch: SoftwareSwitch, config: str, devices: dict[str, Device]) -> None:
+    """Instantiate a Click configuration against real devices.
+
+    Devices are referenced by the element argument, e.g.
+    ``FromDPDKDevice(0) -> ToDPDKDevice(1)`` with ``devices={"0": nic0,
+    "1": nic1}``.
+    """
+    from repro.switches.fastclick import parse_click_config
+
+    for chain in parse_click_config(config):
+        if len(chain) != 2:
+            raise ConfigError(f"only 2-element chains supported, got {chain}")
+        (from_el, from_arg), (to_el, to_arg) = chain
+        if from_el != "FromDPDKDevice" or to_el != "ToDPDKDevice":
+            raise ConfigError(f"unsupported elements {from_el}->{to_el}")
+        for arg in (from_arg, to_arg):
+            if arg not in devices:
+                raise ConfigError(f"unknown device {arg!r}")
+        switch.add_path(
+            _attach(switch, devices[from_arg]),
+            _attach(switch, devices[to_arg]),
+        )

@@ -1,0 +1,78 @@
+"""Service-time variability.
+
+The paper's latency analysis hinges on *stability*: "R+ is only the
+average throughput and the actual forwarding rate of each software switch
+fluctuates around it.  Consequently, an unstable software switch might
+fail to sustain 0.99R+ in a specific time period, causing data path
+congestion and packet loss" (Sec. 5.3).  t4p4s and OvS-DPDK show this
+dramatically (Table 3); BESS/VPP/FastClick barely at all.
+
+We model the fluctuation as a piecewise-constant multiplicative
+modulation of processing cost: every ``period_ns`` the multiplier is
+redrawn from a lognormal with unit mean, so the *average* rate (R+) is
+unchanged while slow episodes build queues whose drain time shows up as
+latency.  A second sigma applies on paths that traverse a virtual
+interface, where OvS and t4p4s are disproportionately unstable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class CostJitter:
+    """Piecewise-constant lognormal service-cost modulation (unit mean)."""
+
+    def __init__(self, rng: np.random.Generator, sigma: float, period_ns: float = 50_000.0):
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        self._rng = rng
+        self.sigma = sigma
+        self.period_ns = period_ns
+        self._multiplier = 1.0
+        self._next_resample_ns = 0.0
+
+    def multiplier(self, now_ns: float) -> float:
+        """Current cost multiplier; resampled on period boundaries."""
+        if self.sigma == 0.0:
+            return 1.0
+        if now_ns >= self._next_resample_ns:
+            # Throughput under sustained backlog averages the *service
+            # rate*, i.e. E[1/multiplier]; pick mu so that expectation is
+            # exactly 1 and jitter redistributes capacity over time without
+            # creating any (R+ is unchanged, queues are not).
+            mu = 0.5 * self.sigma * self.sigma
+            self._multiplier = float(math.exp(self._rng.normal(mu, self.sigma)))
+            self._next_resample_ns = now_ns + self.period_ns
+        return self._multiplier
+
+
+class StallProcess:
+    """Occasional long stalls (Snabb's LuaJIT trace compilation).
+
+    Snabb "keeps evaluating its execution time in performing online code
+    optimizations" (Sec. 5.3); when the JIT recompiles a trace the data
+    plane pauses for tens of microseconds.  Stalls arrive as a Poisson
+    process and add a fixed cycle penalty to the breath in which they hit.
+    """
+
+    def __init__(self, rng: np.random.Generator, mean_period_ns: float, stall_cycles: float):
+        if mean_period_ns <= 0:
+            raise ValueError("stall period must be positive")
+        self._rng = rng
+        self.mean_period_ns = mean_period_ns
+        self.stall_cycles = stall_cycles
+        self._next_stall_ns = float(rng.exponential(mean_period_ns))
+        self.stalls = 0
+
+    def cycles_due(self, now_ns: float) -> float:
+        """Stall cycles to charge at ``now_ns`` (0 if no stall due)."""
+        if now_ns < self._next_stall_ns:
+            return 0.0
+        self._next_stall_ns = now_ns + float(self._rng.exponential(self.mean_period_ns))
+        self.stalls += 1
+        return self.stall_cycles

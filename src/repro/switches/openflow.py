@@ -1,0 +1,134 @@
+"""A miniature OpenFlow table for the OvS-DPDK model.
+
+OvS-DPDK "can be used as a static switch with predefined rules, or as a
+fully functional SDN switch in conjunction with an external control
+plane" (Sec. 3.8).  This module provides the rule machinery behind both:
+priority-ordered wildcard rules, lookup, per-rule statistics, and
+*megaflow derivation* -- the mechanism by which the ofproto slow path
+installs a collapsed entry into the datapath classifier after an upcall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.packet import Packet
+
+
+@dataclass(frozen=True)
+class FlowMatch:
+    """Wildcardable match over the fields the simulation models.
+
+    ``None`` means wildcard.  (A real OvS match has dozens of fields;
+    these are the ones packets carry here.)
+    """
+
+    in_port: int | None = None
+    dst_mac: int | None = None
+    src_mac: int | None = None
+    flow_id: int | None = None
+
+    def matches(self, packet: Packet, in_port: int) -> bool:
+        if self.in_port is not None and self.in_port != in_port:
+            return False
+        if self.dst_mac is not None and self.dst_mac != packet.dst_mac:
+            return False
+        if self.src_mac is not None and self.src_mac != packet.src_mac:
+            return False
+        if self.flow_id is not None and self.flow_id != packet.flow_id:
+            return False
+        return True
+
+    @property
+    def wildcard_count(self) -> int:
+        return sum(
+            1
+            for value in (self.in_port, self.dst_mac, self.src_mac, self.flow_id)
+            if value is None
+        )
+
+
+@dataclass
+class FlowRule:
+    """One OpenFlow rule: priority + match + action."""
+
+    match: FlowMatch
+    action: str  # "output:N" or "drop"
+    priority: int = 0
+    n_packets: int = 0
+    n_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if not (self.action == "drop" or self.action.startswith("output:")):
+            raise ValueError(f"unsupported action {self.action!r}")
+
+    @property
+    def output_port(self) -> int | None:
+        if self.action.startswith("output:"):
+            return int(self.action.split(":", 1)[1])
+        return None
+
+
+class OpenFlowTable:
+    """Priority-ordered rule table with per-rule statistics."""
+
+    def __init__(self) -> None:
+        self._rules: list[FlowRule] = []
+        self.lookups = 0
+        self.misses = 0
+
+    def add_rule(self, rule: FlowRule) -> None:
+        self._rules.append(rule)
+        # Highest priority first; insertion order breaks ties (OvS keeps
+        # an unspecified order among equal priorities; stable is kindest).
+        self._rules.sort(key=lambda r: -r.priority)
+
+    def lookup(self, packet: Packet, in_port: int) -> FlowRule | None:
+        """Find the highest-priority matching rule and update its stats."""
+        self.lookups += 1
+        for rule in self._rules:
+            if rule.match.matches(packet, in_port):
+                rule.n_packets += 1
+                rule.n_bytes += packet.size
+                return rule
+        self.misses += 1
+        return None
+
+    def derive_megaflow(self, packet: Packet, in_port: int, rule: FlowRule) -> FlowMatch:
+        """Collapse an upcall result into a datapath megaflow entry.
+
+        The megaflow un-wildcards exactly the fields the slow-path lookup
+        had to inspect to disambiguate ``rule`` from other rules -- here,
+        conservatively, every field any rule constrains.
+        """
+        need_in_port = any(r.match.in_port is not None for r in self._rules)
+        need_dst = any(r.match.dst_mac is not None for r in self._rules)
+        need_src = any(r.match.src_mac is not None for r in self._rules)
+        need_flow = any(r.match.flow_id is not None for r in self._rules)
+        return FlowMatch(
+            in_port=in_port if need_in_port else None,
+            dst_mac=packet.dst_mac if need_dst else None,
+            src_mac=packet.src_mac if need_src else None,
+            flow_id=packet.flow_id if need_flow else None,
+        )
+
+    def dump_flows(self) -> list[str]:
+        """ovs-ofctl dump-flows style listing."""
+        return [
+            f"priority={rule.priority},"
+            + ",".join(
+                f"{name}={value}"
+                for name, value in (
+                    ("in_port", rule.match.in_port),
+                    ("dl_dst", rule.match.dst_mac),
+                    ("dl_src", rule.match.src_mac),
+                    ("flow", rule.match.flow_id),
+                )
+                if value is not None
+            )
+            + f" actions={rule.action} n_packets={rule.n_packets}"
+            for rule in self._rules
+        ]
+
+    def __len__(self) -> int:
+        return len(self._rules)

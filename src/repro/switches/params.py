@@ -1,0 +1,302 @@
+"""Per-switch cost parameters, calibrated against the paper's measurements.
+
+Each :class:`SwitchParams` encodes the *mechanisms* Sec. 3 attributes to a
+switch (I/O discipline, processing model, batching policy, vhost-user
+implementation, instability) with cycle costs chosen so that the
+simulated testbed reproduces the paper's Sec. 5 numbers.  The derivations
+below work in "cycles per packet at saturation" on the 2.6 GHz SUT core:
+a switch forwarding at X Mpps spends 2600/X cycles per packet.
+
+Reference points used for calibration (all 64 B frames):
+
+==========  =======================  ==================  ==================
+switch      p2p uni (Fig. 4a)        p2v uni (Fig. 4b)   v2v uni (Fig. 4c)
+==========  =======================  ==================  ==================
+BESS        10 Gbps (16 bidi)        10 Gbps             < 7.4 Gbps
+FastClick   10 Gbps (> 10 bidi)      ~7 Gbps             < 7.4 Gbps
+VPP         10 Gbps (> 10 bidi)      6.9 (5.59 rev.)     < 7.4 Gbps
+OvS-DPDK    8.05 Gbps                5-7 Gbps            < 7.4 Gbps
+Snabb       8.9 Gbps                 5.97 Gbps           6.42 Gbps
+VALE        5.56 Gbps                5.77 Gbps           10.5 Gbps
+t4p4s       ~5.6 Gbps                4.04 Gbps           < 7.4 Gbps
+==========  =======================  ==================  ==================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.costmodel import Cost
+from repro.vif.ptnet import DEFAULT_PTNET_COSTS
+from repro.vif.vhost_user import DEFAULT_VHOST_COSTS
+from repro.vif.virtio import VifCosts
+
+
+@dataclass(frozen=True)
+class SwitchParams:
+    """Everything that differentiates one switch model from another."""
+
+    name: str
+    display_name: str
+    # --- processing costs (cycles) ---------------------------------------
+    nic_rx: Cost = field(default_factory=lambda: Cost(per_batch=60.0, per_packet=28.0))
+    nic_tx: Cost = field(default_factory=lambda: Cost(per_batch=60.0, per_packet=28.0))
+    proc: Cost = field(default_factory=lambda: Cost(per_batch=60.0, per_packet=60.0))
+    vif_costs: VifCosts = DEFAULT_VHOST_COSTS
+    #: multiplicative surcharge on vif costs when a guest interface is
+    #: active in both directions (avail/used index cache-line bouncing).
+    bidir_vif_penalty: float = 1.0
+    # --- batching ----------------------------------------------------------
+    batch_size: int = 32
+    #: t4p4s-style strict batching: wait up to this long for a full batch.
+    batch_wait_ns: float | None = None
+    #: FastClick-style TX buffering on vif outputs: flush at
+    #: ``tx_drain_burst`` packets or after ``tx_drain_ns``.
+    tx_drain_ns: float | None = None
+    tx_drain_burst: int = 32
+    # --- I/O discipline ------------------------------------------------------
+    interrupt_driven: bool = False
+    interrupt_latency_ns: float = 3_000.0
+    #: ixgbe interrupt-moderation (ITR) period at the physical ingress of
+    #: interrupt-driven switches; None = poll-mode PMD, no moderation.
+    rx_moderation_ns: float | None = None
+    # --- ring provisioning ----------------------------------------------------
+    nic_rx_slots: int = 512
+    nic_tx_slots: int = 512
+    vring_slots: int = 1024
+    # --- stability --------------------------------------------------------
+    jitter_sigma: float = 0.08
+    jitter_sigma_vif: float = 0.0
+    jitter_period_ns: float = 50_000.0
+    #: episode length on paths that traverse a vif (None = same as base);
+    #: OvS/t4p4s instability manifests as long slow episodes on the vhost
+    #: path (their loopback 0.99R+ tails in Table 3).
+    jitter_period_vif_ns: float | None = None
+    stall_period_ns: float | None = None
+    stall_cycles: float = 0.0
+    # --- pipeline (Snabb) ---------------------------------------------------
+    pipeline: bool = False
+    #: cycles "slept" between breaths when the engine found no work
+    #: (Snabb's engine is timer-driven rather than a pure busy loop).
+    idle_poll_cycles: float | None = None
+    app_overhead_cycles: float = 0.0
+    thrash_attachments: int | None = None
+    thrash_factor: float = 1.0
+    # --- hypervisor compatibility -----------------------------------------
+    max_vms: int | None = None
+
+
+# ---------------------------------------------------------------------------
+# BESS: minimal module graph (PMDPort -> QueueInc -> QueueOut), "only
+# performs very simple tasks like collecting statistics" -- the cheapest
+# data path of the seven.  p2p budget ~109 cycles/pkt => 23.9 Mpps
+# capacity: saturates 10 Gbps unidirectional, 16 Gbps aggregated
+# bidirectional on one core (Fig. 4a).  QEMU incompatibility limits it to
+# 3 VMs (footnote 5).
+# ---------------------------------------------------------------------------
+BESS_PARAMS = SwitchParams(
+    name="bess",
+    display_name="BESS",
+    proc=Cost(per_batch=50.0, per_packet=48.0),
+    vif_costs=VifCosts(
+        host_tx=Cost(per_batch=120.0, per_packet=70.0, per_byte=0.25),
+        host_rx=Cost(per_batch=120.0, per_packet=75.0, per_byte=0.25),
+        guest_tx=DEFAULT_VHOST_COSTS.guest_tx,
+        guest_rx=DEFAULT_VHOST_COSTS.guest_rx,
+        host_copy_factor=1.0,
+    ),
+    bidir_vif_penalty=1.12,
+    jitter_sigma=0.09,
+    jitter_sigma_vif=0.10,
+    max_vms=3,
+)
+
+# ---------------------------------------------------------------------------
+# FastClick: Click element graph in full run-to-completion; "additionally
+# extracts and updates packet header fields" vs BESS (Fig. 4a analysis).
+# Its own internal batching delays vif output at low load ("FastClick
+# also suffers from its own batch processing delay", Sec. 5.3).
+# NIC descriptor rings enlarged to 4096 (Table 2 tuning).
+# ---------------------------------------------------------------------------
+FASTCLICK_PARAMS = SwitchParams(
+    name="fastclick",
+    display_name="FastClick",
+    proc=Cost(per_batch=80.0, per_packet=90.0),
+    vif_costs=VifCosts(
+        host_tx=Cost(per_batch=150.0, per_packet=100.0, per_byte=0.15),
+        host_rx=Cost(per_batch=150.0, per_packet=105.0, per_byte=0.15),
+        guest_tx=DEFAULT_VHOST_COSTS.guest_tx,
+        guest_rx=DEFAULT_VHOST_COSTS.guest_rx,
+        host_copy_factor=1.0,
+    ),
+    bidir_vif_penalty=1.12,
+    tx_drain_ns=60_000.0,
+    tx_drain_burst=32,
+    nic_rx_slots=4096,
+    nic_tx_slots=4096,
+    jitter_sigma=0.13,
+    jitter_sigma_vif=0.10,
+)
+
+# ---------------------------------------------------------------------------
+# VPP: vectorized graph processing -- large frames (vectors) of up to 256
+# packets amortise graph-node dispatch, so per-batch cost is high but
+# per-packet cost low.  Asymmetric vhost: "VPP suffers from a performance
+# penalty in receiving packets from vhost-user ports" (Sec. 5.2, the
+# reversed-path experiment: 6.9 Gbps forward vs 5.59 Gbps reversed).
+# ---------------------------------------------------------------------------
+VPP_PARAMS = SwitchParams(
+    name="vpp",
+    display_name="VPP",
+    batch_size=256,
+    proc=Cost(per_batch=600.0, per_packet=95.0),
+    vif_costs=VifCosts(
+        host_tx=Cost(per_batch=150.0, per_packet=85.0, per_byte=0.50),
+        host_rx=Cost(per_batch=150.0, per_packet=145.0, per_byte=0.50),
+        guest_tx=DEFAULT_VHOST_COSTS.guest_tx,
+        guest_rx=DEFAULT_VHOST_COSTS.guest_rx,
+        host_copy_factor=1.0,
+    ),
+    bidir_vif_penalty=1.12,
+    jitter_sigma=0.10,
+    jitter_sigma_vif=0.08,
+)
+
+# ---------------------------------------------------------------------------
+# OvS-DPDK: match/action pipeline.  Even an EMC (exact-match cache) hit
+# pays classifier cost -- with the paper's single-flow synthetic traffic
+# "OvS-DPDK's flow cache does not help" (Sec. 5.2): 8.05 Gbps at 64 B.
+# A miss adds megaflow lookup (and possibly an upcall).  Distinctly
+# unstable under load on vhost paths (514-1052 us at 0.99 R+, Table 3).
+# ---------------------------------------------------------------------------
+OVS_PARAMS = SwitchParams(
+    name="ovs-dpdk",
+    display_name="OvS-DPDK",
+    proc=Cost(per_batch=100.0, per_packet=146.0),  # EMC-hit fast path
+    vif_costs=DEFAULT_VHOST_COSTS,
+    bidir_vif_penalty=1.12,
+    vring_slots=4096,
+    jitter_sigma=0.07,
+    jitter_sigma_vif=0.50,
+    jitter_period_ns=80_000.0,
+    jitter_period_vif_ns=300_000.0,
+)
+
+#: Extra cycles for an EMC miss that hits the megaflow (dpcls) classifier.
+OVS_EMC_MISS_EXTRA = Cost(per_packet=320.0)
+#: Extra cycles for a full slow-path upcall (first packet of a flow).
+OVS_UPCALL_EXTRA = Cost(per_packet=4_000.0)
+#: EMC capacity (8k entries in OvS 2.11).
+OVS_EMC_ENTRIES = 8192
+
+# ---------------------------------------------------------------------------
+# Snabb: pipeline processing model with inter-app link buffers ("staging
+# packets in internal buffers imposes extra overhead", Sec. 5.2), its own
+# kernel-bypass NIC driver (receive side costlier than DPDK's PMD) and
+# its own vhost-user implementation (cheaper than its NIC path: v2v beats
+# p2v, 6.42 vs 5.97 Gbps).  LuaJIT trace compilation appears as Poisson
+# stalls; past ~8 apps the working set thrashes the JIT/cache and
+# throughput collapses (the 4-VNF "plummet" of Fig. 5).
+# ---------------------------------------------------------------------------
+SNABB_PARAMS = SwitchParams(
+    name="snabb",
+    display_name="Snabb",
+    batch_size=64,
+    nic_rx=Cost(per_batch=80.0, per_packet=130.0),
+    nic_tx=Cost(per_batch=80.0, per_packet=30.0),
+    proc=Cost(per_batch=60.0, per_packet=30.0),
+    vif_costs=VifCosts(
+        host_tx=Cost(per_batch=100.0, per_packet=85.0, per_byte=0.60),
+        host_rx=Cost(per_batch=100.0, per_packet=85.0, per_byte=0.60),
+        guest_tx=DEFAULT_VHOST_COSTS.guest_tx,
+        guest_rx=DEFAULT_VHOST_COSTS.guest_rx,
+        host_copy_factor=1.0,
+    ),
+    bidir_vif_penalty=1.12,
+    tx_drain_ns=30_000.0,
+    tx_drain_burst=64,
+    idle_poll_cycles=11_000.0,  # ~4.2 us timer-driven idle breath
+    jitter_sigma=0.12,
+    jitter_sigma_vif=0.15,
+    stall_period_ns=400_000.0,
+    stall_cycles=30_000.0,  # ~11.5 us JIT pause
+    pipeline=True,
+    app_overhead_cycles=40.0,
+    thrash_attachments=9,
+    thrash_factor=3.5,
+)
+
+# ---------------------------------------------------------------------------
+# VALE: netmap-based, interrupt I/O ("relies on system calls and NIC
+# interrupts", Sec. 2.1), one packet copy between VALE ports per forward
+# (memory isolation by design) plus source-MAC learning and flow-table
+# lookup.  ptnet makes the VM boundary nearly free, hence v2v/loopback
+# strength.  ixgbe interrupt moderation puts a ~40 us floor under its
+# physical-port latency (Table 3: 32-34 us regardless of load).
+# Adaptive batching: forwards whatever is pending, no drain timers.
+# ---------------------------------------------------------------------------
+VALE_PARAMS = SwitchParams(
+    name="vale",
+    display_name="VALE",
+    batch_size=256,
+    nic_rx=Cost(per_batch=100.0, per_packet=150.0, per_byte=0.25),  # syscall + softirq + DMA sync
+    nic_tx=Cost(per_batch=100.0, per_packet=28.0, per_byte=0.10),
+    proc=Cost(per_batch=80.0, per_packet=118.0, per_byte=0.16),  # copy + learn
+    vif_costs=DEFAULT_PTNET_COSTS,
+    interrupt_driven=True,
+    interrupt_latency_ns=3_000.0,
+    rx_moderation_ns=30_000.0,
+    vring_slots=1024,
+    jitter_sigma=0.10,
+    jitter_sigma_vif=0.05,
+)
+
+# ---------------------------------------------------------------------------
+# t4p4s: P4 pipeline -- parse, match/action table, deparse on every packet
+# plus a hardware-abstraction-layer indirection; the costliest and least
+# stable data path of the seven ("the inefficiency of the t4p4s internal
+# pipeline", Sec. 5.3).  Strict batch constitution delays packets at low
+# load (its 0.10 R+ latency exceeds 0.50 R+, Sec. 5.3).
+# ---------------------------------------------------------------------------
+T4P4S_PARAMS = SwitchParams(
+    name="t4p4s",
+    display_name="t4p4s",
+    proc=Cost(per_batch=150.0, per_packet=228.0, per_byte=0.50),  # parse/deparse touch bytes
+    vif_costs=VifCosts(
+        host_tx=Cost(per_batch=150.0, per_packet=165.0, per_byte=0.20),
+        host_rx=Cost(per_batch=150.0, per_packet=165.0, per_byte=0.20),
+        guest_tx=DEFAULT_VHOST_COSTS.guest_tx,
+        guest_rx=DEFAULT_VHOST_COSTS.guest_rx,
+        host_copy_factor=1.0,
+    ),
+    bidir_vif_penalty=1.12,
+    batch_wait_ns=27_000.0,
+    nic_rx_slots=4096,
+    nic_tx_slots=4096,
+    vring_slots=4096,
+    jitter_sigma=0.55,
+    jitter_sigma_vif=0.30,
+    jitter_period_ns=120_000.0,
+    jitter_period_vif_ns=250_000.0,
+)
+
+#: Stage decomposition of ``T4P4S_PARAMS.proc`` (exposed for the ablation
+#: benches and the P4 pipeline model's stage accounting).
+T4P4S_STAGES = {
+    "parse": Cost(per_packet=56.0, per_byte=0.26),
+    "match_action": Cost(per_packet=116.0),
+    "deparse": Cost(per_packet=56.0, per_byte=0.24),
+}
+
+ALL_PARAMS = {
+    params.name: params
+    for params in (
+        BESS_PARAMS,
+        FASTCLICK_PARAMS,
+        OVS_PARAMS,
+        SNABB_PARAMS,
+        T4P4S_PARAMS,
+        VALE_PARAMS,
+        VPP_PARAMS,
+    )
+}

@@ -1,0 +1,77 @@
+"""Switch registry: name -> model factory.
+
+The measurement runner, scenario builders, benches and examples all look
+switches up here, with the same short names the paper uses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.switches.base import SoftwareSwitch
+from repro.switches.bess import Bess
+from repro.switches.fastclick import FastClick
+from repro.switches.ovs_dpdk import OvsDpdk
+from repro.switches.params import ALL_PARAMS, SwitchParams
+from repro.switches.snabb import Snabb
+from repro.switches.t4p4s import T4P4S
+from repro.switches.vale import Vale
+from repro.switches.vpp import Vpp
+
+if TYPE_CHECKING:
+    from repro.core.engine import Simulator
+    from repro.core.rng import RngRegistry
+    from repro.cpu.numa import MemoryBus
+
+SwitchFactory = Callable[..., SoftwareSwitch]
+
+_FACTORIES: dict[str, SwitchFactory] = {
+    "bess": Bess,
+    "fastclick": FastClick,
+    "ovs-dpdk": OvsDpdk,
+    "snabb": Snabb,
+    "t4p4s": T4P4S,
+    "vale": Vale,
+    "vpp": Vpp,
+}
+
+#: Paper ordering (alphabetical, as in Table 3).
+ALL_SWITCHES = ("bess", "fastclick", "ovs-dpdk", "snabb", "vpp", "vale", "t4p4s")
+
+
+def switch_names() -> tuple[str, ...]:
+    """All registered switch names."""
+    return ALL_SWITCHES
+
+
+def params_for(name: str) -> SwitchParams:
+    """Calibrated parameters for a switch name."""
+    try:
+        return ALL_PARAMS[name]
+    except KeyError:
+        raise KeyError(f"unknown switch {name!r}; known: {sorted(_FACTORIES)}") from None
+
+
+def create_switch(
+    name: str,
+    sim: "Simulator",
+    rngs: "RngRegistry | None" = None,
+    bus: "MemoryBus | None" = None,
+    params: SwitchParams | None = None,
+) -> SoftwareSwitch:
+    """Instantiate a switch model by name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(f"unknown switch {name!r}; known: {sorted(_FACTORIES)}") from None
+    if params is None:
+        return factory(sim, rngs=rngs, bus=bus)
+    return factory(sim, rngs=rngs, bus=bus, params=params)
+
+
+def register_switch(name: str, factory: SwitchFactory, params: SwitchParams) -> None:
+    """Register a custom switch model (extension point for new designs)."""
+    if name in _FACTORIES:
+        raise ValueError(f"switch {name!r} already registered")
+    _FACTORIES[name] = factory
+    ALL_PARAMS[name] = params

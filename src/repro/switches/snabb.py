@@ -1,0 +1,62 @@
+"""Snabb: the LuaJIT-based modular switch.
+
+The only pure *pipeline* design of the seven (Table 1): packets move
+between "apps" over link buffers, one engine breath at a time, so every
+hop through Snabb pays an extra staging delay and buffer touch
+("staging packets in internal buffers imposes extra overhead", Sec. 5.2;
+"the extra delay imposed by intermediate inter-module buffers",
+Sec. 5.3).  Snabb implements its *own* kernel-bypass NIC driver and its
+own vhost-user backend -- the vhost path is actually cheaper than its
+NIC path, which is why Snabb is the only switch whose v2v throughput
+beats its p2v throughput (6.42 vs 5.97 Gbps).
+
+LuaJIT gives Snabb two measurable quirks, both modelled via params:
+
+* Poisson *stalls* when the tracing JIT recompiles (latency spikes:
+  22 us at 0.99 R+ in p2p, Table 3);
+* an overload *cliff* when the app graph grows past what one core's
+  traces sustain: "when the service chain length reaches 4, Snabb
+  becomes overloaded and its throughput plummets" (Sec. 5.2).
+
+The app/link graph is recorded in the ``config.app``/``config.link``
+vocabulary of the paper's Appendix A.1 snippet.
+"""
+
+from __future__ import annotations
+
+from repro.switches.base import ForwardingPath, SoftwareSwitch
+from repro.switches.params import SNABB_PARAMS
+
+
+class Snabb(SoftwareSwitch):
+    """Snabb behavioural model (pipeline processing)."""
+
+    def __init__(self, sim, rngs=None, bus=None, params=SNABB_PARAMS):
+        super().__init__(sim, params, rngs=rngs, bus=bus)
+        #: app name -> app class, as a Snabb config object would hold.
+        self.apps: dict[str, str] = {}
+        #: "appA.tx -> appB.rx" link strings.
+        self.links: list[str] = []
+
+    def add_path(self, inp, out) -> ForwardingPath:
+        path = super().add_path(inp, out)
+        in_app = self._app_for(inp)
+        out_app = self._app_for(out)
+        self.links.append(f"{in_app}.tx -> {out_app}.rx")
+        return path
+
+    def _app_for(self, attachment) -> str:
+        app_class = "VhostUser" if attachment.is_vif else "Intel82599"
+        name = attachment.name.replace(".", "_")
+        self.apps.setdefault(name, app_class)
+        return name
+
+    @property
+    def app_count(self) -> int:
+        """Apps in the engine (drives the overload cliff)."""
+        return len(self.apps)
+
+    @property
+    def jit_stalls(self) -> int:
+        """LuaJIT trace-compilation stalls observed so far."""
+        return self._stalls.stalls if self._stalls is not None else 0

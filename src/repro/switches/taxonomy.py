@@ -1,0 +1,165 @@
+"""Design-space taxonomy (Tables 1, 2 and 5 of the paper, as data).
+
+The paper's qualitative analysis is part of its contribution; keeping it
+as structured data lets tests assert internal consistency (e.g. every
+switch the registry knows has a taxonomy row; interrupt-driven models are
+the ones the taxonomy says use ptnet) and lets the benches render the
+tables alongside the measured ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Architecture(Enum):
+    SELF_CONTAINED = "self-contained"
+    MODULAR = "modular"
+
+
+class Paradigm(Enum):
+    STRUCTURED = "structured"
+    MATCH_ACTION = "match/action"
+
+
+class ProcessingModel(Enum):
+    RTC = "run-to-completion"
+    PIPELINE = "pipeline"
+    BOTH = "RTC or pipeline"
+
+
+class Reprogrammability(Enum):
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+
+@dataclass(frozen=True)
+class TaxonomyRow:
+    """One row of Table 1."""
+
+    name: str
+    architecture: Architecture
+    paradigm: Paradigm
+    processing_model: ProcessingModel
+    virtual_interface: str
+    reprogrammability: Reprogrammability
+    languages: tuple[str, ...]
+    main_purpose: str
+
+
+#: Table 1: Taxonomy of State-of-the-Art High-Performance Software Switches.
+TAXONOMY: dict[str, TaxonomyRow] = {
+    row.name: row
+    for row in (
+        TaxonomyRow(
+            "bess",
+            Architecture.MODULAR,
+            Paradigm.STRUCTURED,
+            ProcessingModel.BOTH,
+            "vhost-user",
+            Reprogrammability.HIGH,
+            ("C", "Python"),
+            "Programmable NIC",
+        ),
+        TaxonomyRow(
+            "snabb",
+            Architecture.MODULAR,
+            Paradigm.STRUCTURED,
+            ProcessingModel.PIPELINE,
+            "vhost-user",
+            Reprogrammability.HIGH,
+            ("Lua", "C"),
+            "VM-to-VM",
+        ),
+        TaxonomyRow(
+            "ovs-dpdk",
+            Architecture.SELF_CONTAINED,
+            Paradigm.MATCH_ACTION,
+            ProcessingModel.RTC,
+            "vhost-user",
+            Reprogrammability.MEDIUM,
+            ("C",),
+            "SDN switch",
+        ),
+        TaxonomyRow(
+            "fastclick",
+            Architecture.MODULAR,
+            Paradigm.STRUCTURED,
+            ProcessingModel.RTC,
+            "vhost-user",
+            Reprogrammability.LOW,
+            ("C++",),
+            "Modular router",
+        ),
+        TaxonomyRow(
+            "vpp",
+            Architecture.SELF_CONTAINED,
+            Paradigm.STRUCTURED,
+            ProcessingModel.RTC,
+            "vhost-user",
+            Reprogrammability.MEDIUM,
+            ("C",),
+            "Full router",
+        ),
+        TaxonomyRow(
+            "vale",
+            Architecture.SELF_CONTAINED,
+            Paradigm.STRUCTURED,
+            ProcessingModel.RTC,
+            "ptnet",
+            Reprogrammability.LOW,
+            ("C",),
+            "Virtual L2 Ethernet",
+        ),
+        TaxonomyRow(
+            "t4p4s",
+            Architecture.SELF_CONTAINED,
+            Paradigm.MATCH_ACTION,
+            ProcessingModel.RTC,
+            "vhost-user",
+            Reprogrammability.MEDIUM,
+            ("C", "Python"),
+            "P4 switch",
+        ),
+    )
+}
+
+#: Table 2: Software Switches Parameter Tuning applied by the paper.
+TUNINGS: dict[str, str] = {
+    "fastclick": "Increase descriptor ring size to 4096",
+    "t4p4s": "Remove source MAC learning phase",
+    "vale": "Disable flow control for NIC interfaces",
+}
+
+#: Table 5: Software Switches Use Cases Summary.
+USE_CASES: dict[str, tuple[str, str]] = {
+    "bess": (
+        "Forwarding between physical NICs",
+        "Incompatible with newer versions of QEMU",
+    ),
+    "snabb": (
+        "Fast deployment, runtime optimization",
+        "Bottlenecked with multiple VNFs",
+    ),
+    "ovs-dpdk": ("Stateless SDN deployments", "Supports OpenFlow protocol"),
+    "fastclick": (
+        "VNF chaining",
+        "Supports live migration, high latency at low workload",
+    ),
+    "vpp": ("VNF chaining", "Supports live migration"),
+    "vale": (
+        "VNF chaining with high workload",
+        "Limited traffic classification and live migration capability",
+    ),
+    "t4p4s": ("Stateful SDN deployments", "Supports P4 language"),
+}
+
+#: Table 1 again, as note (Sec. 3.4): Snabb is the only pure-pipeline
+#: design; this drives ``SwitchParams.pipeline`` and is asserted in tests.
+PIPELINE_SWITCHES = frozenset(
+    name
+    for name, row in TAXONOMY.items()
+    if row.processing_model is ProcessingModel.PIPELINE
+)

@@ -1,0 +1,103 @@
+"""VPP graph paths, compiled to the VPP cost model.
+
+VPP "consists of a forwarding graph with hundreds of functions"
+(Sec. 3.2); a packet vector is dispatched through a sequence of graph
+nodes, paying a fixed dispatch cost per node per vector plus per-packet
+work inside each node.  This module mirrors that: a registry of node
+weights and a compiler from a node path to the switch-model cost.
+
+The paper's configuration is the *l2patch* path (Appendix A.1), whose
+compiled cost equals the calibrated ``VPP_PARAMS.proc``; richer paths
+(the IPv4 router, an ACL'd router) model what running VPP as the
+"full-fledged software network function" of Sec. 5.4 would cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.costmodel import Cost
+
+#: Graph-node dispatch overhead per vector (function call, vector
+#: prefetch, next-node demux) -- the cost that 256-packet vectors exist
+#: to amortise.
+DISPATCH_PER_NODE = 200.0
+
+#: Per-packet work inside each node.  I/O nodes' packet work lives in
+#: the NIC/vif cost parameters, so they carry zero here.
+NODE_COSTS: dict[str, float] = {
+    "dpdk-input": 0.0,
+    "vhost-user-input": 0.0,
+    "interface-output": 0.0,
+    "vhost-user-output": 0.0,
+    "l2-patch": 95.0,
+    "ethernet-input": 35.0,
+    "l2-learn": 48.0,
+    "l2-fwd": 52.0,
+    "ip4-input": 45.0,
+    "ip4-lookup": 110.0,
+    "ip4-rewrite": 65.0,
+    "acl-plugin": 140.0,
+    "nat44-in2out": 165.0,
+}
+
+
+class UnknownNodeError(ValueError):
+    """A path references a graph node without a cost model."""
+
+
+@dataclass(frozen=True)
+class CompiledPath:
+    """A VPP graph path with its derived processing cost."""
+
+    nodes: tuple[str, ...]
+    proc: Cost
+
+    @property
+    def depth(self) -> int:
+        return len(self.nodes)
+
+
+def compile_path(nodes: list[str] | tuple[str, ...]) -> CompiledPath:
+    """Derive the proc cost of dispatching a vector through ``nodes``."""
+    if not nodes:
+        raise ValueError("a graph path needs at least one node")
+    per_packet = 0.0
+    for node in nodes:
+        if node not in NODE_COSTS:
+            raise UnknownNodeError(
+                f"no cost model for VPP node {node!r}; known: {sorted(NODE_COSTS)}"
+            )
+        per_packet += NODE_COSTS[node]
+    return CompiledPath(
+        nodes=tuple(nodes),
+        proc=Cost(per_batch=DISPATCH_PER_NODE * len(nodes), per_packet=per_packet),
+    )
+
+
+#: The paper's l2patch configuration: "test l2patch rx port0 tx port1".
+L2PATCH_PATH = ("dpdk-input", "l2-patch", "interface-output")
+
+#: VPP as an L2 learning bridge.
+L2_BRIDGE_PATH = ("dpdk-input", "ethernet-input", "l2-learn", "l2-fwd", "interface-output")
+
+#: VPP as the full IPv4 router it ships as.
+IP4_ROUTER_PATH = (
+    "dpdk-input",
+    "ethernet-input",
+    "ip4-input",
+    "ip4-lookup",
+    "ip4-rewrite",
+    "interface-output",
+)
+
+#: The router with the ACL plugin enabled (a "security appliance").
+IP4_ACL_ROUTER_PATH = (
+    "dpdk-input",
+    "ethernet-input",
+    "ip4-input",
+    "acl-plugin",
+    "ip4-lookup",
+    "ip4-rewrite",
+    "interface-output",
+)

@@ -1,0 +1,48 @@
+"""The paper's measurement platform as a configuration record (Sec. 5.1).
+
+Kept as data so documentation, tests and benches can reference the exact
+platform the calibration targets came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Hardware/software inventory of the paper's testbed."""
+
+    cpu: str = "2x Intel Xeon E5-2690 v3 @ 2.60GHz"
+    cores_per_socket: int = 12  # 24 virtual cores with Hyperthreading
+    caches: str = "32K/256K/30720K L1-3"
+    nics: str = "2x Intel 82599ES dual-port 10 Gbps"
+    numa_nodes: int = 2
+    os: str = "Ubuntu 16.04.1, Linux 4.8.0-41-generic"
+    guest_os: str = "CentOS 7"
+    hypervisor: str = "QEMU 2.5.0"
+    dpdk_guest: str = "DPDK 18.11"
+    hugepages: str = "1GB reserved"
+    governor: str = "performance, Turbo Boost disabled"
+    generator: str = "MoonGen (commit 31af6e6)"
+
+
+@dataclass(frozen=True)
+class SwitchVersions:
+    """Code versions evaluated by the paper (Sec. 5.1)."""
+
+    versions: dict = field(
+        default_factory=lambda: {
+            "fastclick": "commit 8c9352e",
+            "bess": "Haswell tarball",
+            "ovs-dpdk": "2.11.90",
+            "snabb": "commit 771b55c",
+            "vale": "commit 1b5361d",
+            "t4p4s": "commit b1161b2",
+            "vpp": "19.04",
+        }
+    )
+
+
+PLATFORM = PlatformSpec()
+VERSIONS = SwitchVersions()

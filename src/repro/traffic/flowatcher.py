@@ -1,0 +1,33 @@
+"""FloWatcher-DPDK: the lightweight in-guest throughput monitor.
+
+Used for p2v/v2v unidirectional measurements with every switch except
+VALE (Sec. 5.2).  Like pkt-gen, it "performs measurement with negligible
+overhead"; the simulation realises it as a :class:`GuestMonitor` over a
+virtio interface, with the per-flow counter table that is the tool's
+actual purpose (per-flow statistics at line rate).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING
+
+from repro.core.packet import Packet
+from repro.vif.virtio import VirtualInterface
+from repro.traffic.guest import GuestMonitor
+
+if TYPE_CHECKING:
+    from repro.core.engine import Simulator
+
+
+class FloWatcher(GuestMonitor):
+    """GuestMonitor plus FloWatcher's per-flow packet counters."""
+
+    def __init__(self, sim: "Simulator", vif: VirtualInterface, frame_size: int, per_flow: bool = True):
+        super().__init__(sim, vif, frame_size)
+        self.per_flow = per_flow
+        self.flow_counts: Counter[int] = Counter()
+
+    def _on_batch(self, batch: list[Packet]) -> None:
+        if self.per_flow:
+            self.flow_counts.update(packet.flow_id for packet in batch)

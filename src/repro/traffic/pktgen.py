@@ -1,0 +1,49 @@
+"""pkt-gen: netmap's generator/monitor, used with VALE (Sec. 5.1).
+
+The VM's ptnet driver "is tightly coupled with host VALE ports and can
+only render optimal performance with netmap compatible tools", so VALE
+tests use pkt-gen in the guests instead of MoonGen/FloWatcher.  In the
+simulation pkt-gen shares the guest generator/monitor machinery; the
+factory functions here exist so scenario code reads like the paper's
+setup, and so pkt-gen-specific capabilities (no 10 Gbps vNIC cap --
+ptnet is not a paravirtualised 10G device) live in one place.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.ring import Ring
+from repro.vif.virtio import VirtualInterface
+from repro.traffic.guest import GuestMonitor, GuestTrafficGen
+
+if TYPE_CHECKING:
+    from repro.core.engine import Simulator
+
+#: pkt-gen over ptnet is not emulating a 10G NIC: its ceiling is the
+#: netmap API itself.  High enough to never bind before the SUT does.
+PKTGEN_MAX_RATE_PPS = 60e6
+
+
+def make_pktgen_tx(
+    sim: "Simulator",
+    vif: VirtualInterface,
+    rate_pps: float,
+    frame_size: int,
+    via_ring: Ring | None = None,
+    **kwargs,
+) -> GuestTrafficGen:
+    """pkt-gen in TX mode bound to a ptnet port (or a bridge ring)."""
+    return GuestTrafficGen(
+        sim, vif, min(rate_pps, PKTGEN_MAX_RATE_PPS), frame_size, via_ring=via_ring, **kwargs
+    )
+
+
+def make_pktgen_rx(
+    sim: "Simulator",
+    vif: VirtualInterface | None,
+    frame_size: int,
+    from_ring: Ring | None = None,
+) -> GuestMonitor:
+    """pkt-gen in RX mode (traffic monitor)."""
+    return GuestMonitor(sim, vif, frame_size, from_ring=from_ring)

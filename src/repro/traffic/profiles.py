@@ -1,0 +1,112 @@
+"""Traffic profiles: frame-size mixes and flow structures.
+
+The paper's evaluation uses fixed-size single-flow synthetic traffic
+(64/256/1024 B), and motivates realism by citing the ~850 B average
+packet size in data centres [Benson et al. 2009].  This module provides
+the profiles needed to go beyond the fixed-size workload:
+
+* fixed-size (the paper's workload);
+* IMIX (the classic 7:4:1 mix of 64/594/1518 B);
+* a data-centre-like bimodal mix matching the cited 850 B average;
+* uniform and custom mixes;
+
+plus flow-structure helpers for the OvS flow-cache experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.units import MAX_FRAME, MIN_FRAME, wire_bytes
+
+
+@dataclass(frozen=True)
+class SizeProfile:
+    """A distribution over frame sizes."""
+
+    name: str
+    sizes: tuple[int, ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.weights):
+            raise ValueError("sizes and weights must align")
+        if not self.sizes:
+            raise ValueError("profile needs at least one size")
+        for size in self.sizes:
+            if not MIN_FRAME <= size <= MAX_FRAME:
+                raise ValueError(f"frame size {size} outside [{MIN_FRAME}, {MAX_FRAME}]")
+        if any(w <= 0 for w in self.weights):
+            raise ValueError("weights must be positive")
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        weights = np.asarray(self.weights, dtype=float)
+        return weights / weights.sum()
+
+    @property
+    def mean_size(self) -> float:
+        """Expected frame size in bytes."""
+        return float(np.dot(self.sizes, self.probabilities))
+
+    @property
+    def mean_wire_bytes(self) -> float:
+        """Expected on-wire footprint (frame + 20 B overhead)."""
+        return float(
+            np.dot([wire_bytes(s) for s in self.sizes], self.probabilities)
+        )
+
+    def line_rate_pps(self, rate_bps: float = 10e9) -> float:
+        """Packet rate saturating a link with this mix."""
+        return rate_bps / (self.mean_wire_bytes * 8)
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` frame sizes."""
+        return rng.choice(self.sizes, size=count, p=self.probabilities)
+
+
+def fixed(size: int) -> SizeProfile:
+    """The paper's fixed-size workload."""
+    return SizeProfile(name=f"fixed-{size}", sizes=(size,), weights=(1.0,))
+
+
+#: Classic simple IMIX: 7 x 64 B : 4 x 594 B : 1 x 1518 B.
+IMIX = SizeProfile(name="imix", sizes=(64, 594, 1518), weights=(7.0, 4.0, 1.0))
+
+#: Bimodal data-centre mix tuned to the ~850 B average the paper cites
+#: (Sec. 5.2 references Benson et al.'s data-centre measurements).
+DATACENTER = SizeProfile(
+    name="datacenter", sizes=(64, 1518), weights=(0.46, 0.54)
+)
+
+PROFILES = {p.name: p for p in (IMIX, DATACENTER)}
+
+
+@dataclass(frozen=True)
+class FlowProfile:
+    """A flow-structure specification for cache-sensitivity studies."""
+
+    name: str
+    flow_count: int
+    #: Zipf skew (0 = round-robin/uniform; >0 = heavy-tailed popularity).
+    zipf_alpha: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flow_count < 1:
+            raise ValueError("flow_count must be >= 1")
+        if self.zipf_alpha < 0:
+            raise ValueError("zipf_alpha must be >= 0")
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` flow ids."""
+        if self.zipf_alpha == 0.0:
+            return rng.integers(0, self.flow_count, size=count)
+        ranks = np.arange(1, self.flow_count + 1, dtype=float)
+        probs = ranks ** (-self.zipf_alpha)
+        probs /= probs.sum()
+        return rng.choice(self.flow_count, size=count, p=probs)
+
+
+SINGLE_FLOW = FlowProfile(name="single", flow_count=1)

@@ -1,0 +1,21 @@
+"""Virtual interface substrate: virtio rings, vhost-user, ptnet."""
+
+from repro.vif.ptnet import DEFAULT_PTNET_COSTS, make_ptnet_interface
+from repro.vif.vhost_user import DEFAULT_VHOST_COSTS, make_vhost_user_interface
+from repro.vif.virtio import (
+    DEFAULT_PTNET_SLOTS,
+    DEFAULT_VRING_SLOTS,
+    VifCosts,
+    VirtualInterface,
+)
+
+__all__ = [
+    "DEFAULT_PTNET_COSTS",
+    "DEFAULT_PTNET_SLOTS",
+    "DEFAULT_VHOST_COSTS",
+    "DEFAULT_VRING_SLOTS",
+    "VifCosts",
+    "VirtualInterface",
+    "make_ptnet_interface",
+    "make_vhost_user_interface",
+]

@@ -1,0 +1,53 @@
+"""vhost-user backend.
+
+vhost-user maps the guest's virtio rings into the host data plane's
+address space so packets move without kernel involvement -- but *with* a
+memcpy on the host side in each direction (enqueue into / dequeue out of
+the vring buffers).  That memcpy, plus descriptor-format conversion and
+the avail/used index protocol, is the "overhead imposed by vhost-user"
+the paper invokes to explain every p2v/v2v/loopback gap (Sec. 5.2).
+
+Cost structure (host side, per direction):
+
+* per_batch  -- read avail index, publish used index, eventfd "kick"
+  suppression check;
+* per_packet -- descriptor fetch, virtio-net header prepend/strip,
+  format conversion;
+* per_byte   -- the payload memcpy itself.
+
+Guest side costs model the virtio-net PMD inside the VM (DPDK igb_uio /
+virtio PMD in the paper's guests).
+"""
+
+from __future__ import annotations
+
+from repro.cpu.costmodel import Cost
+from repro.cpu.numa import MemoryBus
+from repro.vif.virtio import DEFAULT_VRING_SLOTS, VifCosts, VirtualInterface
+
+#: Baseline DPDK vhost library costs (BESS, FastClick, OvS-DPDK, t4p4s use
+#: these; VPP and Snabb override -- see repro.switches.params).
+DEFAULT_VHOST_COSTS = VifCosts(
+    host_tx=Cost(per_batch=120.0, per_packet=55.0, per_byte=0.25),
+    host_rx=Cost(per_batch=120.0, per_packet=60.0, per_byte=0.25),
+    guest_tx=Cost(per_batch=90.0, per_packet=40.0, per_byte=0.12),
+    guest_rx=Cost(per_batch=90.0, per_packet=35.0, per_byte=0.12),
+    host_copy_factor=1.0,
+)
+
+
+#: eventfd "kick" + guest notification latency per vring crossing.
+VHOST_NOTIFY_NS = 1_500.0
+
+
+def make_vhost_user_interface(
+    name: str,
+    costs: VifCosts = DEFAULT_VHOST_COSTS,
+    slots: int = DEFAULT_VRING_SLOTS,
+    bus: MemoryBus | None = None,
+    notify_ns: float = VHOST_NOTIFY_NS,
+) -> VirtualInterface:
+    """Create a vhost-user backed guest interface."""
+    return VirtualInterface(
+        name, backend="vhost-user", costs=costs, slots=slots, bus=bus, notify_ns=notify_ns
+    )

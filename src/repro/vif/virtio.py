@@ -1,0 +1,90 @@
+"""Virtual interfaces between the host data plane and guest VMs.
+
+A :class:`VirtualInterface` is a pair of bounded rings plus a cost
+contract describing who pays what to move a packet across the host/guest
+boundary.  Two backends exist in the paper (Sec. 3.5):
+
+* **vhost-user** -- the DPDK/QEMU standard used by BESS, Snabb, OvS-DPDK,
+  FastClick, VPP and t4p4s.  The host data plane copies each packet
+  into/out of the virtio ring buffers (one memcpy per direction on the
+  host side; four copies for a v2v round trip, Sec. 5.3).
+* **ptnet** -- netmap passthrough used by VALE: guests map host netmap
+  buffers directly, so crossing the boundary is zero-copy (descriptor
+  update only), "at the cost of a lower degree of host-VM isolation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.ring import Ring
+from repro.cpu.costmodel import Cost
+
+if TYPE_CHECKING:
+    from repro.cpu.numa import MemoryBus
+
+#: virtio vring depth negotiated by QEMU/vhost-user in the testbed era.
+DEFAULT_VRING_SLOTS = 1024
+#: netmap/ptnet ring depth.
+DEFAULT_PTNET_SLOTS = 1024
+
+
+@dataclass(frozen=True)
+class VifCosts:
+    """Cycle costs of crossing the host/guest boundary.
+
+    ``host_tx``/``host_rx`` are paid by the host data-plane core (the
+    switch) to enqueue towards / dequeue from the guest.  ``guest_tx`` /
+    ``guest_rx`` are paid by the guest vCPU running the VNF's driver.
+    """
+
+    host_tx: Cost
+    host_rx: Cost
+    guest_tx: Cost
+    guest_rx: Cost
+    #: bytes of memcpy per packet per host-side transfer, as a multiple of
+    #: the frame size (1.0 for vhost-user, 0.0 for zero-copy ptnet) --
+    #: reserved on the NUMA node's memory bus.
+    host_copy_factor: float
+
+
+class VirtualInterface:
+    """A host<->guest packet channel (one guest NIC)."""
+
+    def __init__(
+        self,
+        name: str,
+        backend: str,
+        costs: VifCosts,
+        slots: int = DEFAULT_VRING_SLOTS,
+        bus: "MemoryBus | None" = None,
+        notify_ns: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.backend = backend
+        self.costs = costs
+        #: eventfd/irqfd notification latency per crossing (vhost-user
+        #: "kick"); zero for ptnet, which shares rings without kicks.
+        self.notify_ns = notify_ns
+        #: host -> guest direction (guest's receive queue).
+        self.to_guest = Ring(slots, name=f"{name}.to_guest")
+        #: guest -> host direction (guest's transmit queue).
+        self.to_host = Ring(slots, name=f"{name}.to_host")
+        self.bus = bus
+
+    def host_copy_bytes(self, total_bytes: int) -> int:
+        """Bytes of host-side memcpy incurred to move ``total_bytes``."""
+        return int(total_bytes * self.costs.host_copy_factor)
+
+    def reserve_bus(self, total_bytes: int, now_ns: float) -> float:
+        """Reserve memory bandwidth for a host-side copy; returns extra ns."""
+        if self.bus is None:
+            return 0.0
+        copy_bytes = self.host_copy_bytes(total_bytes)
+        if copy_bytes <= 0:
+            return 0.0
+        return self.bus.reserve(copy_bytes, now_ns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualInterface({self.name}, backend={self.backend})"

@@ -1,0 +1,36 @@
+"""Virtualisation substrate: VMs, hypervisor, guest VNF applications."""
+
+from repro.vm.apps import (
+    GUEST_VALE_BRIDGE_PROC,
+    GUEST_VALE_PROC,
+    L2FWD_BURST,
+    L2FWD_DRAIN_NS,
+    L2FWD_PROC,
+    GuestL2Fwd,
+    GuestValeBridge,
+    GuestValeXConnect,
+)
+from repro.vm.container import Container, ContainerRuntime
+from repro.vm.machine import (
+    VCPUS_PER_VM,
+    Hypervisor,
+    QemuCompatibilityError,
+    VirtualMachine,
+)
+
+__all__ = [
+    "Container",
+    "ContainerRuntime",
+    "GUEST_VALE_BRIDGE_PROC",
+    "GUEST_VALE_PROC",
+    "GuestL2Fwd",
+    "GuestValeBridge",
+    "GuestValeXConnect",
+    "Hypervisor",
+    "L2FWD_BURST",
+    "L2FWD_DRAIN_NS",
+    "L2FWD_PROC",
+    "QemuCompatibilityError",
+    "VCPUS_PER_VM",
+    "VirtualMachine",
+]

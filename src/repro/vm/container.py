@@ -1,0 +1,66 @@
+"""Container-hosted VNFs (the paper's stated future work, Sec. 6).
+
+"The same tests can be repeated for other virtualization techniques such
+as containers, and we leave this for future work" (Sec. 1).  This module
+provides that repetition: a :class:`Container` hosts the same guest apps
+as a :class:`~repro.vm.machine.VirtualMachine` but without a hypervisor
+in the way --
+
+* the data plane still crosses a vhost-user/virtio-user boundary (DPDK
+  containers attach with the virtio-user PMD), so the *host-side* copy
+  costs are unchanged;
+* the *guest-side* driver path is cheaper: no VM-exit-avoidance
+  machinery, no paravirtual indirection (modelled as a cost factor on
+  the guest-side vif costs);
+* notification ("kick") latency drops: eventfd between host processes
+  instead of irqfd through KVM;
+* there is no QEMU, hence no QEMU compatibility limit -- BESS can host
+  chains longer than 3 (footnote 5 does not apply).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.vm.machine import VirtualMachine
+
+if TYPE_CHECKING:
+    from repro.core.engine import Simulator
+    from repro.cpu.numa import NumaNode
+
+#: Guest-side virtio cost scaling inside a container (virtio-user PMD vs
+#: a paravirtualised guest driver).
+CONTAINER_GUEST_COST_FACTOR = 0.65
+
+#: Host<->container notification latency (eventfd between processes).
+CONTAINER_NOTIFY_NS = 600.0
+
+#: Containers are lighter: one pinned core per VNF is the common
+#: deployment (vs 4 vCPUs per QEMU guest).
+CORES_PER_CONTAINER = 2
+
+
+class Container(VirtualMachine):
+    """A container-hosted VNF: same apps, lighter virtualisation."""
+
+    def __init__(self, sim: "Simulator", node: "NumaNode", name: str, cores: int = CORES_PER_CONTAINER):
+        super().__init__(sim, node, name, vcpus=cores)
+
+
+class ContainerRuntime:
+    """Spawns containers; no hypervisor, no QEMU compatibility limits."""
+
+    def __init__(self, sim: "Simulator", node: "NumaNode"):
+        self.sim = sim
+        self.node = node
+        self.containers: list[Container] = []
+
+    def spawn(self, name: str, cores: int = CORES_PER_CONTAINER) -> Container:
+        container = Container(self.sim, self.node, name, cores=cores)
+        self.containers.append(container)
+        return container
+
+    # Duck-typed compatibility with Hypervisor for the scenario builders.
+    @property
+    def vms(self) -> list[Container]:
+        return self.containers

@@ -1,0 +1,33 @@
+"""Shared helpers for the test suite (imported via the conftest path hook)."""
+
+from __future__ import annotations
+
+#: Reduced measurement windows for tests: enough simulated time for rates
+#: to stabilise, small enough to keep the suite fast.
+FAST_WARMUP_NS = 200_000.0
+FAST_MEASURE_NS = 800_000.0
+
+
+def fast_throughput(build, switch_name, frame_size=64, **kwargs):
+    """measure_throughput with the reduced test windows."""
+    from repro.measure.throughput import measure_throughput
+
+    return measure_throughput(
+        build,
+        switch_name,
+        frame_size,
+        warmup_ns=FAST_WARMUP_NS,
+        measure_ns=FAST_MEASURE_NS,
+        **kwargs,
+    )
+
+
+def full_throughput(build, switch_name, frame_size=64, **kwargs):
+    """measure_throughput with the production default windows.
+
+    Needed where transients are long relative to the fast windows: VALE's
+    adaptive mega-batches on long chains, and t4p4s's long jitter episodes.
+    """
+    from repro.measure.throughput import measure_throughput
+
+    return measure_throughput(build, switch_name, frame_size, **kwargs)

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make tests/_helpers.py importable from nested test packages.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.core.engine import Simulator
+from repro.core.rng import RngRegistry
+from repro.cpu.numa import Machine
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def machine(sim: Simulator) -> Machine:
+    return Machine(sim)
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    return RngRegistry(seed=42)

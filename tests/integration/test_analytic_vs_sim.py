@@ -1,0 +1,56 @@
+"""Cross-validation: discrete-event results vs the closed-form model.
+
+The bottleneck model is an independent implementation of the same cost
+parameters; wherever queueing dynamics, drops and interrupt effects are
+secondary, the two must agree.  Divergence tolerance is generous for
+interrupt-driven and high-jitter switches (their dynamics are exactly
+what the closed form ignores).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import fast_throughput
+from repro.analysis.bottleneck import estimate
+from repro.scenarios import loopback, p2p, p2v, v2v
+
+STABLE = ("bess", "fastclick", "vpp", "snabb")
+
+
+@pytest.mark.parametrize("name", STABLE)
+@pytest.mark.parametrize("size", (64, 256))
+def test_p2p_agreement(name, size):
+    predicted = estimate(name, "p2p", size).predicted_gbps
+    measured = fast_throughput(p2p.build, name, size).gbps
+    assert measured == pytest.approx(predicted, rel=0.15)
+
+
+@pytest.mark.parametrize("name", STABLE)
+def test_p2v_agreement(name):
+    predicted = estimate(name, "p2v", 64).predicted_gbps
+    measured = fast_throughput(p2v.build, name, 64).gbps
+    assert measured == pytest.approx(predicted, rel=0.20)
+
+
+@pytest.mark.parametrize("name", ("bess", "vpp", "snabb"))
+def test_v2v_agreement(name):
+    predicted = estimate(name, "v2v", 64).predicted_gbps
+    measured = fast_throughput(v2v.build, name, 64).gbps
+    assert measured == pytest.approx(predicted, rel=0.25)
+
+
+@pytest.mark.parametrize("n_vnfs", (1, 2, 3))
+def test_loopback_agreement_vpp(n_vnfs):
+    predicted = estimate("vpp", "loopback", 64, n_vnfs=n_vnfs).predicted_gbps
+    measured = fast_throughput(loopback.build, "vpp", 64, n_vnfs=n_vnfs).gbps
+    assert measured == pytest.approx(predicted, rel=0.30)
+
+
+def test_vale_sim_below_analytic_due_to_interrupts():
+    """The DES adds ITR burst losses the closed form cannot see; the
+    analytic number is an upper bound."""
+    predicted = estimate("vale", "p2p", 64).predicted_gbps
+    measured = fast_throughput(p2p.build, "vale", 64).gbps
+    assert measured <= predicted * 1.05
+    assert measured > predicted * 0.6

@@ -1,0 +1,137 @@
+"""Integration tests for the paper's future-work extensions:
+multi-core switches and container-hosted VNFs (Sec. 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import FAST_MEASURE_NS, FAST_WARMUP_NS, fast_throughput, full_throughput
+from repro.core.engine import Simulator
+from repro.core.rng import RngRegistry
+from repro.cpu.numa import Machine
+from repro.measure.runner import drive
+from repro.nic.port import NicPort
+from repro.scenarios import loopback, p2p, p2v
+from repro.scenarios.base import Testbed, connect_ports
+from repro.switches.registry import create_switch
+from repro.traffic.moongen import MoonGenRx, MoonGenTx, saturating_rate
+from repro.vm.container import Container, ContainerRuntime
+from repro.vm.machine import QemuCompatibilityError
+
+
+def build_p2p_multicore(switch_name, n_cores, frame_size=64, seed=1):
+    """Bidirectional p2p with the switch spread over ``n_cores``."""
+    sim = Simulator()
+    machine = Machine(sim)
+    rngs = RngRegistry(seed)
+    switch = create_switch(switch_name, sim, rngs=rngs, bus=machine.node0.bus)
+    gen0, gen1 = NicPort(sim, "g0"), NicPort(sim, "g1")
+    sut0, sut1 = NicPort(sim, "s0"), NicPort(sim, "s1")
+    connect_ports(gen0, sut0)
+    connect_ports(gen1, sut1)
+    a0 = switch.attach_phy(sut0)
+    a1 = switch.attach_phy(sut1)
+    switch.add_path(a0, a1)
+    switch.add_path(a1, a0)
+    cores = [machine.node0.add_core(f"sut{i}") for i in range(n_cores)]
+    switch.bind_cores(cores)
+    rate = saturating_rate(frame_size)
+    tb = Testbed(sim, machine, rngs, switch, cores[0], frame_size, scenario="p2p-mc")
+    for gen, mon in ((gen0, gen1), (gen1, gen0)):
+        tx = MoonGenTx(sim, gen, rate, frame_size)
+        rx = MoonGenRx(sim, mon, frame_size)
+        tx.start(0.0)
+        tb.meters.append(rx.meter)
+    return tb
+
+
+class TestMultiCore:
+    def test_bind_cores_requires_cores(self, sim):
+        switch = create_switch("vpp", sim)
+        with pytest.raises(ValueError):
+            switch.bind_cores([])
+
+    def test_single_core_degenerates_to_bind_core(self):
+        one = drive(build_p2p_multicore("vale", 1), warmup_ns=FAST_WARMUP_NS, measure_ns=FAST_MEASURE_NS)
+        assert one.gbps > 3.0
+
+    def test_two_cores_scale_core_bound_switch(self):
+        """A CPU-bound switch doubles bidirectional throughput on 2 cores."""
+        one = drive(build_p2p_multicore("t4p4s", 1), warmup_ns=FAST_WARMUP_NS, measure_ns=FAST_MEASURE_NS)
+        two = drive(build_p2p_multicore("t4p4s", 2), warmup_ns=FAST_WARMUP_NS, measure_ns=FAST_MEASURE_NS)
+        assert two.gbps > 1.6 * one.gbps
+
+    def test_wire_bound_switch_does_not_scale(self):
+        """BESS already saturates both wires bidirectionally-ish; extra
+        cores add little."""
+        one = drive(build_p2p_multicore("bess", 1), warmup_ns=FAST_WARMUP_NS, measure_ns=FAST_MEASURE_NS)
+        two = drive(build_p2p_multicore("bess", 2), warmup_ns=FAST_WARMUP_NS, measure_ns=FAST_MEASURE_NS)
+        assert two.gbps < 1.5 * one.gbps
+        assert two.gbps <= 20.05
+
+    def test_paths_distributed_round_robin(self, sim):
+        switch = create_switch("vpp", sim)
+        machine = Machine(sim)
+        ports = [NicPort(sim, f"p{i}") for i in range(4)]
+        for port in ports:
+            peer = NicPort(sim, f"peer{port.name}")
+            port.connect(peer)
+        atts = [switch.attach_phy(p) for p in ports]
+        for i in range(4):
+            switch.add_path(atts[i], atts[(i + 1) % 4])
+        cores = [machine.node0.add_core(f"c{i}") for i in range(2)]
+        switch.bind_cores(cores)
+        assert len(cores[0].tasks) == 1 and len(cores[1].tasks) == 1
+        assert len(cores[0].tasks[0].paths) == 2
+        assert len(cores[1].tasks[0].paths) == 2
+
+
+class TestContainers:
+    def test_container_runtime_has_no_qemu_limit(self, sim, machine):
+        runtime = ContainerRuntime(sim, machine.node0)
+        for i in range(6):
+            runtime.spawn(f"c{i}")
+        assert len(runtime.containers) == 6
+
+    def test_container_is_a_guest(self, sim, machine):
+        container = Container(sim, machine.node0, "c1")
+        assert container.cores  # hosts apps like a VM
+
+    def test_bess_long_chain_works_with_containers(self):
+        """Footnote 5 is QEMU-specific: containerised BESS runs 5 VNFs."""
+        with pytest.raises(QemuCompatibilityError):
+            loopback.build("bess", n_vnfs=5)
+        result = fast_throughput(
+            loopback.build, "bess", 64, n_vnfs=5, virtualization="container"
+        )
+        assert result.gbps > 0.2
+
+    def test_container_vif_keeps_host_costs(self):
+        tb_vm = p2v.build("vpp")
+        tb_ct = p2v.build("vpp", virtualization="container")
+        vm_vif, ct_vif = tb_vm.extras["vif"], tb_ct.extras["vif"]
+        assert ct_vif.costs.host_tx == vm_vif.costs.host_tx
+        assert ct_vif.costs.guest_rx.per_packet < vm_vif.costs.guest_rx.per_packet
+        assert ct_vif.notify_ns < vm_vif.notify_ns
+
+    def test_container_chain_latency_below_vm_chain(self):
+        """Lighter guest path + cheaper kicks shave chain RTT."""
+        from repro.measure.latency import measure_latency_at
+
+        def rtt(virtualization):
+            point = measure_latency_at(
+                loopback.build, "vpp", 64, rate_pps=1e6, fraction=0.5,
+                warmup_ns=FAST_WARMUP_NS, measure_ns=2_500_000.0,
+                n_vnfs=2, virtualization=virtualization,
+            )
+            return point.mean_us
+
+        assert rtt("container") < rtt("vm")
+
+    def test_unknown_virtualization_rejected(self):
+        with pytest.raises(ValueError):
+            p2v.build("vpp", virtualization="unikernel")
+
+    def test_vale_containers_use_ptnet_unchanged(self):
+        tb = p2v.build("vale", virtualization="container")
+        assert tb.extras["vif"].backend == "ptnet"

@@ -1,0 +1,98 @@
+"""Integration tests: the measurement pipeline (drive / R+ / sweeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import FAST_MEASURE_NS, FAST_WARMUP_NS
+from repro.measure.latency import LOAD_FRACTIONS, latency_sweep, measure_latency_at
+from repro.measure.runner import drive
+from repro.measure.throughput import estimate_r_plus, measure_throughput
+from repro.scenarios import p2p
+
+
+def test_drive_rejects_bad_windows():
+    tb = p2p.build("bess")
+    with pytest.raises(ValueError):
+        drive(tb, warmup_ns=-1.0)
+    tb = p2p.build("bess")
+    with pytest.raises(ValueError):
+        drive(tb, measure_ns=0.0)
+
+
+def test_run_result_fields():
+    result = measure_throughput(
+        p2p.build, "vpp", 64, warmup_ns=FAST_WARMUP_NS, measure_ns=FAST_MEASURE_NS
+    )
+    assert result.scenario == "p2p"
+    assert result.switch == "vpp"
+    assert result.frame_size == 64
+    assert not result.bidirectional
+    assert result.events > 0
+    assert result.gbps == sum(result.per_direction_gbps)
+
+
+def test_deterministic_given_seed():
+    kwargs = dict(warmup_ns=FAST_WARMUP_NS, measure_ns=FAST_MEASURE_NS, seed=33)
+    a = measure_throughput(p2p.build, "ovs-dpdk", 64, **kwargs)
+    b = measure_throughput(p2p.build, "ovs-dpdk", 64, **kwargs)
+    assert a.gbps == b.gbps
+
+
+def test_different_seeds_vary_jittery_switches():
+    values = {
+        measure_throughput(
+            p2p.build, "t4p4s", 64,
+            warmup_ns=FAST_WARMUP_NS, measure_ns=FAST_MEASURE_NS, seed=seed,
+        ).gbps
+        for seed in range(4)
+    }
+    assert len(values) > 1
+
+
+def test_estimate_r_plus_matches_throughput():
+    r_plus = estimate_r_plus(
+        p2p.build, "vale", 64, warmup_ns=FAST_WARMUP_NS, measure_ns=FAST_MEASURE_NS
+    )
+    result = measure_throughput(
+        p2p.build, "vale", 64, warmup_ns=FAST_WARMUP_NS, measure_ns=FAST_MEASURE_NS
+    )
+    assert r_plus == pytest.approx(result.mpps * 1e6)
+
+
+def test_measure_latency_at_returns_point():
+    point = measure_latency_at(
+        p2p.build, "bess", 64, rate_pps=1e6, fraction=0.5,
+        warmup_ns=FAST_WARMUP_NS, measure_ns=1_500_000.0,
+    )
+    assert point.fraction == 0.5
+    assert len(point.sample) > 10
+    assert point.mean_us > 0
+    assert point.std_us >= 0
+
+
+def test_latency_sweep_covers_paper_fractions():
+    points = latency_sweep(
+        p2p.build, "bess", 64,
+        warmup_ns=FAST_WARMUP_NS, measure_ns=1_200_000.0,
+    )
+    assert set(points) == set(LOAD_FRACTIONS)
+    for fraction, point in points.items():
+        assert point.offered_pps > 0
+        assert len(point.sample) > 0, fraction
+
+
+def test_latency_rises_with_load_for_stable_switch():
+    points = latency_sweep(
+        p2p.build, "bess", 64,
+        warmup_ns=FAST_WARMUP_NS, measure_ns=2_000_000.0,
+    )
+    assert points[0.99].mean_us >= points[0.10].mean_us
+
+
+def test_latency_sweep_accepts_precomputed_r_plus():
+    points = latency_sweep(
+        p2p.build, "bess", 64, r_plus_pps=10e6,
+        fractions=(0.5,), warmup_ns=FAST_WARMUP_NS, measure_ns=1_000_000.0,
+    )
+    assert points[0.5].offered_pps == pytest.approx(5e6)

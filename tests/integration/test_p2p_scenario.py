@@ -1,0 +1,96 @@
+"""Integration tests: the p2p scenario end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import fast_throughput
+from repro.measure.runner import drive
+from repro.scenarios import p2p
+from repro.switches.registry import ALL_SWITCHES
+
+
+def test_every_switch_forwards_traffic():
+    for name in ALL_SWITCHES:
+        result = fast_throughput(p2p.build, name, 64)
+        assert result.gbps > 1.0, name
+
+
+def test_wire_is_the_ceiling():
+    for name in ("bess", "vpp", "fastclick"):
+        result = fast_throughput(p2p.build, name, 64)
+        assert result.gbps <= 10.05, name
+
+
+def test_fast_switches_saturate_at_64b():
+    for name in ("bess", "vpp", "fastclick"):
+        assert fast_throughput(p2p.build, name, 64).gbps > 9.5, name
+
+
+def test_all_switches_saturate_at_256b():
+    """Sec. 5.2: everything reaches line rate above 256 B unidirectional."""
+    for name in ALL_SWITCHES:
+        assert fast_throughput(p2p.build, name, 256).gbps > 9.0, name
+
+
+def test_packet_conservation():
+    tb = p2p.build("vpp", frame_size=64)
+    result = drive(tb, warmup_ns=0.0, measure_ns=500_000.0)
+    tx = tb.extras["tx"][0]
+    sut0, sut1 = tb.extras["sut_ports"]
+    received = tb.extras["rx"][0].port.rx_packets
+    dropped = sut0.rx_ring.dropped + sut1.tx_dropped
+    in_flight = len(sut0.rx_ring)
+    forwarded = tb.switch.total_forwarded
+    # Everything sent is accounted for: delivered, dropped, or in flight.
+    assert tx.packets_sent >= received
+    assert tx.packets_sent <= received + dropped + in_flight + 3 * 512
+
+
+def test_bidirectional_has_two_meters():
+    tb = p2p.build("bess", frame_size=64, bidirectional=True)
+    assert len(tb.meters) == 2
+    assert len(tb.switch.paths) == 2
+
+
+def test_bidirectional_aggregate_exceeds_unidirectional_for_bess():
+    uni = fast_throughput(p2p.build, "bess", 64)
+    bidi = fast_throughput(p2p.build, "bess", 64, bidirectional=True)
+    assert bidi.gbps > uni.gbps * 1.3
+
+
+def test_core_bound_switch_bidi_equals_uni():
+    """Sec. 5.2: slower switches achieve "similar results" bidirectionally."""
+    uni = fast_throughput(p2p.build, "vale", 64)
+    bidi = fast_throughput(p2p.build, "vale", 64, bidirectional=True)
+    assert bidi.gbps == pytest.approx(uni.gbps, rel=0.25)
+
+
+def test_sut_core_is_on_numa_node0():
+    tb = p2p.build("vpp")
+    assert tb.sut_core.name.startswith("numa0/")
+
+
+def test_offered_rate_override():
+    result = fast_throughput(p2p.build, "bess", 64, rate_pps=1_000_000.0)
+    assert result.mpps == pytest.approx(1.0, rel=0.05)
+
+
+def test_scenario_label():
+    assert p2p.build("vpp").scenario == "p2p"
+
+
+def test_probe_latency_collected():
+    tb = p2p.build("bess", frame_size=64, rate_pps=1e6, probe_interval_ns=20_000.0)
+    result = drive(tb, warmup_ns=100_000.0, measure_ns=1_000_000.0)
+    assert result.latency is not None
+    assert len(result.latency) > 10
+    assert result.latency.mean_us > 0
+
+
+def test_interrupt_switch_higher_latency_than_polling():
+    def mean_latency(name):
+        tb = p2p.build(name, frame_size=64, rate_pps=1e6, probe_interval_ns=20_000.0)
+        return drive(tb, warmup_ns=100_000.0, measure_ns=1_500_000.0).latency.mean_us
+
+    assert mean_latency("vale") > 3 * mean_latency("bess")

@@ -1,0 +1,91 @@
+"""Integration tests: the p2v scenario end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import fast_throughput
+from repro.measure.runner import drive
+from repro.scenarios import p2v
+from repro.switches.registry import ALL_SWITCHES
+from repro.vm.apps import GuestValeBridge
+
+
+def test_every_switch_reaches_the_guest():
+    for name in ALL_SWITCHES:
+        result = fast_throughput(p2v.build, name, 64)
+        assert result.gbps > 1.0, name
+
+
+def test_vhost_tax_at_64b():
+    """Sec. 5.2: p2v is below p2p for vhost-user switches at 64 B."""
+    from repro.scenarios import p2p
+
+    for name in ("vpp", "ovs-dpdk", "fastclick", "snabb"):
+        p2p_gbps = fast_throughput(p2p.build, name, 64).gbps
+        p2v_gbps = fast_throughput(p2v.build, name, 64).gbps
+        assert p2v_gbps < p2p_gbps, name
+
+
+def test_vale_p2v_beats_its_p2p():
+    """Sec. 5.2: ptnet zero-copy makes VALE *better* towards a VM."""
+    from repro.scenarios import p2p
+
+    p2p_gbps = fast_throughput(p2p.build, "vale", 64).gbps
+    p2v_gbps = fast_throughput(p2v.build, "vale", 64).gbps
+    assert p2v_gbps > p2p_gbps * 0.98
+
+
+def test_bess_still_saturates():
+    assert fast_throughput(p2v.build, "bess", 64).gbps > 9.0
+
+
+def test_reversed_path_vpp_penalty():
+    """Sec. 5.2: VM->NIC is slower than NIC->VM for VPP."""
+    forward = fast_throughput(p2v.build, "vpp", 64).gbps
+    reversed_ = fast_throughput(p2v.build, "vpp", 64, reversed_path=True).gbps
+    assert reversed_ < forward
+
+
+def test_reversed_path_excludes_bidirectional():
+    with pytest.raises(ValueError):
+        p2v.build("vpp", reversed_path=True, bidirectional=True)
+
+
+def test_reversed_path_wiring():
+    tb = p2v.build("vpp", reversed_path=True)
+    path = tb.switch.paths[0]
+    assert path.input.is_vif and not path.output.is_vif
+
+
+def test_vale_uses_ptnet_interface():
+    tb = p2v.build("vale")
+    assert tb.extras["vif"].backend == "ptnet"
+
+
+def test_vhost_switches_use_vhost_user():
+    tb = p2v.build("vpp")
+    assert tb.extras["vif"].backend == "vhost-user"
+
+
+def test_vale_bidirectional_uses_bridge():
+    tb = p2v.build("vale", bidirectional=True)
+    assert isinstance(tb.extras.get("bridge"), GuestValeBridge)
+
+
+def test_vale_unidirectional_has_no_bridge():
+    tb = p2v.build("vale")
+    assert "bridge" not in tb.extras
+
+
+def test_bidirectional_counts_both_directions():
+    tb = p2v.build("vpp", bidirectional=True)
+    result = drive(tb, warmup_ns=100_000.0, measure_ns=800_000.0)
+    assert len(result.per_direction_gbps) == 2
+    assert all(g > 0.5 for g in result.per_direction_gbps)
+
+
+def test_one_vm_spawned():
+    tb = p2v.build("snabb")
+    assert len(tb.vms) == 1
+    assert len(tb.vms[0].cores) == 4

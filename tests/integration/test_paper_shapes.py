@@ -1,0 +1,204 @@
+"""Golden shape tests: the qualitative findings of Sec. 5 must hold.
+
+These encode DESIGN.md Sec. 5's "what reproduced means": who wins, by
+roughly what factor, where crossovers and collapses fall.  Absolute
+values are checked loosely (the paper itself calls its numbers "only
+indicative"); orderings are checked strictly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import fast_throughput, full_throughput
+from repro.measure.runner import drive
+from repro.scenarios import loopback, p2p, p2v, v2v
+
+THROUGHPUT = {}
+
+
+def p2p_gbps(name, size=64, bidi=False):
+    key = ("p2p", name, size, bidi)
+    if key not in THROUGHPUT:
+        THROUGHPUT[key] = fast_throughput(p2p.build, name, size, bidirectional=bidi).gbps
+    return THROUGHPUT[key]
+
+
+def p2v_gbps(name, size=64, **kw):
+    key = ("p2v", name, size, tuple(kw.items()))
+    if key not in THROUGHPUT:
+        THROUGHPUT[key] = fast_throughput(p2v.build, name, size, **kw).gbps
+    return THROUGHPUT[key]
+
+
+class TestFig4aP2p:
+    def test_top_tier_saturates(self):
+        for name in ("bess", "fastclick", "vpp"):
+            assert p2p_gbps(name) > 9.5, name
+
+    def test_snabb_around_9(self):
+        assert p2p_gbps("snabb") == pytest.approx(8.9, rel=0.12)
+
+    def test_ovs_around_8(self):
+        assert p2p_gbps("ovs-dpdk") == pytest.approx(8.05, rel=0.15)
+
+    def test_vale_and_t4p4s_worst(self):
+        for name in ("vale", "t4p4s"):
+            assert p2p_gbps(name) == pytest.approx(5.6, rel=0.20), name
+
+    def test_ordering(self):
+        assert p2p_gbps("bess") >= p2p_gbps("snabb") > p2p_gbps("vale")
+        assert p2p_gbps("ovs-dpdk") > p2p_gbps("t4p4s")
+
+    def test_bess_bidirectional_16g(self):
+        assert p2p_gbps("bess", bidi=True) == pytest.approx(16.0, rel=0.15)
+
+    def test_fastclick_vpp_exceed_10_bidirectional(self):
+        assert p2p_gbps("fastclick", bidi=True) > 10.0
+        assert p2p_gbps("vpp", bidi=True) > 10.0
+
+
+class TestFig4bP2v:
+    def test_bess_sustains_10g(self):
+        assert p2v_gbps("bess") > 9.5
+
+    def test_mid_tier_5_to_7(self):
+        for name in ("fastclick", "vpp", "ovs-dpdk", "snabb"):
+            assert 4.5 < p2v_gbps(name) < 8.0, name
+
+    def test_t4p4s_around_4(self):
+        # Full windows: t4p4s's long instability episodes need more than
+        # the fast test window to average out.
+        gbps = full_throughput(p2v.build, "t4p4s", 64).gbps
+        assert gbps == pytest.approx(4.04, rel=0.25)
+
+    def test_vale_improves_over_p2p(self):
+        assert p2v_gbps("vale") >= p2p_gbps("vale") * 0.97
+
+    def test_vpp_reversed_path_penalty(self):
+        forward = p2v_gbps("vpp")
+        reversed_ = p2v_gbps("vpp", reversed_path=True)
+        assert reversed_ < forward * 0.95
+
+    def test_bidi_256b_bess_fastclick_sustain_line_rate(self):
+        for name in ("bess", "fastclick"):
+            assert p2v_gbps(name, size=256, bidirectional=True) > 18.0, name
+
+    def test_bidi_256b_others_fail_to_saturate(self):
+        for name in ("vpp", "ovs-dpdk", "snabb", "t4p4s"):
+            assert p2v_gbps(name, size=256, bidirectional=True) < 19.0, name
+
+
+class TestFig4cV2v:
+    def test_vale_best_at_64b(self):
+        vale = fast_throughput(v2v.build, "vale", 64).gbps
+        assert vale == pytest.approx(10.5, rel=0.25)
+        for name in ("bess", "vpp", "snabb", "ovs-dpdk", "fastclick", "t4p4s"):
+            assert fast_throughput(v2v.build, name, 64).gbps < vale, name
+
+    def test_snabb_v2v_beats_its_p2v(self):
+        """Sec. 5.2: Snabb is the only switch improving from p2v to v2v."""
+        v2v_gbps = fast_throughput(v2v.build, "snabb", 64).gbps
+        assert v2v_gbps > p2v_gbps("snabb") * 0.95
+
+    def test_vale_memory_bound_at_1024b(self):
+        assert fast_throughput(v2v.build, "vale", 1024).gbps > 30.0
+
+    def test_bidirectional_degrades(self):
+        uni = fast_throughput(v2v.build, "vale", 1024).gbps
+        bidi = fast_throughput(v2v.build, "vale", 1024, bidirectional=True).gbps
+        assert bidi < uni
+
+
+class TestFig5Loopback:
+    def test_bess_wins_1vnf(self):
+        bess = fast_throughput(loopback.build, "bess", 64, n_vnfs=1).gbps
+        for name in ("vpp", "ovs-dpdk", "snabb", "vale", "t4p4s", "fastclick"):
+            assert bess > fast_throughput(loopback.build, name, 64, n_vnfs=1).gbps, name
+
+    def test_vale_overtakes_bess_at_1024b(self):
+        vale = full_throughput(loopback.build, "vale", 1024, n_vnfs=3).gbps
+        bess = full_throughput(loopback.build, "bess", 1024, n_vnfs=3).gbps
+        assert vale >= bess * 0.95
+
+    def test_vale_beats_vhost_switches_on_long_chains(self):
+        vale = full_throughput(loopback.build, "vale", 64, n_vnfs=4).gbps
+        for name in ("vpp", "ovs-dpdk", "t4p4s", "snabb"):
+            assert vale > fast_throughput(loopback.build, name, 64, n_vnfs=4).gbps, name
+
+    def test_t4p4s_worst_1vnf(self):
+        t4p4s = fast_throughput(loopback.build, "t4p4s", 64, n_vnfs=1).gbps
+        for name in ("bess", "vpp", "snabb", "vale", "fastclick"):
+            assert t4p4s < fast_throughput(loopback.build, name, 64, n_vnfs=1).gbps, name
+
+
+class TestTable3Latency:
+    @staticmethod
+    def sweep(name, **kw):
+        from repro.measure.latency import latency_sweep
+
+        return latency_sweep(
+            p2p.build, name, 64, warmup_ns=200_000.0, measure_ns=2_500_000.0, **kw
+        )
+
+    def test_bess_lowest_p2p_latency(self):
+        bess = self.sweep("bess")
+        vale = self.sweep("vale")
+        t4p4s = self.sweep("t4p4s")
+        assert bess[0.50].mean_us < 8.0
+        assert vale[0.50].mean_us > 4 * bess[0.50].mean_us
+        assert t4p4s[0.99].mean_us > 10 * bess[0.99].mean_us
+
+    def test_latency_at_099_worst(self):
+        for name in ("bess", "vpp", "ovs-dpdk"):
+            points = self.sweep(name)
+            assert points[0.99].mean_us > points[0.50].mean_us, name
+
+    def test_vale_flat_across_loads(self):
+        """Table 3: VALE sits at 32-59 us at *every* load (interrupt floor)."""
+        points = self.sweep("vale")
+        assert points[0.10].mean_us > 15.0
+        assert points[0.99].mean_us < 8 * points[0.10].mean_us
+
+
+class TestLoopbackLatencyInversion:
+    def test_low_load_latency_exceeds_mid_load(self):
+        """Table 3: 0.10R+ > 0.50R+ in loopback for every switch but VALE
+        (strict l2fwd batching, Sec. 5.3)."""
+        from repro.measure.latency import latency_sweep
+
+        for name in ("vpp", "fastclick"):
+            points = latency_sweep(
+                loopback.build, name, 64, n_vnfs=2,
+                warmup_ns=200_000.0, measure_ns=2_500_000.0,
+            )
+            assert points[0.10].mean_us > points[0.50].mean_us, name
+
+    def test_vale_has_no_inversion(self):
+        from repro.measure.latency import latency_sweep
+
+        points = latency_sweep(
+            loopback.build, "vale", 64, n_vnfs=2,
+            warmup_ns=200_000.0, measure_ns=2_500_000.0,
+        )
+        assert points[0.10].mean_us < points[0.50].mean_us * 1.5
+
+
+class TestTable4V2vLatency:
+    @staticmethod
+    def rtt(name):
+        tb = v2v.build_latency(name)
+        return drive(tb, warmup_ns=200_000.0, measure_ns=2_000_000.0).latency.mean_us
+
+    def test_ordering(self):
+        vale = self.rtt("vale")
+        bess = self.rtt("bess")
+        snabb = self.rtt("snabb")
+        t4p4s = self.rtt("t4p4s")
+        assert vale < bess < snabb
+        assert bess < t4p4s
+
+    def test_vhost_quartet_is_close(self):
+        """Table 4: BESS/FastClick/VPP/OvS within a narrow band (37-45)."""
+        rtts = [self.rtt(n) for n in ("bess", "fastclick", "vpp", "ovs-dpdk")]
+        assert max(rtts) < 1.6 * min(rtts)

@@ -1,0 +1,57 @@
+"""Integration tests for the named test suites (CSIT/VSperf style)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import FAST_MEASURE_NS, FAST_WARMUP_NS
+from repro.measure.suites import NFV_SUITE, PAPER_SUITE, SMOKE_SUITE, SUITES
+
+FAST = dict(warmup_ns=FAST_WARMUP_NS, measure_ns=FAST_MEASURE_NS)
+
+
+def test_suite_registry():
+    assert set(SUITES) == {"paper", "smoke", "nfv"}
+
+
+def test_paper_suite_covers_the_grid():
+    names = [spec.name for spec in PAPER_SUITE.experiments]
+    # 3 scenarios x 3 sizes x 2 directions + 5 loopback lengths.
+    assert len(names) == 23
+    assert "p2p-64B-uni" in names
+    assert "v2v-1024B-bidi" in names
+    assert "loopback5-64B-uni" in names
+
+
+def test_smoke_suite_runs_everywhere():
+    results = SMOKE_SUITE.run("vpp", **FAST)
+    assert set(results) == {"p2p-64B", "p2v-64B", "v2v-64B", "loopback1-64B"}
+    assert all(result is not None and result.gbps > 0.3 for result in results.values())
+
+
+def test_suite_marks_inapplicable_experiments_none():
+    results = NFV_SUITE.run("bess", **FAST)
+    # BESS runs the 2-VNF chains fine (limit is 3 VMs).
+    assert all(result is not None for result in results.values())
+
+    # But the paper suite's long chains are None for BESS.
+    long_chain = [s for s in PAPER_SUITE.experiments if s.name == "loopback5-64B-uni"][0]
+    assert long_chain.run("bess", FAST_WARMUP_NS, FAST_MEASURE_NS, seed=1) is None
+
+
+def test_suite_results_deterministic():
+    a = SMOKE_SUITE.run("ovs-dpdk", seed=5, **FAST)
+    b = SMOKE_SUITE.run("ovs-dpdk", seed=5, **FAST)
+    assert {k: v.gbps for k, v in a.items()} == {k: v.gbps for k, v in b.items()}
+
+
+def test_nfv_suite_is_virtual_only():
+    assert all("p2p" not in spec.name for spec in NFV_SUITE.experiments)
+
+
+@pytest.mark.parametrize("suite", [SMOKE_SUITE])
+def test_suite_run_result_types(suite):
+    results = suite.run("vale", **FAST)
+    for result in results.values():
+        assert result.switch == "vale"
+        assert result.frame_size in (64, 1024)

@@ -1,0 +1,86 @@
+"""Integration tests: the v2v scenario (throughput + Table 4 latency)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import fast_throughput
+from repro.measure.runner import drive
+from repro.scenarios import v2v
+from repro.switches.registry import ALL_SWITCHES
+
+
+def test_every_switch_forwards_between_vms():
+    for name in ALL_SWITCHES:
+        assert fast_throughput(v2v.build, name, 64).gbps > 1.0, name
+
+
+def test_no_physical_nics_involved():
+    tb = v2v.build("vpp")
+    assert "sut_ports" not in tb.extras
+    assert all(att.is_vif for att in tb.switch.attachments)
+
+
+def test_vale_dominates_v2v_at_64b():
+    """Sec. 5.2: VALE 10.5 Gbps, everyone else below ~7.4."""
+    vale = fast_throughput(v2v.build, "vale", 64).gbps
+    for name in ALL_SWITCHES:
+        if name == "vale":
+            continue
+        assert fast_throughput(v2v.build, name, 64).gbps < vale, name
+
+
+def test_vale_exceeds_wire_rate_at_1024b():
+    """v2v has no NIC: memory is the only ceiling (Sec. 5.1)."""
+    assert fast_throughput(v2v.build, "vale", 1024).gbps > 20.0
+
+
+def test_virtio_guests_offer_at_most_line_rate():
+    result = fast_throughput(v2v.build, "vpp", 1024)
+    assert result.gbps <= 10.2
+
+
+def test_bidirectional_lower_than_unidirectional_per_direction():
+    uni = fast_throughput(v2v.build, "snabb", 64)
+    bidi = fast_throughput(v2v.build, "snabb", 64, bidirectional=True)
+    assert bidi.per_direction_gbps[0] < uni.gbps
+
+
+def test_vale_bidirectional_uses_bridges_in_both_vms():
+    tb = v2v.build("vale", bidirectional=True)
+    assert "bridgevm1" in tb.extras and "bridgevm2" in tb.extras
+
+
+def test_two_vms_spawned():
+    assert len(v2v.build("ovs-dpdk").vms) == 2
+
+
+class TestLatencyMode:
+    def test_latency_testbed_shape(self):
+        tb = v2v.build_latency("vpp")
+        # Two interfaces per VM (Sec. 5.3) and two switch paths.
+        assert len(tb.vms[0].interfaces) == 2
+        assert len(tb.vms[1].interfaces) == 2
+        assert len(tb.switch.paths) == 2
+
+    def test_rtt_measured_for_all_switches(self):
+        for name in ALL_SWITCHES:
+            tb = v2v.build_latency(name)
+            result = drive(tb, warmup_ns=200_000.0, measure_ns=1_500_000.0)
+            assert result.latency is not None and len(result.latency) > 5, name
+            assert 1.0 < result.latency.mean_us < 500.0, name
+
+    def test_vale_has_the_lowest_rtt(self):
+        """Table 4: VALE 21 us beats every vhost-user switch."""
+
+        def rtt(name):
+            tb = v2v.build_latency(name)
+            return drive(tb, warmup_ns=200_000.0, measure_ns=1_500_000.0).latency.mean_us
+
+        vale = rtt("vale")
+        for name in ("bess", "vpp", "ovs-dpdk", "fastclick"):
+            assert vale < rtt(name), name
+
+    def test_probe_stream_is_1mpps(self):
+        tb = v2v.build_latency("bess")
+        assert tb.extras["gen"].rate_pps == pytest.approx(1e6)

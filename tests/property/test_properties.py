@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import units
+from repro.core.engine import Simulator
+from repro.core.packet import Packet
+from repro.core.ring import Ring
+from repro.core.stats import LatencySample, RunningStats
+from repro.cpu.costmodel import Cost
+from repro.switches.jitter import CostJitter
+
+frame_sizes = st.integers(min_value=64, max_value=1518)
+rates = st.floats(min_value=1e3, max_value=100e9, allow_nan=False)
+
+
+class TestUnitsProperties:
+    @given(frame_sizes)
+    def test_wire_bytes_strictly_larger(self, size):
+        assert units.wire_bytes(size) == size + 20
+
+    @given(frame_sizes, st.floats(min_value=1.0, max_value=200e6))
+    def test_pps_gbps_round_trip(self, size, pps):
+        gbps = units.pps_to_gbps(pps, size)
+        assert units.gbps_to_pps(gbps, size) == np.float64(pps) or math.isclose(
+            units.gbps_to_pps(gbps, size), pps, rel_tol=1e-9
+        )
+
+    @given(frame_sizes)
+    def test_line_rate_monotone_in_frame_size(self, size):
+        if size < 1518:
+            assert units.line_rate_pps(size) > units.line_rate_pps(size + 1)
+
+    @given(frame_sizes)
+    def test_line_rate_normalises_to_exactly_10g(self, size):
+        assert units.pps_to_gbps(units.line_rate_pps(size), size) == math.isclose(
+            units.pps_to_gbps(units.line_rate_pps(size), size), 10.0
+        ) or math.isclose(units.pps_to_gbps(units.line_rate_pps(size), size), 10.0)
+
+    @given(st.floats(min_value=0, max_value=1e9), st.floats(min_value=1e8, max_value=5e9))
+    def test_cycles_ns_inverse(self, cycles, freq):
+        assert math.isclose(
+            units.ns_to_cycles(units.cycles_to_ns(cycles, freq), freq),
+            cycles,
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False), min_size=1, max_size=50))
+    def test_events_always_fire_in_order(self, times):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.at(t, lambda t=t: fired.append(t))
+        sim.run()
+        assert fired == sorted(times)
+        assert sim.events_executed == len(times)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False), min_size=1, max_size=30),
+        st.floats(min_value=0, max_value=1000),
+    )
+    def test_run_until_partitions_events(self, times, horizon):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.at(t, lambda t=t: fired.append(t))
+        sim.run_until(horizon)
+        assert fired == sorted(t for t in times if t <= horizon)
+        assert sim.pending() == sum(1 for t in times if t > horizon)
+
+
+class TestRingProperties:
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=200))
+    def test_conservation(self, capacity, n):
+        ring = Ring(capacity)
+        accepted = ring.push_batch([Packet() for _ in range(n)])
+        assert accepted == min(capacity, n)
+        assert ring.dropped == n - accepted
+        assert len(ring) == accepted
+        popped = ring.pop_batch(n + 10)
+        assert len(popped) == accepted
+        assert len(ring) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=0, max_size=100))
+    def test_fifo_through_interleaved_ops(self, ops):
+        """Interleave pushes (positive counts) and pops; order preserved."""
+        ring = Ring(10_000)
+        pushed = []
+        popped = []
+        counter = 0
+        for op in ops:
+            if op % 2 == 0:
+                packet = Packet(flow_id=counter)
+                counter += 1
+                ring.push(packet)
+                pushed.append(packet.flow_id)
+            else:
+                popped.extend(p.flow_id for p in ring.pop_batch(op % 5))
+        popped.extend(p.flow_id for p in ring.pop_batch(len(ring)))
+        assert popped == pushed
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=200))
+    def test_running_stats_matches_numpy(self, values):
+        stats = RunningStats()
+        for value in values:
+            stats.add(value)
+        assert math.isclose(stats.mean, float(np.mean(values)), rel_tol=1e-6, abs_tol=1e-6)
+        assert math.isclose(
+            stats.std, float(np.std(values, ddof=1)), rel_tol=1e-6, abs_tol=1e-6
+        )
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False), min_size=1, max_size=100),
+        st.floats(min_value=0, max_value=100),
+    )
+    def test_percentiles_match_numpy(self, values, q):
+        sample = LatencySample()
+        for value in values:
+            sample.add(value)
+        assert math.isclose(
+            sample.percentile_us(q),
+            float(np.percentile(values, q)) / 1e3,
+            rel_tol=1e-6,
+            abs_tol=1e-9,
+        )
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False), min_size=1, max_size=100))
+    def test_percentile_0_and_100_are_min_max(self, values):
+        sample = LatencySample()
+        for value in values:
+            sample.add(value)
+        assert math.isclose(sample.percentile_us(0), min(values) / 1e3, abs_tol=1e-9)
+        assert math.isclose(sample.percentile_us(100), max(values) / 1e3, abs_tol=1e-9)
+
+
+class TestCostProperties:
+    costs = st.builds(
+        Cost,
+        per_batch=st.floats(min_value=0, max_value=1e4),
+        per_packet=st.floats(min_value=0, max_value=1e4),
+        per_byte=st.floats(min_value=0, max_value=10),
+    )
+
+    @given(costs, st.integers(min_value=1, max_value=256), st.integers(min_value=64, max_value=1518))
+    def test_cost_monotone_in_packets(self, cost, n, size):
+        assert cost.cycles(n + 1, (n + 1) * size) >= cost.cycles(n, n * size)
+
+    @given(costs, costs, st.integers(min_value=1, max_value=256), st.integers(min_value=0, max_value=10**6))
+    def test_addition_is_linear(self, a, b, n, total):
+        assert math.isclose(
+            (a + b).cycles(n, total), a.cycles(n, total) + b.cycles(n, total), rel_tol=1e-9
+        )
+
+    @given(costs, st.floats(min_value=1e-6, max_value=100), st.integers(min_value=1, max_value=64))
+    def test_scaling_scales_cycles(self, cost, factor, n):
+        assert math.isclose(
+            cost.scaled(factor).cycles(n, n * 64),
+            factor * cost.cycles(n, n * 64),
+            rel_tol=1e-9,
+            abs_tol=1e-12,
+        )
+
+    @given(costs, st.integers(min_value=64, max_value=1518))
+    def test_amortisation_decreases_with_batch(self, cost, size):
+        assert cost.cycles_per_packet(size, 64) <= cost.cycles_per_packet(size, 1)
+
+
+class TestJitterProperties:
+    @settings(max_examples=25)
+    @given(st.floats(min_value=0.01, max_value=1.0), st.integers(min_value=0, max_value=2**31))
+    def test_multiplier_positive(self, sigma, seed):
+        jitter = CostJitter(np.random.default_rng(seed), sigma=sigma, period_ns=1.0)
+        assert all(jitter.multiplier(float(t)) > 0 for t in range(100))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(min_value=0.05, max_value=0.8))
+    def test_reciprocal_mean_near_one(self, sigma):
+        jitter = CostJitter(np.random.default_rng(7), sigma=sigma, period_ns=1.0)
+        inverse = [1.0 / jitter.multiplier(float(t)) for t in range(60_000)]
+        assert abs(float(np.mean(inverse)) - 1.0) < 0.08
+
+
+class TestThroughputMonotonicity:
+    @settings(max_examples=8, deadline=None)
+    @given(st.sampled_from([(64, 256), (256, 1024), (64, 1024)]))
+    def test_analytic_capacity_decreases_with_frame_size(self, sizes):
+        from repro.analysis.bottleneck import estimate
+
+        small, large = sizes
+        for name in ("vale", "t4p4s"):
+            assert (
+                estimate(name, "p2p", small).core_capacity_pps
+                > estimate(name, "p2p", large).core_capacity_pps
+            )
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.floats(min_value=1.1, max_value=3.0))
+    def test_scaling_all_costs_scales_capacity(self, factor):
+        from dataclasses import replace
+
+        from repro.analysis.bottleneck import estimate
+        from repro.switches.params import VPP_PARAMS
+
+        base = estimate("vpp", "p2p", 64).core_capacity_pps
+        slowed = replace(
+            VPP_PARAMS,
+            proc=VPP_PARAMS.proc.scaled(factor),
+            nic_rx=VPP_PARAMS.nic_rx.scaled(factor),
+            nic_tx=VPP_PARAMS.nic_tx.scaled(factor),
+        )
+        scaled = estimate("vpp", "p2p", 64, params=slowed).core_capacity_pps
+        assert math.isclose(scaled, base / factor, rel_tol=1e-9)

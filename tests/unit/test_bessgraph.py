@@ -1,0 +1,67 @@
+"""Unit tests for the BESS module-pipeline compiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.switches.bessgraph import (
+    MODULE_COSTS,
+    PAPER_P2P_PIPELINE,
+    SHAPER_PIPELINE,
+    UnknownModuleError,
+    compile_pipeline,
+)
+from repro.switches.params import BESS_PARAMS
+
+
+def test_paper_pipeline_compiles_to_calibrated_proc():
+    compiled = compile_pipeline(PAPER_P2P_PIPELINE)
+    assert compiled.proc.per_packet == pytest.approx(BESS_PARAMS.proc.per_packet)
+    assert compiled.proc.per_batch == pytest.approx(BESS_PARAMS.proc.per_batch)
+
+
+def test_pipeline_cost_is_sum_of_modules():
+    compiled = compile_pipeline(("QueueInc", "Measure", "QueueOut"))
+    expected = (
+        MODULE_COSTS["QueueInc"].per_packet
+        + MODULE_COSTS["Measure"].per_packet
+        + MODULE_COSTS["QueueOut"].per_packet
+    )
+    assert compiled.proc.per_packet == pytest.approx(expected)
+    assert compiled.depth == 3
+
+
+def test_per_byte_modules_propagate():
+    compiled = compile_pipeline(("QueueInc", "IPChecksum", "QueueOut"))
+    assert compiled.proc.per_byte > 0
+
+
+def test_shaper_pipeline_costs_more():
+    assert (
+        compile_pipeline(SHAPER_PIPELINE).proc.per_packet
+        > compile_pipeline(PAPER_P2P_PIPELINE).proc.per_packet
+    )
+
+
+def test_unknown_module_rejected():
+    with pytest.raises(UnknownModuleError):
+        compile_pipeline(("QueueInc", "FluxCapacitor"))
+
+
+def test_empty_pipeline_rejected():
+    with pytest.raises(ValueError):
+        compile_pipeline(())
+
+
+def test_shaper_throughput_cost_via_capacity_model():
+    from dataclasses import replace
+
+    from repro.analysis.bottleneck import estimate
+
+    shaper = replace(BESS_PARAMS, proc=compile_pipeline(SHAPER_PIPELINE).proc)
+    base = estimate("bess", "p2p", 64).core_capacity_pps
+    shaped = estimate("bess", "p2p", 64, params=shaper).core_capacity_pps
+    assert shaped < base
+    # Even the shaper pipeline keeps BESS well ahead of the slow tier at
+    # 64B -- the headroom that makes it "a viable choice" (Sec. 5.4).
+    assert shaped > estimate("t4p4s", "p2p", 64).core_capacity_pps

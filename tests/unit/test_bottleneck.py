@@ -1,0 +1,104 @@
+"""Unit tests for the closed-form capacity model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bottleneck import _scenario_hops, estimate
+from repro.core.units import line_rate_pps
+from repro.cpu.costmodel import Cost
+from repro.switches.params import SwitchParams
+
+
+def test_scenario_hop_kinds():
+    assert _scenario_hops("p2p", 1) == (["p2p"], 2)
+    assert _scenario_hops("p2v", 1) == (["p2v"], 2)
+    assert _scenario_hops("v2v", 1) == (["v2v"], 2)
+    hops, attachments = _scenario_hops("loopback", 3)
+    assert hops == ["p2v", "v2v", "v2v", "v2p"]
+    assert attachments == 8
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError):
+        _scenario_hops("p2x", 1)
+
+
+def test_line_rate_clips_fast_switches():
+    est = estimate("bess", "p2p", 64)
+    assert est.core_capacity_pps > line_rate_pps(64)
+    assert est.predicted_pps == pytest.approx(line_rate_pps(64))
+
+
+def test_slow_switch_is_cpu_bound():
+    est = estimate("vale", "p2p", 64)
+    assert est.predicted_pps == pytest.approx(est.core_capacity_pps)
+    assert est.predicted_gbps < 10.0
+
+
+def test_bidirectional_shares_the_core():
+    uni = estimate("t4p4s", "p2p", 64)
+    bidi = estimate("t4p4s", "p2p", 64, bidirectional=True)
+    # Core-bound switch: aggregate bidi equals unidirectional capacity.
+    assert bidi.predicted_pps == pytest.approx(uni.predicted_pps)
+
+
+def test_bidirectional_doubles_wire_bound_switch():
+    uni = estimate("bess", "p2p", 1024)
+    bidi = estimate("bess", "p2p", 1024, bidirectional=True)
+    assert bidi.predicted_pps == pytest.approx(2 * uni.predicted_pps)
+
+
+def test_longer_chains_cost_more():
+    previous = float("inf")
+    for n in range(1, 6):
+        est = estimate("vpp", "loopback", 64, n_vnfs=n)
+        assert est.core_capacity_pps < previous
+        previous = est.core_capacity_pps
+
+
+def test_vhost_tax_p2v_vs_p2p():
+    p2p = estimate("vpp", "p2p", 64)
+    p2v = estimate("vpp", "p2v", 64)
+    assert p2v.core_capacity_pps < p2p.core_capacity_pps
+
+
+def test_vale_v2v_beats_its_p2p():
+    # ptnet hops are cheaper than the netmap NIC path (Sec. 5.2).
+    assert (
+        estimate("vale", "v2v", 64).core_capacity_pps
+        > estimate("vale", "p2p", 64).core_capacity_pps
+    )
+
+
+def test_v2v_ptnet_offered_rate_uncapped():
+    est = estimate("vale", "v2v", 64)
+    assert est.offered_pps > line_rate_pps(64)
+
+
+def test_v2v_virtio_offered_at_line_rate():
+    est = estimate("vpp", "v2v", 64)
+    assert est.offered_pps == pytest.approx(line_rate_pps(64))
+
+
+def test_snabb_thrash_cliff():
+    ok = estimate("snabb", "loopback", 64, n_vnfs=3)
+    thrashed = estimate("snabb", "loopback", 64, n_vnfs=4)
+    # The drop from 3 to 4 VNFs is far steeper than the hop-count ratio.
+    assert thrashed.core_capacity_pps < ok.core_capacity_pps / 2
+
+
+def test_custom_params_accepted():
+    params = SwitchParams(
+        name="x", display_name="X", proc=Cost(per_packet=1000.0)
+    )
+    est = estimate("x", "p2p", 64, params=params)
+    assert est.switch == "x"
+    assert est.core_capacity_pps < 2.6e6
+
+
+def test_larger_frames_lower_pps_but_saturate_wire():
+    small = estimate("ovs-dpdk", "p2p", 64)
+    large = estimate("ovs-dpdk", "p2p", 1024)
+    assert large.predicted_pps < small.predicted_pps
+    assert large.predicted_gbps == pytest.approx(10.0)

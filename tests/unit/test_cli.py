@@ -1,0 +1,60 @@
+"""Unit tests for the repro-bench command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_throughput_command(capsys):
+    assert main(["p2p", "--switch", "bess", "--size", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "p2p unidirectional 64B bess" in out
+    assert "Gbps" in out
+
+
+def test_bidirectional_flag(capsys):
+    assert main(["p2p", "--switch", "bess", "--bidirectional"]) == 0
+    assert "bidirectional" in capsys.readouterr().out
+
+
+def test_loopback_with_vnfs(capsys):
+    assert main(["loopback", "--switch", "vale", "--vnfs", "2"]) == 0
+    assert "loopback" in capsys.readouterr().out
+
+
+def test_v2v_latency_command(capsys):
+    assert main(["v2v-latency", "--switch", "vale"]) == 0
+    out = capsys.readouterr().out
+    assert "v2v RTT latency" in out
+    assert "us" in out
+
+
+def test_latency_sweep_command(capsys):
+    assert main(["p2p", "--switch", "bess", "--latency"]) == 0
+    out = capsys.readouterr().out
+    assert "0.10 R+" in out
+    assert "0.99 R+" in out
+
+
+def test_suite_command(capsys):
+    assert main(["suite", "--switch", "vale", "--suite", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "suite 'smoke'" in out
+    assert "p2p-64B" in out
+
+
+def test_unknown_suite(capsys):
+    assert main(["suite", "--suite", "nonexistent"]) == 1
+    assert "unknown suite" in capsys.readouterr().out
+
+
+def test_unknown_switch_rejected():
+    with pytest.raises(SystemExit):
+        main(["p2p", "--switch", "notaswitch"])
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(SystemExit):
+        main(["warp-drive"])

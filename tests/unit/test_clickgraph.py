@@ -1,0 +1,92 @@
+"""Unit tests for the Click element-graph compiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.switches.clickgraph import (
+    ELEMENT_COSTS,
+    PAPER_P2P_CONFIG,
+    CompiledChain,
+    UnknownElementError,
+    compile_chain,
+    compile_config,
+    proc_cost_for,
+)
+from repro.switches.params import FASTCLICK_PARAMS
+
+
+def test_paper_config_compiles_to_calibrated_proc():
+    proc = proc_cost_for(PAPER_P2P_CONFIG)
+    assert proc.per_packet == pytest.approx(FASTCLICK_PARAMS.proc.per_packet)
+    assert proc.per_batch == pytest.approx(FASTCLICK_PARAMS.proc.per_batch)
+
+
+def test_chain_cost_is_sum_of_elements():
+    chain = compile_chain([("FromDPDKDevice", "0"), ("Counter", ""), ("ToDPDKDevice", "1")])
+    expected = (
+        ELEMENT_COSTS["FromDPDKDevice"].per_packet
+        + ELEMENT_COSTS["Counter"].per_packet
+        + ELEMENT_COSTS["ToDPDKDevice"].per_packet
+    )
+    assert chain.proc.per_packet == pytest.approx(expected)
+    assert chain.depth == 3
+
+
+def test_per_byte_elements_propagate():
+    chain = compile_chain([("SetIPChecksum", "")])
+    assert chain.proc.per_byte > 0
+
+
+def test_unknown_element_rejected():
+    with pytest.raises(UnknownElementError, match="WarpDrive"):
+        compile_chain([("WarpDrive", "9")])
+
+
+def test_compile_config_multiline():
+    config = """
+    FromDPDKDevice(0) -> ToDPDKDevice(1);
+    FromDPDKDevice(1) -> Counter() -> ToDPDKDevice(0)
+    """
+    chains = compile_config(config)
+    assert len(chains) == 2
+    assert chains[1].depth == 3
+
+
+def test_proc_cost_uses_worst_chain():
+    config = """
+    FromDPDKDevice(0) -> ToDPDKDevice(1);
+    FromDPDKDevice(1) -> IPClassifier(x) -> ToDPDKDevice(0)
+    """
+    proc = proc_cost_for(config)
+    assert proc.per_packet == pytest.approx(
+        ELEMENT_COSTS["FromDPDKDevice"].per_packet
+        + ELEMENT_COSTS["IPClassifier"].per_packet
+        + ELEMENT_COSTS["ToDPDKDevice"].per_packet
+    )
+
+
+def test_empty_config_rejected():
+    with pytest.raises(ValueError):
+        proc_cost_for("   ")
+
+
+def test_richer_graph_lowers_throughput():
+    """Composing more elements costs measurable throughput."""
+    from dataclasses import replace
+
+    from repro.analysis.bottleneck import estimate
+
+    rich = proc_cost_for(
+        "FromDPDKDevice(0) -> IPClassifier(x) -> Counter() -> SetIPChecksum() -> ToDPDKDevice(1)"
+    )
+    rich_params = replace(FASTCLICK_PARAMS, proc=rich)
+    base = estimate("fastclick", "p2p", 64).core_capacity_pps
+    heavy = estimate("fastclick", "p2p", 64, params=rich_params).core_capacity_pps
+    assert heavy < base
+
+
+def test_compiled_chain_is_value_object():
+    chain = compile_chain([("Counter", "")])
+    assert isinstance(chain, CompiledChain)
+    assert chain.elements == ("Counter",)

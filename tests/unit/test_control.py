@@ -1,0 +1,221 @@
+"""Unit tests for the Appendix A control-plane front-ends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.cpu.cores import Core
+from repro.nic.port import NicPort
+from repro.switches.control import (
+    BessScript,
+    ConfigError,
+    OvsCtl,
+    SnabbConfig,
+    ValeCtl,
+    VppCli,
+    apply_click_config,
+)
+from repro.switches.registry import create_switch
+from repro.vif.vhost_user import make_vhost_user_interface
+
+#: The paper's Appendix A.1 BESS p2p script, verbatim.
+BESS_P2P_SCRIPT = """
+inport::PMDPort(port_id=0)
+outport::PMDPort(port_id=1)
+in0::QueueInc(port=inport, qid=0)
+out0::QueueOut(port=outport, qid=0)
+in0 -> out0
+"""
+
+#: Appendix A.2: p2v with a vhost-user vdev.
+BESS_P2V_SCRIPT = """
+inport::PMDPort(port_id=0)
+in0::QueueInc(port=inport, qid=0)
+v1::PMDPort(vdev="virtio_user0,iface=/tmp/sock0")
+in0 -> PortOut(port=v1.name)
+"""
+
+
+def _two_ports(sim):
+    a, b = NicPort(sim, "p0"), NicPort(sim, "p1")
+    peer_a, peer_b = NicPort(sim, "peer0"), NicPort(sim, "peer1")
+    a.connect(peer_a)
+    b.connect(peer_b)
+    return a, b
+
+
+def _forwards(sim, switch, src_port, dst_port, n=4):
+    """Push frames into src and count what exits dst."""
+    received = []
+    dst_port.peer.sink = received.extend
+    switch.bind_core(Core(sim, "sut"))
+    src_port.rx_ring.push_batch([Packet() for _ in range(n)])
+    sim.run_until(3_000_000)
+    return len(received)
+
+
+class TestBessScript:
+    def test_p2p_script_builds_the_path(self, sim):
+        switch = create_switch("bess", sim)
+        p0, p1 = _two_ports(sim)
+        BessScript(switch, ports={0: p0, 1: p1}).run(BESS_P2P_SCRIPT)
+        assert len(switch.paths) == 1
+        assert _forwards(sim, switch, p0, p1) == 4
+
+    def test_p2v_script_with_vdev(self, sim):
+        switch = create_switch("bess", sim)
+        p0, _ = _two_ports(sim)
+        vif = make_vhost_user_interface("virtio_user0")
+        BessScript(switch, ports={0: p0}, vdevs={"virtio_user0": vif}).run(BESS_P2V_SCRIPT)
+        path = switch.paths[0]
+        assert not path.input.is_vif and path.output.is_vif
+
+    def test_unknown_port_id(self, sim):
+        switch = create_switch("bess", sim)
+        with pytest.raises(ConfigError, match="port_id"):
+            BessScript(switch).run("x::PMDPort(port_id=7)")
+
+    def test_unknown_module_in_edge(self, sim):
+        switch = create_switch("bess", sim)
+        with pytest.raises(ConfigError, match="unknown module"):
+            BessScript(switch).run("a -> b")
+
+    def test_unsupported_module(self, sim):
+        switch = create_switch("bess", sim)
+        with pytest.raises(ConfigError, match="unsupported"):
+            BessScript(switch).run("x::WildcardMatch(fields=[])")
+
+    def test_comments_and_blanks_ignored(self, sim):
+        switch = create_switch("bess", sim)
+        p0, p1 = _two_ports(sim)
+        script = "# the p2p config\n\n" + BESS_P2P_SCRIPT
+        BessScript(switch, ports={0: p0, 1: p1}).run(script)
+        assert len(switch.paths) == 1
+
+
+class TestVppCli:
+    def test_l2patch_pair(self, sim):
+        switch = create_switch("vpp", sim)
+        p0, p1 = _two_ports(sim)
+        cli = VppCli(switch, {"port0": p0, "port1": p1})
+        cli.exec_script(
+            """
+            test l2patch rx port0 tx port1
+            test l2patch rx port1 tx port0
+            """
+        )
+        assert len(switch.paths) == 2
+        assert _forwards(sim, switch, p0, p1) == 4
+
+    def test_unknown_interface(self, sim):
+        switch = create_switch("vpp", sim)
+        with pytest.raises(ConfigError, match="unknown interface"):
+            VppCli(switch, {}).exec("test l2patch rx nope tx nada")
+
+    def test_unsupported_command(self, sim):
+        switch = create_switch("vpp", sim)
+        with pytest.raises(ConfigError, match="unsupported"):
+            VppCli(switch, {}).exec("show runtime")
+
+
+class TestOvsCtl:
+    def test_bridge_flow_wiring(self, sim):
+        switch = create_switch("ovs-dpdk", sim)
+        p0, p1 = _two_ports(sim)
+        ctl = OvsCtl(switch, {"dpdk0": p0, "dpdk1": p1})
+        ctl.vsctl("add-br br0")
+        ctl.vsctl("add-port br0 dpdk0")
+        ctl.vsctl("add-port br0 dpdk1")
+        ctl.ofctl_add_flow("br0", "in_port=1,actions=output:2")
+        assert len(switch.paths) == 1
+        assert _forwards(sim, switch, p0, p1) == 4
+
+    def test_duplicate_bridge(self, sim):
+        ctl = OvsCtl(create_switch("ovs-dpdk", sim), {})
+        ctl.vsctl("add-br br0")
+        with pytest.raises(ConfigError):
+            ctl.vsctl("add-br br0")
+
+    def test_flow_to_missing_port(self, sim):
+        switch = create_switch("ovs-dpdk", sim)
+        p0, _ = _two_ports(sim)
+        ctl = OvsCtl(switch, {"dpdk0": p0})
+        ctl.vsctl("add-br br0")
+        ctl.vsctl("add-port br0 dpdk0")
+        with pytest.raises(ConfigError, match="out of range"):
+            ctl.ofctl_add_flow("br0", "in_port=1,actions=output:2")
+
+    def test_unsupported_vsctl(self, sim):
+        ctl = OvsCtl(create_switch("ovs-dpdk", sim), {})
+        with pytest.raises(ConfigError):
+            ctl.vsctl("set-controller br0 tcp:1.2.3.4")
+
+
+class TestValeCtl:
+    def test_attach_two_ports_creates_bidirectional_mesh(self, sim):
+        switch = create_switch("vale", sim)
+        p0, p1 = _two_ports(sim)
+        ctl = ValeCtl(switch, {"p1": p0, "p2": p1})
+        ctl.exec("vale-ctl -a vale0:p1")
+        ctl.exec("vale-ctl -a vale0:p2")
+        assert len(switch.paths) == 2  # both directions, as an L2 switch
+
+    def test_three_ports_full_mesh(self, sim):
+        switch = create_switch("vale", sim)
+        p0, p1 = _two_ports(sim)
+        vif = make_vhost_user_interface("v0")
+        ctl = ValeCtl(switch, {"p1": p0, "p2": p1, "v0": vif})
+        for port in ("p1", "p2", "v0"):
+            ctl.exec(f"vale-ctl -a vale0:{port}")
+        assert len(switch.paths) == 6  # 3 ports, all ordered pairs
+
+    def test_interface_creation_validates_name(self, sim):
+        ctl = ValeCtl(create_switch("vale", sim), {})
+        with pytest.raises(ConfigError):
+            ctl.exec("vale-ctl -n v0")
+
+    def test_separate_bridges_do_not_cross_connect(self, sim):
+        switch = create_switch("vale", sim)
+        p0, p1 = _two_ports(sim)
+        ctl = ValeCtl(switch, {"p1": p0, "p2": p1})
+        ctl.exec("vale-ctl -a vale0:p1")
+        ctl.exec("vale-ctl -a vale1:p2")
+        assert len(switch.paths) == 0
+
+
+class TestSnabbConfig:
+    def test_app_and_link(self, sim):
+        switch = create_switch("snabb", sim)
+        p0, p1 = _two_ports(sim)
+        config = SnabbConfig(switch)
+        config.app("nic1", p0)
+        config.app("nic2", p1)
+        config.link("nic1.tx -> nic2.rx")
+        assert len(switch.paths) == 1
+        assert _forwards(sim, switch, p0, p1) == 4
+
+    def test_duplicate_app(self, sim):
+        config = SnabbConfig(create_switch("snabb", sim))
+        config.app("nic1", NicPort(sim, "x"))
+        with pytest.raises(ConfigError):
+            config.app("nic1", NicPort(sim, "y"))
+
+    def test_link_unknown_app(self, sim):
+        config = SnabbConfig(create_switch("snabb", sim))
+        with pytest.raises(ConfigError):
+            config.link("a.tx -> b.rx")
+
+
+class TestClickConfig:
+    def test_appendix_one_liner(self, sim):
+        switch = create_switch("fastclick", sim)
+        p0, p1 = _two_ports(sim)
+        apply_click_config(switch, "FromDPDKDevice(0)->ToDPDKDevice(1)", {"0": p0, "1": p1})
+        assert len(switch.paths) == 1
+        assert _forwards(sim, switch, p0, p1) == 4
+
+    def test_unknown_device(self, sim):
+        switch = create_switch("fastclick", sim)
+        with pytest.raises(ConfigError):
+            apply_click_config(switch, "FromDPDKDevice(0)->ToDPDKDevice(1)", {})

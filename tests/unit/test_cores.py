@@ -1,0 +1,121 @@
+"""Unit tests for the CPU core model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.cores import Core
+
+
+class FixedWorkTask:
+    """Consumes a fixed number of cycles for a limited number of polls."""
+
+    def __init__(self, cycles, times):
+        self.cycles = cycles
+        self.remaining = times
+        self.polls = 0
+
+    def poll(self, core):
+        self.polls += 1
+        if self.remaining <= 0:
+            return 0.0
+        self.remaining -= 1
+        return self.cycles
+
+
+def test_busy_time_accumulates(sim):
+    core = Core(sim, "c0", freq_hz=1e9)  # 1 cycle == 1 ns
+    task = FixedWorkTask(cycles=100, times=3)
+    core.attach(task)
+    core.start()
+    sim.run_until(10_000)
+    assert core.busy_ns == pytest.approx(300.0)
+
+
+def test_poll_mode_core_keeps_polling_when_idle(sim):
+    core = Core(sim, "c0", freq_hz=1e9, idle_loop_cycles=50)
+    task = FixedWorkTask(cycles=0, times=0)
+    core.attach(task)
+    core.start()
+    sim.run_until(1_000)
+    # ~1000ns / 50ns per idle loop
+    assert task.polls >= 15
+
+
+def test_interrupt_core_sleeps_after_idle_streak(sim):
+    core = Core(sim, "c0", freq_hz=1e9, interrupt_driven=True, idle_polls_before_sleep=4)
+    task = FixedWorkTask(cycles=0, times=0)
+    core.attach(task)
+    core.start()
+    sim.run_until(100_000)
+    assert core.sleeping
+    polls_when_asleep = task.polls
+    sim.run_until(200_000)
+    assert task.polls == polls_when_asleep  # no polling while asleep
+
+
+def test_wake_resumes_after_interrupt_latency(sim):
+    core = Core(
+        sim, "c0", freq_hz=1e9, interrupt_driven=True,
+        idle_polls_before_sleep=2, interrupt_latency_ns=500.0,
+    )
+    task = FixedWorkTask(cycles=0, times=0)
+    core.attach(task)
+    core.start()
+    sim.run_until(10_000)
+    assert core.sleeping
+    polls_before = task.polls
+    core.wake()
+    assert not core.sleeping
+    sim.run_until(10_000 + 499)
+    assert task.polls == polls_before  # latency not yet elapsed
+    sim.run_until(10_000 + 50_000)
+    assert task.polls > polls_before
+
+
+def test_wake_is_noop_when_awake(sim):
+    core = Core(sim, "c0", interrupt_driven=True)
+    core.attach(FixedWorkTask(cycles=10, times=1000))
+    core.start()
+    sim.run_until(100)
+    pending_before = sim.pending()
+    core.wake()  # not sleeping: should not schedule anything
+    assert sim.pending() == pending_before
+
+
+def test_round_robin_shares_one_core(sim):
+    core = Core(sim, "c0", freq_hz=1e9)
+    a = FixedWorkTask(cycles=100, times=10**9)
+    b = FixedWorkTask(cycles=100, times=10**9)
+    core.attach(a)
+    core.attach(b)
+    core.start()
+    sim.run_until(100_000)
+    # Both tasks run, each gets ~half the iterations' service time.
+    assert a.polls == b.polls
+    assert a.polls == pytest.approx(100_000 / 200, rel=0.05)
+
+
+def test_utilization(sim):
+    core = Core(sim, "c0", freq_hz=1e9)
+    core.attach(FixedWorkTask(cycles=100, times=5))
+    core.start()
+    sim.run_until(1_000)
+    assert core.utilization(1_000) == pytest.approx(0.5)
+    assert core.utilization(0) == 0.0
+
+
+def test_start_is_idempotent(sim):
+    core = Core(sim, "c0")
+    task = FixedWorkTask(cycles=0, times=0)
+    core.attach(task)
+    core.start()
+    core.start()
+    sim.run_until(100)
+    # A double start must not run two interleaved poll loops.
+    assert sim.events_executed <= 100 / (80 / 2.6) + 2
+
+
+def test_cycles_to_ns_uses_core_frequency(sim):
+    core = Core(sim, "c0", freq_hz=2.6e9)
+    assert core.cycles_to_ns(2600) == pytest.approx(1000.0)

@@ -1,0 +1,57 @@
+"""Unit tests for the cycle cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.costmodel import ZERO_COST, Cost
+
+
+def test_cycles_linear_composition():
+    cost = Cost(per_batch=100.0, per_packet=10.0, per_byte=0.5)
+    assert cost.cycles(4, 256) == pytest.approx(100 + 40 + 128)
+
+
+def test_zero_packets_cost_nothing():
+    cost = Cost(per_batch=100.0, per_packet=10.0)
+    assert cost.cycles(0, 0) == 0.0
+
+
+def test_cycles_per_packet_amortises_batch_term():
+    cost = Cost(per_batch=320.0, per_packet=10.0, per_byte=0.1)
+    assert cost.cycles_per_packet(64, batch_size=32) == pytest.approx(10 + 10 + 6.4)
+
+
+def test_cycles_per_packet_rejects_bad_batch():
+    with pytest.raises(ValueError):
+        Cost().cycles_per_packet(64, batch_size=0)
+
+
+def test_add_combines_componentwise():
+    total = Cost(1, 2, 3) + Cost(10, 20, 30)
+    assert (total.per_batch, total.per_packet, total.per_byte) == (11, 22, 33)
+
+
+def test_scaled():
+    doubled = Cost(1, 2, 3).scaled(2.0)
+    assert (doubled.per_batch, doubled.per_packet, doubled.per_byte) == (2, 4, 6)
+
+
+def test_zero_cost_is_identity():
+    cost = Cost(5, 6, 7)
+    combined = cost + ZERO_COST
+    assert combined == cost
+
+
+def test_cost_is_frozen():
+    with pytest.raises(AttributeError):
+        Cost().per_packet = 1.0  # type: ignore[misc]
+
+
+def test_batch_amortisation_consistency():
+    """cycles(n)/n equals cycles_per_packet at the same batch size."""
+    cost = Cost(per_batch=64.0, per_packet=7.0, per_byte=0.25)
+    n, size = 32, 128
+    assert cost.cycles(n, n * size) / n == pytest.approx(
+        cost.cycles_per_packet(size, batch_size=n)
+    )

@@ -1,0 +1,135 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_events_fire_in_time_order(sim):
+    fired = []
+    sim.at(30, lambda: fired.append("c"))
+    sim.at(10, lambda: fired.append("a"))
+    sim.at(20, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_fifo(sim):
+    fired = []
+    for tag in "abcde":
+        sim.at(100, lambda tag=tag: fired.append(tag))
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_after_is_relative_to_now(sim):
+    times = []
+    sim.at(50, lambda: sim.after(25, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [75]
+
+
+def test_run_until_stops_at_boundary(sim):
+    fired = []
+    sim.at(10, lambda: fired.append(10))
+    sim.at(99, lambda: fired.append(99))
+    sim.at(101, lambda: fired.append(101))
+    sim.run_until(100)
+    assert fired == [10, 99]
+    assert sim.now == 100
+    assert sim.pending() == 1
+
+
+def test_run_until_includes_boundary_events(sim):
+    fired = []
+    sim.at(100, lambda: fired.append(100))
+    sim.run_until(100)
+    assert fired == [100]
+
+
+def test_run_until_advances_clock_when_queue_empty(sim):
+    sim.run_until(500)
+    assert sim.now == 500
+
+
+def test_clock_monotonic_during_run(sim):
+    observed = []
+    sim.at(5, lambda: observed.append(sim.now))
+    sim.at(5, lambda: sim.after(0, lambda: observed.append(sim.now)))
+    sim.at(7, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+
+
+def test_scheduling_in_the_past_raises(sim):
+    sim.at(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(50, lambda: None)
+
+
+def test_negative_delay_raises(sim):
+    with pytest.raises(SimulationError):
+        sim.after(-1, lambda: None)
+
+
+def test_events_scheduled_during_run_execute(sim):
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 5:
+            sim.after(1, lambda: chain(depth + 1))
+
+    sim.at(0, lambda: chain(0))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5
+
+
+def test_events_executed_counter(sim):
+    for t in range(10):
+        sim.at(t, lambda: None)
+    sim.run()
+    assert sim.events_executed == 10
+
+
+def test_run_is_not_reentrant(sim):
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.at(1, reenter)
+    sim.run()
+
+
+def test_run_until_is_not_reentrant(sim):
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run_until(10)
+
+    sim.at(1, reenter)
+    sim.run_until(5)
+
+
+def test_pending_counts_queued_events(sim):
+    assert sim.pending() == 0
+    sim.at(1, lambda: None)
+    sim.at(2, lambda: None)
+    assert sim.pending() == 2
+
+
+def test_repeated_run_until_progresses(sim):
+    fired = []
+    for t in (10, 20, 30):
+        sim.at(t, lambda t=t: fired.append(t))
+    sim.run_until(15)
+    assert fired == [10]
+    sim.run_until(35)
+    assert fired == [10, 20, 30]

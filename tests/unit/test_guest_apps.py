@@ -1,0 +1,128 @@
+"""Unit tests for the guest VNF applications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.cpu.cores import Core
+from repro.vif.ptnet import make_ptnet_interface
+from repro.vif.vhost_user import make_vhost_user_interface
+from repro.vm.apps import GuestL2Fwd, GuestValeBridge, GuestValeXConnect
+
+
+def _vhost_pair():
+    return make_vhost_user_interface("eth0"), make_vhost_user_interface("eth1")
+
+
+def _ptnet_pair():
+    return make_ptnet_interface("pt0"), make_ptnet_interface("pt1")
+
+
+def _run_app(sim, app, until_ns):
+    core = Core(sim, "vcpu0")
+    core.attach(app)
+    core.start()
+    sim.run_until(until_ns)
+    return core
+
+
+class TestGuestL2Fwd:
+    def test_forwards_rx_to_tx(self, sim):
+        rx, tx = _vhost_pair()
+        app = GuestL2Fwd(sim, rx, tx, burst=4)
+        rx.to_guest.push_batch([Packet() for _ in range(4)])
+        _run_app(sim, app, 100_000)
+        assert len(tx.to_host) == 4
+        assert app.forwarded == 4
+
+    def test_rewrites_destination_mac(self, sim):
+        rx, tx = _vhost_pair()
+        app = GuestL2Fwd(sim, rx, tx, burst=4, dst_mac=0xAA)
+        rx.to_guest.push_batch([Packet(dst_mac=0x01) for _ in range(4)])
+        _run_app(sim, app, 100_000)
+        out = tx.to_host.pop_batch(4)
+        assert all(p.dst_mac == 0xAA for p in out)
+        assert all(p.hops == 1 for p in out)
+
+    def test_partial_batch_waits_for_drain_timeout(self, sim):
+        rx, tx = _vhost_pair()
+        app = GuestL2Fwd(sim, rx, tx, burst=32, drain_ns=50_000.0)
+        rx.to_guest.push_batch([Packet() for _ in range(3)])
+        core = Core(sim, "vcpu0")
+        core.attach(app)
+        core.start()
+        sim.run_until(20_000)
+        assert len(tx.to_host) == 0  # buffered, below burst, timer not due
+        sim.run_until(200_000)
+        assert len(tx.to_host) == 3  # drained on timeout
+
+    def test_full_burst_flushes_immediately(self, sim):
+        rx, tx = _vhost_pair()
+        app = GuestL2Fwd(sim, rx, tx, burst=8, drain_ns=10_000_000.0)
+        rx.to_guest.push_batch([Packet() for _ in range(8)])
+        _run_app(sim, app, 50_000)
+        assert len(tx.to_host) == 8
+
+    def test_strict_batching_penalises_low_load(self, sim):
+        """The Sec. 5.3 mechanism: drain delay dominates at low rate."""
+        rx, tx = _vhost_pair()
+        app = GuestL2Fwd(sim, rx, tx, burst=32, drain_ns=100_000.0)
+        packet = Packet(t_created=0.0)
+        rx.to_guest.push(packet)
+        core = Core(sim, "vcpu0")
+        core.attach(app)
+        core.start()
+        sim.run_until(1_000_000)
+        assert len(tx.to_host) == 1
+        # The lone packet waited roughly the full drain interval.
+        assert app._last_flush_ns >= 90_000.0
+
+
+class TestGuestValeXConnect:
+    def test_forwards_both_directions(self, sim):
+        a, b = _ptnet_pair()
+        app = GuestValeXConnect(sim, a, b)
+        a.to_guest.push_batch([Packet() for _ in range(3)])
+        b.to_guest.push_batch([Packet() for _ in range(2)])
+        _run_app(sim, app, 100_000)
+        assert len(b.to_host) == 3
+        assert len(a.to_host) == 2
+        assert app.forwarded == 5
+
+    def test_adaptive_batching_no_drain_delay(self, sim):
+        """VALE forwards whatever is pending -- no low-load timer."""
+        a, b = _ptnet_pair()
+        app = GuestValeXConnect(sim, a, b)
+        a.to_guest.push(Packet())
+        _run_app(sim, app, 5_000)
+        assert len(b.to_host) == 1  # forwarded within microseconds
+
+    def test_increments_hops(self, sim):
+        a, b = _ptnet_pair()
+        app = GuestValeXConnect(sim, a, b)
+        a.to_guest.push(Packet())
+        _run_app(sim, app, 10_000)
+        assert b.to_host.pop_batch(1)[0].hops == 1
+
+
+class TestGuestValeBridge:
+    def test_outbound_path(self, sim):
+        vif = make_ptnet_interface("pt0")
+        bridge = GuestValeBridge(sim, vif)
+        bridge.gen_to_bridge.push_batch([Packet() for _ in range(5)])
+        _run_app(sim, bridge, 100_000)
+        assert len(vif.to_host) == 5
+
+    def test_inbound_path(self, sim):
+        vif = make_ptnet_interface("pt0")
+        bridge = GuestValeBridge(sim, vif)
+        vif.to_guest.push_batch([Packet() for _ in range(5)])
+        _run_app(sim, bridge, 100_000)
+        assert len(bridge.bridge_to_monitor) == 5
+
+    def test_bridge_is_an_extra_hop_with_real_cost(self, sim):
+        """The paper's workaround costs more than the VNF cross-connect."""
+        assert GuestValeBridge(sim, make_ptnet_interface("p")).proc.per_byte > (
+            GuestValeXConnect(sim, *_ptnet_pair()).proc.per_byte
+        )

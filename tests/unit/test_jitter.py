@@ -1,0 +1,61 @@
+"""Unit tests for service-time jitter and stall processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.switches.jitter import CostJitter, StallProcess
+
+
+def test_zero_sigma_is_exactly_one():
+    jitter = CostJitter(np.random.default_rng(0), sigma=0.0)
+    assert all(jitter.multiplier(t) == 1.0 for t in range(0, 10_000, 1000))
+
+
+def test_multiplier_constant_within_period():
+    jitter = CostJitter(np.random.default_rng(0), sigma=0.5, period_ns=1000.0)
+    first = jitter.multiplier(0.0)
+    assert jitter.multiplier(500.0) == first
+    assert jitter.multiplier(999.0) == first
+
+
+def test_multiplier_resamples_each_period():
+    jitter = CostJitter(np.random.default_rng(0), sigma=0.5, period_ns=1000.0)
+    values = {jitter.multiplier(t * 1000.0) for t in range(50)}
+    assert len(values) > 10
+
+
+def test_reciprocal_mean_is_one():
+    """Throughput-neutrality: E[1/multiplier] == 1 (R+ unchanged)."""
+    jitter = CostJitter(np.random.default_rng(0), sigma=0.6, period_ns=1.0)
+    inverse = [1.0 / jitter.multiplier(float(t)) for t in range(200_000)]
+    assert float(np.mean(inverse)) == pytest.approx(1.0, rel=0.02)
+
+
+def test_invalid_args():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        CostJitter(rng, sigma=-0.1)
+    with pytest.raises(ValueError):
+        CostJitter(rng, sigma=0.1, period_ns=0.0)
+    with pytest.raises(ValueError):
+        StallProcess(rng, mean_period_ns=0.0, stall_cycles=100.0)
+
+
+def test_stall_process_poisson_rate():
+    stalls = StallProcess(np.random.default_rng(1), mean_period_ns=1000.0, stall_cycles=50.0)
+    total = 0.0
+    for t in range(0, 1_000_000, 10):
+        total += stalls.cycles_due(float(t))
+    # ~1000 stalls expected over 1 ms at a 1 us mean period.
+    assert stalls.stalls == pytest.approx(1000, rel=0.15)
+    assert total == pytest.approx(stalls.stalls * 50.0)
+
+
+def test_stall_charges_only_once_per_event():
+    stalls = StallProcess(np.random.default_rng(2), mean_period_ns=1e9, stall_cycles=10.0)
+    stalls._next_stall_ns = 100.0
+    assert stalls.cycles_due(150.0) == 10.0
+    # Next stall is far in the future: immediately asking again is free.
+    assert stalls.cycles_due(151.0) == 0.0

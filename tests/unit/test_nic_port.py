@@ -1,0 +1,140 @@
+"""Unit tests for NIC ports, wires and serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.core.units import line_rate_pps, wire_time_ns
+from repro.nic.port import NicPort, dual_port_nic
+
+
+def _pair(sim, **kwargs):
+    a = NicPort(sim, "a", **kwargs)
+    b = NicPort(sim, "b", **kwargs)
+    a.connect(b)
+    return a, b
+
+
+def test_send_requires_connection(sim):
+    port = NicPort(sim, "lonely")
+    with pytest.raises(RuntimeError):
+        port.send_batch([Packet()])
+
+
+def test_connect_is_symmetric(sim):
+    a, b = _pair(sim)
+    assert a.peer is b and b.peer is a
+
+
+def test_frames_arrive_after_serialization_and_pcie(sim):
+    a, b = _pair(sim, pcie_latency_ns=100.0)
+    a.send_batch([Packet(size=64)])
+    sim.run()
+    assert len(b.rx_ring) == 1
+    assert sim.now == pytest.approx(wire_time_ns(64) + 100.0)
+
+
+def test_sink_bypasses_rx_ring(sim):
+    a, b = _pair(sim)
+    seen = []
+    b.sink = seen.extend
+    a.send_batch([Packet(), Packet()])
+    sim.run()
+    assert len(seen) == 2
+    assert len(b.rx_ring) == 0
+
+
+def test_line_rate_is_enforced(sim):
+    a, b = _pair(sim)
+    received = []
+    b.sink = received.extend
+    # Offer 2x line rate for 100 us; no backlog limit issues (sink drains).
+    n = int(2 * line_rate_pps(64) * 100e-6)
+    a.send_batch([Packet() for _ in range(min(n, a.tx_slots))])
+    sim.run()
+    # All accepted frames arrive exactly back-to-back at line rate.
+    assert a.tx_packets == len(received)
+    assert sim.now == pytest.approx(a.tx_packets * wire_time_ns(64), rel=1e-6)
+
+
+def test_tx_backlog_drops_when_ring_full(sim):
+    a, b = _pair(sim, tx_slots=8)
+    sent = a.send_batch([Packet() for _ in range(20)])
+    assert sent <= 10  # 8 slots (+ rounding of the time-based bound)
+    assert a.tx_dropped == 20 - sent
+
+
+def test_tx_backlog_limit_scales_with_frame_size(sim):
+    a64, _ = _pair(sim, tx_slots=8)
+    a64.send_batch([Packet(size=64) for _ in range(20)])
+    sim2 = type(sim)()
+    a1024 = NicPort(sim2, "a", tx_slots=8)
+    b1024 = NicPort(sim2, "b", tx_slots=8)
+    a1024.connect(b1024)
+    a1024.send_batch([Packet(size=1024) for _ in range(20)])
+    # Same *count* budget regardless of frame size.
+    assert a1024.tx_packets == a64.tx_packets
+
+
+def test_hw_tx_timestamping_only_probes(sim):
+    a, b = _pair(sim)
+    a.timestamp_tx = True
+    probe = Packet(is_probe=True)
+    plain = Packet()
+    a.send_batch([plain, probe])
+    sim.run()
+    assert probe.tx_timestamp is not None
+    assert plain.tx_timestamp is None
+
+
+def test_hw_rx_timestamping_at_wire_arrival(sim):
+    a, b = _pair(sim, pcie_latency_ns=500.0)
+    b.timestamp_rx = True
+    probe = Packet(is_probe=True)
+    a.send_batch([probe])
+    sim.run()
+    # RX stamp is at wire arrival, before the PCIe delay.
+    assert probe.rx_timestamp == pytest.approx(wire_time_ns(64))
+
+
+def test_existing_tx_timestamp_not_overwritten(sim):
+    a, b = _pair(sim)
+    a.timestamp_tx = True
+    probe = Packet(is_probe=True)
+    probe.tx_timestamp = 42.0
+    a.send_batch([probe])
+    sim.run()
+    assert probe.tx_timestamp == 42.0
+
+
+def test_rx_moderation_quantises_delivery(sim):
+    a, b = _pair(sim, pcie_latency_ns=100.0)
+    b.rx_moderation_ns = 10_000.0
+    a.send_batch([Packet()])
+    sim.run()
+    # Wire arrival ~67ns + PCIe 100ns -> released at the 10us boundary.
+    assert sim.now == pytest.approx(10_000.0)
+    assert len(b.rx_ring) == 1
+
+
+def test_rx_moderation_batches_multiple_sends(sim):
+    a, b = _pair(sim, pcie_latency_ns=0.0)
+    b.rx_moderation_ns = 10_000.0
+    a.send_batch([Packet()])
+    sim.after(3_000, lambda: a.send_batch([Packet()]))
+    sim.run()
+    assert len(b.rx_ring) == 2
+    assert sim.now == pytest.approx(10_000.0)
+
+
+def test_dual_port_nic_names(sim):
+    p0, p1 = dual_port_nic(sim, "nic0")
+    assert p0.name == "nic0.p0"
+    assert p1.name == "nic0.p1"
+
+
+def test_tx_bytes_counter(sim):
+    a, b = _pair(sim)
+    a.send_batch([Packet(size=128), Packet(size=256)])
+    assert a.tx_bytes == 384

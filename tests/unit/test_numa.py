@@ -1,0 +1,73 @@
+"""Unit tests for NUMA topology and the memory bus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.numa import Machine, MemoryBus, NumaNode
+
+
+class TestMemoryBus:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            MemoryBus(0)
+
+    def test_idle_bus_copy_time(self):
+        bus = MemoryBus(bandwidth_bytes_per_s=1e9)  # 1 B/ns
+        assert bus.reserve(1000, now_ns=0.0) == pytest.approx(1000.0)
+
+    def test_zero_bytes_is_free(self):
+        bus = MemoryBus(1e9)
+        assert bus.reserve(0, 0.0) == 0.0
+        assert bus.bytes_copied == 0
+
+    def test_concurrent_copies_serialise(self):
+        bus = MemoryBus(1e9)
+        first = bus.reserve(1000, now_ns=0.0)
+        second = bus.reserve(1000, now_ns=0.0)
+        assert first == pytest.approx(1000.0)
+        assert second == pytest.approx(2000.0)
+
+    def test_bus_frees_up_over_time(self):
+        bus = MemoryBus(1e9)
+        bus.reserve(1000, now_ns=0.0)
+        # By t=5000 the earlier copy has long finished.
+        assert bus.reserve(1000, now_ns=5000.0) == pytest.approx(1000.0)
+
+    def test_bytes_accounting(self):
+        bus = MemoryBus(1e9)
+        bus.reserve(100, 0.0)
+        bus.reserve(200, 0.0)
+        assert bus.bytes_copied == 300
+
+
+class TestMachine:
+    def test_two_numa_nodes_by_default(self, sim):
+        machine = Machine(sim)
+        assert len(machine.nodes) == 2
+        assert machine.node0.index == 0
+        assert machine.node1.index == 1
+
+    def test_nodes_have_independent_buses(self, sim):
+        machine = Machine(sim)
+        assert machine.node0.bus is not machine.node1.bus
+
+    def test_single_node_machine_has_no_node1(self, sim):
+        machine = Machine(sim, nodes=1)
+        with pytest.raises(ValueError):
+            _ = machine.node1
+
+    def test_zero_nodes_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Machine(sim, nodes=0)
+
+    def test_add_core_registers_and_names(self, sim):
+        machine = Machine(sim)
+        core = machine.node0.add_core("sut")
+        assert core in machine.node0.cores
+        assert core.name == "numa0/sut"
+
+    def test_node_accepts_custom_bus(self, sim):
+        bus = MemoryBus(5e9)
+        node = NumaNode(sim, 7, bus=bus)
+        assert node.bus is bus

@@ -1,0 +1,178 @@
+"""Unit tests for the OpenFlow table and the mini-P4 compiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.packet import Packet
+from repro.switches.openflow import FlowMatch, FlowRule, OpenFlowTable
+from repro.switches.p4 import (
+    L2FWD_PROGRAM,
+    L3FWD_PROGRAM,
+    MatchKind,
+    P4Program,
+    P4TableSpec,
+    compile_program,
+)
+from repro.switches.params import T4P4S_STAGES
+from repro.switches.t4p4s import T4P4S
+
+
+class TestFlowMatch:
+    def test_wildcard_matches_everything(self):
+        assert FlowMatch().matches(Packet(), in_port=3)
+
+    def test_exact_fields(self):
+        match = FlowMatch(in_port=1, dst_mac=0xAB)
+        assert match.matches(Packet(dst_mac=0xAB), in_port=1)
+        assert not match.matches(Packet(dst_mac=0xAB), in_port=2)
+        assert not match.matches(Packet(dst_mac=0xCD), in_port=1)
+
+    def test_wildcard_count(self):
+        assert FlowMatch().wildcard_count == 4
+        assert FlowMatch(in_port=1, flow_id=2).wildcard_count == 2
+
+
+class TestFlowRule:
+    def test_output_action(self):
+        rule = FlowRule(FlowMatch(), "output:3")
+        assert rule.output_port == 3
+
+    def test_drop_action(self):
+        assert FlowRule(FlowMatch(), "drop").output_port is None
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(ValueError):
+            FlowRule(FlowMatch(), "flood")
+
+
+class TestOpenFlowTable:
+    def test_priority_ordering(self):
+        table = OpenFlowTable()
+        table.add_rule(FlowRule(FlowMatch(), "output:1", priority=0))
+        table.add_rule(FlowRule(FlowMatch(dst_mac=0xAB), "output:2", priority=10))
+        hit = table.lookup(Packet(dst_mac=0xAB), in_port=0)
+        assert hit.output_port == 2  # specific high-priority rule wins
+
+    def test_fallthrough_to_low_priority(self):
+        table = OpenFlowTable()
+        table.add_rule(FlowRule(FlowMatch(dst_mac=0xAB), "output:2", priority=10))
+        table.add_rule(FlowRule(FlowMatch(), "output:1", priority=0))
+        assert table.lookup(Packet(dst_mac=0xCD), in_port=0).output_port == 1
+
+    def test_miss_counted(self):
+        table = OpenFlowTable()
+        table.add_rule(FlowRule(FlowMatch(dst_mac=0xAB), "output:1"))
+        assert table.lookup(Packet(dst_mac=0xCD), in_port=0) is None
+        assert table.misses == 1
+
+    def test_per_rule_statistics(self):
+        table = OpenFlowTable()
+        rule = FlowRule(FlowMatch(), "output:1")
+        table.add_rule(rule)
+        table.lookup(Packet(size=100), 0)
+        table.lookup(Packet(size=200), 0)
+        assert rule.n_packets == 2
+        assert rule.n_bytes == 300
+
+    def test_megaflow_unwildcards_inspected_fields(self):
+        table = OpenFlowTable()
+        table.add_rule(FlowRule(FlowMatch(dst_mac=0xAB), "output:1"))
+        packet = Packet(dst_mac=0xAB, flow_id=7)
+        rule = table.lookup(packet, 0)
+        megaflow = table.derive_megaflow(packet, 0, rule)
+        assert megaflow.dst_mac == 0xAB   # constrained by some rule
+        assert megaflow.flow_id is None   # nothing matches on flow_id
+        assert megaflow.in_port is None
+
+    def test_dump_flows_format(self):
+        table = OpenFlowTable()
+        table.add_rule(FlowRule(FlowMatch(in_port=1), "output:2", priority=5))
+        dump = table.dump_flows()
+        assert len(dump) == 1
+        assert "in_port=1" in dump[0]
+        assert "actions=output:2" in dump[0]
+
+
+class TestP4Compiler:
+    def test_l2fwd_compiles_to_calibrated_stages(self):
+        compiled = compile_program(L2FWD_PROGRAM)
+        for stage, cost in compiled.stage_table().items():
+            assert cost.per_packet == pytest.approx(T4P4S_STAGES[stage].per_packet), stage
+            assert cost.per_byte == pytest.approx(T4P4S_STAGES[stage].per_byte), stage
+
+    def test_more_headers_cost_more_parse(self):
+        l2 = compile_program(L2FWD_PROGRAM)
+        l3 = compile_program(L3FWD_PROGRAM)
+        assert l3.parse.per_packet > l2.parse.per_packet
+
+    def test_fancier_matches_cost_more(self):
+        exact = P4Program("a", ("ethernet",), (P4TableSpec("t", "f"),))
+        lpm = P4Program(
+            "b", ("ethernet",), (P4TableSpec("t", "f", match_kind=MatchKind.LPM),)
+        )
+        assert (
+            compile_program(lpm).match_action.per_packet
+            > compile_program(exact).match_action.per_packet
+        )
+
+    def test_table_size_term(self):
+        small = P4Program("a", ("ethernet",), (P4TableSpec("t", "f", max_entries=512),))
+        huge = P4Program("b", ("ethernet",), (P4TableSpec("t", "f", max_entries=1 << 20),))
+        assert (
+            compile_program(huge).match_action.per_packet
+            > compile_program(small).match_action.per_packet
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            P4Program("x", ("warpcore",), (P4TableSpec("t", "f"),))
+        with pytest.raises(ValueError):
+            P4Program("x", (), (P4TableSpec("t", "f"),))
+        with pytest.raises(ValueError):
+            P4Program("x", ("ethernet",), ())
+        with pytest.raises(ValueError):
+            P4TableSpec("t", "f", max_entries=0)
+        with pytest.raises(ValueError):
+            P4TableSpec("t", "f", actions=())
+
+    def test_t4p4s_default_equals_l2fwd_program(self):
+        default = T4P4S(Simulator())
+        programmed = T4P4S(Simulator(), program=L2FWD_PROGRAM)
+        assert programmed.params.proc.per_packet == pytest.approx(
+            default.params.proc.per_packet
+        )
+        assert programmed.pipeline_spec is not None
+
+    def test_t4p4s_l3fwd_is_slower(self):
+        l2 = T4P4S(Simulator(), program=L2FWD_PROGRAM)
+        l3 = T4P4S(Simulator(), program=L3FWD_PROGRAM)
+        assert l3.params.proc.per_packet > l2.params.proc.per_packet
+
+
+class TestOvsOpenFlowIntegration:
+    def test_upcall_populates_megaflows_and_rule_stats(self, sim):
+        from repro.cpu.cores import Core
+        from repro.nic.port import NicPort
+        from repro.switches.control import OvsCtl
+        from repro.switches.registry import create_switch
+
+        switch = create_switch("ovs-dpdk", sim)
+        p0, p1 = NicPort(sim, "p0"), NicPort(sim, "p1")
+        peer0, peer1 = NicPort(sim, "x0"), NicPort(sim, "x1")
+        p0.connect(peer0)
+        p1.connect(peer1)
+        ctl = OvsCtl(switch, {"dpdk0": p0, "dpdk1": p1})
+        ctl.vsctl("add-br br0")
+        ctl.vsctl("add-port br0 dpdk0")
+        ctl.vsctl("add-port br0 dpdk1")
+        ctl.ofctl_add_flow("br0", "in_port=1,actions=output:2")
+        switch.bind_core(Core(sim, "sut"))
+        peer1.sink = lambda pkts: None
+        p0.rx_ring.push_batch([Packet(flow_id=i) for i in range(5)])
+        sim.run_until(2_000_000)
+        assert switch.upcalls == 5
+        assert len(switch.megaflow_entries) == 5
+        assert len(switch.flow_table.dump_flows()) == 1
+        assert "n_packets=5" in switch.flow_table.dump_flows()[0]

@@ -1,0 +1,52 @@
+"""Unit tests for the packet model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import Packet, make_batch
+
+
+def test_default_packet_is_minimum_frame():
+    assert Packet().size == 64
+
+
+def test_runt_frame_rejected():
+    with pytest.raises(ValueError):
+        Packet(size=60)
+
+
+def test_sequence_numbers_are_unique_and_increasing():
+    a, b = Packet(), Packet()
+    assert b.seq > a.seq
+
+
+def test_latency_requires_both_stamps():
+    packet = Packet()
+    assert packet.latency_ns is None
+    packet.tx_timestamp = 100.0
+    assert packet.latency_ns is None
+    packet.rx_timestamp = 350.0
+    assert packet.latency_ns == pytest.approx(250.0)
+
+
+def test_make_batch_produces_one_flow():
+    batch = make_batch(8, size=256, t_created=123.0, flow_id=5)
+    assert len(batch) == 8
+    assert all(p.size == 256 for p in batch)
+    assert all(p.flow_id == 5 for p in batch)
+    assert all(p.t_created == 123.0 for p in batch)
+
+
+def test_make_batch_default_macs_match_forwarding_tables():
+    batch = make_batch(1, size=64, t_created=0.0)
+    # The t4p4s dmac table installs entries starting at this address.
+    assert batch[0].dst_mac == 0x02_00_00_00_00_02
+
+
+def test_packet_not_probe_by_default():
+    assert not Packet().is_probe
+
+
+def test_hops_counter_starts_at_zero():
+    assert Packet().hops == 0

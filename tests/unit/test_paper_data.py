@@ -1,0 +1,64 @@
+"""Unit tests: the recorded paper data is internally consistent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import paper_values as pv
+from repro.switches.registry import ALL_SWITCHES
+from repro.testbed import PLATFORM, VERSIONS
+
+
+class TestPaperValues:
+    def test_fig4_tables_cover_all_switches(self):
+        for table in (pv.FIG4A_P2P_UNI_64B, pv.FIG4A_P2P_BIDI_64B, pv.FIG4B_P2V_UNI_64B, pv.FIG4C_V2V_UNI_64B):
+            assert set(table) == set(ALL_SWITCHES)
+
+    def test_table3_covers_all_switches_and_scenarios(self):
+        assert set(pv.TABLE3) == set(ALL_SWITCHES)
+        for name, rows in pv.TABLE3.items():
+            assert set(rows) == {"p2p", 1, 2, 3, 4}, name
+            for scenario, cells in rows.items():
+                if cells is None:
+                    assert name == "bess" and scenario == 4  # the paper's '-'
+                else:
+                    assert len(cells) == 3
+
+    def test_table4_covers_all_switches(self):
+        assert set(pv.TABLE4) == set(ALL_SWITCHES)
+
+    def test_table4_verbatim_values(self):
+        # Spot-check against the paper's Table 4.
+        assert pv.TABLE4["vale"] == 21.0
+        assert pv.TABLE4["t4p4s"] == 70.0
+        assert pv.TABLE4["bess"] == 37.0
+
+    def test_table3_verbatim_values(self):
+        # Spot-check the most-quoted cells.
+        assert pv.TABLE3["t4p4s"][4] == (548, 228, 7275)
+        assert pv.TABLE3["fastclick"][4][0] == 978
+        assert pv.TABLE3["bess"]["p2p"] == (4.0, 4.6, 6.4)
+
+    def test_vale_v2v_ratio_consistent(self):
+        # 35 Gbps at 64% of unidirectional -> uni ~54.7 Gbps.
+        implied_uni = pv.VALE_V2V_BIDI_1024B / pv.VALE_V2V_BIDI_RATIO
+        assert implied_uni == pytest.approx(54.7, abs=0.1)
+
+    def test_loopback_findings_is_nonempty_prose(self):
+        assert len(pv.LOOPBACK_FINDINGS) >= 5
+        assert all(isinstance(f, str) and f for f in pv.LOOPBACK_FINDINGS)
+
+
+class TestPlatformSpec:
+    def test_platform_matches_sec_5_1(self):
+        assert "E5-2690 v3" in PLATFORM.cpu
+        assert "82599" in PLATFORM.nics
+        assert PLATFORM.numa_nodes == 2
+        assert "QEMU 2.5.0" in PLATFORM.hypervisor
+
+    def test_versions_cover_all_switches(self):
+        assert set(VERSIONS.versions) == set(ALL_SWITCHES)
+
+    def test_versions_verbatim(self):
+        assert VERSIONS.versions["vpp"] == "19.04"
+        assert VERSIONS.versions["ovs-dpdk"] == "2.11.90"

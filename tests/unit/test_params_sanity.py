@@ -1,0 +1,129 @@
+"""Sanity invariants over the calibrated parameter set.
+
+These guard the calibration against accidental edits: every constraint
+here traces to a claim in the paper or to physical sense.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.cores import DEFAULT_FREQ_HZ
+from repro.core.units import line_rate_pps
+from repro.switches.params import ALL_PARAMS
+
+
+@pytest.fixture(params=sorted(ALL_PARAMS))
+def params(request):
+    return ALL_PARAMS[request.param]
+
+
+class TestPhysicalSanity:
+    def test_costs_nonnegative(self, params):
+        for cost in (params.nic_rx, params.nic_tx, params.proc):
+            assert cost.per_batch >= 0
+            assert cost.per_packet >= 0
+            assert cost.per_byte >= 0
+
+    def test_vif_costs_nonnegative(self, params):
+        for cost in (
+            params.vif_costs.host_tx,
+            params.vif_costs.host_rx,
+            params.vif_costs.guest_tx,
+            params.vif_costs.guest_rx,
+        ):
+            assert cost.per_packet >= 0 and cost.per_byte >= 0
+
+    def test_batch_size_sane(self, params):
+        assert 1 <= params.batch_size <= 512
+
+    def test_ring_sizes_are_powers_of_two(self, params):
+        for slots in (params.nic_rx_slots, params.nic_tx_slots, params.vring_slots):
+            assert slots & (slots - 1) == 0, slots
+
+    def test_jitter_bounded(self, params):
+        assert 0 <= params.jitter_sigma < 1.0
+        assert 0 <= params.jitter_sigma_vif < 1.0
+
+    def test_bidir_penalty_is_mild(self, params):
+        assert 1.0 <= params.bidir_vif_penalty <= 1.5
+
+
+class TestPaperConstraints:
+    def test_no_switch_exceeds_line_rate_by_much_at_64b(self, params):
+        """p2p capacity should be of testbed magnitude (not 100x off)."""
+        per_packet = (
+            params.nic_rx.cycles_per_packet(64, params.batch_size)
+            + params.proc.cycles_per_packet(64, params.batch_size)
+            + params.nic_tx.cycles_per_packet(64, params.batch_size)
+        )
+        capacity = DEFAULT_FREQ_HZ / per_packet
+        assert 0.25 * line_rate_pps(64) < capacity < 4 * line_rate_pps(64)
+
+    def test_only_vale_is_interrupt_driven(self):
+        interrupt = {name for name, p in ALL_PARAMS.items() if p.interrupt_driven}
+        assert interrupt == {"vale"}
+
+    def test_moderation_only_with_interrupts(self, params):
+        if params.rx_moderation_ns is not None:
+            assert params.interrupt_driven
+
+    def test_only_snabb_is_pipeline(self):
+        pipeline = {name for name, p in ALL_PARAMS.items() if p.pipeline}
+        assert pipeline == {"snabb"}
+
+    def test_only_bess_has_vm_limit(self):
+        limited = {name for name, p in ALL_PARAMS.items() if p.max_vms is not None}
+        assert limited == {"bess"}
+
+    def test_vpp_vhost_rx_penalty(self):
+        """Sec. 5.2's reversed-path finding, encoded asymmetrically."""
+        costs = ALL_PARAMS["vpp"].vif_costs
+        assert costs.host_rx.per_packet > costs.host_tx.per_packet
+
+    def test_snabb_nic_rx_beats_its_vhost(self):
+        """Sec. 5.2: Snabb's v2v beats its p2v, so its NIC path must cost
+        more than its vhost path at 64B."""
+        params = ALL_PARAMS["snabb"]
+        assert params.nic_rx.per_packet > params.vif_costs.host_tx.cycles_per_packet(64, 10**9)
+
+    def test_vale_copies_per_byte(self):
+        assert ALL_PARAMS["vale"].proc.per_byte > 0
+
+    def test_vale_ptnet_is_zero_copy(self):
+        assert ALL_PARAMS["vale"].vif_costs.host_copy_factor == 0.0
+
+    def test_vhost_switches_copy(self):
+        for name, params in ALL_PARAMS.items():
+            if name != "vale":
+                assert params.vif_costs.host_copy_factor == 1.0, name
+
+    def test_fastclick_table2_rings(self):
+        assert ALL_PARAMS["fastclick"].nic_rx_slots == 4096
+
+    def test_t4p4s_strict_batching_only(self):
+        waiting = {name for name, p in ALL_PARAMS.items() if p.batch_wait_ns is not None}
+        assert waiting == {"t4p4s"}
+
+    def test_drain_timers_only_where_documented(self):
+        draining = {name for name, p in ALL_PARAMS.items() if p.tx_drain_ns is not None}
+        assert draining == {"fastclick", "snabb"}
+
+    @staticmethod
+    def _p2p_hop_cycles(params):
+        return (
+            params.nic_rx.cycles_per_packet(64, params.batch_size)
+            + params.proc.cycles_per_packet(64, params.batch_size)
+            + params.nic_tx.cycles_per_packet(64, params.batch_size)
+        )
+
+    def test_bess_has_the_cheapest_p2p_hop(self):
+        """Fig. 4a: BESS tops the p2p ranking."""
+        costs = {name: self._p2p_hop_cycles(p) for name, p in ALL_PARAMS.items()}
+        assert min(costs, key=costs.get) == "bess"
+
+    def test_vale_and_t4p4s_have_the_costliest_p2p_hops(self):
+        """Fig. 4a: VALE and t4p4s share the bottom at ~5.6 Gbps."""
+        costs = {name: self._p2p_hop_cycles(p) for name, p in ALL_PARAMS.items()}
+        worst_two = sorted(costs, key=costs.get)[-2:]
+        assert set(worst_two) == {"vale", "t4p4s"}

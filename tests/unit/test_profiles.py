@@ -1,0 +1,124 @@
+"""Unit tests for traffic profiles (size mixes and flow structures)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.units import line_rate_pps
+from repro.traffic.profiles import (
+    DATACENTER,
+    IMIX,
+    PROFILES,
+    SINGLE_FLOW,
+    FlowProfile,
+    SizeProfile,
+    fixed,
+)
+
+
+class TestSizeProfile:
+    def test_fixed_profile(self):
+        profile = fixed(256)
+        assert profile.mean_size == 256
+        assert profile.line_rate_pps() == pytest.approx(line_rate_pps(256))
+
+    def test_imix_mean(self):
+        # 7*64 + 4*594 + 1*1518 over 12 packets.
+        expected = (7 * 64 + 4 * 594 + 1 * 1518) / 12
+        assert IMIX.mean_size == pytest.approx(expected)
+
+    def test_datacenter_mean_near_cited_850b(self):
+        # The paper cites an ~850 B average for data centres (Sec. 5.2).
+        assert 700 < DATACENTER.mean_size < 900
+
+    def test_probabilities_sum_to_one(self):
+        for profile in PROFILES.values():
+            assert profile.probabilities.sum() == pytest.approx(1.0)
+
+    def test_sample_respects_support(self):
+        rng = np.random.default_rng(0)
+        draws = IMIX.sample(rng, 1000)
+        assert set(np.unique(draws)) <= set(IMIX.sizes)
+
+    def test_sample_frequencies_match_weights(self):
+        rng = np.random.default_rng(1)
+        draws = IMIX.sample(rng, 20_000)
+        frac_64 = float(np.mean(draws == 64))
+        assert frac_64 == pytest.approx(7 / 12, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SizeProfile("bad", sizes=(64,), weights=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            SizeProfile("bad", sizes=(), weights=())
+        with pytest.raises(ValueError):
+            SizeProfile("bad", sizes=(32,), weights=(1.0,))
+        with pytest.raises(ValueError):
+            SizeProfile("bad", sizes=(64,), weights=(0.0,))
+
+    def test_line_rate_below_min_frame_rate(self):
+        # A mix's pps saturation sits between its extremes'.
+        assert line_rate_pps(1518) < IMIX.line_rate_pps() < line_rate_pps(64)
+
+
+class TestFlowProfile:
+    def test_single_flow(self):
+        rng = np.random.default_rng(0)
+        assert set(SINGLE_FLOW.sample(rng, 100)) == {0}
+
+    def test_uniform_flows_cover_range(self):
+        rng = np.random.default_rng(0)
+        profile = FlowProfile("u", flow_count=8)
+        draws = profile.sample(rng, 5000)
+        assert set(np.unique(draws)) == set(range(8))
+
+    def test_zipf_is_skewed(self):
+        rng = np.random.default_rng(0)
+        profile = FlowProfile("z", flow_count=100, zipf_alpha=1.2)
+        draws = profile.sample(rng, 20_000)
+        counts = np.bincount(draws, minlength=100)
+        assert counts[0] > 5 * counts[50]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowProfile("bad", flow_count=0)
+        with pytest.raises(ValueError):
+            FlowProfile("bad", flow_count=1, zipf_alpha=-1)
+
+
+class TestGeneratorIntegration:
+    def test_paced_source_with_size_profile(self, sim):
+        from repro.traffic.generator import PacedSource
+
+        class Recorder(PacedSource):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.emitted = []
+
+            def _emit(self, batch):
+                self.emitted.extend(batch)
+
+        src = Recorder(sim, rate_pps=10e6, frame_size=64, size_profile=IMIX)
+        src.start(0.0)
+        sim.run_until(100_000)
+        sizes = {p.size for p in src.emitted}
+        assert sizes <= set(IMIX.sizes)
+        assert len(sizes) > 1
+
+    def test_paced_source_with_flow_profile(self, sim):
+        from repro.traffic.generator import PacedSource
+
+        class Recorder(PacedSource):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.emitted = []
+
+            def _emit(self, batch):
+                self.emitted.extend(batch)
+
+        profile = FlowProfile("u", flow_count=16)
+        src = Recorder(sim, rate_pps=10e6, frame_size=64, flow_profile=profile)
+        src.start(0.0)
+        sim.run_until(100_000)
+        assert len({p.flow_id for p in src.emitted}) > 4

@@ -1,0 +1,67 @@
+"""Unit tests for the switch registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.switches.base import SoftwareSwitch
+from repro.switches.params import ALL_PARAMS, SwitchParams
+from repro.switches.registry import (
+    ALL_SWITCHES,
+    create_switch,
+    params_for,
+    register_switch,
+    switch_names,
+)
+
+
+def test_all_switches_instantiable(sim):
+    for name in switch_names():
+        switch = create_switch(name, sim)
+        assert isinstance(switch, SoftwareSwitch)
+        assert switch.params.name == name
+
+
+def test_unknown_switch_rejected(sim):
+    with pytest.raises(KeyError, match="unknown switch"):
+        create_switch("openflow9000", sim)
+    with pytest.raises(KeyError, match="unknown switch"):
+        params_for("openflow9000")
+
+
+def test_params_for_matches_all_params():
+    for name in ALL_SWITCHES:
+        assert params_for(name) is ALL_PARAMS[name]
+
+
+def test_custom_params_override(sim):
+    custom = SwitchParams(name="vpp", display_name="VPP", batch_size=64)
+    switch = create_switch("vpp", sim, params=custom)
+    assert switch.params.batch_size == 64
+
+
+def test_register_custom_switch(sim):
+    params = SwitchParams(name="mysw-test", display_name="MySW")
+
+    class MySwitch(SoftwareSwitch):
+        def __init__(self, sim, rngs=None, bus=None, params=params):
+            super().__init__(sim, params, rngs=rngs, bus=bus)
+    register_switch("mysw-test", MySwitch, params)
+    try:
+        switch = create_switch("mysw-test", sim)
+        assert isinstance(switch, MySwitch)
+        assert params_for("mysw-test") is params
+        with pytest.raises(ValueError):
+            register_switch("mysw-test", MySwitch, params)
+    finally:
+        # Leave the global registry clean for other tests.
+        from repro.switches import registry
+
+        registry._FACTORIES.pop("mysw-test")
+        ALL_PARAMS.pop("mysw-test")
+
+
+def test_duplicate_builtin_rejected():
+    with pytest.raises(ValueError):
+        register_switch("vpp", lambda *a, **k: None, ALL_PARAMS["vpp"])

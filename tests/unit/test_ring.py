@@ -1,0 +1,98 @@
+"""Unit tests for descriptor rings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.core.ring import Ring
+
+
+def _pkts(n):
+    return [Packet() for _ in range(n)]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Ring(0)
+
+
+def test_fifo_order():
+    ring = Ring(10)
+    packets = _pkts(5)
+    ring.push_batch(packets)
+    assert ring.pop_batch(5) == packets
+
+
+def test_drop_on_overflow():
+    ring = Ring(3)
+    accepted = ring.push_batch(_pkts(5))
+    assert accepted == 3
+    assert ring.dropped == 2
+    assert len(ring) == 3
+
+
+def test_enqueued_counts_only_accepted():
+    ring = Ring(2)
+    ring.push_batch(_pkts(5))
+    assert ring.enqueued == 2
+
+
+def test_pop_more_than_available():
+    ring = Ring(10)
+    ring.push_batch(_pkts(3))
+    assert len(ring.pop_batch(100)) == 3
+    assert len(ring) == 0
+
+
+def test_pop_from_empty():
+    assert Ring(4).pop_batch(8) == []
+
+
+def test_free_slots():
+    ring = Ring(4)
+    ring.push(Packet())
+    assert ring.free == 3
+
+
+def test_on_push_fires_only_on_empty_to_nonempty():
+    wakes = []
+    ring = Ring(8, on_push=lambda: wakes.append(True))
+    ring.push(Packet())      # empty -> nonempty: interrupt
+    ring.push(Packet())      # already nonempty: coalesced
+    assert len(wakes) == 1
+    ring.pop_batch(2)
+    ring.push(Packet())      # empty again: new interrupt
+    assert len(wakes) == 2
+
+
+def test_on_push_not_fired_for_dropped_packet():
+    wakes = []
+    ring = Ring(1, on_push=lambda: wakes.append(True))
+    ring.push(Packet())
+    ring.push(Packet())  # dropped
+    assert len(wakes) == 1
+
+
+def test_peek_len_does_not_dequeue():
+    ring = Ring(4)
+    ring.push_batch(_pkts(2))
+    assert ring.peek_len() == 2
+    assert len(ring) == 2
+
+
+def test_clear():
+    ring = Ring(4)
+    ring.push_batch(_pkts(4))
+    ring.clear()
+    assert len(ring) == 0
+    # counters survive a clear (they are cumulative statistics)
+    assert ring.enqueued == 4
+
+
+def test_capacity_enforced_after_drain():
+    ring = Ring(2)
+    ring.push_batch(_pkts(2))
+    ring.pop_batch(2)
+    assert ring.push(Packet())
+    assert ring.dropped == 0

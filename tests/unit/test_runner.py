@@ -1,0 +1,60 @@
+"""Unit tests for the measurement runner's result records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import LatencySample
+from repro.measure.runner import RunResult
+
+
+def test_aggregate_gbps_sums_directions():
+    result = RunResult(
+        scenario="p2p",
+        switch="vpp",
+        frame_size=64,
+        bidirectional=True,
+        duration_ns=1e6,
+        per_direction_gbps=[5.0, 4.5],
+        per_direction_mpps=[7.4, 6.7],
+    )
+    assert result.gbps == pytest.approx(9.5)
+    assert result.mpps == pytest.approx(14.1)
+
+
+def test_unidirectional_single_entry():
+    result = RunResult(
+        scenario="p2v",
+        switch="vale",
+        frame_size=256,
+        bidirectional=False,
+        duration_ns=1e6,
+        per_direction_gbps=[9.9],
+        per_direction_mpps=[4.4],
+    )
+    assert result.gbps == pytest.approx(9.9)
+
+
+def test_empty_directions_zero():
+    result = RunResult(
+        scenario="x", switch="y", frame_size=64, bidirectional=False, duration_ns=1.0
+    )
+    assert result.gbps == 0.0
+    assert result.mpps == 0.0
+
+
+def test_latency_field_defaults_none():
+    result = RunResult(
+        scenario="x", switch="y", frame_size=64, bidirectional=False, duration_ns=1.0
+    )
+    assert result.latency is None
+
+
+def test_latency_sample_attachable():
+    sample = LatencySample()
+    sample.add(5_000.0)
+    result = RunResult(
+        scenario="x", switch="y", frame_size=64, bidirectional=False,
+        duration_ns=1.0, latency=sample,
+    )
+    assert result.latency.mean_us == pytest.approx(5.0)

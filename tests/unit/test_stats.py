@@ -1,0 +1,113 @@
+"""Unit tests for statistics accumulators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.stats import LatencySample, RateMeter, RunningStats
+from repro.core.units import line_rate_pps
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert math.isnan(stats.mean)
+
+    def test_single_value(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+
+    def test_matches_numpy(self):
+        values = [3.0, 1.5, 4.25, -2.0, 9.0, 0.0]
+        stats = RunningStats()
+        for value in values:
+            stats.add(value)
+        assert stats.mean == pytest.approx(np.mean(values))
+        assert stats.std == pytest.approx(np.std(values, ddof=1))
+        assert stats.min == min(values)
+        assert stats.max == max(values)
+
+
+class TestLatencySample:
+    def test_mean_std_in_microseconds(self):
+        sample = LatencySample()
+        for rtt_ns in (1000.0, 3000.0, 5000.0):
+            sample.add(rtt_ns)
+        assert sample.mean_us == pytest.approx(3.0)
+        assert sample.std_us == pytest.approx(2.0)
+        assert sample.min_us == pytest.approx(1.0)
+        assert sample.max_us == pytest.approx(5.0)
+
+    def test_percentiles_match_numpy(self):
+        sample = LatencySample()
+        values = [float(v) for v in range(1, 101)]
+        for value in values:
+            sample.add(value)
+        for q in (0, 25, 50, 90, 99, 100):
+            assert sample.percentile_us(q) == pytest.approx(
+                np.percentile(values, q) / 1e3
+            )
+
+    def test_percentile_bounds(self):
+        sample = LatencySample()
+        sample.add(1.0)
+        with pytest.raises(ValueError):
+            sample.percentile_us(101)
+
+    def test_empty_percentile_is_nan(self):
+        assert math.isnan(LatencySample().percentile_us(50))
+
+    def test_len(self):
+        sample = LatencySample()
+        sample.add(1.0)
+        sample.add(2.0)
+        assert len(sample) == 2
+
+
+class TestRateMeter:
+    def test_warmup_packets_excluded(self):
+        meter = RateMeter(frame_size_hint=64)
+        meter.open_window(1000.0)
+        meter.close_window(2000.0)
+        meter.record(500.0, 64)    # warm-up
+        meter.record(1500.0, 64)   # measured
+        meter.record(2500.0, 64)   # after close
+        assert meter.packets == 1
+        assert meter.warmup_packets == 2
+
+    def test_pps_and_gbps(self):
+        meter = RateMeter(frame_size_hint=64)
+        meter.open_window(0.0)
+        meter.close_window(1_000_000.0)  # 1 ms
+        for i in range(1000):
+            meter.record(i * 1000.0, 64)
+        assert meter.pps == pytest.approx(1e6)
+        assert meter.gbps() == pytest.approx(1e6 * 84 * 8 / 1e9)
+
+    def test_line_rate_normalises_to_10gbps(self):
+        meter = RateMeter(frame_size_hint=64)
+        meter.open_window(0.0)
+        duration = 1_000_000.0
+        meter.close_window(duration)
+        n = int(line_rate_pps(64) * duration / 1e9)
+        for i in range(n):
+            meter.record(i * duration / n, 64)
+        assert meter.gbps() == pytest.approx(10.0, rel=1e-3)
+
+    def test_gbps_requires_frame_size(self):
+        meter = RateMeter()
+        meter.open_window(0.0)
+        meter.close_window(1000.0)
+        with pytest.raises(ValueError):
+            meter.gbps()
+
+    def test_no_window_means_nan(self):
+        meter = RateMeter(frame_size_hint=64)
+        assert math.isnan(meter.pps)
+        assert math.isnan(meter.duration_ns)

@@ -1,0 +1,217 @@
+"""Unit tests for the switch framework (base class mechanisms)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.cpu.cores import Core
+from repro.nic.port import NicPort
+from repro.switches.base import SoftwareSwitch
+from repro.switches.params import SwitchParams
+from repro.vif.vhost_user import make_vhost_user_interface
+
+
+def make_params(**overrides):
+    return SwitchParams(name="testsw", display_name="TestSW", **overrides)
+
+
+def wire_p2p(sim, params):
+    """A minimal p2p testbed around a bare SoftwareSwitch."""
+    switch = SoftwareSwitch(sim, params)
+    gen0, gen1 = NicPort(sim, "g0"), NicPort(sim, "g1")
+    sut0, sut1 = NicPort(sim, "s0"), NicPort(sim, "s1")
+    gen0.connect(sut0)
+    gen1.connect(sut1)
+    a0 = switch.attach_phy(sut0)
+    a1 = switch.attach_phy(sut1)
+    switch.add_path(a0, a1)
+    core = Core(sim, "sut")
+    switch.bind_core(core)
+    return switch, gen0, gen1, sut0, core
+
+
+def test_attach_phy_applies_ring_provisioning(sim):
+    params = make_params(nic_rx_slots=4096, nic_tx_slots=2048)
+    switch = SoftwareSwitch(sim, params)
+    port = NicPort(sim, "p")
+    switch.attach_phy(port)
+    assert port.rx_ring.capacity == 4096
+    assert port.tx_slots == 2048
+
+
+def test_attach_phy_sets_moderation_for_interrupt_switches(sim):
+    params = make_params(interrupt_driven=True, rx_moderation_ns=30_000.0)
+    switch = SoftwareSwitch(sim, params)
+    port = NicPort(sim, "p")
+    switch.attach_phy(port)
+    assert port.rx_moderation_ns == 30_000.0
+
+
+def test_forwarding_end_to_end(sim):
+    switch, gen0, gen1, _, _ = wire_p2p(sim, make_params(jitter_sigma=0.0))
+    received = []
+    gen1.sink = received.extend
+    gen0.send_batch([Packet() for _ in range(10)])
+    sim.run_until(1_000_000)
+    assert len(received) == 10
+    assert switch.total_forwarded == 10
+    assert all(p.hops == 1 for p in received)
+
+
+def test_processing_delays_output(sim):
+    # per-packet cost of 2600 cycles == 1 us at 2.6 GHz
+    params = make_params(proc=type(make_params().proc)(per_batch=0, per_packet=2600.0), jitter_sigma=0.0)
+    switch, gen0, gen1, _, _ = wire_p2p(sim, params)
+    arrival = []
+    gen1.sink = lambda pkts: arrival.append(sim.now)
+    gen0.send_batch([Packet()])
+    sim.run_until(1_000_000)
+    # wire + pcie + >=1us processing + wire
+    assert arrival[0] > 1_000.0
+
+
+def test_bidirectional_paths_detected(sim):
+    switch = SoftwareSwitch(sim, make_params())
+    v1 = switch.attach_vif(make_vhost_user_interface("v1"))
+    v2 = switch.attach_vif(make_vhost_user_interface("v2"))
+    forward = switch.add_path(v1, v2)
+    assert not forward.bidir_vif
+    reverse = switch.add_path(v2, v1)
+    assert forward.bidir_vif and reverse.bidir_vif
+
+
+def test_unrelated_paths_not_marked_bidirectional(sim):
+    switch = SoftwareSwitch(sim, make_params())
+    v1 = switch.attach_vif(make_vhost_user_interface("v1"))
+    v2 = switch.attach_vif(make_vhost_user_interface("v2"))
+    v3 = switch.attach_vif(make_vhost_user_interface("v3"))
+    p1 = switch.add_path(v1, v2)
+    p2 = switch.add_path(v2, v3)
+    assert not p1.bidir_vif and not p2.bidir_vif
+
+
+def test_jitter_sigma_adds_vif_component(sim):
+    params = make_params(jitter_sigma=0.1, jitter_sigma_vif=0.4)
+    switch = SoftwareSwitch(sim, params)
+    phy = switch.attach_phy(NicPort(sim, "p"))
+    vif = switch.attach_vif(make_vhost_user_interface("v"))
+    phy2 = switch.attach_phy(NicPort(sim, "p2"))
+    vif_path = switch.add_path(phy, vif)
+    phy_path = switch.add_path(phy2, phy)
+    assert vif_path.jitter.sigma == pytest.approx(0.5)
+    assert phy_path.jitter.sigma == pytest.approx(0.1)
+
+
+def test_vif_jitter_period_override(sim):
+    params = make_params(jitter_period_ns=50_000.0, jitter_period_vif_ns=400_000.0)
+    switch = SoftwareSwitch(sim, params)
+    phy = switch.attach_phy(NicPort(sim, "p"))
+    vif = switch.attach_vif(make_vhost_user_interface("v"))
+    assert switch.add_path(phy, vif).jitter.period_ns == 400_000.0
+    assert switch.add_path(phy, phy).jitter.period_ns == 50_000.0
+
+
+def test_batch_wait_holds_partial_batches(sim):
+    params = make_params(batch_wait_ns=20_000.0, batch_size=32, jitter_sigma=0.0)
+    switch, gen0, gen1, _, _ = wire_p2p(sim, params)
+    arrivals = []
+    gen1.sink = lambda pkts: arrivals.append((sim.now, len(pkts)))
+    gen0.send_batch([Packet() for _ in range(4)])
+    sim.run_until(500_000)
+    assert len(arrivals) == 1
+    # Released only after the batch-wait timeout expired.
+    assert arrivals[0][0] >= 20_000.0
+
+
+def test_batch_wait_skipped_for_full_batches(sim):
+    params = make_params(batch_wait_ns=20_000.0, batch_size=8, jitter_sigma=0.0)
+    switch, gen0, gen1, _, _ = wire_p2p(sim, params)
+    arrivals = []
+    gen1.sink = lambda pkts: arrivals.append(sim.now)
+    gen0.send_batch([Packet() for _ in range(8)])
+    sim.run_until(500_000)
+    assert arrivals and arrivals[0] < 10_000.0
+
+
+def test_tx_drain_buffers_vif_output(sim):
+    params = make_params(tx_drain_ns=30_000.0, tx_drain_burst=16, jitter_sigma=0.0)
+    switch = SoftwareSwitch(sim, params)
+    gen = NicPort(sim, "g")
+    sut = NicPort(sim, "s")
+    gen.connect(sut)
+    vif = make_vhost_user_interface("v")
+    phy = switch.attach_phy(sut)
+    virt = switch.attach_vif(vif)
+    switch.add_path(phy, virt)
+    switch.bind_core(Core(sim, "sut"))
+    gen.send_batch([Packet() for _ in range(4)])
+    sim.run_until(15_000)
+    assert len(vif.to_guest) == 0  # buffered below drain burst
+    sim.run_until(200_000)
+    assert len(vif.to_guest) == 4  # flushed on timeout
+
+
+def test_tx_drain_flushes_on_burst(sim):
+    params = make_params(tx_drain_ns=1_000_000.0, tx_drain_burst=8, batch_size=8, jitter_sigma=0.0)
+    switch = SoftwareSwitch(sim, params)
+    gen = NicPort(sim, "g")
+    sut = NicPort(sim, "s")
+    gen.connect(sut)
+    vif = make_vhost_user_interface("v")
+    switch.add_path(switch.attach_phy(sut), switch.attach_vif(vif))
+    switch.bind_core(Core(sim, "sut"))
+    gen.send_batch([Packet() for _ in range(8)])
+    sim.run_until(100_000)
+    assert len(vif.to_guest) == 8  # burst reached, no timeout needed
+
+
+def test_tx_drain_does_not_apply_to_phy_output(sim):
+    params = make_params(tx_drain_ns=1_000_000.0, tx_drain_burst=32, jitter_sigma=0.0)
+    switch, gen0, gen1, _, _ = wire_p2p(sim, params)
+    received = []
+    gen1.sink = received.extend
+    gen0.send_batch([Packet()])
+    sim.run_until(100_000)
+    assert len(received) == 1  # NIC outputs are never drain-buffered
+
+
+def test_pipeline_staging_adds_one_breath(sim):
+    params = make_params(pipeline=True, jitter_sigma=0.0)
+    switch, gen0, gen1, _, _ = wire_p2p(sim, params)
+    received = []
+    gen1.sink = received.extend
+    gen0.send_batch([Packet() for _ in range(4)])
+    sim.run_until(1_000_000)
+    assert len(received) == 4
+    assert switch.paths[0].forwarded == 4
+
+
+def test_overload_factor_kicks_in_at_threshold(sim):
+    params = make_params(thrash_attachments=3, thrash_factor=4.0)
+    switch = SoftwareSwitch(sim, params)
+    switch.attach_phy(NicPort(sim, "p1"))
+    switch.attach_phy(NicPort(sim, "p2"))
+    assert switch._overload_factor() == 1.0
+    switch.attach_vif(make_vhost_user_interface("v"))
+    assert switch._overload_factor() == 4.0
+
+
+def test_interrupt_switch_wakes_on_rx(sim):
+    params = make_params(interrupt_driven=True, interrupt_latency_ns=2_000.0, jitter_sigma=0.0)
+    switch, gen0, gen1, sut0, core = wire_p2p(sim, params)
+    received = []
+    gen1.sink = received.extend
+    sim.run_until(200_000)
+    assert core.sleeping
+    gen0.send_batch([Packet()])
+    sim.run_until(400_000)
+    assert len(received) == 1  # the wake actually happened
+
+
+def test_forwarded_counters_per_path(sim):
+    switch, gen0, gen1, _, _ = wire_p2p(sim, make_params(jitter_sigma=0.0))
+    gen1.sink = lambda pkts: None
+    gen0.send_batch([Packet() for _ in range(6)])
+    sim.run_until(100_000)
+    assert switch.paths[0].forwarded == 6

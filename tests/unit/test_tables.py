@@ -1,0 +1,66 @@
+"""Unit tests for the table/figure renderers."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import ascii_bars, format_series, format_table
+
+
+def test_format_table_basic():
+    out = format_table(["switch", "Gbps"], [["vpp", 10.0], ["vale", 5.56]])
+    lines = out.splitlines()
+    assert lines[0].startswith("switch")
+    assert "10.0" in out and "5.56" in out
+
+
+def test_format_table_title():
+    out = format_table(["a"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_format_table_none_renders_dash():
+    out = format_table(["a"], [[None]])
+    assert "-" in out.splitlines()[-1]
+
+
+def test_format_table_nan_renders_dash():
+    out = format_table(["a"], [[math.nan]])
+    assert out.splitlines()[-1].strip() == "-"
+
+
+def test_number_formatting_precision():
+    out = format_table(["v"], [[123.456], [12.345], [1.2345]])
+    assert "123" in out
+    assert "12.3" in out
+    assert "1.23" in out
+
+
+def test_columns_align():
+    out = format_table(["name", "x"], [["a", 1], ["long-name", 22]])
+    widths = {len(line) for line in out.splitlines()}
+    assert len(widths) == 1  # every row padded to the same width
+
+
+def test_format_series():
+    out = format_series("vale", [1, 2, 3], [10.0, 9.5, None])
+    assert out.startswith("vale:")
+    assert "1=10.0" in out
+    assert "3=-" in out
+
+
+def test_ascii_bars():
+    out = ascii_bars({"bess": 10.0, "vale": 5.0})
+    lines = out.splitlines()
+    assert len(lines) == 2
+    assert lines[0].count("#") > lines[1].count("#")
+    assert "Gbps" in lines[0]
+
+
+def test_ascii_bars_empty():
+    assert ascii_bars({}) == "(no data)"
+
+
+def test_ascii_bars_zero_values():
+    out = ascii_bars({"a": 0.0})
+    assert "0.00" in out

@@ -1,0 +1,96 @@
+"""Unit tests: taxonomy (Tables 1/2/5) consistency with the models."""
+
+from __future__ import annotations
+
+from repro.switches.params import ALL_PARAMS
+from repro.switches.registry import ALL_SWITCHES, params_for
+from repro.switches.taxonomy import (
+    PIPELINE_SWITCHES,
+    TAXONOMY,
+    TUNINGS,
+    USE_CASES,
+    Architecture,
+    Paradigm,
+    ProcessingModel,
+    Reprogrammability,
+)
+
+
+def test_every_registered_switch_has_a_taxonomy_row():
+    assert set(TAXONOMY) == set(ALL_SWITCHES)
+
+
+def test_every_switch_has_a_use_case_row():
+    assert set(USE_CASES) == set(ALL_SWITCHES)
+
+
+def test_seven_switches():
+    assert len(ALL_SWITCHES) == 7
+
+
+def test_snabb_is_the_only_pure_pipeline():
+    assert PIPELINE_SWITCHES == {"snabb"}
+
+
+def test_pipeline_taxonomy_matches_model_params():
+    for name in ALL_SWITCHES:
+        is_pipeline = TAXONOMY[name].processing_model is ProcessingModel.PIPELINE
+        assert params_for(name).pipeline == is_pipeline
+
+
+def test_ptnet_taxonomy_matches_interrupt_model():
+    # Only the netmap-based switch uses ptnet, and only it is
+    # interrupt-driven (Sec. 2.1).
+    for name in ALL_SWITCHES:
+        uses_ptnet = TAXONOMY[name].virtual_interface == "ptnet"
+        assert params_for(name).interrupt_driven == uses_ptnet
+    assert TAXONOMY["vale"].virtual_interface == "ptnet"
+
+
+def test_match_action_switches():
+    match_action = {
+        name for name, row in TAXONOMY.items() if row.paradigm is Paradigm.MATCH_ACTION
+    }
+    assert match_action == {"ovs-dpdk", "t4p4s"}
+
+
+def test_self_contained_switches():
+    self_contained = {
+        name
+        for name, row in TAXONOMY.items()
+        if row.architecture is Architecture.SELF_CONTAINED
+    }
+    assert self_contained == {"ovs-dpdk", "vpp", "vale", "t4p4s"}
+
+
+def test_reprogrammability_grades():
+    assert TAXONOMY["snabb"].reprogrammability is Reprogrammability.HIGH
+    assert TAXONOMY["bess"].reprogrammability is Reprogrammability.HIGH
+    assert TAXONOMY["vale"].reprogrammability is Reprogrammability.LOW
+    assert TAXONOMY["fastclick"].reprogrammability is Reprogrammability.LOW
+    assert TAXONOMY["vpp"].reprogrammability is Reprogrammability.MEDIUM
+
+
+def test_tunings_match_table2():
+    assert set(TUNINGS) == {"fastclick", "t4p4s", "vale"}
+
+
+def test_fastclick_tuning_applied_to_params():
+    # Table 2: "Increase descriptor ring size to 4096".
+    assert ALL_PARAMS["fastclick"].nic_rx_slots == 4096
+
+
+def test_languages_recorded():
+    assert "Lua" in TAXONOMY["snabb"].languages
+    assert "C++" in TAXONOMY["fastclick"].languages
+    assert "Python" in TAXONOMY["bess"].languages
+
+
+def test_bess_qemu_remark_is_modelled():
+    assert "QEMU" in USE_CASES["bess"][1]
+    assert ALL_PARAMS["bess"].max_vms == 3
+
+
+def test_snabb_bottleneck_remark_is_modelled():
+    assert "Bottlenecked" in USE_CASES["snabb"][0] or "Bottlenecked" in USE_CASES["snabb"][1]
+    assert ALL_PARAMS["snabb"].thrash_attachments is not None

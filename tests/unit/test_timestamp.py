@@ -1,0 +1,60 @@
+"""Unit tests for the timestamping engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.packet import Packet
+from repro.nic.timestamp import HardwareTimestamper, SoftwareTimestamper
+
+
+def test_hardware_stamps_are_tight():
+    ts = HardwareTimestamper(np.random.default_rng(0), jitter_ns=25.0)
+    packet = Packet(is_probe=True)
+    ts.stamp_tx(packet, 1000.0)
+    ts.stamp_rx(packet, 5000.0)
+    assert 1000.0 <= packet.tx_timestamp <= 1025.0
+    assert 5000.0 <= packet.rx_timestamp <= 5025.0
+
+
+def test_hardware_rtt_error_bounded_by_jitter():
+    ts = HardwareTimestamper(np.random.default_rng(1), jitter_ns=25.0)
+    errors = []
+    for _ in range(200):
+        packet = Packet(is_probe=True)
+        ts.stamp_tx(packet, 0.0)
+        ts.stamp_rx(packet, 10_000.0)
+        errors.append(abs(packet.latency_ns - 10_000.0))
+    assert max(errors) <= 25.0
+
+
+def test_software_stamps_inflate_rtt():
+    ts = SoftwareTimestamper(np.random.default_rng(2))
+    rtts = []
+    for _ in range(500):
+        packet = Packet(is_probe=True)
+        ts.stamp_tx(packet, 0.0)
+        ts.stamp_rx(packet, 10_000.0)
+        rtts.append(packet.latency_ns)
+    mean_rtt = float(np.mean(rtts))
+    # Mean inflation = 2*(overhead + jitter mean), always positive.
+    expected = 10_000.0 + 2 * (ts.overhead_ns + ts.jitter_ns)
+    assert mean_rtt == pytest.approx(expected, rel=0.1)
+    assert min(rtts) > 10_000.0
+
+
+def test_software_stamps_add_spread():
+    hw = HardwareTimestamper(np.random.default_rng(3))
+    sw = SoftwareTimestamper(np.random.default_rng(3))
+
+    def spread(ts):
+        rtts = []
+        for _ in range(300):
+            packet = Packet(is_probe=True)
+            ts.stamp_tx(packet, 0.0)
+            ts.stamp_rx(packet, 10_000.0)
+            rtts.append(packet.latency_ns)
+        return float(np.std(rtts))
+
+    assert spread(sw) > spread(hw)

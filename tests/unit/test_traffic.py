@@ -1,0 +1,200 @@
+"""Unit tests for the traffic tools (MoonGen, pkt-gen, FloWatcher)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.core.ring import Ring
+from repro.cpu.cores import Core
+from repro.nic.port import NicPort
+from repro.traffic.flowatcher import FloWatcher
+from repro.traffic.generator import PacedSource
+from repro.traffic.guest import GuestMonitor, GuestTrafficGen
+from repro.traffic.moongen import (
+    MoonGenRx,
+    MoonGenTx,
+    effective_tx_rate,
+    load_rate,
+    rate_for_gbps,
+    saturating_rate,
+)
+from repro.traffic.pktgen import PKTGEN_MAX_RATE_PPS, make_pktgen_rx, make_pktgen_tx
+from repro.vif.vhost_user import make_vhost_user_interface
+
+
+class RecordingSource(PacedSource):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.emitted = []
+
+    def _emit(self, batch):
+        self.emitted.extend(batch)
+
+
+class TestPacedSource:
+    def test_rate_is_respected(self, sim):
+        src = RecordingSource(sim, rate_pps=1e6, frame_size=64)
+        src.start(0.0)
+        sim.run_until(1_000_000)  # 1 ms at 1 Mpps ~ 1000 packets
+        assert len(src.emitted) == pytest.approx(1000, rel=0.05)
+
+    def test_burst_shrinks_at_low_rate(self, sim):
+        src = RecordingSource(sim, rate_pps=100_000, frame_size=64, burst=32)
+        assert src.burst < 32
+
+    def test_full_burst_at_line_rate(self, sim):
+        src = RecordingSource(sim, rate_pps=saturating_rate(64), frame_size=64, burst=32)
+        assert src.burst == 32
+
+    def test_probe_interval(self, sim):
+        src = RecordingSource(
+            sim, rate_pps=5e6, frame_size=64, probe_interval_ns=100_000.0
+        )
+        src.start(0.0)
+        sim.run_until(1_000_000)
+        probes = [p for p in src.emitted if p.is_probe]
+        assert len(probes) == pytest.approx(10, abs=2)
+        assert src.probes_sent == len(probes)
+
+    def test_no_probes_without_interval(self, sim):
+        src = RecordingSource(sim, rate_pps=5e6, frame_size=64)
+        src.start(0.0)
+        sim.run_until(100_000)
+        assert not any(p.is_probe for p in src.emitted)
+
+    def test_stop_at(self, sim):
+        src = RecordingSource(sim, rate_pps=1e6, frame_size=64)
+        src.start(0.0, stop_at_ns=500_000.0)
+        sim.run()
+        assert sim.now <= 520_000
+        assert len(src.emitted) <= 520
+
+    def test_flow_count_cycles_flows(self, sim):
+        src = RecordingSource(sim, rate_pps=1e7, frame_size=64, flow_count=4)
+        src.start(0.0)
+        sim.run_until(10_000)
+        flows = {p.flow_id for p in src.emitted}
+        assert flows == {0, 1, 2, 3}
+
+    def test_invalid_args(self, sim):
+        with pytest.raises(ValueError):
+            RecordingSource(sim, rate_pps=0, frame_size=64)
+        with pytest.raises(ValueError):
+            RecordingSource(sim, rate_pps=1e6, frame_size=64, burst=0)
+        with pytest.raises(ValueError):
+            RecordingSource(sim, rate_pps=1e6, frame_size=64, flow_count=0)
+
+    def test_custom_stamp_probe_tx(self, sim):
+        stamped = []
+        src = RecordingSource(
+            sim,
+            rate_pps=1e6,
+            frame_size=64,
+            probe_interval_ns=50_000.0,
+            stamp_probe_tx=lambda p, t: stamped.append((p, t)),
+        )
+        src.start(0.0)
+        sim.run_until(200_000)
+        assert stamped
+        assert all(isinstance(p, Packet) for p, _ in stamped)
+
+
+class TestMoonGen:
+    def test_rate_rounding_near_line_rate(self):
+        # 9.9 Gbps requested -> rounded to 10 Gbps (paper footnote 6).
+        requested = rate_for_gbps(9.9, 64)
+        assert effective_tx_rate(requested, 64) == pytest.approx(saturating_rate(64))
+
+    def test_no_rounding_below_floor(self):
+        requested = rate_for_gbps(9.5, 64)
+        assert effective_tx_rate(requested, 64) == requested
+
+    def test_tx_clamps_to_line_rate(self, sim):
+        port = NicPort(sim, "gen")
+        tx = MoonGenTx(sim, port, rate_pps=1e9, frame_size=64)
+        assert tx.rate_pps == pytest.approx(saturating_rate(64))
+
+    def test_tx_enables_hw_timestamping(self, sim):
+        port = NicPort(sim, "gen")
+        MoonGenTx(sim, port, rate_pps=1e6, frame_size=64)
+        assert port.timestamp_tx
+
+    def test_rx_counts_and_records_latency(self, sim):
+        a = NicPort(sim, "a")
+        b = NicPort(sim, "b")
+        a.connect(b)
+        rx = MoonGenRx(sim, b, frame_size=64)
+        rx.meter.open_window(0.0)
+        probe = Packet(is_probe=True)
+        probe.tx_timestamp = 0.0
+        a.send_batch([probe, Packet()])
+        sim.run()
+        assert rx.meter.packets == 2
+        assert len(rx.meter.latency) == 1
+
+    def test_load_rate(self):
+        assert load_rate(0.5, 10e6) == 5e6
+        with pytest.raises(ValueError):
+            load_rate(0, 10e6)
+
+    def test_v2v_probe_rate_is_1mpps(self):
+        # Table 4: 672 Mbps of 64B frames == 1 Mpps.
+        assert rate_for_gbps(0.672, 64) == pytest.approx(1e6)
+
+
+class TestGuestTools:
+    def test_guest_gen_emits_into_vif(self, sim):
+        vif = make_vhost_user_interface("v")
+        gen = GuestTrafficGen(sim, vif, rate_pps=1e6, frame_size=64)
+        gen.start(0.0)
+        sim.run_until(100_000)
+        assert len(vif.to_host) > 0
+
+    def test_guest_gen_via_ring(self, sim):
+        vif = make_vhost_user_interface("v")
+        ring = Ring(128)
+        gen = GuestTrafficGen(sim, vif, rate_pps=1e6, frame_size=64, via_ring=ring)
+        gen.start(0.0)
+        sim.run_until(100_000)
+        assert len(ring) > 0
+        assert len(vif.to_host) == 0
+
+    def test_monitor_requires_source(self, sim):
+        with pytest.raises(ValueError):
+            GuestMonitor(sim, None, 64)
+
+    def test_monitor_counts_and_stamps(self, sim):
+        vif = make_vhost_user_interface("v")
+        monitor = GuestMonitor(sim, vif, 64)
+        monitor.meter.open_window(0.0)
+        core = Core(sim, "vcpu")
+        core.attach(monitor)
+        core.start()
+        probe = Packet(is_probe=True)
+        probe.tx_timestamp = 0.0
+        vif.to_guest.push_batch([probe, Packet()])
+        sim.run_until(10_000)
+        assert monitor.meter.packets == 2
+        assert probe.rx_timestamp is not None
+        assert len(monitor.meter.latency) == 1
+
+    def test_pktgen_is_not_10g_capped(self, sim):
+        vif = make_vhost_user_interface("v")
+        gen = make_pktgen_tx(sim, vif, rate_pps=1e9, frame_size=64)
+        assert gen.rate_pps == PKTGEN_MAX_RATE_PPS
+
+    def test_pktgen_rx_is_a_monitor(self, sim):
+        vif = make_vhost_user_interface("v")
+        assert isinstance(make_pktgen_rx(sim, vif, 64), GuestMonitor)
+
+    def test_flowatcher_per_flow_counters(self, sim):
+        vif = make_vhost_user_interface("v")
+        fw = FloWatcher(sim, vif, 64)
+        core = Core(sim, "vcpu")
+        core.attach(fw)
+        core.start()
+        vif.to_guest.push_batch([Packet(flow_id=1), Packet(flow_id=1), Packet(flow_id=2)])
+        sim.run_until(10_000)
+        assert fw.flow_counts[1] == 2
+        assert fw.flow_counts[2] == 1

@@ -1,0 +1,63 @@
+"""Unit tests for framing arithmetic and unit conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import units
+
+
+def test_wire_overhead_is_20_bytes():
+    # preamble 7 + SFD 1 + IFG 12
+    assert units.WIRE_OVERHEAD == 20
+
+
+def test_wire_bytes_64():
+    assert units.wire_bytes(64) == 84
+
+
+def test_wire_bytes_rejects_runt_frames():
+    with pytest.raises(ValueError):
+        units.wire_bytes(32)
+
+
+def test_line_rate_64b_is_14_88_mpps():
+    # The headline constant of every 10G benchmarking paper.
+    assert units.line_rate_pps(64) == pytest.approx(14_880_952.38, rel=1e-6)
+
+
+def test_line_rate_1024b():
+    assert units.line_rate_pps(1024) == pytest.approx(10e9 / (1044 * 8))
+
+
+def test_pps_to_gbps_round_trip():
+    for size in units.PAPER_FRAME_SIZES:
+        pps = units.line_rate_pps(size)
+        assert units.pps_to_gbps(pps, size) == pytest.approx(10.0)
+        assert units.gbps_to_pps(10.0, size) == pytest.approx(pps)
+
+
+def test_wire_time_64b():
+    # 84 bytes at 10 Gbps = 67.2 ns
+    assert units.wire_time_ns(64) == pytest.approx(67.2)
+
+
+def test_wire_time_scales_with_rate():
+    assert units.wire_time_ns(64, rate_bps=1_000_000_000) == pytest.approx(672.0)
+
+
+def test_cycles_ns_round_trip():
+    freq = 2.6e9
+    assert units.ns_to_cycles(units.cycles_to_ns(1300, freq), freq) == pytest.approx(1300)
+
+
+def test_cycles_to_ns_at_2_6ghz():
+    assert units.cycles_to_ns(2600, 2.6e9) == pytest.approx(1000.0)
+
+
+def test_mpps():
+    assert units.mpps(14_880_952) == pytest.approx(14.880952)
+
+
+def test_paper_frame_sizes():
+    assert units.PAPER_FRAME_SIZES == (64, 256, 1024)

@@ -1,0 +1,76 @@
+"""Unit tests for virtual interfaces (virtio/vhost-user/ptnet)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.numa import MemoryBus
+from repro.vif.ptnet import DEFAULT_PTNET_COSTS, make_ptnet_interface
+from repro.vif.vhost_user import DEFAULT_VHOST_COSTS, VHOST_NOTIFY_NS, make_vhost_user_interface
+
+
+def test_vhost_interface_backend_and_rings():
+    vif = make_vhost_user_interface("vm1.eth0")
+    assert vif.backend == "vhost-user"
+    assert vif.to_guest.capacity == 1024
+    assert vif.to_host.capacity == 1024
+    assert vif.notify_ns == VHOST_NOTIFY_NS
+
+
+def test_ptnet_interface_backend():
+    vif = make_ptnet_interface("vm1.ptnet0")
+    assert vif.backend == "ptnet"
+    assert vif.notify_ns == 0.0
+
+
+def test_vhost_copies_every_byte():
+    vif = make_vhost_user_interface("v")
+    assert vif.host_copy_bytes(1500) == 1500
+
+
+def test_ptnet_is_zero_copy():
+    vif = make_ptnet_interface("p")
+    assert vif.host_copy_bytes(1500) == 0
+
+
+def test_vhost_reserves_memory_bandwidth():
+    bus = MemoryBus(1e9)  # 1 B/ns
+    vif = make_vhost_user_interface("v", bus=bus)
+    delay = vif.reserve_bus(500, now_ns=0.0)
+    assert delay == pytest.approx(500.0)
+    assert bus.bytes_copied == 500
+
+
+def test_ptnet_never_touches_the_bus():
+    bus = MemoryBus(1e9)
+    vif = make_ptnet_interface("p", bus=bus)
+    assert vif.reserve_bus(5000, now_ns=0.0) == 0.0
+    assert bus.bytes_copied == 0
+
+
+def test_no_bus_means_no_delay():
+    vif = make_vhost_user_interface("v")
+    assert vif.reserve_bus(5000, 0.0) == 0.0
+
+
+def test_vhost_per_byte_cost_exists():
+    # The memcpy term the paper blames for every virtualisation gap.
+    assert DEFAULT_VHOST_COSTS.host_tx.per_byte > 0
+    assert DEFAULT_VHOST_COSTS.host_rx.per_byte > 0
+
+
+def test_ptnet_has_no_per_byte_cost():
+    assert DEFAULT_PTNET_COSTS.host_tx.per_byte == 0
+    assert DEFAULT_PTNET_COSTS.host_rx.per_byte == 0
+
+
+def test_ptnet_fixed_cost_below_vhost():
+    frame = 64
+    assert DEFAULT_PTNET_COSTS.host_tx.cycles_per_packet(frame) < (
+        DEFAULT_VHOST_COSTS.host_tx.cycles_per_packet(frame)
+    )
+
+
+def test_custom_slots():
+    vif = make_vhost_user_interface("v", slots=4096)
+    assert vif.to_guest.capacity == 4096

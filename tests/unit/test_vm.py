@@ -1,0 +1,62 @@
+"""Unit tests for VMs and the hypervisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.numa import Machine
+from repro.vif.vhost_user import make_vhost_user_interface
+from repro.vm.machine import Hypervisor, QemuCompatibilityError, VirtualMachine
+
+
+def test_vm_gets_four_vcpus_by_default(sim, machine):
+    vm = VirtualMachine(sim, machine.node0, "vm1")
+    assert len(vm.cores) == 4
+
+
+def test_vcpu_names_include_vm(sim, machine):
+    vm = VirtualMachine(sim, machine.node0, "vm1")
+    assert vm.cores[0].name == "numa0/vm1/vcpu0"
+
+
+def test_plug_registers_interface(sim, machine):
+    vm = VirtualMachine(sim, machine.node0, "vm1")
+    vif = vm.plug(make_vhost_user_interface("vm1.eth0"))
+    assert vm.interfaces == [vif]
+
+
+def test_run_attaches_and_starts(sim, machine):
+    vm = VirtualMachine(sim, machine.node0, "vm1")
+
+    class App:
+        polls = 0
+
+        def poll(self, core):
+            App.polls += 1
+            return 0.0
+
+    vm.run(App(), vcpu=2)
+    sim.run_until(1000)
+    assert App.polls > 0
+    assert vm.cores[2].tasks
+
+
+def test_hypervisor_enforces_vm_limit(sim, machine):
+    hypervisor = Hypervisor(sim, machine.node0, max_vms=3)
+    for i in range(3):
+        hypervisor.spawn(f"vm{i}")
+    with pytest.raises(QemuCompatibilityError):
+        hypervisor.spawn("vm3")
+
+
+def test_hypervisor_unlimited_by_default(sim, machine):
+    hypervisor = Hypervisor(sim, machine.node0)
+    for i in range(10):
+        hypervisor.spawn(f"vm{i}")
+    assert len(hypervisor.vms) == 10
+
+
+def test_spawned_vms_are_tracked(sim, machine):
+    hypervisor = Hypervisor(sim, machine.node0)
+    vm = hypervisor.spawn("vm1")
+    assert hypervisor.vms == [vm]

@@ -1,0 +1,74 @@
+"""Unit tests for the VPP graph-path compiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.switches.params import VPP_PARAMS
+from repro.switches.vppgraph import (
+    IP4_ACL_ROUTER_PATH,
+    IP4_ROUTER_PATH,
+    L2_BRIDGE_PATH,
+    L2PATCH_PATH,
+    NODE_COSTS,
+    UnknownNodeError,
+    compile_path,
+)
+
+
+def test_l2patch_compiles_to_calibrated_proc():
+    compiled = compile_path(L2PATCH_PATH)
+    assert compiled.proc.per_packet == pytest.approx(VPP_PARAMS.proc.per_packet)
+    assert compiled.proc.per_batch == pytest.approx(VPP_PARAMS.proc.per_batch)
+
+
+def test_io_nodes_are_free_inside_the_graph():
+    assert NODE_COSTS["dpdk-input"] == 0.0
+    assert NODE_COSTS["interface-output"] == 0.0
+
+
+def test_dispatch_scales_with_depth():
+    shallow = compile_path(L2PATCH_PATH)
+    deep = compile_path(IP4_ROUTER_PATH)
+    assert deep.proc.per_batch > shallow.proc.per_batch
+    assert deep.depth == 6
+
+
+def test_router_costs_more_than_patch():
+    assert (
+        compile_path(IP4_ROUTER_PATH).proc.per_packet
+        > compile_path(L2PATCH_PATH).proc.per_packet
+    )
+
+
+def test_acl_adds_on_top_of_router():
+    assert (
+        compile_path(IP4_ACL_ROUTER_PATH).proc.per_packet
+        == compile_path(IP4_ROUTER_PATH).proc.per_packet + NODE_COSTS["acl-plugin"]
+    )
+
+
+def test_bridge_path_between_patch_and_router():
+    patch = compile_path(L2PATCH_PATH).proc.per_packet
+    bridge = compile_path(L2_BRIDGE_PATH).proc.per_packet
+    router = compile_path(IP4_ROUTER_PATH).proc.per_packet
+    assert patch < bridge < router
+
+
+def test_unknown_node_rejected():
+    with pytest.raises(UnknownNodeError):
+        compile_path(("dpdk-input", "quantum-tunnel"))
+
+
+def test_empty_path_rejected():
+    with pytest.raises(ValueError):
+        compile_path(())
+
+
+def test_vector_amortisation_of_dispatch():
+    """Per-packet dispatch share shrinks as vectors fill -- the point of
+    vector packet processing."""
+    compiled = compile_path(IP4_ROUTER_PATH)
+    at_1 = compiled.proc.cycles_per_packet(64, batch_size=1)
+    at_256 = compiled.proc.cycles_per_packet(64, batch_size=256)
+    assert at_256 < at_1 / 2

@@ -1,0 +1,167 @@
+"""Calibration harness: run the full measurement grid, print measured vs
+paper-reported values.
+
+Usage::
+
+    python tools/calibrate.py [--throughput] [--latency] [--loopback]
+
+Used during development to tune repro.switches.params; the benches reuse
+the same code paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import time
+
+from repro.analysis.tables import format_table
+from repro.measure.latency import latency_sweep
+from repro.measure.throughput import measure_throughput
+from repro.scenarios import loopback, p2p, p2v, v2v
+from repro.switches.registry import ALL_SWITCHES
+from repro.vm.machine import QemuCompatibilityError
+
+# Paper values (64B / 256B / 1024B); None = not stated numerically.
+PAPER_P2P_UNI = {"bess": 10, "fastclick": 10, "vpp": 10, "ovs-dpdk": 8.05, "snabb": 8.9, "vale": 5.56, "t4p4s": 5.6}
+PAPER_P2P_BIDI = {"bess": 16, "fastclick": 11.5, "vpp": 11, "ovs-dpdk": 8.05, "snabb": 8.9, "vale": 5.6, "t4p4s": 5.6}
+PAPER_P2V_UNI = {"bess": 10, "fastclick": 7.0, "vpp": 6.9, "ovs-dpdk": 6.0, "snabb": 5.97, "vale": 5.77, "t4p4s": 4.04}
+PAPER_P2V_BIDI64 = {"bess": 11.38, "vpp": 5.9}
+PAPER_V2V_UNI = {"vale": 10.5, "snabb": 6.42}
+PAPER_TABLE3_P2P = {
+    "bess": (4.0, 4.6, 6.4),
+    "fastclick": (5.3, 7.8, 8.4),
+    "ovs-dpdk": (4.3, 5.2, 9.6),
+    "snabb": (7.3, 11.3, 22),
+    "vpp": (4.5, 5.9, 13.1),
+    "vale": (32, 34, 59),
+    "t4p4s": (32, 31, 174),
+}
+PAPER_TABLE4 = {"bess": 37, "fastclick": 45, "ovs-dpdk": 43, "snabb": 67, "vpp": 42, "vale": 21, "t4p4s": 70}
+
+
+def throughput_grid() -> None:
+    for scenario, build, paper_uni in (
+        ("p2p", p2p.build, PAPER_P2P_UNI),
+        ("p2v", p2v.build, PAPER_P2V_UNI),
+        ("v2v", v2v.build, PAPER_V2V_UNI),
+    ):
+        rows = []
+        for name in ALL_SWITCHES:
+            row = [name]
+            for size in (64, 256, 1024):
+                for bidi in (False, True):
+                    r = measure_throughput(build, name, size, bidirectional=bidi)
+                    row.append(r.gbps)
+            row.append(paper_uni.get(name, math.nan))
+            rows.append(row)
+        print(
+            format_table(
+                ["switch", "64u", "64b", "256u", "256b", "1024u", "1024b", "paper64u"],
+                rows,
+                title=f"== {scenario} throughput (Gbps) ==",
+            )
+        )
+        print()
+    # VPP reversed-path probe
+    r = measure_throughput(p2v.build, "vpp", 64, reversed_path=True)
+    print(f"VPP p2v reversed 64B: {r.gbps:.2f} Gbps (paper: 5.59)\n")
+
+
+def loopback_grid() -> None:
+    for size in (64, 256, 1024):
+        for bidi in (False, True):
+            rows = []
+            for name in ALL_SWITCHES:
+                row = [name]
+                for n in range(1, 6):
+                    try:
+                        r = measure_throughput(loopback.build, name, size, bidirectional=bidi, n_vnfs=n)
+                        row.append(r.gbps)
+                    except QemuCompatibilityError:
+                        row.append(None)
+                rows.append(row)
+            direction = "bidi" if bidi else "uni"
+            print(
+                format_table(
+                    ["switch", "1", "2", "3", "4", "5"],
+                    rows,
+                    title=f"== loopback {direction} {size}B (Gbps) ==",
+                )
+            )
+            print()
+
+
+def latency_grid() -> None:
+    rows = []
+    for name in ALL_SWITCHES:
+        points = latency_sweep(p2p.build, name, 64)
+        paper = PAPER_TABLE3_P2P.get(name, (math.nan,) * 3)
+        rows.append(
+            [
+                name,
+                points[0.10].mean_us, paper[0],
+                points[0.50].mean_us, paper[1],
+                points[0.99].mean_us, paper[2],
+            ]
+        )
+    print(
+        format_table(
+            ["switch", "0.1R+", "paper", "0.5R+", "paper", "0.99R+", "paper"],
+            rows,
+            title="== p2p latency (us) vs Table 3 ==",
+        )
+    )
+    print()
+    from repro.measure.runner import drive
+
+    rows = []
+    for name in ALL_SWITCHES:
+        tb = v2v.build_latency(name)
+        result = drive(tb, measure_ns=4_000_000.0)
+        mean = result.latency.mean_us if result.latency and len(result.latency) else math.nan
+        rows.append([name, mean, PAPER_TABLE4[name]])
+    print(format_table(["switch", "RTT", "paper"], rows, title="== v2v latency (us) vs Table 4 =="))
+
+
+def loopback_latency_grid() -> None:
+    for n in (1, 2, 3, 4):
+        rows = []
+        for name in ALL_SWITCHES:
+            try:
+                points = latency_sweep(loopback.build, name, 64, n_vnfs=n)
+                rows.append([name, points[0.10].mean_us, points[0.50].mean_us, points[0.99].mean_us])
+            except QemuCompatibilityError:
+                rows.append([name, None, None, None])
+        print(
+            format_table(
+                ["switch", "0.1R+", "0.5R+", "0.99R+"],
+                rows,
+                title=f"== loopback-{n} latency (us) vs Table 3 ==",
+            )
+        )
+        print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--throughput", action="store_true")
+    parser.add_argument("--loopback", action="store_true")
+    parser.add_argument("--latency", action="store_true")
+    parser.add_argument("--loopback-latency", action="store_true")
+    args = parser.parse_args()
+    run_all = not any(vars(args).values())
+    t0 = time.time()
+    if args.throughput or run_all:
+        throughput_grid()
+    if args.loopback or run_all:
+        loopback_grid()
+    if args.latency or run_all:
+        latency_grid()
+    if args.loopback_latency or run_all:
+        loopback_latency_grid()
+    print(f"[calibrate] total wall time: {time.time() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

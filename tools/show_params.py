@@ -1,0 +1,63 @@
+"""Dump the calibrated parameter set as reference tables.
+
+Usage::
+
+    python tools/show_params.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.switches.params import ALL_PARAMS
+
+
+def main() -> None:
+    rows = []
+    for name in sorted(ALL_PARAMS):
+        p = ALL_PARAMS[name]
+        rows.append(
+            [
+                name,
+                p.batch_size,
+                f"{p.nic_rx.per_packet:.0f}/{p.nic_rx.per_byte:.2f}",
+                f"{p.proc.per_packet:.0f}/{p.proc.per_byte:.2f}",
+                f"{p.nic_tx.per_packet:.0f}/{p.nic_tx.per_byte:.2f}",
+                f"{p.vif_costs.host_tx.per_packet:.0f}/{p.vif_costs.host_tx.per_byte:.2f}",
+                f"{p.vif_costs.host_rx.per_packet:.0f}/{p.vif_costs.host_rx.per_byte:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["switch", "batch", "nic_rx pkt/B", "proc pkt/B", "nic_tx pkt/B", "vif_tx pkt/B", "vif_rx pkt/B"],
+            rows,
+            title="Calibrated cycle costs (see docs/calibration.md)",
+        )
+    )
+    print()
+    rows = []
+    for name in sorted(ALL_PARAMS):
+        p = ALL_PARAMS[name]
+        rows.append(
+            [
+                name,
+                "interrupt" if p.interrupt_driven else "poll",
+                "pipeline" if p.pipeline else "RTC",
+                f"{p.jitter_sigma:.2f}/{p.jitter_sigma_vif:.2f}",
+                p.nic_rx_slots,
+                p.vring_slots,
+                f"{p.batch_wait_ns / 1000:.0f}us" if p.batch_wait_ns else "-",
+                f"{p.tx_drain_ns / 1000:.0f}us" if p.tx_drain_ns else "-",
+                p.max_vms if p.max_vms is not None else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["switch", "I/O", "model", "sigma/vif", "rx ring", "vring", "batch wait", "tx drain", "max VMs"],
+            rows,
+            title="Mechanism configuration",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()
