@@ -5,10 +5,18 @@ text states explicitly) and the qualitative orderings, and grades each
 as pass/fail with a tolerance.  This is the library's self-check --
 ``repro-bench validate`` -- and the programmatic answer to "does this
 reproduction still hold after my change?".
+
+The measurement battery itself is expressed as a campaign
+(:mod:`repro.campaign`): every anchor becomes a declarative
+:class:`~repro.campaign.spec.RunSpec`, executed serially or across
+worker processes (``workers``) with optional on-disk memoisation
+(``cache``) -- results are identical either way, because each run is a
+pure function of its spec and seed.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable
 
@@ -18,9 +26,9 @@ from repro.analysis.paper_values import (
     TABLE4,
     VPP_P2V_REVERSED_64B,
 )
-from repro.measure.runner import drive
-from repro.measure.throughput import measure_throughput
-from repro.scenarios import loopback, p2p, p2v, v2v
+from repro.campaign.executor import run_campaign
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import CampaignSpec, RunRecord, RunSpec
 
 #: Relative tolerance for explicit paper values (the paper calls its own
 #: numbers "only indicative"; our calibration targets +-20%).
@@ -48,47 +56,102 @@ def _ordering_check(artifact: str, name: str, condition: bool, measured: float, 
     return Check(artifact, name, measured, None, condition, detail)
 
 
+def _battery(warmup_ns: float, measure_ns: float, seed: int) -> list[RunSpec]:
+    """Every simulation the validation criteria consume, as one grid."""
+    windows = dict(warmup_ns=warmup_ns, measure_ns=measure_ns, seed=seed)
+    specs: list[RunSpec] = []
+    # Fig. 4a anchors: p2p unidirectional, plus the BESS bidirectional probe.
+    specs += [RunSpec("p2p", name, **windows) for name in FIG4A_P2P_UNI_64B]
+    specs.append(RunSpec("p2p", "bess", bidirectional=True, **windows))
+    # Fig. 4b anchors, plus VPP's reversed-path probe.
+    specs += [
+        RunSpec("p2v", name, **windows)
+        for name, expected in FIG4B_P2V_UNI_64B.items()
+        if expected is not None
+    ]
+    specs.append(RunSpec("p2v", "vpp", extra=(("reversed_path", True),), **windows))
+    # Fig. 4c orderings.
+    specs += [RunSpec("v2v", "vale", **windows), RunSpec("v2v", "snabb", **windows)]
+    specs.append(RunSpec("p2v", "snabb", **windows))
+    # Fig. 5 orderings.
+    specs += [
+        RunSpec("loopback", name, n_vnfs=1, **windows)
+        for name in ("bess", "vpp", "vale", "t4p4s", "snabb")
+    ]
+    specs += [
+        RunSpec("loopback", "snabb", n_vnfs=n, **windows) for n in (3, 4)
+    ]
+    # Table 4: v2v RTT drives (longer window so probes accumulate).
+    specs += [
+        RunSpec(
+            "v2v",
+            name,
+            kind="latency",
+            warmup_ns=warmup_ns,
+            measure_ns=max(measure_ns, 2_000_000.0),
+            seed=seed,
+        )
+        for name in TABLE4
+    ]
+    return specs
+
+
 def validate(
     warmup_ns: float = 300_000.0,
     measure_ns: float = 1_500_000.0,
     seed: int = 1,
     progress: Callable[[str], None] | None = None,
+    workers: int = 1,
+    cache=None,
 ) -> list[Check]:
-    """Run the validation battery; returns one Check per criterion."""
+    """Run the validation battery; returns one Check per criterion.
+
+    ``workers`` fans the battery out over processes; ``cache`` (a
+    :class:`~repro.campaign.cache.ResultCache`) memoises runs on disk.
+    Both leave every measured value bit-identical to serial, uncached
+    execution.
+    """
     windows = dict(warmup_ns=warmup_ns, measure_ns=measure_ns, seed=seed)
+    specs = _battery(warmup_ns, measure_ns, seed)
+    # Anchors shared between criteria (e.g. snabb p2v feeds both Fig. 4b
+    # and the Fig. 4c ordering) are simulated once.
+    campaign = CampaignSpec(name="validate", runs=tuple(specs)).deduplicated()
+    reporter = ProgressReporter(total=len(campaign), emit=progress)
+    result = run_campaign(campaign, workers=workers, cache=cache, progress=reporter)
+
+    failures = result.failures
+    if failures:
+        labels = ", ".join(f.spec.label for f in failures)
+        raise RuntimeError(f"validation runs failed: {labels}")
+
+    def gbps(spec: RunSpec) -> float:
+        outcome = result.outcome_for(spec)
+        if not isinstance(outcome, RunRecord) or outcome.status != "ok":
+            return math.nan
+        return outcome.gbps
+
     checks: list[Check] = []
 
-    def note(message: str) -> None:
-        if progress is not None:
-            progress(message)
-
     # --- Fig. 4a anchors -------------------------------------------------
-    note("fig4a: p2p unidirectional 64B")
-    p2p_uni = {
-        name: measure_throughput(p2p.build, name, 64, **windows).gbps
-        for name in FIG4A_P2P_UNI_64B
-    }
     for name, expected in FIG4A_P2P_UNI_64B.items():
-        checks.append(_value_check("fig4a", f"{name} p2p uni 64B", p2p_uni[name], expected))
-    note("fig4a: BESS bidirectional")
-    bess_bidi = measure_throughput(p2p.build, "bess", 64, bidirectional=True, **windows).gbps
+        measured = gbps(RunSpec("p2p", name, **windows))
+        checks.append(_value_check("fig4a", f"{name} p2p uni 64B", measured, expected))
+    bess_bidi = gbps(RunSpec("p2p", "bess", bidirectional=True, **windows))
     checks.append(_value_check("fig4a", "bess p2p bidi 64B", bess_bidi, 16.0))
 
     # --- Fig. 4b anchors -------------------------------------------------
-    note("fig4b: p2v anchors")
     for name, expected in FIG4B_P2V_UNI_64B.items():
         if expected is None:
             continue
-        measured = measure_throughput(p2v.build, name, 64, **windows).gbps
+        measured = gbps(RunSpec("p2v", name, **windows))
         checks.append(_value_check("fig4b", f"{name} p2v uni 64B", measured, expected))
-    reversed_vpp = measure_throughput(p2v.build, "vpp", 64, reversed_path=True, **windows).gbps
+    reversed_vpp = gbps(RunSpec("p2v", "vpp", extra=(("reversed_path", True),), **windows))
     checks.append(_value_check("fig4b", "vpp p2v reversed 64B", reversed_vpp, VPP_P2V_REVERSED_64B))
 
     # --- Fig. 4c orderings -----------------------------------------------
-    note("fig4c: v2v ordering")
-    vale_v2v = measure_throughput(v2v.build, "vale", 64, **windows).gbps
-    snabb_v2v = measure_throughput(v2v.build, "snabb", 64, **windows).gbps
-    snabb_p2v = measure_throughput(p2v.build, "snabb", 64, **windows).gbps
+    vale_v2v = gbps(RunSpec("v2v", "vale", **windows))
+    snabb_v2v = gbps(RunSpec("v2v", "snabb", **windows))
+    snabb_p2v = gbps(RunSpec("p2v", "snabb", **windows))
     checks.append(_value_check("fig4c", "vale v2v uni 64B", vale_v2v, 10.5))
     checks.append(
         _ordering_check(
@@ -98,9 +161,8 @@ def validate(
     )
 
     # --- Fig. 5 orderings ------------------------------------------------
-    note("fig5: loopback orderings")
     loop1 = {
-        name: measure_throughput(loopback.build, name, 64, n_vnfs=1, **windows).gbps
+        name: gbps(RunSpec("loopback", name, n_vnfs=1, **windows))
         for name in ("bess", "vpp", "vale", "t4p4s", "snabb")
     }
     checks.append(
@@ -115,8 +177,8 @@ def validate(
             "lowest 1-VNF throughput",
         )
     )
-    snabb3 = measure_throughput(loopback.build, "snabb", 64, n_vnfs=3, **windows).gbps
-    snabb4 = measure_throughput(loopback.build, "snabb", 64, n_vnfs=4, **windows).gbps
+    snabb3 = gbps(RunSpec("loopback", "snabb", n_vnfs=3, **windows))
+    snabb4 = gbps(RunSpec("loopback", "snabb", n_vnfs=4, **windows))
     checks.append(
         _ordering_check(
             "fig5", "snabb collapses at 4 VNFs", snabb4 < snabb3 / 3, snabb4,
@@ -125,12 +187,22 @@ def validate(
     )
 
     # --- Table 4 ----------------------------------------------------------
-    note("table4: v2v latency")
     rtts = {}
     for name in TABLE4:
-        tb = v2v.build_latency(name, seed=seed)
-        result = drive(tb, warmup_ns=warmup_ns, measure_ns=max(measure_ns, 2_000_000.0))
-        rtts[name] = result.latency.mean_us
+        spec = RunSpec(
+            "v2v",
+            name,
+            kind="latency",
+            warmup_ns=warmup_ns,
+            measure_ns=max(measure_ns, 2_000_000.0),
+            seed=seed,
+        )
+        outcome = result.outcome_for(spec)
+        rtts[name] = (
+            outcome.latency_mean_us
+            if isinstance(outcome, RunRecord) and outcome.latency_mean_us is not None
+            else math.nan
+        )
     checks.append(
         _ordering_check(
             "table4", "vale lowest v2v RTT", rtts["vale"] == min(rtts.values()), rtts["vale"],

@@ -1,0 +1,47 @@
+"""Experiment-campaign execution: declarative grids, fan-out, caching.
+
+The paper's evaluation is a large grid (7 switches x 4 scenarios x 3
+frame sizes x 2 directions x 1-5 VNF chains plus latency sweeps) and
+assessing software-switch performance needs repeated trials to tame
+measurement instability (PASTRAMI, Lungaroni et al.).  This package
+turns a grid into a :class:`~repro.campaign.spec.CampaignSpec`, executes
+it across worker processes with per-run fault isolation
+(:mod:`repro.campaign.executor`), memoises results on disk keyed by the
+cost-model fingerprint (:mod:`repro.campaign.cache`), reports live
+progress (:mod:`repro.campaign.progress`) and persists/resumes partial
+campaigns (:mod:`repro.campaign.store`).
+"""
+
+from repro.campaign.cache import ResultCache, params_fingerprint, run_key
+from repro.campaign.executor import CampaignResult, run_campaign
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import (
+    CampaignSpec,
+    RunFailure,
+    RunRecord,
+    RunSpec,
+    execute_run,
+    from_suite,
+    grid,
+    runspec_from_experiment,
+)
+from repro.campaign.store import CampaignStore, export_csv
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "CampaignStore",
+    "ProgressReporter",
+    "ResultCache",
+    "RunFailure",
+    "RunRecord",
+    "RunSpec",
+    "execute_run",
+    "export_csv",
+    "from_suite",
+    "grid",
+    "params_fingerprint",
+    "run_campaign",
+    "run_key",
+    "runspec_from_experiment",
+]

@@ -1,0 +1,129 @@
+"""Deterministic on-disk result cache.
+
+Simulated experiments are pure functions of (RunSpec, seed, cost model):
+the same spec against the same calibrated parameters always produces the
+same numbers.  That makes results safe to memoise on disk -- one JSON
+file per entry under ``.repro-cache/`` -- keyed by a stable hash of the
+spec plus a *fingerprint* of the switch's calibrated parameters, so any
+recalibration in :mod:`repro.switches.params` silently invalidates every
+entry it affects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+
+from repro.campaign.spec import RunRecord, RunSpec
+
+#: Bump when the record schema or keying scheme changes.
+CACHE_VERSION = 1
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _canonical(obj):
+    """Recursively reduce params objects to JSON-stable plain data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    return obj
+
+
+def params_fingerprint(switch: str) -> str:
+    """Stable hash of one switch's calibrated cost model.
+
+    Derived from every field of its :class:`SwitchParams` tree (costs,
+    batching, rings, stability), so editing any calibration constant
+    yields a different fingerprint and therefore different cache keys.
+    """
+    from repro.switches.registry import params_for
+
+    payload = json.dumps(
+        {"version": CACHE_VERSION, "params": _canonical(params_for(switch))},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def run_key(spec: RunSpec, fingerprint: str | None = None) -> str:
+    """Cache/store key for one run: hash of (spec, seed, cost model)."""
+    if fingerprint is None:
+        fingerprint = params_fingerprint(spec.switch)
+    payload = json.dumps(
+        {"spec": spec.to_dict(), "fingerprint": fingerprint}, sort_keys=True
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+class ResultCache:
+    """JSON-per-entry result cache under a root directory."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        #: switch name -> fingerprint, computed once per cache instance.
+        self._fingerprints: dict[str, str] = {}
+
+    def _fingerprint(self, switch: str) -> str:
+        fp = self._fingerprints.get(switch)
+        if fp is None:
+            fp = self._fingerprints[switch] = params_fingerprint(switch)
+        return fp
+
+    def key(self, spec: RunSpec) -> str:
+        return run_key(spec, self._fingerprint(spec.switch))
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.root / f"{self.key(spec)}.json"
+
+    def get(self, spec: RunSpec) -> RunRecord | None:
+        """The cached record for ``spec``, or None on a miss."""
+        path = self.path_for(spec)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        record = RunRecord.from_dict(data)
+        record.cached = True
+        return record
+
+    def put(self, spec: RunSpec, record: RunRecord) -> Path:
+        """Persist one record (atomically: write-then-rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(record.to_dict(), sort_keys=True))
+        tmp.replace(path)
+        return path
+
+    def invalidate(self, spec: RunSpec | None = None) -> int:
+        """Drop one entry (or, with ``spec=None``, every entry).
+
+        Returns the number of entries removed.
+        """
+        if spec is not None:
+            path = self.path_for(spec)
+            if path.exists():
+                path.unlink()
+                return 1
+            return 0
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -1,0 +1,316 @@
+"""Campaign execution: serial or process-pool fan-out with fault isolation.
+
+Each :class:`~repro.campaign.spec.RunSpec` is an independent, pure
+simulation, so a campaign parallelises embarrassingly: a
+``ProcessPoolExecutor`` fans runs out across cores, results come back as
+plain dicts, and the final record list is ordered by the campaign spec
+-- not by completion -- so serial and parallel execution are
+indistinguishable to the caller, numbers included.
+
+Fault handling:
+
+* a run that raises is recorded as a :class:`RunFailure`; the campaign
+  continues;
+* a *worker death* (the child process exits -- the pool breaks) is
+  transient from the campaign's point of view: the pool is rebuilt and
+  the interrupted runs are retried with exponential backoff, a bounded
+  number of times;
+* a run exceeding the per-run timeout is interrupted inside the worker
+  (SIGALRM, where the platform has it) and recorded as a failure.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+import signal
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.campaign.cache import ResultCache, run_key
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import (
+    CampaignSpec,
+    RunFailure,
+    RunRecord,
+    RunSpec,
+    execute_run,
+)
+from repro.campaign.store import CampaignStore
+
+#: Retry budget for runs interrupted by a dying worker process.
+DEFAULT_RETRIES = 2
+DEFAULT_BACKOFF_S = 0.25
+
+
+class RunTimeoutError(RuntimeError):
+    """A run exceeded its per-run wall-clock budget."""
+
+
+@contextlib.contextmanager
+def _deadline(timeout_s: float | None, label: str):
+    """Interrupt the enclosed block after ``timeout_s`` wall-clock seconds.
+
+    Uses SIGALRM, which only exists on Unix and only works on a main
+    thread -- exactly the situation inside a pool worker process.  Where
+    unavailable the block runs unbounded (graceful degradation).
+    """
+    if timeout_s is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RunTimeoutError(f"{label} exceeded {timeout_s:.1f}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _worker(spec_dict: dict, timeout_s: float | None) -> dict:
+    """Pool entry point: revive the spec, run it, return plain data."""
+    spec = RunSpec.from_dict(spec_dict)
+    if dict(spec.extra).get("_inject") == "worker-death":
+        # Sanctioned fault-injection hook: simulate a segfaulting worker
+        # (exercised by the failure-injection tests and the CI smoke).
+        os._exit(13)
+    with _deadline(timeout_s, spec.label):
+        return execute_run(spec).to_dict()
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced, in campaign order."""
+
+    name: str
+    outcomes: list[tuple[str, RunRecord | RunFailure]] = field(default_factory=list)
+    executed: int = 0
+    cache_hits: int = 0
+    resumed: int = 0
+    wall_clock_s: float = 0.0
+
+    @property
+    def records(self) -> list[RunRecord]:
+        return [o for _, o in self.outcomes if isinstance(o, RunRecord)]
+
+    @property
+    def failures(self) -> list[RunFailure]:
+        return [o for _, o in self.outcomes if isinstance(o, RunFailure)]
+
+    @property
+    def inapplicable(self) -> list[RunRecord]:
+        return [o for _, o in self.outcomes if isinstance(o, RunRecord) and o.status == "inapplicable"]
+
+    def outcome_for(self, spec: RunSpec) -> RunRecord | RunFailure | None:
+        """First outcome whose spec matches (specs are value objects)."""
+        for _, outcome in self.outcomes:
+            if outcome.spec == spec:
+                return outcome
+        return None
+
+
+def resolve_workers(workers: int | None) -> int:
+    """``None`` means one worker per core (the campaign is CPU-bound)."""
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return workers
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _failure_from_exception(spec: RunSpec, exc: BaseException, attempts: int, started: float) -> RunFailure:
+    return RunFailure(
+        spec=spec,
+        error=type(exc).__name__,
+        message=str(exc),
+        attempts=attempts,
+        wall_clock_s=time.monotonic() - started,
+    )
+
+
+def _run_serial(
+    pending: list[tuple[int, RunSpec]],
+    timeout_s: float | None,
+    on_done,
+) -> None:
+    for index, spec in pending:
+        started = time.monotonic()
+        try:
+            with _deadline(timeout_s, spec.label):
+                outcome: RunRecord | RunFailure = execute_run(spec)
+        except Exception as exc:  # graceful degradation: record, continue
+            outcome = _failure_from_exception(spec, exc, attempts=1, started=started)
+        on_done(index, outcome)
+
+
+def _pool_round(
+    batch: list[tuple[int, RunSpec, int]],
+    n_workers: int,
+    timeout_s: float | None,
+    on_done,
+) -> list[tuple[int, RunSpec, int]]:
+    """One pool lifetime: run ``batch``, return the runs a dying worker
+    interrupted (everything else is reported through ``on_done``)."""
+    context = multiprocessing.get_context("fork")
+    pool = ProcessPoolExecutor(max_workers=min(n_workers, len(batch)), mp_context=context)
+    futures = {
+        pool.submit(_worker, spec.to_dict(), timeout_s): (index, spec, attempt)
+        for index, spec, attempt in batch
+    }
+    interrupted: list[tuple[int, RunSpec, int]] = []
+    started = time.monotonic()
+    not_done = set(futures)
+    while not_done:
+        done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+        for future in done:
+            index, spec, attempt = futures[future]
+            try:
+                outcome: RunRecord | RunFailure = RunRecord.from_dict(future.result())
+            except BrokenProcessPool:
+                interrupted.append((index, spec, attempt))
+                continue
+            except Exception as exc:
+                outcome = _failure_from_exception(spec, exc, attempt, started)
+            on_done(index, outcome)
+    pool.shutdown(wait=False, cancel_futures=True)
+    return interrupted
+
+
+def _run_parallel(
+    pending: list[tuple[int, RunSpec]],
+    n_workers: int,
+    timeout_s: float | None,
+    retries: int,
+    backoff_s: float,
+    on_done,
+) -> None:
+    """Fan ``pending`` out over a process pool, rebuilding it on breakage.
+
+    A pool breakage takes every in-flight future down with the culprit,
+    so after the first breakage the interrupted runs are retried in
+    *isolation* -- one single-use pool each.  Collateral runs then
+    succeed on their first isolated attempt while the true culprit burns
+    its own bounded retry budget and lands as a :class:`RunFailure`.
+    """
+    queue: list[tuple[int, RunSpec, int]] = [(i, spec, 1) for i, spec in pending]
+    isolate = False
+    while queue:
+        if isolate:
+            batch, queue = [queue[0]], queue[1:]
+        else:
+            batch, queue = queue, []
+        interrupted = _pool_round(batch, n_workers, timeout_s, on_done)
+        if not interrupted:
+            continue
+        isolate = True
+        for index, spec, attempt in interrupted:
+            if attempt <= retries:
+                queue.append((index, spec, attempt + 1))
+            else:
+                on_done(
+                    index,
+                    RunFailure(
+                        spec=spec,
+                        error="WorkerDied",
+                        message="worker process died repeatedly (retries exhausted)",
+                        attempts=attempt,
+                    ),
+                )
+        if queue:
+            worst = max(attempt for _, _, attempt in queue)
+            time.sleep(backoff_s * 2 ** max(0, worst - 2))
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    workers: int | None = 1,
+    cache: ResultCache | None = None,
+    store: CampaignStore | None = None,
+    resume: bool = False,
+    progress: ProgressReporter | None = None,
+    timeout_s: float | None = None,
+    retries: int = DEFAULT_RETRIES,
+    backoff_s: float = DEFAULT_BACKOFF_S,
+) -> CampaignResult:
+    """Execute a campaign; never raises for an individual run's failure.
+
+    Resolution order per run: the store (``resume=True``), then the
+    cache, then actual execution.  Executed results are written back to
+    both.  ``workers=None`` auto-sizes to the machine; 1 or a platform
+    without ``fork`` selects the serial in-process executor.
+    """
+    started = time.monotonic()
+    n_workers = resolve_workers(workers)
+    result = CampaignResult(name=campaign.name)
+    if progress is None:
+        progress = ProgressReporter(total=len(campaign))
+    progress.total = len(campaign)
+    progress.start()
+
+    fingerprints: dict[str, str] = {}
+
+    def key_for(spec: RunSpec) -> str:
+        if cache is not None:
+            return cache.key(spec)
+        fp = fingerprints.get(spec.switch)
+        if fp is None:
+            from repro.campaign.cache import params_fingerprint
+
+            fp = fingerprints[spec.switch] = params_fingerprint(spec.switch)
+        return run_key(spec, fp)
+
+    keys = [key_for(spec) for spec in campaign.runs]
+    slots: list[RunRecord | RunFailure | None] = [None] * len(campaign)
+    stored = store.load() if (store is not None and resume) else {}
+
+    pending: list[tuple[int, RunSpec]] = []
+    for index, spec in enumerate(campaign.runs):
+        prior = stored.get(keys[index])
+        if isinstance(prior, RunRecord):
+            slots[index] = prior
+            result.resumed += 1
+            progress.update(prior, source="store")
+            continue
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            slots[index] = hit
+            result.cache_hits += 1
+            if store is not None:
+                store.append(keys[index], hit)
+            progress.update(hit, source="cache")
+            continue
+        pending.append((index, spec))
+
+    def on_done(index: int, outcome: RunRecord | RunFailure) -> None:
+        slots[index] = outcome
+        result.executed += 1
+        if cache is not None and isinstance(outcome, RunRecord):
+            cache.put(campaign.runs[index], outcome)
+        if store is not None:
+            store.append(keys[index], outcome)
+        progress.update(outcome, source="executed")
+
+    if pending:
+        if n_workers > 1 and _fork_available():
+            _run_parallel(pending, n_workers, timeout_s, retries, backoff_s, on_done)
+        else:
+            _run_serial(pending, timeout_s, on_done)
+
+    result.outcomes = [
+        (keys[index], outcome)
+        for index, outcome in enumerate(slots)
+        if outcome is not None
+    ]
+    result.wall_clock_s = time.monotonic() - started
+    return result

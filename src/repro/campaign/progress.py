@@ -1,0 +1,108 @@
+"""Live campaign progress: per-run telemetry, counters, ETA.
+
+The reporter is deliberately dumb about where its numbers come from --
+the executor feeds it one outcome at a time tagged with its source
+(executed, cache hit, resumed from a store) and it keeps the running
+tallies the summary line needs: events executed, wall-clock, hit/miss
+counts, failures.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.campaign.spec import RunFailure, RunRecord
+
+
+class ProgressReporter:
+    """Counts outcomes and renders ``[k/n] label ... ETA`` lines."""
+
+    def __init__(
+        self,
+        total: int,
+        emit: Callable[[str], None] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.total = total
+        self.emit = emit
+        self.clock = clock
+        self.done = 0
+        self.executed = 0
+        self.cache_hits = 0
+        self.resumed = 0
+        self.inapplicable = 0
+        self.failures = 0
+        self.events = 0
+        self.sim_wall_clock_s = 0.0
+        self._started: float | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        self._started = self.clock()
+        self._say(f"campaign: {self.total} runs")
+
+    def update(self, outcome: RunRecord | RunFailure, source: str = "executed") -> None:
+        """Register one finished run.  ``source``: executed|cache|store."""
+        if self._started is None:
+            self.start()
+        self.done += 1
+        if source == "cache":
+            self.cache_hits += 1
+        elif source == "store":
+            self.resumed += 1
+        else:
+            self.executed += 1
+        self.sim_wall_clock_s += outcome.wall_clock_s
+        if isinstance(outcome, RunFailure):
+            self.failures += 1
+            status = f"FAILED ({outcome.error}: {outcome.message})"
+        elif outcome.status == "inapplicable":
+            self.inapplicable += 1
+            status = "n/a (qemu)"
+        else:
+            self.events += outcome.events
+            status = f"{outcome.gbps:.2f} Gbps"
+            if outcome.latency_mean_us is not None:
+                status += f", RTT {outcome.latency_mean_us:.1f} us"
+        tag = {"cache": " [cached]", "store": " [resumed]"}.get(source, "")
+        self._say(
+            f"[{self.done}/{self.total}] {outcome.spec.label}: {status}{tag}{self._eta_suffix()}"
+        )
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def elapsed_s(self) -> float:
+        if self._started is None:
+            return 0.0
+        return self.clock() - self._started
+
+    def eta_s(self) -> float | None:
+        """Wall-clock estimate for the remainder, from the mean pace so far."""
+        if self.done == 0 or self.done >= self.total or self._started is None:
+            return None
+        return self.elapsed_s / self.done * (self.total - self.done)
+
+    def _eta_suffix(self) -> str:
+        eta = self.eta_s()
+        return f" (ETA {eta:.0f}s)" if eta is not None and eta >= 1.0 else ""
+
+    def summary(self) -> str:
+        """One-paragraph campaign telemetry, printed at the end."""
+        parts = [
+            f"{self.done}/{self.total} runs",
+            f"{self.executed} executed",
+            f"{self.cache_hits} cache hits",
+        ]
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed")
+        if self.inapplicable:
+            parts.append(f"{self.inapplicable} n/a")
+        parts.append(f"{self.failures} failed")
+        parts.append(f"{self.events} sim events")
+        parts.append(f"{self.elapsed_s:.1f}s elapsed")
+        return "campaign summary: " + ", ".join(parts)
+
+    def _say(self, message: str) -> None:
+        if self.emit is not None:
+            self.emit(message)

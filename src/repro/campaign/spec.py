@@ -1,0 +1,403 @@
+"""Declarative experiment specifications and their execution.
+
+A :class:`RunSpec` names one simulation -- (scenario, switch, frame size,
+direction, chain length, seed, metric kind, windows) -- without holding
+any live object, so it can cross a process boundary, key a cache entry
+and round-trip through JSON.  A :class:`CampaignSpec` is an ordered grid
+of them.  :func:`execute_run` is the single choke point that turns a
+spec into a :class:`RunRecord`; serial and process-pool executors both
+call it, which is what makes their results bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.measure.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS
+
+#: Scenarios a RunSpec may name (the paper's Fig. 2 plus the Table 4
+#: latency variant of v2v).
+SCENARIOS = ("p2p", "p2v", "v2v", "loopback")
+KINDS = ("throughput", "latency")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation run, fully described by plain data."""
+
+    scenario: str
+    switch: str
+    frame_size: int = 64
+    bidirectional: bool = False
+    n_vnfs: int = 1
+    seed: int = 1
+    kind: str = "throughput"
+    warmup_ns: float = DEFAULT_WARMUP_NS
+    measure_ns: float = DEFAULT_MEASURE_NS
+    #: extra builder kwargs (e.g. ``reversed_path`` for p2v), kept as a
+    #: sorted tuple of items so the spec stays hashable and canonical.
+    extra: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(f"unknown scenario {self.scenario!r}; known: {SCENARIOS}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown kind {self.kind!r}; known: {KINDS}")
+        if self.kind == "latency" and self.scenario != "v2v":
+            raise ValueError("kind='latency' is the Table 4 RTT drive; only scenario 'v2v' supports it")
+        object.__setattr__(self, "extra", tuple(sorted(self.extra)))
+
+    @property
+    def label(self) -> str:
+        """Human-readable run name, e.g. ``loopback3-64B-uni/vale#s1``."""
+        scenario = f"loopback{self.n_vnfs}" if self.scenario == "loopback" else self.scenario
+        direction = "bidi" if self.bidirectional else "uni"
+        kind = "" if self.kind == "throughput" else f"+{self.kind}"
+        return f"{scenario}-{self.frame_size}B-{direction}{kind}/{self.switch}#s{self.seed}"
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "switch": self.switch,
+            "frame_size": self.frame_size,
+            "bidirectional": self.bidirectional,
+            "n_vnfs": self.n_vnfs,
+            "seed": self.seed,
+            "kind": self.kind,
+            "warmup_ns": self.warmup_ns,
+            "measure_ns": self.measure_ns,
+            "extra": [list(item) for item in self.extra],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        payload = dict(data)
+        payload["extra"] = tuple((key, value) for key, value in payload.get("extra", ()))
+        return cls(**payload)
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one completed (or inapplicable) run -- plain data."""
+
+    spec: RunSpec
+    status: str = "ok"  # "ok" | "inapplicable"
+    per_direction_gbps: list[float] = field(default_factory=list)
+    per_direction_mpps: list[float] = field(default_factory=list)
+    latency_mean_us: float | None = None
+    latency_std_us: float | None = None
+    latency_samples: int = 0
+    events: int = 0
+    duration_ns: float = 0.0
+    wall_clock_s: float = 0.0
+    cached: bool = False
+    detail: str = ""
+
+    # Convenience mirrors of RunResult so suite/table code can treat a
+    # record like a measurement.
+    @property
+    def gbps(self) -> float:
+        return sum(self.per_direction_gbps)
+
+    @property
+    def mpps(self) -> float:
+        return sum(self.per_direction_mpps)
+
+    @property
+    def scenario(self) -> str:
+        return self.spec.scenario
+
+    @property
+    def switch(self) -> str:
+        return self.spec.switch
+
+    @property
+    def frame_size(self) -> int:
+        return self.spec.frame_size
+
+    @property
+    def bidirectional(self) -> bool:
+        return self.spec.bidirectional
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        return {
+            "record": "result",
+            "spec": self.spec.to_dict(),
+            "status": self.status,
+            "per_direction_gbps": self.per_direction_gbps,
+            "per_direction_mpps": self.per_direction_mpps,
+            "latency_mean_us": self.latency_mean_us,
+            "latency_std_us": self.latency_std_us,
+            "latency_samples": self.latency_samples,
+            "events": self.events,
+            "duration_ns": self.duration_ns,
+            "wall_clock_s": self.wall_clock_s,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        payload = {k: v for k, v in data.items() if k != "record"}
+        payload["spec"] = RunSpec.from_dict(payload["spec"])
+        return cls(**payload)
+
+
+@dataclass
+class RunFailure:
+    """A run that errored out; recorded instead of sinking the campaign."""
+
+    spec: RunSpec
+    error: str
+    message: str
+    attempts: int = 1
+    wall_clock_s: float = 0.0
+    status: str = "failed"
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "record": "failure",
+            "spec": self.spec.to_dict(),
+            "error": self.error,
+            "message": self.message,
+            "attempts": self.attempts,
+            "wall_clock_s": self.wall_clock_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunFailure":
+        payload = {k: v for k, v in data.items() if k != "record"}
+        payload["spec"] = RunSpec.from_dict(payload["spec"])
+        return cls(**payload)
+
+
+def outcome_from_dict(data: dict) -> RunRecord | RunFailure:
+    """Revive either record kind from its JSON form."""
+    if data.get("record") == "failure":
+        return RunFailure.from_dict(data)
+    return RunRecord.from_dict(data)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """An ordered, named collection of runs."""
+
+    name: str
+    runs: tuple[RunSpec, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __iter__(self) -> Iterator[RunSpec]:
+        return iter(self.runs)
+
+    def deduplicated(self) -> "CampaignSpec":
+        """Drop exact-duplicate runs, keeping first-occurrence order."""
+        return CampaignSpec(name=self.name, runs=tuple(dict.fromkeys(self.runs)))
+
+    def with_repeats(self, repeat: int) -> "CampaignSpec":
+        """Replicate every run over ``repeat`` consecutive seeds.
+
+        Seed replicas are how a campaign tames measurement instability:
+        same grid point, independent RNG streams.
+        """
+        if repeat < 1:
+            raise ValueError("repeat must be >= 1")
+        if repeat == 1:
+            return self
+        runs = tuple(
+            replace(spec, seed=spec.seed + i) for spec in self.runs for i in range(repeat)
+        )
+        return CampaignSpec(name=self.name, runs=runs)
+
+
+# ---------------------------------------------------------------------------
+# Grid builders
+# ---------------------------------------------------------------------------
+
+def grid(
+    name: str,
+    switches: Sequence[str],
+    scenarios: Sequence[str] = ("p2p", "p2v", "v2v"),
+    frame_sizes: Sequence[int] = (64, 256, 1024),
+    directions: Sequence[bool] = (False, True),
+    vnfs: Sequence[int] = (1,),
+    seeds: Sequence[int] = (1,),
+    kind: str = "throughput",
+    warmup_ns: float = DEFAULT_WARMUP_NS,
+    measure_ns: float = DEFAULT_MEASURE_NS,
+) -> CampaignSpec:
+    """Cartesian campaign over the paper's axes.
+
+    ``vnfs`` only applies to the loopback scenario; other scenarios get a
+    single entry per (size, direction, seed) regardless of ``vnfs``.
+    """
+    runs: list[RunSpec] = []
+    for switch in switches:
+        for scenario in scenarios:
+            chain_lengths: Iterable[int] = vnfs if scenario == "loopback" else (1,)
+            for n in chain_lengths:
+                for size in frame_sizes:
+                    for bidi in directions:
+                        for seed in seeds:
+                            runs.append(
+                                RunSpec(
+                                    scenario=scenario,
+                                    switch=switch,
+                                    frame_size=size,
+                                    bidirectional=bidi,
+                                    n_vnfs=n,
+                                    seed=seed,
+                                    kind=kind,
+                                    warmup_ns=warmup_ns,
+                                    measure_ns=measure_ns,
+                                )
+                            )
+    return CampaignSpec(name=name, runs=tuple(runs))
+
+
+def runspec_from_experiment(
+    experiment,
+    switch: str,
+    warmup_ns: float,
+    measure_ns: float,
+    seed: int,
+) -> RunSpec | None:
+    """Map a suite :class:`~repro.measure.suites.ExperimentSpec` to a RunSpec.
+
+    Returns None when the experiment's builder is not one of the stock
+    scenario modules (a custom callable cannot be named declaratively, so
+    it cannot cross a process boundary or key a cache entry).
+    """
+    module = getattr(experiment.build, "__module__", "") or ""
+    if not module.startswith("repro.scenarios."):
+        return None
+    scenario = module.rsplit(".", 1)[-1]
+    if scenario not in SCENARIOS:
+        return None
+    kwargs = dict(experiment.kwargs)
+    n_vnfs = kwargs.pop("n_vnfs", 1)
+    return RunSpec(
+        scenario=scenario,
+        switch=switch,
+        frame_size=experiment.frame_size,
+        bidirectional=experiment.bidirectional,
+        n_vnfs=n_vnfs,
+        seed=seed,
+        warmup_ns=warmup_ns,
+        measure_ns=measure_ns,
+        extra=tuple(sorted(kwargs.items())),
+    )
+
+
+def from_suite(
+    suite,
+    switches: Sequence[str],
+    seeds: Sequence[int] = (1,),
+    warmup_ns: float = DEFAULT_WARMUP_NS,
+    measure_ns: float = DEFAULT_MEASURE_NS,
+) -> CampaignSpec:
+    """Expand a named :class:`~repro.measure.suites.TestSuite` (or its
+    name) over switches and seed replicas."""
+    if isinstance(suite, str):
+        from repro.measure.suites import SUITES
+
+        try:
+            suite = SUITES[suite]
+        except KeyError:
+            raise KeyError(f"unknown suite {suite!r}; known: {sorted(SUITES)}") from None
+    runs: list[RunSpec] = []
+    for switch in switches:
+        for experiment in suite.experiments:
+            for seed in seeds:
+                spec = runspec_from_experiment(experiment, switch, warmup_ns, measure_ns, seed)
+                if spec is None:
+                    raise ValueError(
+                        f"experiment {experiment.name!r} uses a custom builder and "
+                        "cannot be expressed as a campaign RunSpec"
+                    )
+                runs.append(spec)
+    return CampaignSpec(name=f"suite:{suite.name}", runs=tuple(runs))
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+def execute_run(spec: RunSpec) -> RunRecord:
+    """Run one spec in-process and return its plain-data record.
+
+    This is the only function that touches live simulator objects; both
+    executors call it, so a spec+seed maps to exactly one result no
+    matter where it runs.  A :class:`QemuCompatibilityError` is an
+    *inapplicable* configuration (the paper's footnote 5), not a
+    failure.
+    """
+    import time
+
+    from repro.measure.runner import drive
+    from repro.measure.throughput import measure_throughput
+    from repro.scenarios import loopback, p2p, p2v, v2v
+    from repro.vm.machine import QemuCompatibilityError
+
+    builders = {"p2p": p2p.build, "p2v": p2v.build, "v2v": v2v.build, "loopback": loopback.build}
+    started = time.monotonic()
+    kwargs = dict(spec.extra)
+    # Sanctioned fault-injection hook (tests, CI smoke): "error" poisons
+    # this run; "worker-death" is handled one level up by the pool worker.
+    if kwargs.pop("_inject", None) is not None:
+        raise RuntimeError(f"injected fault in {spec.label}")
+    if spec.scenario == "loopback":
+        kwargs["n_vnfs"] = spec.n_vnfs
+    try:
+        if spec.kind == "latency":
+            tb = v2v.build_latency(spec.switch, frame_size=spec.frame_size, seed=spec.seed, **kwargs)
+            result = drive(tb, warmup_ns=spec.warmup_ns, measure_ns=spec.measure_ns)
+        else:
+            result = measure_throughput(
+                builders[spec.scenario],
+                spec.switch,
+                spec.frame_size,
+                bidirectional=spec.bidirectional,
+                warmup_ns=spec.warmup_ns,
+                measure_ns=spec.measure_ns,
+                seed=spec.seed,
+                **kwargs,
+            )
+    except QemuCompatibilityError as exc:
+        return RunRecord(
+            spec=spec,
+            status="inapplicable",
+            detail=f"qemu: {exc}",
+            wall_clock_s=time.monotonic() - started,
+        )
+
+    latency = result.latency
+    has_latency = latency is not None and len(latency)
+    mean_us = latency.mean_us if has_latency else None
+    std_us = latency.std_us if has_latency else None
+    if mean_us is not None and math.isnan(mean_us):
+        mean_us = None
+    if std_us is not None and math.isnan(std_us):
+        std_us = None
+    return RunRecord(
+        spec=spec,
+        status="ok",
+        per_direction_gbps=list(result.per_direction_gbps),
+        per_direction_mpps=list(result.per_direction_mpps),
+        latency_mean_us=mean_us,
+        latency_std_us=std_us,
+        latency_samples=len(latency) if latency is not None else 0,
+        events=result.events,
+        duration_ns=result.duration_ns,
+        wall_clock_s=time.monotonic() - started,
+    )

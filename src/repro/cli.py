@@ -6,7 +6,10 @@ Examples::
     repro-bench loopback --switch vale --vnfs 3 --size 1024
     repro-bench p2p --switch bess --latency
     repro-bench v2v-latency --switch snabb
-    repro-bench suite --switch vpp --suite smoke
+    repro-bench suite --switch vpp --suite smoke --workers 4
+    repro-bench validate --workers 4 --cache
+    repro-bench campaign --suite paper --workers 4 --repeat 3 \\
+        --store paper.jsonl --export-csv paper.csv
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ from repro.analysis.tables import format_table
 from repro.measure.latency import latency_sweep
 from repro.measure.throughput import measure_throughput
 from repro.scenarios import loopback, p2p, p2v, v2v
-from repro.measure.runner import drive
+from repro.measure.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS, drive
 from repro.switches.registry import switch_names
 
 
@@ -29,27 +32,176 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "scenario",
-        choices=["p2p", "p2v", "v2v", "loopback", "v2v-latency", "suite", "validate"],
-        help="test scenario (Sec. 4 of the paper), 'suite', or 'validate'",
+        choices=["p2p", "p2v", "v2v", "loopback", "v2v-latency", "suite", "validate", "campaign"],
+        help="test scenario (Sec. 4 of the paper), 'suite', 'validate' or 'campaign'",
     )
     parser.add_argument("--switch", default="vpp", choices=sorted(switch_names()))
     parser.add_argument("--size", type=int, default=64, help="frame size in bytes")
     parser.add_argument("--bidirectional", action="store_true")
     parser.add_argument("--vnfs", type=int, default=1, help="loopback chain length")
     parser.add_argument("--latency", action="store_true", help="run the R+ latency sweep")
-    parser.add_argument("--suite", default="smoke", help="suite name for the 'suite' command")
+    parser.add_argument("--suite", default="smoke", help="suite name for 'suite'/'campaign'")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--warmup-ns", type=float, default=None, metavar="NS",
+        help="override the warm-up window (default: the runner's)",
+    )
+    parser.add_argument(
+        "--measure-ns", type=float, default=None, metavar="NS",
+        help="override the measurement window (default: the runner's)",
+    )
+    # --- campaign execution (also honoured by 'suite' and 'validate') -----
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default 1; 0 = one per core)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="seed replicas per experiment (suite/campaign)",
+    )
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=None,
+        help="memoise results under --cache-dir (campaign: on by default)",
+    )
+    parser.add_argument("--cache-dir", default=".repro-cache", metavar="DIR")
+    parser.add_argument(
+        "--switches", default=None, metavar="A,B,...",
+        help="campaign switch list (default: all seven)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="campaign JSONL result log (enables --resume)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip runs already completed in --store",
+    )
+    parser.add_argument("--export-csv", default=None, metavar="PATH")
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-run wall-clock budget in seconds",
+    )
     return parser
+
+
+def _workers(args) -> int | None:
+    """CLI convention: unset -> 1 (serial), 0 -> auto-size to the machine."""
+    if args.workers is None:
+        return 1
+    if args.workers == 0:
+        return None
+    return args.workers
+
+
+def _windows(args, warmup_default: float = DEFAULT_WARMUP_NS, measure_default: float = DEFAULT_MEASURE_NS) -> dict:
+    return {
+        "warmup_ns": args.warmup_ns if args.warmup_ns is not None else warmup_default,
+        "measure_ns": args.measure_ns if args.measure_ns is not None else measure_default,
+    }
+
+
+def _cache(args, default_on: bool):
+    enabled = default_on if args.cache is None else args.cache
+    if not enabled:
+        return None
+    from repro.campaign.cache import ResultCache
+
+    return ResultCache(args.cache_dir)
+
+
+def _outcome_cells(outcome) -> list:
+    """Gbps/Mpps/status cells for one suite experiment outcome."""
+    if outcome.status == "inapplicable":
+        return ["n/a (qemu)", "n/a (qemu)", "inapplicable"]
+    if outcome.status == "failed":
+        return ["failed", "failed", f"FAILED: {outcome.detail}"]
+    return [round(outcome.gbps, 2), round(outcome.mpps, 2), "ok"]
+
+
+def _run_campaign_command(args) -> int:
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.progress import ProgressReporter
+    from repro.campaign.spec import from_suite
+    from repro.campaign.store import CampaignStore, export_csv
+    from repro.measure.suites import SUITES
+
+    suite = SUITES.get(args.suite)
+    if suite is None:
+        print(f"unknown suite {args.suite!r}; known: {sorted(SUITES)}")
+        return 1
+    if args.switches:
+        switches = [name.strip() for name in args.switches.split(",") if name.strip()]
+        unknown = sorted(set(switches) - set(switch_names()))
+        if unknown:
+            print(f"unknown switches {unknown}; known: {sorted(switch_names())}")
+            return 1
+    else:
+        switches = list(switch_names())
+
+    spec = from_suite(
+        suite,
+        switches,
+        seeds=range(args.seed, args.seed + args.repeat),
+        **_windows(args),
+    )
+    store = CampaignStore(args.store) if args.store else None
+    reporter = ProgressReporter(total=len(spec), emit=print)
+    result = run_campaign(
+        spec,
+        workers=_workers(args),
+        cache=_cache(args, default_on=True),
+        store=store,
+        resume=args.resume,
+        progress=reporter,
+        timeout_s=args.timeout,
+    )
+
+    rows = []
+    for key, outcome in result.outcomes:
+        if outcome.status == "failed":
+            gbps, mpps, status = "failed", "failed", f"FAILED: {outcome.error}: {outcome.message}"
+        elif outcome.status == "inapplicable":
+            gbps, mpps, status = "n/a (qemu)", "n/a (qemu)", "inapplicable"
+        else:
+            gbps, mpps = round(outcome.gbps, 2), round(outcome.mpps, 2)
+            status = "cached" if outcome.cached else "ok"
+        rows.append([outcome.spec.label, gbps, mpps, status])
+    print(
+        format_table(
+            ["run", "Gbps", "Mpps", "status"],
+            rows,
+            title=f"campaign '{spec.name}': {len(switches)} switches x {len(suite.experiments)} experiments x {args.repeat} seeds",
+        )
+    )
+    print(reporter.summary())
+    if args.export_csv:
+        path = export_csv(result.outcomes, args.export_csv)
+        print(f"wrote {path}")
+    return 3 if result.failures else 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     builders = {"p2p": p2p.build, "p2v": p2v.build, "v2v": v2v.build, "loopback": loopback.build}
 
+    if args.scenario == "campaign":
+        return _run_campaign_command(args)
+
     if args.scenario == "validate":
         from repro.analysis.validate import summarize, validate
 
-        checks = validate(progress=lambda msg: print(f"[validate] {msg}"))
+        window_overrides = {}
+        if args.warmup_ns is not None:
+            window_overrides["warmup_ns"] = args.warmup_ns
+        if args.measure_ns is not None:
+            window_overrides["measure_ns"] = args.measure_ns
+        checks = validate(
+            progress=lambda msg: print(f"[validate] {msg}"),
+            seed=args.seed,
+            workers=_workers(args),
+            cache=_cache(args, default_on=False),
+            **window_overrides,
+        )
         rows = [
             [
                 check.artifact,
@@ -78,14 +230,21 @@ def main(argv: list[str] | None = None) -> int:
         if suite is None:
             print(f"unknown suite {args.suite!r}; known: {sorted(SUITES)}")
             return 1
-        results = suite.run(args.switch, seed=args.seed)
+        outcomes = suite.run_outcomes(
+            args.switch,
+            seed=args.seed,
+            repeat=args.repeat,
+            workers=_workers(args),
+            cache=_cache(args, default_on=False),
+            **_windows(args),
+        )
         rows = [
-            [name, result.gbps if result else None, result.mpps if result else None]
-            for name, result in results.items()
+            [name, *_outcome_cells(outcome)]
+            for name, outcome in outcomes.items()
         ]
         print(
             format_table(
-                ["experiment", "Gbps", "Mpps"],
+                ["experiment", "Gbps", "Mpps", "status"],
                 rows,
                 title=f"suite '{suite.name}' for {args.switch}: {suite.description}",
             )
@@ -94,7 +253,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.scenario == "v2v-latency":
         tb = v2v.build_latency(args.switch, frame_size=args.size, seed=args.seed)
-        result = drive(tb)
+        result = drive(tb, **_windows(args))
         latency = result.latency
         mean = latency.mean_us if latency is not None and len(latency) else float("nan")
         std = latency.std_us if latency is not None and len(latency) else float("nan")
@@ -105,7 +264,15 @@ def main(argv: list[str] | None = None) -> int:
     extra = {"n_vnfs": args.vnfs} if args.scenario == "loopback" else {}
 
     if args.latency:
-        points = latency_sweep(build, args.switch, frame_size=args.size, seed=args.seed, **extra)
+        sweep_windows = {}
+        if args.warmup_ns is not None:
+            sweep_windows["warmup_ns"] = args.warmup_ns
+        if args.measure_ns is not None:
+            sweep_windows["measure_ns"] = args.measure_ns
+        points = latency_sweep(
+            build, args.switch, frame_size=args.size, seed=args.seed,
+            **sweep_windows, **extra,
+        )
         rows = [
             (f"{fraction:.2f} R+", point.mean_us, point.std_us, len(point.sample))
             for fraction, point in sorted(points.items())
@@ -125,6 +292,7 @@ def main(argv: list[str] | None = None) -> int:
         frame_size=args.size,
         bidirectional=args.bidirectional,
         seed=args.seed,
+        **_windows(args),
         **extra,
     )
     direction = "bidirectional" if args.bidirectional else "unidirectional"

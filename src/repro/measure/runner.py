@@ -46,8 +46,10 @@ def drive(
     bidirectional: bool | None = None,
 ) -> RunResult:
     """Run a wired testbed through warm-up + measurement; collect results."""
-    if warmup_ns < 0 or measure_ns <= 0:
-        raise ValueError("windows must be positive")
+    if warmup_ns < 0:
+        raise ValueError("warmup_ns must be non-negative")
+    if measure_ns <= 0:
+        raise ValueError("measure_ns must be positive")
     t_open = warmup_ns
     t_close = warmup_ns + measure_ns
     for meter in tb.meters:

@@ -44,6 +44,35 @@ class ExperimentSpec:
             return None
 
 
+@dataclass
+class ExperimentOutcome:
+    """One experiment's suite-level verdict, over its seed replicas.
+
+    ``status`` separates the three cases a results table must not
+    conflate: ``ok`` (measured), ``inapplicable`` (the configuration
+    cannot exist -- e.g. BESS past 3 VMs, footnote 5) and ``failed``
+    (the run errored out).
+    """
+
+    name: str
+    status: str  # "ok" | "inapplicable" | "failed"
+    records: list = field(default_factory=list)  # RunRecord replicas
+    detail: str = ""
+
+    @property
+    def gbps(self) -> float | None:
+        """Mean aggregate Gbps across seed replicas (None unless ok)."""
+        if self.status != "ok" or not self.records:
+            return None
+        return sum(r.gbps for r in self.records) / len(self.records)
+
+    @property
+    def mpps(self) -> float | None:
+        if self.status != "ok" or not self.records:
+            return None
+        return sum(r.mpps for r in self.records) / len(self.records)
+
+
 @dataclass(frozen=True)
 class TestSuite:
     """A named collection of experiments."""
@@ -60,12 +89,99 @@ class TestSuite:
         warmup_ns: float = DEFAULT_WARMUP_NS,
         measure_ns: float = DEFAULT_MEASURE_NS,
         seed: int = 1,
-    ) -> dict[str, RunResult | None]:
-        """Run every experiment for one switch; None marks inapplicable."""
-        return {
-            spec.name: spec.run(switch_name, warmup_ns, measure_ns, seed)
-            for spec in self.experiments
-        }
+        workers: int = 1,
+        cache=None,
+    ):
+        """Run every experiment for one switch; None marks inapplicable.
+
+        Returns ``{experiment: RunRecord | None}``; a record mirrors
+        :class:`~repro.measure.runner.RunResult` (``gbps``/``mpps``/
+        ``switch``/``frame_size``).  A failed run raises -- callers that
+        need failures *recorded* use :meth:`run_outcomes`.
+        """
+        outcomes = self.run_outcomes(
+            switch_name,
+            warmup_ns=warmup_ns,
+            measure_ns=measure_ns,
+            seed=seed,
+            workers=workers,
+            cache=cache,
+        )
+        results = {}
+        for name, outcome in outcomes.items():
+            if outcome.status == "failed":
+                raise RuntimeError(f"experiment {name!r} failed: {outcome.detail}")
+            results[name] = outcome.records[0] if outcome.status == "ok" else None
+        return results
+
+    def run_outcomes(
+        self,
+        switch_name: str,
+        warmup_ns: float = DEFAULT_WARMUP_NS,
+        measure_ns: float = DEFAULT_MEASURE_NS,
+        seed: int = 1,
+        repeat: int = 1,
+        workers: int = 1,
+        cache=None,
+        progress=None,
+    ) -> dict[str, ExperimentOutcome]:
+        """Run the suite through the campaign executor.
+
+        This is the suite entry point the CLI consumes: parallelisable
+        (``workers``), memoisable (``cache`` is a
+        :class:`~repro.campaign.cache.ResultCache`), replicable
+        (``repeat`` seed replicas per experiment) and failure-tolerant
+        (a crashed experiment becomes ``status="failed"`` instead of
+        sinking the suite).
+        """
+        from repro.campaign.executor import run_campaign
+        from repro.campaign.spec import CampaignSpec, RunFailure, runspec_from_experiment
+
+        seeds = range(seed, seed + repeat)
+        spec_map: dict[str, list] = {}
+        runs = []
+        for experiment in self.experiments:
+            spec_map[experiment.name] = []
+            for replica_seed in seeds:
+                spec = runspec_from_experiment(
+                    experiment, switch_name, warmup_ns, measure_ns, replica_seed
+                )
+                if spec is None:
+                    raise ValueError(
+                        f"experiment {experiment.name!r} uses a custom builder; "
+                        "run it via ExperimentSpec.run instead"
+                    )
+                spec_map[experiment.name].append(spec)
+                runs.append(spec)
+
+        campaign = CampaignSpec(name=f"suite:{self.name}/{switch_name}", runs=tuple(runs))
+        result = run_campaign(
+            campaign, workers=workers, cache=cache, progress=progress
+        )
+
+        outcomes: dict[str, ExperimentOutcome] = {}
+        for experiment in self.experiments:
+            replicas = [result.outcome_for(spec) for spec in spec_map[experiment.name]]
+            failures = [r for r in replicas if isinstance(r, RunFailure)]
+            if failures:
+                outcomes[experiment.name] = ExperimentOutcome(
+                    name=experiment.name,
+                    status="failed",
+                    detail="; ".join(f"{f.error}: {f.message}" for f in failures),
+                )
+            elif any(r is None or r.status == "inapplicable" for r in replicas):
+                detail = next(
+                    (r.detail for r in replicas if r is not None and r.status == "inapplicable"),
+                    "",
+                )
+                outcomes[experiment.name] = ExperimentOutcome(
+                    name=experiment.name, status="inapplicable", detail=detail
+                )
+            else:
+                outcomes[experiment.name] = ExperimentOutcome(
+                    name=experiment.name, status="ok", records=replicas
+                )
+        return outcomes
 
 
 def _spec(name, build, size=64, bidi=False, **kwargs):

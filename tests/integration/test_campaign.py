@@ -1,0 +1,207 @@
+"""Integration tests for the campaign executor: determinism across
+serial/parallel execution, caching, resume and fault tolerance."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from _helpers import FAST_MEASURE_NS, FAST_WARMUP_NS
+from repro.campaign.cache import ResultCache
+from repro.campaign.executor import CampaignResult, run_campaign
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import CampaignSpec, RunFailure, RunRecord, RunSpec, execute_run
+from repro.campaign.store import CampaignStore
+
+WINDOWS = dict(warmup_ns=FAST_WARMUP_NS, measure_ns=FAST_MEASURE_NS)
+
+
+def _campaign(*specs) -> CampaignSpec:
+    return CampaignSpec(name="test", runs=tuple(specs))
+
+
+def _gbps_by_key(result: CampaignResult) -> dict:
+    return {key: tuple(o.per_direction_gbps) for key, o in result.outcomes}
+
+
+def test_execute_run_matches_measure_throughput():
+    from repro.measure.throughput import measure_throughput
+    from repro.scenarios import p2p
+
+    spec = RunSpec("p2p", "ovs-dpdk", seed=3, **WINDOWS)
+    record = execute_run(spec)
+    direct = measure_throughput(p2p.build, "ovs-dpdk", 64, seed=3, **WINDOWS)
+    assert record.per_direction_gbps == direct.per_direction_gbps
+    assert record.per_direction_mpps == direct.per_direction_mpps
+    assert record.events == direct.events
+
+
+def test_serial_and_parallel_executions_identical():
+    """The acceptance bar: same spec + seed => identical numbers."""
+    campaign = _campaign(
+        RunSpec("p2p", "vpp", seed=7, **WINDOWS),
+        RunSpec("p2v", "snabb", seed=7, **WINDOWS),
+        RunSpec("v2v", "vale", seed=7, bidirectional=True, **WINDOWS),
+    )
+    serial = run_campaign(campaign, workers=1)
+    parallel = run_campaign(campaign, workers=2)
+    assert _gbps_by_key(serial) == _gbps_by_key(parallel)
+    assert {k: tuple(o.per_direction_mpps) for k, o in serial.outcomes} == {
+        k: tuple(o.per_direction_mpps) for k, o in parallel.outcomes
+    }
+
+
+def test_cache_hit_after_run(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    campaign = _campaign(RunSpec("p2p", "bess", **WINDOWS))
+    first = run_campaign(campaign, cache=cache)
+    assert first.executed == 1 and first.cache_hits == 0
+
+    second = run_campaign(campaign, cache=cache)
+    assert second.executed == 0 and second.cache_hits == 1
+    assert _gbps_by_key(first) == _gbps_by_key(second)
+
+
+def test_fingerprint_change_invalidates_cache(tmp_path, monkeypatch):
+    from repro.cpu.costmodel import Cost
+    from repro.switches.params import ALL_PARAMS
+
+    cache = ResultCache(tmp_path / "cache")
+    campaign = _campaign(RunSpec("p2p", "fastclick", **WINDOWS))
+    run_campaign(campaign, cache=cache)
+
+    recalibrated = replace(ALL_PARAMS["fastclick"], proc=Cost(per_batch=1.0, per_packet=1.0))
+    monkeypatch.setitem(ALL_PARAMS, "fastclick", recalibrated)
+    after = run_campaign(campaign, cache=ResultCache(tmp_path / "cache"))
+    assert after.cache_hits == 0
+    assert after.executed == 1
+
+
+def test_poisoned_run_is_recorded_not_fatal():
+    campaign = _campaign(
+        RunSpec("p2p", "bess", **WINDOWS),
+        RunSpec("p2p", "vpp", extra=(("_inject", "error"),), **WINDOWS),
+        RunSpec("p2p", "vale", **WINDOWS),
+    )
+    result = run_campaign(campaign, workers=1)
+    assert len(result.failures) == 1
+    failure = result.failures[0]
+    assert isinstance(failure, RunFailure)
+    assert failure.spec.switch == "vpp"
+    oks = [o for _, o in result.outcomes if isinstance(o, RunRecord) and o.status == "ok"]
+    assert len(oks) == 2
+    assert all(o.gbps > 0 for o in oks)
+
+
+def test_worker_death_is_isolated_and_bounded():
+    campaign = _campaign(
+        RunSpec("p2p", "bess", **WINDOWS),
+        RunSpec("p2p", "vale", extra=(("_inject", "worker-death"),), **WINDOWS),
+    )
+    result = run_campaign(campaign, workers=2, retries=1, backoff_s=0.01)
+    assert len(result.failures) == 1
+    assert result.failures[0].error == "WorkerDied"
+    assert result.failures[0].attempts == 2  # original + 1 retry
+    survivors = [o for _, o in result.outcomes if isinstance(o, RunRecord)]
+    assert len(survivors) == 1 and survivors[0].status == "ok"
+
+
+def test_qemu_incompatibility_is_inapplicable_not_failed():
+    campaign = _campaign(RunSpec("loopback", "bess", n_vnfs=5, **WINDOWS))
+    result = run_campaign(campaign)
+    assert not result.failures
+    assert len(result.inapplicable) == 1
+    assert "qemu" in result.inapplicable[0].detail
+
+
+def test_store_resume_skips_completed(tmp_path):
+    store = CampaignStore(tmp_path / "log.jsonl")
+    campaign = _campaign(
+        RunSpec("p2p", "bess", **WINDOWS),
+        RunSpec("p2p", "t4p4s", **WINDOWS),
+    )
+    first = run_campaign(campaign, store=store)
+    assert first.executed == 2
+
+    resumed = run_campaign(campaign, store=store, resume=True)
+    assert resumed.executed == 0
+    assert resumed.resumed == 2
+    assert _gbps_by_key(first) == _gbps_by_key(resumed)
+
+
+def test_store_resume_retries_failures(tmp_path):
+    store = CampaignStore(tmp_path / "log.jsonl")
+    poisoned = RunSpec("p2p", "vpp", extra=(("_inject", "error"),), **WINDOWS)
+    first = run_campaign(_campaign(poisoned), store=store)
+    assert len(first.failures) == 1
+
+    # The healed spec differs (no _inject), so build the same-key scenario
+    # by resuming with the identical spec: failures are not "completed".
+    again = run_campaign(_campaign(poisoned), store=store, resume=True)
+    assert again.resumed == 0
+    assert again.executed == 1
+
+
+def test_progress_counts_match_result(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    campaign = _campaign(
+        RunSpec("p2p", "bess", **WINDOWS),
+        RunSpec("loopback", "bess", n_vnfs=5, **WINDOWS),
+    )
+    reporter = ProgressReporter(total=len(campaign))
+    result = run_campaign(campaign, cache=cache, progress=reporter)
+    assert reporter.done == 2
+    assert reporter.executed == result.executed == 2
+    assert reporter.inapplicable == 1
+
+    reporter2 = ProgressReporter(total=len(campaign))
+    rerun = run_campaign(campaign, cache=cache, progress=reporter2)
+    assert rerun.cache_hits == 2  # the inapplicable verdict is cached too
+    assert reporter2.cache_hits == 2
+
+
+def test_per_run_timeout_records_failure():
+    import signal
+
+    if not hasattr(signal, "SIGALRM"):
+        pytest.skip("per-run timeouts need SIGALRM")
+    # A long measurement window against a tiny timeout budget.
+    campaign = _campaign(
+        RunSpec("p2p", "vpp", warmup_ns=1e6, measure_ns=500_000_000.0)
+    )
+    result = run_campaign(campaign, workers=1, timeout_s=0.05)
+    assert len(result.failures) == 1
+    assert result.failures[0].error == "RunTimeoutError"
+
+
+def test_suite_outcomes_distinguish_inapplicable(tmp_path):
+    from repro.measure.suites import PAPER_SUITE
+
+    outcomes = PAPER_SUITE.run_outcomes("bess", **WINDOWS)
+    assert outcomes["p2p-64B-uni"].status == "ok"
+    assert outcomes["p2p-64B-uni"].gbps > 0
+    assert outcomes["loopback5-64B-uni"].status == "inapplicable"
+    assert outcomes["loopback5-64B-uni"].gbps is None
+
+
+def test_suite_run_parallel_matches_serial():
+    from repro.measure.suites import SMOKE_SUITE
+
+    serial = SMOKE_SUITE.run("snabb", **WINDOWS)
+    parallel = SMOKE_SUITE.run("snabb", workers=2, **WINDOWS)
+    assert {k: v.gbps for k, v in serial.items()} == {
+        k: v.gbps for k, v in parallel.items()
+    }
+
+
+def test_suite_repeat_averages_replicas():
+    from repro.measure.suites import SMOKE_SUITE
+
+    outcomes = SMOKE_SUITE.run_outcomes("vpp", repeat=2, **WINDOWS)
+    outcome = outcomes["p2p-64B"]
+    assert len(outcome.records) == 2
+    seeds = {r.spec.seed for r in outcome.records}
+    assert seeds == {1, 2}
+    expected = sum(r.gbps for r in outcome.records) / 2
+    assert outcome.gbps == pytest.approx(expected)

@@ -1,0 +1,78 @@
+"""Unit tests for campaign progress/ETA reporting."""
+
+from __future__ import annotations
+
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import RunFailure, RunRecord, RunSpec
+
+
+def _record(status: str = "ok") -> RunRecord:
+    return RunRecord(
+        spec=RunSpec("p2p", "vpp"),
+        status=status,
+        per_direction_gbps=[9.5] if status == "ok" else [],
+        events=100 if status == "ok" else 0,
+    )
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_counters_by_source():
+    reporter = ProgressReporter(total=4)
+    reporter.update(_record(), source="executed")
+    reporter.update(_record(), source="cache")
+    reporter.update(_record(), source="store")
+    reporter.update(RunFailure(spec=RunSpec("p2p", "vale"), error="E", message="m"))
+    assert reporter.done == 4
+    assert reporter.executed == 2  # the failure counts as an execution attempt
+    assert reporter.cache_hits == 1
+    assert reporter.resumed == 1
+    assert reporter.failures == 1
+    assert reporter.events == 300
+
+
+def test_inapplicable_is_not_a_failure():
+    reporter = ProgressReporter(total=1)
+    reporter.update(_record("inapplicable"))
+    assert reporter.inapplicable == 1
+    assert reporter.failures == 0
+
+
+def test_eta_from_mean_pace():
+    clock = FakeClock()
+    reporter = ProgressReporter(total=4, clock=clock)
+    reporter.start()
+    clock.now = 10.0
+    reporter.update(_record())
+    assert reporter.eta_s() == 30.0  # 10s/run, 3 runs left
+    reporter.update(_record())
+    reporter.update(_record())
+    reporter.update(_record())
+    assert reporter.eta_s() is None  # finished
+
+
+def test_emitted_lines_and_summary():
+    lines = []
+    reporter = ProgressReporter(total=2, emit=lines.append)
+    reporter.update(_record())
+    reporter.update(_record("inapplicable"), source="cache")
+    assert any("9.50 Gbps" in line for line in lines)
+    assert any("n/a (qemu)" in line and "[cached]" in line for line in lines)
+    summary = reporter.summary()
+    assert "2/2 runs" in summary
+    assert "1 executed" in summary
+    assert "1 cache hits" in summary
+    assert "0 failed" in summary
+
+
+def test_failure_line_names_the_error():
+    lines = []
+    reporter = ProgressReporter(total=1, emit=lines.append)
+    reporter.update(RunFailure(spec=RunSpec("p2p", "vale"), error="RuntimeError", message="boom"))
+    assert any("FAILED (RuntimeError: boom)" in line for line in lines)

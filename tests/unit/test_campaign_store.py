@@ -1,0 +1,65 @@
+"""Unit tests for campaign persistence (JSONL log, resume, CSV export)."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.campaign.spec import RunFailure, RunRecord, RunSpec
+from repro.campaign.store import CampaignStore, export_csv
+
+
+def _record(spec: RunSpec, gbps: float = 9.5) -> RunRecord:
+    return RunRecord(spec=spec, per_direction_gbps=[gbps], per_direction_mpps=[14.1], events=3)
+
+
+def test_append_then_load(tmp_path):
+    store = CampaignStore(tmp_path / "campaign.jsonl")
+    a, b = RunSpec("p2p", "vpp"), RunSpec("p2p", "bess")
+    store.append("ka", _record(a))
+    store.append("kb", RunFailure(spec=b, error="RuntimeError", message="boom"))
+    loaded = store.load()
+    assert set(loaded) == {"ka", "kb"}
+    assert isinstance(loaded["ka"], RunRecord)
+    assert isinstance(loaded["kb"], RunFailure)
+
+
+def test_completed_keys_exclude_failures(tmp_path):
+    store = CampaignStore(tmp_path / "campaign.jsonl")
+    store.append("ok", _record(RunSpec("p2p", "vpp")))
+    store.append("bad", RunFailure(spec=RunSpec("p2p", "bess"), error="E", message="m"))
+    assert store.completed_keys() == {"ok"}
+
+
+def test_later_lines_win(tmp_path):
+    store = CampaignStore(tmp_path / "campaign.jsonl")
+    spec = RunSpec("p2p", "vpp")
+    store.append("k", _record(spec, gbps=1.0))
+    store.append("k", _record(spec, gbps=2.0))
+    assert store.load()["k"].gbps == 2.0
+
+
+def test_torn_final_line_is_skipped(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    store = CampaignStore(path)
+    store.append("k", _record(RunSpec("p2p", "vpp")))
+    with path.open("a") as fh:
+        fh.write('{"record": "result", "spec": {"scenari')  # killed mid-write
+    assert set(store.load()) == {"k"}
+
+
+def test_missing_file_loads_empty(tmp_path):
+    assert CampaignStore(tmp_path / "absent.jsonl").load() == {}
+
+
+def test_export_csv_rows(tmp_path):
+    ok = _record(RunSpec("p2p", "vpp"))
+    na = RunRecord(spec=RunSpec("loopback", "bess", n_vnfs=5), status="inapplicable", detail="qemu")
+    bad = RunFailure(spec=RunSpec("p2p", "vale"), error="RuntimeError", message="boom")
+    path = export_csv([("a", ok), ("b", na), ("c", bad)], tmp_path / "out.csv")
+    with path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert [r["status"] for r in rows] == ["ok", "inapplicable", "failed"]
+    assert rows[0]["gbps"] == "9.5000"
+    assert rows[1]["gbps"] == ""
+    assert rows[2]["error"] == "RuntimeError: boom"
+    assert rows[1]["n_vnfs"] == "5"

@@ -50,6 +50,84 @@ def test_unknown_suite(capsys):
     assert "unknown suite" in capsys.readouterr().out
 
 
+def test_window_overrides_accepted(capsys):
+    assert main([
+        "p2p", "--switch", "bess",
+        "--warmup-ns", "100000", "--measure-ns", "400000",
+    ]) == 0
+    assert "Gbps" in capsys.readouterr().out
+
+
+def test_window_overrides_on_v2v_latency(capsys):
+    assert main([
+        "v2v-latency", "--switch", "vale",
+        "--warmup-ns", "200000", "--measure-ns", "1500000",
+    ]) == 0
+    assert "us" in capsys.readouterr().out
+
+
+def test_suite_renders_inapplicable_cells(capsys):
+    assert main([
+        "suite", "--switch", "bess", "--suite", "paper",
+        "--warmup-ns", "100000", "--measure-ns", "300000",
+    ]) == 0
+    out = capsys.readouterr().out
+    # BESS cannot host the 4/5-VM chains (footnote 5): the table says so
+    # instead of printing literal None.
+    assert "n/a (qemu)" in out
+    assert "None" not in out
+
+
+def test_campaign_command_smoke(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main([
+        "campaign", "--suite", "smoke", "--switches", "bess,vale",
+        "--warmup-ns", "100000", "--measure-ns", "300000",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "campaign summary:" in out
+    assert "8/8 runs" in out
+    assert "8 executed" in out
+
+    # Second invocation: everything memoised, nothing simulated.
+    assert main([
+        "campaign", "--suite", "smoke", "--switches", "bess,vale",
+        "--warmup-ns", "100000", "--measure-ns", "300000",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "0 executed" in out
+    assert "8 cache hits" in out
+
+
+def test_campaign_rejects_unknown_suite_and_switch(capsys):
+    assert main(["campaign", "--suite", "nope"]) == 1
+    assert "unknown suite" in capsys.readouterr().out
+    assert main(["campaign", "--suite", "smoke", "--switches", "bess,warp"]) == 1
+    assert "unknown switches" in capsys.readouterr().out
+
+
+def test_campaign_store_and_csv(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main([
+        "campaign", "--suite", "smoke", "--switches", "bess",
+        "--no-cache", "--store", "log.jsonl", "--export-csv", "out.csv",
+        "--warmup-ns", "100000", "--measure-ns", "300000",
+    ]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "log.jsonl").exists()
+    assert (tmp_path / "out.csv").read_text().startswith("key,")
+
+    # Resume executes nothing: all four runs are already in the store.
+    assert main([
+        "campaign", "--suite", "smoke", "--switches", "bess",
+        "--no-cache", "--store", "log.jsonl", "--resume",
+        "--warmup-ns", "100000", "--measure-ns", "300000",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "0 executed" in out
+    assert "4 resumed" in out
+
+
 def test_unknown_switch_rejected():
     with pytest.raises(SystemExit):
         main(["p2p", "--switch", "notaswitch"])

@@ -50,6 +50,31 @@ def test_latency_field_defaults_none():
     assert result.latency is None
 
 
+def test_drive_rejects_negative_warmup_with_specific_message():
+    from repro.measure.runner import drive
+
+    with pytest.raises(ValueError, match="warmup_ns must be non-negative"):
+        drive(object(), warmup_ns=-1.0, measure_ns=1e6)
+
+
+def test_drive_rejects_nonpositive_measure_with_specific_message():
+    from repro.measure.runner import drive
+
+    with pytest.raises(ValueError, match="measure_ns must be positive"):
+        drive(object(), warmup_ns=0.0, measure_ns=0.0)
+    with pytest.raises(ValueError, match="measure_ns must be positive"):
+        drive(object(), warmup_ns=1e5, measure_ns=-5.0)
+
+
+def test_drive_accepts_zero_warmup():
+    """warmup_ns=0 is a legal window (measure from t=0)."""
+    from repro.measure.runner import drive
+    from repro.scenarios import p2p
+
+    result = drive(p2p.build("bess"), warmup_ns=0.0, measure_ns=200_000.0)
+    assert result.gbps >= 0.0
+
+
 def test_latency_sample_attachable():
     sample = LatencySample()
     sample.add(5_000.0)
