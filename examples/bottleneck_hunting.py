@@ -2,10 +2,16 @@
 
 The paper infers bottlenecks from aggregate throughput ("the overhead
 imposed by vhost-user", "packet copies between VALE ports").  The
-simulated testbed can show them directly: this example instruments a
-loopback chain with telemetry probes on every queue and the SUT core,
-runs it at saturating load, and prints a per-stage report -- occupancy,
-drops and core utilisation -- that localises the bottleneck.
+simulated testbed can show them directly: this example attaches an
+observability session (:mod:`repro.obs`) to a loopback chain, runs it at
+saturating load and prints
+
+* the cycle-attribution profile (where each packet's cycles go, per
+  stage, diffed against the closed-form prediction),
+* the queue/drop metrics along the chain, and
+* the classic telemetry time-series view (queue growth over time),
+
+which together localise the bottleneck.
 
 Usage::
 
@@ -16,9 +22,11 @@ from __future__ import annotations
 
 import sys
 
+from repro.analysis.bottleneck import diff_attribution, stage_breakdown
 from repro.analysis.tables import format_table
 from repro.core.trace import Telemetry
 from repro.measure.runner import drive
+from repro.obs import observe
 from repro.scenarios import loopback
 from repro.switches.registry import params_for, switch_names
 
@@ -31,37 +39,73 @@ def main() -> int:
         return 1
 
     tb = loopback.build(switch_name, n_vnfs=n_vnfs, frame_size=64)
-    telemetry = Telemetry(tb.sim, period_ns=50_000.0)
 
-    # Probe every queue along the chain, in traversal order.
-    sut0, sut1 = tb.extras["sut_ports"]
+    # The observability session: metrics registry + cycle profiler.
+    obs = observe(tb)
+
+    # Telemetry still earns its keep for *time series* -- queue growth
+    # over the run, which a point-in-time metric snapshot cannot show.
+    telemetry = Telemetry(tb.sim, period_ns=50_000.0)
+    sut0, _ = tb.extras["sut_ports"]
     telemetry.watch_ring("NIC0 rx ring", sut0.rx_ring)
-    telemetry.watch_ring_drops("NIC0 rx drops", sut0.rx_ring)
-    for i, vm in enumerate(tb.vms, start=1):
-        for vif in vm.interfaces:
-            telemetry.watch_ring(f"{vif.name} to-guest", vif.to_guest)
-            telemetry.watch_ring(f"{vif.name} to-host", vif.to_host)
-    telemetry.watch_core_busy("SUT core", tb.sut_core)
     telemetry.start()
 
     result = drive(tb)
+    obs.finish(result)
+
     print(
         f"=== {params_for(switch_name).display_name}, {n_vnfs}-VNF loopback chain, "
         f"64B saturating input ===\n"
     )
     print(f"throughput: {result.gbps:.2f} Gbps\n")
 
-    rows = []
-    for name, series in telemetry.series.items():
-        if name == "SUT core":
-            continue
-        rows.append([name, series.mean, series.peak, series.last()])
-    print(format_table(["queue", "mean depth", "peak depth", "final"], rows))
+    # --- where do the cycles go? ----------------------------------------
+    report = obs.profile()
+    observed = report.chain_cycles_per_packet()
+    predicted = stage_breakdown(switch_name, "loopback", 64, n_vnfs=n_vnfs)
+    diff = diff_attribution(observed, predicted)
+    print(
+        format_table(
+            ["stage", "observed cyc/pkt", "closed-form", "ratio"],
+            [
+                [stage, round(cells["observed"], 1), round(cells["predicted"], 1),
+                 f"{cells['ratio']:.2f}x"]
+                for stage, cells in diff.items()
+            ],
+            title="cycle attribution (per chain traversal)",
+        )
+    )
+    hottest = max(report.paths, key=lambda p: p.total_cycles)
+    print(
+        f"\nhottest path: {hottest.name} "
+        f"({sum(hottest.cycles_per_packet().values()):.0f} cycles/pkt, "
+        f"mean batch {hottest.mean_batch:.1f})"
+    )
 
-    utilisation = telemetry.utilization("SUT core")
-    print(f"\nSUT core utilisation: {100 * utilisation:.1f}%")
-    ingress_drops = telemetry.series["NIC0 rx drops"].last()
-    print(f"NIC0 ingress drops: {ingress_drops:.0f} packets")
+    # --- where do the packets die? ---------------------------------------
+    registry = obs.registry
+    rows = [
+        [name, f"{registry.get(name).read():.0f}"]
+        for name in registry.names()
+        if name.endswith(".dropped") and registry.get(name).read() > 0
+    ]
+    print()
+    if rows:
+        print(format_table(["drop counter", "packets"], rows))
+    else:
+        print("no drops recorded along the chain")
+
+    # --- and when? --------------------------------------------------------
+    rx = telemetry.series["NIC0 rx ring"]
+    print(
+        f"\nNIC0 rx ring over time: mean {rx.mean:.0f}, p90 "
+        f"{rx.percentile(90):.0f}, peak {rx.peak:.0f} slots"
+    )
+
+    busy = tb.sut_core.busy_ns
+    utilisation = min(1.0, busy / result.duration_ns) if result.duration_ns else 0.0
+    print(f"SUT core utilisation: {100 * utilisation:.1f}%")
+    ingress_drops = registry.get("nic.sut-nic.p0.rx_ring.dropped").read()
     if utilisation > 0.95 and ingress_drops > 0:
         print(
             "\nDiagnosis: the SUT core is saturated and the loss happens at\n"

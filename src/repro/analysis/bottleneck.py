@@ -39,8 +39,10 @@ class CapacityEstimate:
         return pps_to_gbps(self.predicted_pps, self.frame_size)
 
 
-def _hop_cost(params: SwitchParams, kind: str, frame_size: int, bidir: bool) -> float:
-    """Per-packet cycles for one forwarding hop of a given kind."""
+def _hop_stage_costs(
+    params: SwitchParams, kind: str, frame_size: int, bidir: bool
+) -> tuple[float, float, float]:
+    """Per-packet (rx, proc, tx) cycles for one forwarding hop of a given kind."""
     batch = params.batch_size
     proc = params.proc.cycles_per_packet(frame_size, batch)
     nic_rx = params.nic_rx.cycles_per_packet(frame_size, batch)
@@ -50,20 +52,24 @@ def _hop_cost(params: SwitchParams, kind: str, frame_size: int, bidir: bool) -> 
     if bidir:
         vif_tx *= params.bidir_vif_penalty
         vif_rx *= params.bidir_vif_penalty
+    if kind == "p2p":
+        return nic_rx, proc, nic_tx
+    if kind == "p2v":
+        return nic_rx, proc, vif_tx
+    if kind == "v2p":
+        return vif_rx, proc, nic_tx
+    if kind == "v2v":
+        return vif_rx, proc, vif_tx
+    raise ValueError(f"unknown hop kind {kind!r}")
+
+
+def _hop_cost(params: SwitchParams, kind: str, frame_size: int, bidir: bool) -> float:
+    """Per-packet cycles for one forwarding hop of a given kind."""
+    rx, proc, tx = _hop_stage_costs(params, kind, frame_size, bidir)
     overhead = 0.0
     if params.pipeline:
-        overhead = params.app_overhead_cycles / max(1, batch)
-    if kind == "p2p":
-        cost = nic_rx + proc + nic_tx
-    elif kind == "p2v":
-        cost = nic_rx + proc + vif_tx
-    elif kind == "v2p":
-        cost = vif_rx + proc + nic_tx
-    elif kind == "v2v":
-        cost = vif_rx + proc + vif_tx
-    else:
-        raise ValueError(f"unknown hop kind {kind!r}")
-    return cost + overhead
+        overhead = params.app_overhead_cycles / max(1, params.batch_size)
+    return rx + proc + tx + overhead
 
 
 def _thrash(params: SwitchParams, attachments: int) -> float:
@@ -86,6 +92,80 @@ def _scenario_hops(scenario: str, n_vnfs: int) -> tuple[list[str], int]:
     raise ValueError(f"unknown scenario {scenario!r}")
 
 
+#: Stage keys of :func:`stage_breakdown`, matching the observed profiler's
+#: :data:`repro.obs.profiler.STAGES`.
+STAGES = ("rx", "proc", "tx", "overhead")
+
+
+def stage_breakdown(
+    switch_name: str,
+    scenario: str,
+    frame_size: int = 64,
+    bidirectional: bool = False,
+    n_vnfs: int = 1,
+    params: SwitchParams | None = None,
+) -> dict[str, float]:
+    """Closed-form per-stage cycles/packet along one direction of the chain.
+
+    The counterpart of the observed
+    :meth:`repro.obs.profiler.ProfileReport.chain_cycles_per_packet`:
+    ``rx``/``proc``/``tx`` are the raw attachment + switching costs summed
+    over the chain's hops, and ``overhead`` holds everything the stability
+    model layers on top -- pipeline app overhead (amortised over a full
+    batch) and the thrash-cliff inflation -- mirroring how the profiler
+    attributes the (jittered - raw) residue.  ``sum(values())`` is exactly
+    the per-packet cost :func:`estimate` divides the core frequency by.
+
+    Note the observed report for a *bidirectional* run sums both symmetric
+    directions; this returns one direction (halve the observed figures, or
+    compare per-path, when diffing bidirectional runs).
+    """
+    if params is None:
+        params = params_for(switch_name)
+    hops, attachments = _scenario_hops(scenario, n_vnfs)
+    stages = {stage: 0.0 for stage in STAGES}
+    for hop in hops:
+        rx, proc, tx = _hop_stage_costs(params, hop, frame_size, bidirectional)
+        stages["rx"] += rx
+        stages["proc"] += proc
+        stages["tx"] += tx
+        if params.pipeline:
+            stages["overhead"] += params.app_overhead_cycles / max(1, params.batch_size)
+    thrash = _thrash(params, attachments)
+    if thrash != 1.0:
+        stages["overhead"] += (thrash - 1.0) * sum(stages.values())
+    return stages
+
+
+def diff_attribution(
+    observed: dict[str, float], predicted: dict[str, float]
+) -> dict[str, dict[str, float]]:
+    """Diff an observed cycles/packet breakdown against the closed form.
+
+    Both arguments map stage name -> cycles/packet (e.g. the observed
+    :meth:`~repro.obs.profiler.ProfileReport.chain_cycles_per_packet` and
+    :func:`stage_breakdown`).  Returns, per stage plus a ``"total"`` row:
+    ``observed``, ``predicted``, ``delta`` (observed - predicted) and
+    ``ratio`` (observed / predicted; ``inf`` when predicting zero but
+    observing some, 1.0 when both are zero).
+    """
+    def row(obs: float, pred: float) -> dict[str, float]:
+        if pred:
+            ratio = obs / pred
+        else:
+            ratio = 1.0 if not obs else float("inf")
+        return {"observed": obs, "predicted": pred, "delta": obs - pred, "ratio": ratio}
+
+    seen = set(observed) | set(predicted)
+    ordered = [s for s in STAGES if s in seen] + sorted(seen - set(STAGES))
+    out = {
+        stage: row(observed.get(stage, 0.0), predicted.get(stage, 0.0))
+        for stage in ordered
+    }
+    out["total"] = row(sum(observed.values()), sum(predicted.values()))
+    return out
+
+
 def estimate(
     switch_name: str,
     scenario: str,
@@ -103,9 +183,11 @@ def estimate(
     """
     if params is None:
         params = params_for(switch_name)
-    hops, attachments = _scenario_hops(scenario, n_vnfs)
-    per_packet = sum(_hop_cost(params, hop, frame_size, bidirectional) for hop in hops)
-    per_packet *= _thrash(params, attachments)
+    _, attachments = _scenario_hops(scenario, n_vnfs)
+    stages = stage_breakdown(
+        switch_name, scenario, frame_size, bidirectional, n_vnfs, params=params
+    )
+    per_packet = sum(stages.values())
     core_capacity = freq_hz / per_packet  # pps through the whole chain
 
     line = line_rate_pps(frame_size)

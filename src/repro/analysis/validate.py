@@ -17,7 +17,7 @@ pure function of its spec and seed.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from repro.analysis.paper_values import (
@@ -103,19 +103,27 @@ def validate(
     progress: Callable[[str], None] | None = None,
     workers: int = 1,
     cache=None,
+    obs=None,
+    metrics_sink: dict | None = None,
 ) -> list[Check]:
     """Run the validation battery; returns one Check per criterion.
 
     ``workers`` fans the battery out over processes; ``cache`` (a
     :class:`~repro.campaign.cache.ResultCache`) memoises runs on disk.
     Both leave every measured value bit-identical to serial, uncached
-    execution.
+    execution -- as does observing the battery with ``obs`` (an
+    :class:`~repro.obs.session.ObsConfig`), which additionally fills
+    ``metrics_sink`` (if given) with ``{run label: metrics snapshot}``.
     """
     windows = dict(warmup_ns=warmup_ns, measure_ns=measure_ns, seed=seed)
     specs = _battery(warmup_ns, measure_ns, seed)
     # Anchors shared between criteria (e.g. snabb p2v feeds both Fig. 4b
     # and the Fig. 4c ordering) are simulated once.
     campaign = CampaignSpec(name="validate", runs=tuple(specs)).deduplicated()
+    obs_items: tuple = ()
+    if obs is not None:
+        campaign = campaign.with_obs(obs)
+        obs_items = campaign.runs[0].obs if campaign.runs else ()
     reporter = ProgressReporter(total=len(campaign), emit=progress)
     result = run_campaign(campaign, workers=workers, cache=cache, progress=reporter)
 
@@ -124,8 +132,13 @@ def validate(
         labels = ", ".join(f.spec.label for f in failures)
         raise RuntimeError(f"validation runs failed: {labels}")
 
+    if metrics_sink is not None:
+        for _, outcome in result.outcomes:
+            if isinstance(outcome, RunRecord) and outcome.metrics is not None:
+                metrics_sink[outcome.spec.label] = outcome.metrics
+
     def gbps(spec: RunSpec) -> float:
-        outcome = result.outcome_for(spec)
+        outcome = result.outcome_for(replace(spec, obs=obs_items))
         if not isinstance(outcome, RunRecord) or outcome.status != "ok":
             return math.nan
         return outcome.gbps
@@ -197,7 +210,7 @@ def validate(
             measure_ns=max(measure_ns, 2_000_000.0),
             seed=seed,
         )
-        outcome = result.outcome_for(spec)
+        outcome = result.outcome_for(replace(spec, obs=obs_items))
         rtts[name] = (
             outcome.latency_mean_us
             if isinstance(outcome, RunRecord) and outcome.latency_mean_us is not None

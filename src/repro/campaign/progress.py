@@ -9,10 +9,21 @@ counts, failures.
 
 from __future__ import annotations
 
+import sys
 import time
 from typing import Callable
 
 from repro.campaign.spec import RunFailure, RunRecord
+
+
+def emit_to_stderr(message: str) -> None:
+    """Progress sink that keeps stdout clean for piped data.
+
+    The CLI routes all campaign/suite telemetry through this, so
+    ``repro-bench campaign ... --export-csv - > results.csv`` yields a
+    parseable CSV with the live progress still visible on the terminal.
+    """
+    print(message, file=sys.stderr, flush=True)
 
 
 class ProgressReporter:
@@ -36,6 +47,9 @@ class ProgressReporter:
         self.events = 0
         self.sim_wall_clock_s = 0.0
         self._started: float | None = None
+        #: Per-run completion records, in completion order -- enough to
+        #: reconstruct a campaign-execution timeline (``--trace-out``).
+        self.timeline: list[dict] = []
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
@@ -66,6 +80,15 @@ class ProgressReporter:
             if outcome.latency_mean_us is not None:
                 status += f", RTT {outcome.latency_mean_us:.1f} us"
         tag = {"cache": " [cached]", "store": " [resumed]"}.get(source, "")
+        self.timeline.append(
+            {
+                "label": outcome.spec.label,
+                "status": outcome.status,
+                "source": source,
+                "finished_s": self.elapsed_s,
+                "wall_clock_s": outcome.wall_clock_s,
+            }
+        )
         self._say(
             f"[{self.done}/{self.total}] {outcome.spec.label}: {status}{tag}{self._eta_suffix()}"
         )

@@ -39,6 +39,10 @@ class RunSpec:
     #: extra builder kwargs (e.g. ``reversed_path`` for p2v), kept as a
     #: sorted tuple of items so the spec stays hashable and canonical.
     extra: tuple[tuple[str, Any], ...] = ()
+    #: observability configuration (:meth:`repro.obs.ObsConfig.to_items`);
+    #: empty means "run unobserved" and is omitted from :meth:`to_dict`
+    #: so pre-observability cache keys and stored records stay valid.
+    obs: tuple[tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if self.scenario not in SCENARIOS:
@@ -48,6 +52,7 @@ class RunSpec:
         if self.kind == "latency" and self.scenario != "v2v":
             raise ValueError("kind='latency' is the Table 4 RTT drive; only scenario 'v2v' supports it")
         object.__setattr__(self, "extra", tuple(sorted(self.extra)))
+        object.__setattr__(self, "obs", tuple(sorted(self.obs)))
 
     @property
     def label(self) -> str:
@@ -58,7 +63,7 @@ class RunSpec:
         return f"{scenario}-{self.frame_size}B-{direction}{kind}/{self.switch}#s{self.seed}"
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "scenario": self.scenario,
             "switch": self.switch,
             "frame_size": self.frame_size,
@@ -70,11 +75,17 @@ class RunSpec:
             "measure_ns": self.measure_ns,
             "extra": [list(item) for item in self.extra],
         }
+        if self.obs:
+            # Only when observed: keeps unobserved cache keys / stored
+            # records byte-identical to pre-observability versions.
+            data["obs"] = [list(item) for item in self.obs]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSpec":
         payload = dict(data)
         payload["extra"] = tuple((key, value) for key, value in payload.get("extra", ()))
+        payload["obs"] = tuple((key, value) for key, value in payload.get("obs", ()))
         return cls(**payload)
 
 
@@ -94,6 +105,10 @@ class RunRecord:
     wall_clock_s: float = 0.0
     cached: bool = False
     detail: str = ""
+    #: Compact observability snapshot (metrics + profile + trace digest)
+    #: from :meth:`repro.obs.session.Observation.metrics_snapshot`; None
+    #: for unobserved runs and omitted from :meth:`to_dict`.
+    metrics: dict | None = None
 
     # Convenience mirrors of RunResult so suite/table code can treat a
     # record like a measurement.
@@ -126,7 +141,7 @@ class RunRecord:
         return self.status == "ok"
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "record": "result",
             "spec": self.spec.to_dict(),
             "status": self.status,
@@ -140,6 +155,9 @@ class RunRecord:
             "wall_clock_s": self.wall_clock_s,
             "detail": self.detail,
         }
+        if self.metrics is not None:
+            data["metrics"] = self.metrics
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunRecord":
@@ -217,6 +235,25 @@ class CampaignSpec:
         runs = tuple(
             replace(spec, seed=spec.seed + i) for spec in self.runs for i in range(repeat)
         )
+        return CampaignSpec(name=self.name, runs=runs)
+
+    def with_obs(self, config=None, **overrides) -> "CampaignSpec":
+        """Run every spec observed (``repro.obs``), collecting per-run
+        metric snapshots.
+
+        Accepts an :class:`~repro.obs.session.ObsConfig` or its keyword
+        overrides (``with_obs(trace=True)``).  A disabled config (all
+        collection off) clears the ``obs`` field instead, restoring the
+        unobserved cache keys.
+        """
+        from repro.obs import ObsConfig
+
+        if config is None:
+            config = ObsConfig(**overrides)
+        elif overrides:
+            raise TypeError("pass either a config or keyword overrides, not both")
+        items = config.to_items() if config.enabled else ()
+        runs = tuple(replace(spec, obs=items) for spec in self.runs)
         return CampaignSpec(name=self.name, runs=runs)
 
 
@@ -358,10 +395,30 @@ def execute_run(spec: RunSpec) -> RunRecord:
         raise RuntimeError(f"injected fault in {spec.label}")
     if spec.scenario == "loopback":
         kwargs["n_vnfs"] = spec.n_vnfs
+    observation = None
     try:
         if spec.kind == "latency":
             tb = v2v.build_latency(spec.switch, frame_size=spec.frame_size, seed=spec.seed, **kwargs)
+            observation = _observe_for_spec(tb, spec)
             result = drive(tb, warmup_ns=spec.warmup_ns, measure_ns=spec.measure_ns)
+        elif spec.obs:
+            # Observed runs build the testbed here so probes attach before
+            # the drive; measurements stay bit-identical to the unobserved
+            # path (probes only read).
+            tb = builders[spec.scenario](
+                spec.switch,
+                frame_size=spec.frame_size,
+                bidirectional=spec.bidirectional,
+                seed=spec.seed,
+                **kwargs,
+            )
+            observation = _observe_for_spec(tb, spec)
+            result = drive(
+                tb,
+                warmup_ns=spec.warmup_ns,
+                measure_ns=spec.measure_ns,
+                bidirectional=spec.bidirectional,
+            )
         else:
             result = measure_throughput(
                 builders[spec.scenario],
@@ -380,6 +437,11 @@ def execute_run(spec: RunSpec) -> RunRecord:
             detail=f"qemu: {exc}",
             wall_clock_s=time.monotonic() - started,
         )
+
+    metrics = None
+    if observation is not None:
+        observation.finish(result)
+        metrics = observation.metrics_snapshot()
 
     latency = result.latency
     has_latency = latency is not None and len(latency)
@@ -400,4 +462,17 @@ def execute_run(spec: RunSpec) -> RunRecord:
         events=result.events,
         duration_ns=result.duration_ns,
         wall_clock_s=time.monotonic() - started,
+        metrics=metrics,
     )
+
+
+def _observe_for_spec(tb, spec: RunSpec):
+    """Attach an observation session when the spec asks for one."""
+    if not spec.obs:
+        return None
+    from repro.obs import ObsConfig, observe
+
+    config = ObsConfig.from_items(spec.obs)
+    if not config.enabled:
+        return None
+    return observe(tb, config)

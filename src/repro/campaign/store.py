@@ -33,6 +33,7 @@ CSV_COLUMNS = (
     "events",
     "wall_clock_s",
     "error",
+    "metrics",
 )
 
 
@@ -46,7 +47,16 @@ class CampaignStore:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         payload = outcome.to_dict()
         payload["key"] = key
-        with self.path.open("a") as fh:
+        with self.path.open("a+") as fh:
+            # A process killed mid-write leaves a torn final line with no
+            # newline; terminate it so this record starts on a clean line
+            # (the torn fragment then fails json.loads on its own and is
+            # skipped by load(), costing exactly one row).
+            fh.seek(0, 2)
+            if fh.tell() > 0:
+                fh.seek(fh.tell() - 1)
+                if fh.read(1) != "\n":
+                    fh.write("\n")
             fh.write(json.dumps(payload, sort_keys=True) + "\n")
 
     def load(self) -> dict[str, RunRecord | RunFailure]:
@@ -102,6 +112,7 @@ def _row_for(outcome: RunRecord | RunFailure, key: str) -> dict:
         "events": "",
         "wall_clock_s": f"{outcome.wall_clock_s:.3f}",
         "error": "",
+        "metrics": "",
     }
     if isinstance(outcome, RunFailure):
         row["error"] = f"{outcome.error}: {outcome.message}"
@@ -113,24 +124,40 @@ def _row_for(outcome: RunRecord | RunFailure, key: str) -> dict:
         if outcome.latency_std_us is not None:
             row["latency_std_us"] = f"{outcome.latency_std_us:.2f}"
         row["events"] = outcome.events
+    if getattr(outcome, "metrics", None) is not None:
+        row["metrics"] = json.dumps(outcome.metrics, sort_keys=True)
     return row
 
 
 def export_csv(
     outcomes: Iterable[tuple[str, RunRecord | RunFailure]] | dict,
     path: str | Path,
-) -> Path:
-    """Write (key, outcome) pairs (or a load() mapping) as a CSV table."""
+) -> Path | None:
+    """Write (key, outcome) pairs (or a load() mapping) as a CSV table.
+
+    ``path="-"`` streams the table to stdout (for shell pipelines:
+    ``repro-bench campaign ... --export-csv - > results.csv``) and
+    returns None.
+    """
     if isinstance(outcomes, dict):
         outcomes = outcomes.items()
+    if str(path) == "-":
+        import sys
+
+        _write_csv(sys.stdout, outcomes)
+        return None
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", newline="") as fh:
-        writer = csv.DictWriter(fh, fieldnames=CSV_COLUMNS)
-        writer.writeheader()
-        for key, outcome in outcomes:
-            writer.writerow(_row_for(outcome, key))
+        _write_csv(fh, outcomes)
     return path
+
+
+def _write_csv(fh, outcomes: Iterable[tuple[str, RunRecord | RunFailure]]) -> None:
+    writer = csv.DictWriter(fh, fieldnames=CSV_COLUMNS)
+    writer.writeheader()
+    for key, outcome in outcomes:
+        writer.writerow(_row_for(outcome, key))
 
 
 def store_key(outcome: RunRecord | RunFailure) -> str:

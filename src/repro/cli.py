@@ -5,11 +5,17 @@ Examples::
     repro-bench p2p --switch vpp --size 64 --bidirectional
     repro-bench loopback --switch vale --vnfs 3 --size 1024
     repro-bench p2p --switch bess --latency
+    repro-bench p2p --switch vpp --profile --metrics
+    repro-bench trace p2p --switch vpp --trace-out trace.json
     repro-bench v2v-latency --switch snabb
     repro-bench suite --switch vpp --suite smoke --workers 4
     repro-bench validate --workers 4 --cache
     repro-bench campaign --suite paper --workers 4 --repeat 3 \\
         --store paper.jsonl --export-csv paper.csv
+
+Progress and telemetry go to stderr; tables, measurements and
+``--export-csv -`` go to stdout, so output can be piped or redirected
+cleanly.
 """
 
 from __future__ import annotations
@@ -24,6 +30,9 @@ from repro.scenarios import loopback, p2p, p2v, v2v
 from repro.measure.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS, drive
 from repro.switches.registry import switch_names
 
+#: Scenarios the single-run commands (and ``trace``) accept.
+_RUN_TARGETS = ("p2p", "p2v", "v2v", "loopback", "v2v-latency")
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -32,8 +41,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "scenario",
-        choices=["p2p", "p2v", "v2v", "loopback", "v2v-latency", "suite", "validate", "campaign"],
-        help="test scenario (Sec. 4 of the paper), 'suite', 'validate' or 'campaign'",
+        choices=["p2p", "p2v", "v2v", "loopback", "v2v-latency", "suite", "validate", "campaign", "trace"],
+        help="test scenario (Sec. 4 of the paper), 'suite', 'validate', 'campaign' or 'trace'",
+    )
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="scenario to trace (for the 'trace' command; default p2p)",
     )
     parser.add_argument("--switch", default="vpp", choices=sorted(switch_names()))
     parser.add_argument("--size", type=int, default=64, help="frame size in bytes")
@@ -81,6 +94,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None, metavar="S",
         help="per-run wall-clock budget in seconds",
     )
+    # --- observability (repro.obs) ----------------------------------------
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect metrics; print Prometheus text (or write --metrics-out)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write Prometheus text to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the cycle-attribution breakdown vs the closed form",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace-event JSON (single run: the simulated "
+        "testbed; campaign: the execution timeline)",
+    )
+    parser.add_argument(
+        "--sample-rate", type=int, default=None, metavar="N",
+        help="per-packet lifecycle spans: trace one batch in N",
+    )
     return parser
 
 
@@ -118,9 +153,165 @@ def _outcome_cells(outcome) -> list:
     return [round(outcome.gbps, 2), round(outcome.mpps, 2), "ok"]
 
 
+def _note(message: str) -> None:
+    """Telemetry line: stderr, so piped stdout stays parseable."""
+    print(message, file=sys.stderr, flush=True)
+
+
+def _obs_config(args, trace: bool = False, with_trace_out: bool = True):
+    """Build an ObsConfig from the CLI flags; None when nothing was asked."""
+    want_trace = trace or (with_trace_out and args.trace_out is not None)
+    want_metrics = args.metrics or args.metrics_out is not None
+    want_profile = args.profile
+    if not (want_trace or want_metrics or want_profile):
+        return None
+    from repro.obs import ObsConfig
+
+    kwargs = {}
+    if args.sample_rate is not None:
+        kwargs["sample_rate"] = args.sample_rate
+    return ObsConfig(
+        trace=want_trace,
+        metrics=want_metrics or want_trace,
+        profile=want_profile or want_trace,
+        **kwargs,
+    )
+
+
+def _profile_table(report, scenario: str, args) -> str:
+    """Observed attribution diffed against the closed-form breakdown."""
+    from repro.analysis.bottleneck import diff_attribution, stage_breakdown
+
+    observed = report.chain_cycles_per_packet()
+    if args.bidirectional:
+        # The observed report sums both symmetric directions; the closed
+        # form is per direction.
+        observed = {stage: value / 2 for stage, value in observed.items()}
+    predicted = stage_breakdown(
+        args.switch,
+        scenario,
+        frame_size=args.size,
+        bidirectional=args.bidirectional,
+        n_vnfs=args.vnfs,
+    )
+    diff = diff_attribution(observed, predicted)
+    rows = [
+        [
+            stage,
+            round(cells["observed"], 1),
+            round(cells["predicted"], 1),
+            round(cells["delta"], 1),
+            f"{cells['ratio']:.2f}x",
+        ]
+        for stage, cells in diff.items()
+    ]
+    title = (
+        f"cycle attribution, {args.switch} {scenario} {args.size}B "
+        f"({report.packets} packets; cycles/packet per direction)"
+    )
+    return format_table(
+        ["stage", "observed", "closed-form", "delta", "ratio"], rows, title=title
+    )
+
+
+def _emit_single_run_obs(args, observation, scenario: str, default_trace_out: str | None = None) -> None:
+    """Print/write whatever artifacts the obs flags asked for."""
+    trace_out = args.trace_out or default_trace_out
+    if observation.tracer is not None and trace_out:
+        path = observation.write_chrome_trace(trace_out)
+        _note(
+            f"wrote Chrome trace {path} ({len(observation.tracer)} events, "
+            f"{observation.tracer.dropped_events} dropped) -- load at ui.perfetto.dev"
+        )
+    if observation.profiler is not None and (args.profile or args.scenario == "trace"):
+        report = observation.profile()
+        print(_profile_table(report, scenario, args))
+    if observation.registry is not None:
+        if args.metrics_out:
+            path = observation.write_prometheus(args.metrics_out)
+            _note(f"wrote Prometheus metrics {path}")
+        elif args.metrics:
+            print(observation.prometheus_text(), end="")
+
+
+def _observed_single_run(args) -> int:
+    """Single run with the observability layer attached (or 'trace')."""
+    from repro.obs import observe
+
+    if args.scenario == "trace":
+        scenario = args.target or "p2p"
+        if scenario not in _RUN_TARGETS:
+            _note(f"unknown trace target {scenario!r}; known: {_RUN_TARGETS}")
+            return 1
+        config = _obs_config(args, trace=True)
+        default_trace_out = "trace.json"
+    else:
+        scenario = args.scenario
+        config = _obs_config(args)
+        default_trace_out = None
+    assert config is not None
+
+    if scenario == "v2v-latency":
+        tb = v2v.build_latency(args.switch, frame_size=args.size, seed=args.seed)
+        observation = observe(tb, config)
+        result = drive(tb, **_windows(args))
+        bottleneck_scenario = "v2v"
+    else:
+        builders = {"p2p": p2p.build, "p2v": p2v.build, "v2v": v2v.build, "loopback": loopback.build}
+        extra = {"n_vnfs": args.vnfs} if scenario == "loopback" else {}
+        tb = builders[scenario](
+            args.switch,
+            frame_size=args.size,
+            bidirectional=args.bidirectional,
+            seed=args.seed,
+            **extra,
+        )
+        observation = observe(tb, config)
+        result = drive(tb, **_windows(args), bidirectional=args.bidirectional)
+        bottleneck_scenario = scenario
+    observation.finish(result)
+
+    direction = "bidirectional" if args.bidirectional else "unidirectional"
+    summary = (
+        f"{scenario} {direction} {args.size}B {args.switch}: "
+        f"{result.gbps:.2f} Gbps ({result.mpps:.2f} Mpps)"
+    )
+    # The measurement line moves to stderr when metrics stream to stdout.
+    if args.metrics and not args.metrics_out:
+        _note(summary)
+    else:
+        print(summary)
+    _emit_single_run_obs(args, observation, bottleneck_scenario, default_trace_out)
+    return 0
+
+
+def _campaign_trace_events(timeline: list[dict]) -> list[dict]:
+    """Chrome trace spans for a campaign's execution timeline.
+
+    One span per run (wall-clock seconds mapped onto the trace's ns
+    axis), tracked by source so cached/resumed hits sit on their own
+    rows next to the executed runs.
+    """
+    events = []
+    for entry in timeline:
+        start_s = max(entry["finished_s"] - entry["wall_clock_s"], 0.0)
+        events.append(
+            {
+                "name": entry["label"],
+                "ph": "X",
+                "cat": "campaign",
+                "ts": start_s * 1e9,
+                "dur": max(entry["wall_clock_s"], 1e-6) * 1e9,
+                "tid": entry["source"],
+                "args": {"status": entry["status"], "source": entry["source"]},
+            }
+        )
+    return events
+
+
 def _run_campaign_command(args) -> int:
     from repro.campaign.executor import run_campaign
-    from repro.campaign.progress import ProgressReporter
+    from repro.campaign.progress import ProgressReporter, emit_to_stderr
     from repro.campaign.spec import from_suite
     from repro.campaign.store import CampaignStore, export_csv
     from repro.measure.suites import SUITES
@@ -144,8 +335,13 @@ def _run_campaign_command(args) -> int:
         seeds=range(args.seed, args.seed + args.repeat),
         **_windows(args),
     )
+    # Campaign --trace-out traces the campaign's own execution, so it
+    # does not switch per-run tracing on.
+    obs = _obs_config(args, with_trace_out=False)
+    if obs is not None:
+        spec = spec.with_obs(obs)
     store = CampaignStore(args.store) if args.store else None
-    reporter = ProgressReporter(total=len(spec), emit=print)
+    reporter = ProgressReporter(total=len(spec), emit=emit_to_stderr)
     result = run_campaign(
         spec,
         workers=_workers(args),
@@ -156,6 +352,9 @@ def _run_campaign_command(args) -> int:
         timeout_s=args.timeout,
     )
 
+    # Tables/summary stay on stdout unless the CSV streams there.
+    csv_to_stdout = args.export_csv == "-"
+    say = _note if csv_to_stdout else print
     rows = []
     for key, outcome in result.outcomes:
         if outcome.status == "failed":
@@ -166,17 +365,38 @@ def _run_campaign_command(args) -> int:
             gbps, mpps = round(outcome.gbps, 2), round(outcome.mpps, 2)
             status = "cached" if outcome.cached else "ok"
         rows.append([outcome.spec.label, gbps, mpps, status])
-    print(
+    say(
         format_table(
             ["run", "Gbps", "Mpps", "status"],
             rows,
             title=f"campaign '{spec.name}': {len(switches)} switches x {len(suite.experiments)} experiments x {args.repeat} seeds",
         )
     )
-    print(reporter.summary())
+    say(reporter.summary())
     if args.export_csv:
         path = export_csv(result.outcomes, args.export_csv)
-        print(f"wrote {path}")
+        if path is not None:
+            _note(f"wrote {path}")
+    if args.metrics_out:
+        from repro.obs.exporters import snapshot_prometheus_text
+
+        snapshots = [
+            ({"run": outcome.spec.label}, outcome.metrics["metrics"])
+            for _, outcome in result.outcomes
+            if getattr(outcome, "metrics", None) and "metrics" in outcome.metrics
+        ]
+        with open(args.metrics_out, "w") as fh:
+            snapshot_prometheus_text(snapshots, fh)
+        _note(f"wrote Prometheus metrics {args.metrics_out} ({len(snapshots)} runs)")
+    if args.trace_out:
+        from repro.obs.exporters import write_chrome_trace
+
+        path = write_chrome_trace(
+            args.trace_out,
+            _campaign_trace_events(reporter.timeline),
+            {"campaign": spec.name, "workers": str(_workers(args) or "auto")},
+        )
+        _note(f"wrote campaign execution trace {path}")
     return 3 if result.failures else 0
 
 
@@ -187,6 +407,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.scenario == "campaign":
         return _run_campaign_command(args)
 
+    if args.scenario == "trace":
+        return _observed_single_run(args)
+
     if args.scenario == "validate":
         from repro.analysis.validate import summarize, validate
 
@@ -195,13 +418,27 @@ def main(argv: list[str] | None = None) -> int:
             window_overrides["warmup_ns"] = args.warmup_ns
         if args.measure_ns is not None:
             window_overrides["measure_ns"] = args.measure_ns
+        metrics_sink: dict = {}
         checks = validate(
-            progress=lambda msg: print(f"[validate] {msg}"),
+            progress=lambda msg: _note(f"[validate] {msg}"),
             seed=args.seed,
             workers=_workers(args),
             cache=_cache(args, default_on=False),
+            obs=_obs_config(args, with_trace_out=False),
+            metrics_sink=metrics_sink,
             **window_overrides,
         )
+        if args.metrics_out and metrics_sink:
+            from repro.obs.exporters import snapshot_prometheus_text
+
+            snapshots = [
+                ({"run": label}, snapshot["metrics"])
+                for label, snapshot in metrics_sink.items()
+                if "metrics" in snapshot
+            ]
+            with open(args.metrics_out, "w") as fh:
+                snapshot_prometheus_text(snapshots, fh)
+            _note(f"wrote Prometheus metrics {args.metrics_out} ({len(snapshots)} runs)")
         rows = [
             [
                 check.artifact,
@@ -224,6 +461,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if passed == total else 2
 
     if args.scenario == "suite":
+        from repro.campaign.progress import ProgressReporter, emit_to_stderr
         from repro.measure.suites import SUITES
 
         suite = SUITES.get(args.suite)
@@ -236,6 +474,10 @@ def main(argv: list[str] | None = None) -> int:
             repeat=args.repeat,
             workers=_workers(args),
             cache=_cache(args, default_on=False),
+            progress=ProgressReporter(
+                total=len(suite.experiments) * args.repeat, emit=emit_to_stderr
+            ),
+            obs=_obs_config(args, with_trace_out=False),
             **_windows(args),
         )
         rows = [
@@ -252,6 +494,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.scenario == "v2v-latency":
+        if _obs_config(args) is not None:
+            return _observed_single_run(args)
         tb = v2v.build_latency(args.switch, frame_size=args.size, seed=args.seed)
         result = drive(tb, **_windows(args))
         latency = result.latency
@@ -263,7 +507,12 @@ def main(argv: list[str] | None = None) -> int:
     build = builders[args.scenario]
     extra = {"n_vnfs": args.vnfs} if args.scenario == "loopback" else {}
 
+    if not args.latency and _obs_config(args) is not None:
+        return _observed_single_run(args)
+
     if args.latency:
+        if _obs_config(args) is not None:
+            _note("note: --metrics/--profile/--trace-out are ignored for the latency sweep")
         sweep_windows = {}
         if args.warmup_ns is not None:
             sweep_windows["warmup_ns"] = args.warmup_ns

@@ -18,7 +18,14 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from typing import Callable
+from typing import Callable, Protocol
+
+
+class SimObserverProtocol(Protocol):
+    """Dispatch hook contract (see :class:`repro.obs.tracing.SimObserver`)."""
+
+    def on_event(self, time_ns: float, callback: Callable[[], None]) -> None:
+        ...
 
 
 class SimulationError(RuntimeError):
@@ -34,6 +41,21 @@ class Simulator:
         self._seq = 0
         self._running = False
         self.events_executed = 0
+        self._observer: "SimObserverProtocol | None" = None
+
+    def set_observer(self, observer: "SimObserverProtocol | None") -> None:
+        """Install (or clear) a dispatch observer.
+
+        The observer's ``on_event(time_ns, callback)`` is invoked after
+        every executed event.  When no observer is set the dispatch loops
+        below take their un-instrumented branch, so an idle hook costs
+        nothing per event.
+        """
+        self._observer = observer
+
+    @property
+    def observer(self) -> "SimObserverProtocol | None":
+        return self._observer
 
     @property
     def now(self) -> float:
@@ -66,11 +88,21 @@ class Simulator:
         self._running = True
         try:
             queue = self._queue
-            while queue and queue[0][0] <= t_end_ns:
-                time_ns, _, callback = heapq.heappop(queue)
-                self._now = time_ns
-                callback()
-                self.events_executed += 1
+            observer = self._observer
+            if observer is None:
+                while queue and queue[0][0] <= t_end_ns:
+                    time_ns, _, callback = heapq.heappop(queue)
+                    self._now = time_ns
+                    callback()
+                    self.events_executed += 1
+            else:
+                on_event = observer.on_event
+                while queue and queue[0][0] <= t_end_ns:
+                    time_ns, _, callback = heapq.heappop(queue)
+                    self._now = time_ns
+                    callback()
+                    self.events_executed += 1
+                    on_event(time_ns, callback)
             self._now = max(self._now, t_end_ns)
         finally:
             self._running = False
@@ -82,11 +114,21 @@ class Simulator:
         self._running = True
         try:
             queue = self._queue
-            while queue:
-                time_ns, _, callback = heapq.heappop(queue)
-                self._now = time_ns
-                callback()
-                self.events_executed += 1
+            observer = self._observer
+            if observer is None:
+                while queue:
+                    time_ns, _, callback = heapq.heappop(queue)
+                    self._now = time_ns
+                    callback()
+                    self.events_executed += 1
+            else:
+                on_event = observer.on_event
+                while queue:
+                    time_ns, _, callback = heapq.heappop(queue)
+                    self._now = time_ns
+                    callback()
+                    self.events_executed += 1
+                    on_event(time_ns, callback)
         finally:
             self._running = False
 

@@ -43,6 +43,20 @@ class Series:
     def last(self) -> float:
         return self.values[-1] if self.values else 0.0
 
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the sampled values, ``q`` in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
 
 class Telemetry:
     """Samples registered probes every ``period_ns`` until stopped."""
@@ -56,6 +70,10 @@ class Telemetry:
         self.series: dict[str, Series] = {}
         self._running = False
         self._stop_at: float | None = None
+        #: Bumped on every start/stop; a scheduled ``_sample`` from an
+        #: earlier generation is stale and dies silently, so stop() and
+        #: restarts never leave a phantom sampler in the event queue.
+        self._generation = 0
 
     def watch(self, name: str, probe: Callable[[], float]) -> Series:
         """Register an arbitrary probe function."""
@@ -78,25 +96,46 @@ class Telemetry:
         """Sample a core's cumulative busy time (ns)."""
         return self.watch(name, lambda: core.busy_ns)
 
+    @property
+    def running(self) -> bool:
+        return self._running
+
     def start(self, stop_at_ns: float | None = None) -> None:
+        """Begin (or resume) sampling; restarting after a ``stop_at_ns``
+        expiry or an explicit :meth:`stop` appends to the same series."""
         if self._running:
             return
         self._running = True
         self._stop_at = stop_at_ns
-        self.sim.after(0, self._sample)
+        self._generation += 1
+        generation = self._generation
+        self.sim.after(0, lambda: self._sample(generation))
 
-    def _sample(self) -> None:
+    def stop(self) -> None:
+        """Halt sampling immediately; the pending sample event is voided."""
+        self._running = False
+        self._generation += 1
+
+    def _sample(self, generation: int) -> None:
+        if generation != self._generation or not self._running:
+            return
         now = self.sim.now
         if self._stop_at is not None and now > self._stop_at:
             self._running = False
             return
         for series, probe in self._probes:
             series.add(now, float(probe()))
-        self.sim.after(self.period_ns, self._sample)
+        self.sim.after(self.period_ns, lambda: self._sample(generation))
 
     def utilization(self, core_series_name: str) -> float:
         """Mean utilisation derived from a cumulative busy-time series."""
-        series = self.series[core_series_name]
+        try:
+            series = self.series[core_series_name]
+        except KeyError:
+            known = ", ".join(sorted(self.series)) or "<none>"
+            raise KeyError(
+                f"no series named {core_series_name!r}; known series: {known}"
+            ) from None
         if len(series.values) < 2:
             return 0.0
         dt = series.times_ns[-1] - series.times_ns[0]

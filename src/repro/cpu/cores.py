@@ -77,6 +77,9 @@ class Core:
         self._started = False
         self._sleeping = False
         self._idle_streak = 0
+        #: Optional trace probe (:class:`repro.obs.session.CoreProbe`);
+        #: None unless an observation session is attached.
+        self.obs = None
 
     def attach(self, task: Task) -> None:
         """Pin a task to this core (appended to the round-robin order)."""
@@ -98,6 +101,8 @@ class Core:
             return
         self._sleeping = False
         self._idle_streak = 0
+        if self.obs is not None:
+            self.obs.on_wake(self.name, self.sim.now)
         self.sim.after(self.interrupt_latency_ns, self._iterate)
 
     @property
@@ -114,6 +119,8 @@ class Core:
             self._idle_streak = 0
             delay = self.cycles_to_ns(cycles)
             self.busy_ns += delay
+            if self.obs is not None:
+                self.obs.on_poll(self.name, self.sim.now, delay, cycles)
         else:
             self._idle_streak += 1
             if (
@@ -121,6 +128,8 @@ class Core:
                 and self._idle_streak >= self.idle_polls_before_sleep
             ):
                 self._sleeping = True
+                if self.obs is not None:
+                    self.obs.on_sleep(self.name, self.sim.now)
                 return
             delay = self.cycles_to_ns(self.idle_loop_cycles)
         self.sim.after(delay, self._iterate)

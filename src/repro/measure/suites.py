@@ -124,6 +124,7 @@ class TestSuite:
         workers: int = 1,
         cache=None,
         progress=None,
+        obs=None,
     ) -> dict[str, ExperimentOutcome]:
         """Run the suite through the campaign executor.
 
@@ -132,7 +133,9 @@ class TestSuite:
         :class:`~repro.campaign.cache.ResultCache`), replicable
         (``repeat`` seed replicas per experiment) and failure-tolerant
         (a crashed experiment becomes ``status="failed"`` instead of
-        sinking the suite).
+        sinking the suite).  ``obs`` (an
+        :class:`~repro.obs.session.ObsConfig`) runs every experiment
+        observed; each ok record then carries a ``metrics`` snapshot.
         """
         from repro.campaign.executor import run_campaign
         from repro.campaign.spec import CampaignSpec, RunFailure, runspec_from_experiment
@@ -155,6 +158,13 @@ class TestSuite:
                 runs.append(spec)
 
         campaign = CampaignSpec(name=f"suite:{self.name}/{switch_name}", runs=tuple(runs))
+        if obs is not None:
+            campaign = campaign.with_obs(obs)
+            # with_obs preserves run order; re-map each experiment's specs
+            # to their observed counterparts so outcome_for() keys match.
+            observed = iter(campaign.runs)
+            for name in spec_map:
+                spec_map[name] = [next(observed) for _ in spec_map[name]]
         result = run_campaign(
             campaign, workers=workers, cache=cache, progress=progress
         )

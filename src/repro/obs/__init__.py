@@ -1,0 +1,47 @@
+"""repro.obs -- observability for the simulated testbed.
+
+Three layers, composable per run:
+
+* **tracing** (:mod:`repro.obs.tracing`): structured span/instant/counter
+  events on the simulated clock, exportable as Chrome trace-event JSON
+  (Perfetto-loadable) or JSONL;
+* **metrics** (:mod:`repro.obs.metrics`): a registry of uniformly named
+  counters/gauges/histograms spanning the ``sim``/``cpu``/``nic``/
+  ``vif``/``switch`` layers;
+* **profiling** (:mod:`repro.obs.profiler`): per-(path, stage)
+  cycles/packet attribution, diffable against the closed-form
+  :func:`repro.analysis.bottleneck.stage_breakdown`.
+
+Entry point::
+
+    from repro.obs import observe
+
+    tb = p2p.build("vpp")
+    obs = observe(tb, trace=True)
+    result = drive(tb)
+    obs.finish(result)
+    obs.write_chrome_trace("trace.json")
+    print(obs.profile().chain_cycles_per_packet())
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, hdr_bounds
+from repro.obs.profiler import CycleProfiler, PathProfile, ProfileReport, STAGES
+from repro.obs.session import ObsConfig, Observation, observe
+from repro.obs.tracing import SimObserver, Tracer
+
+__all__ = [
+    "Counter",
+    "CycleProfiler",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsConfig",
+    "Observation",
+    "PathProfile",
+    "ProfileReport",
+    "STAGES",
+    "SimObserver",
+    "Tracer",
+    "hdr_bounds",
+    "observe",
+]

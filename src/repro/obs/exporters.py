@@ -1,0 +1,157 @@
+"""Trace and metric exporters: Chrome trace JSON, Prometheus text, JSONL.
+
+Chrome trace documents load directly in Perfetto (ui.perfetto.dev) or
+``chrome://tracing``; Prometheus text is scrape-format for dashboards;
+JSONL is the greppable raw stream.  All three consume the same in-memory
+event/metric objects, so a run observed once can be exported every way.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: Chrome trace 'ts' unit is microseconds; the simulator clock is ns.
+_NS_TO_US = 1e-3
+
+_PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def chrome_trace_document(
+    events: Iterable[dict],
+    metadata: dict | None = None,
+    pid: int = 1,
+) -> dict:
+    """Wrap raw tracer events in the Chrome trace-event JSON envelope.
+
+    Event ``ts``/``dur`` arrive in simulated ns and leave in µs; string
+    ``tid``s are mapped to stable integer ids with thread-name metadata
+    records so Perfetto shows readable track names.
+    """
+    tids: dict[str, int] = {}
+    out: list[dict] = []
+    for event in events:
+        converted = dict(event)
+        tid = converted.get("tid", "sim")
+        if tid not in tids:
+            tids[tid] = len(tids) + 1
+        converted["tid"] = tids[tid]
+        converted["pid"] = pid
+        converted["ts"] = converted.get("ts", 0.0) * _NS_TO_US
+        if "dur" in converted:
+            converted["dur"] = converted["dur"] * _NS_TO_US
+        out.append(converted)
+    for name, tid in tids.items():
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    document = {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+    }
+    return document
+
+
+def write_chrome_trace(
+    path: str | Path,
+    events: Iterable[dict],
+    metadata: dict | None = None,
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace_document(events, metadata)))
+    return path
+
+
+def write_events_jsonl(path: str | Path, events: Iterable[dict]) -> Path:
+    """Raw tracer events, one JSON object per line (ns timestamps)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for event in events:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+    return path
+
+
+def prometheus_name(name: str, prefix: str = "repro_") -> str:
+    """Map a dotted metric name to a legal Prometheus metric name."""
+    return prefix + _PROM_SANITIZE.sub("_", name)
+
+
+def prometheus_text(registry: MetricsRegistry, labels: dict[str, str] | None = None) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Histograms become the standard ``_bucket``/``_sum``/``_count``
+    triple with cumulative ``le`` buckets.
+    """
+    label_items = sorted((labels or {}).items())
+
+    def fmt_labels(extra: tuple[tuple[str, str], ...] = ()) -> str:
+        items = label_items + list(extra)
+        if not items:
+            return ""
+        body = ",".join(f'{key}="{value}"' for key, value in items)
+        return "{" + body + "}"
+
+    lines: list[str] = []
+    for metric in registry:
+        name = prometheus_name(metric.name)
+        if isinstance(metric, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.counts):
+                cumulative += count
+                lines.append(f'{name}_bucket{fmt_labels((("le", repr(bound)),))} {cumulative}')
+            lines.append(f'{name}_bucket{fmt_labels((("le", "+Inf"),))} {metric.count}')
+            lines.append(f"{name}_sum{fmt_labels()} {metric.total}")
+            lines.append(f"{name}_count{fmt_labels()} {metric.count}")
+        else:
+            lines.append(f"# TYPE {name} {metric.kind}")
+            lines.append(f"{name}{fmt_labels()} {metric.read()}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(
+    path: str | Path,
+    registry: MetricsRegistry,
+    labels: dict[str, str] | None = None,
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_text(registry, labels))
+    return path
+
+
+def snapshot_prometheus_text(
+    snapshots: Iterable[tuple[dict[str, str], dict]],
+    fh: IO[str],
+) -> None:
+    """Render (labels, snapshot-dict) pairs as Prometheus gauges.
+
+    Used for campaign-level exports where each run contributes a compact
+    metric snapshot rather than a live registry: scalars export directly,
+    histogram digests export their count/mean/percentile fields.
+    """
+    for labels, snapshot in snapshots:
+        label_str = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+        decorated = "{" + label_str + "}" if label_str else ""
+        for name, value in sorted(snapshot.items()):
+            if isinstance(value, dict):
+                for sub, subvalue in sorted(value.items()):
+                    if isinstance(subvalue, (int, float)):
+                        fh.write(
+                            f"{prometheus_name(name + '.' + sub)}{decorated} {subvalue}\n"
+                        )
+            elif isinstance(value, (int, float)):
+                fh.write(f"{prometheus_name(name)}{decorated} {value}\n")

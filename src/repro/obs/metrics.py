@@ -1,0 +1,227 @@
+"""Metrics registry: counters, gauges and HDR-style histograms.
+
+Replaces the scattered per-object counters (``ring.dropped``,
+``core.busy_ns``, ``port.tx_packets``...) as the *reporting* surface: the
+attributes stay where they are -- they are the simulation's working state
+-- but an :class:`ObservedRun <repro.obs.session.Observation>` registers a
+lazily-evaluated :class:`Gauge` over each one under a uniform dotted name
+(``<layer>.<component>.<metric>``), so every run exports the same series
+regardless of scenario or switch.
+
+Naming convention
+-----------------
+``layer.component[.subcomponent].metric`` with layers ``sim``, ``cpu``,
+``nic``, ``vif``, ``switch``, ``latency`` -- e.g.::
+
+    cpu.core.numa0/sut.busy_ns
+    nic.sut-nic.p0.rx_ring.dropped
+    vif.vm1.eth0.to_guest.depth
+    switch.vpp.path.0.forwarded
+
+Histograms use HDR-style buckets: powers of two subdivided linearly, so
+relative quantile error is bounded (~1/subdivisions) across many decades
+at a fixed, small memory footprint -- the right shape for latency data.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Callable, Iterable
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def read(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Point-in-time value, either set directly or read from a callback.
+
+    Callback gauges are how the registry observes simulation state with
+    zero hot-path cost: nothing is recorded while the run executes; the
+    probe fires only when a snapshot/export asks for the value.
+    """
+
+    __slots__ = ("name", "fn", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, fn: Callable[[], float] | None = None) -> None:
+        self.name = name
+        self.fn = fn
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        if self.fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-driven")
+        self.value = float(value)
+
+    def read(self) -> float:
+        if self.fn is not None:
+            return float(self.fn())
+        return self.value
+
+
+def hdr_bounds(
+    max_value: float = 1e9,
+    subdivisions: int = 4,
+) -> tuple[float, ...]:
+    """HDR-style bucket upper bounds: powers of two, linearly subdivided.
+
+    ``subdivisions`` sub-buckets per octave bound the relative error of
+    any reported quantile to ~``1/subdivisions``.
+    """
+    if max_value <= 1 or subdivisions < 1:
+        raise ValueError("max_value must exceed 1 and subdivisions be >= 1")
+    bounds: list[float] = [float(i + 1) / subdivisions for i in range(subdivisions)]
+    octave = 1.0
+    while bounds[-1] < max_value:
+        step = octave / subdivisions
+        for i in range(subdivisions):
+            bounds.append(octave + (i + 1) * step)
+        octave *= 2
+    return tuple(bounds)
+
+
+class Histogram:
+    """Fixed-bucket histogram with HDR-style default bounds.
+
+    Values above the last bound land in a +Inf overflow bucket; exact
+    ``min``/``max``/``sum`` are tracked alongside so the summary stays
+    honest even when the tails clip.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Iterable[float] | None = None) -> None:
+        self.name = name
+        self.bounds: tuple[float, ...] = (
+            tuple(bounds) if bounds is not None else hdr_bounds()
+        )
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram {name!r} bounds must be sorted")
+        self.counts = [0] * (len(self.bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile (``q`` in [0, 100]) from bucket ranks.
+
+        Returns the upper bound of the bucket holding the q-th ranked
+        observation, clipped to the exact observed min/max.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile {q} out of range [0, 100]")
+        if not self.count:
+            return math.nan
+        rank = math.ceil(self.count * q / 100) or 1
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                bound = self.bounds[index] if index < len(self.bounds) else self.max
+                return min(max(bound, self.min), self.max)
+        return self.max  # pragma: no cover - rank <= count guarantees a hit
+
+    def read(self) -> float:
+        return float(self.count)
+
+    def summary(self) -> dict:
+        """Compact JSON-safe digest (used in campaign metric snapshots)."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """A named, ordered collection of metrics for one run."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _register(self, metric: Metric) -> Metric:
+        if metric.name in self._metrics:
+            raise ValueError(f"metric {metric.name!r} already registered")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._register(Counter(name))  # type: ignore[return-value]
+
+    def gauge(self, name: str, fn: Callable[[], float] | None = None) -> Gauge:
+        return self._register(Gauge(name, fn))  # type: ignore[return-value]
+
+    def histogram(self, name: str, bounds: Iterable[float] | None = None) -> Histogram:
+        return self._register(Histogram(name, bounds))  # type: ignore[return-value]
+
+    def get(self, name: str) -> Metric:
+        try:
+            return self._metrics[name]
+        except KeyError:
+            known = ", ".join(sorted(self._metrics)) or "<none>"
+            raise KeyError(f"unknown metric {name!r}; registered: {known}") from None
+
+    def names(self) -> list[str]:
+        return list(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def snapshot(self) -> dict:
+        """JSON-safe state of every metric (histograms as digests).
+
+        Deterministic given a deterministic simulation: values are read
+        from simulation state only, never from wall clocks.
+        """
+        out: dict = {}
+        for metric in self._metrics.values():
+            if isinstance(metric, Histogram):
+                out[metric.name] = metric.summary()
+            else:
+                out[metric.name] = metric.read()
+        return out

@@ -1,0 +1,150 @@
+"""Cycle-attribution profiling: where each forwarded packet's cycles go.
+
+The switch's poll loop reports, per serviced batch, the *raw* receive /
+processing / transmit cycle components plus whatever the stability
+processes (jitter, stalls, thrash) inflated the total by.  The profiler
+accumulates them per forwarding path and reduces to a per-stage
+cycles/packet breakdown -- the observed counterpart of the closed-form
+:func:`repro.analysis.bottleneck.stage_breakdown`, and the artifact the
+``repro-bench trace``/``--profile`` surfaces print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Canonical stage order (matches the closed-form breakdown).
+STAGES = ("rx", "proc", "tx", "overhead")
+
+
+@dataclass
+class PathProfile:
+    """Accumulated stage cycles for one forwarding path."""
+
+    name: str
+    packets: int = 0
+    batches: int = 0
+    rx_cycles: float = 0.0
+    proc_cycles: float = 0.0
+    tx_cycles: float = 0.0
+    overhead_cycles: float = 0.0
+
+    @property
+    def total_cycles(self) -> float:
+        return self.rx_cycles + self.proc_cycles + self.tx_cycles + self.overhead_cycles
+
+    def stage_cycles(self) -> dict[str, float]:
+        return {
+            "rx": self.rx_cycles,
+            "proc": self.proc_cycles,
+            "tx": self.tx_cycles,
+            "overhead": self.overhead_cycles,
+        }
+
+    def cycles_per_packet(self) -> dict[str, float]:
+        if not self.packets:
+            return {stage: 0.0 for stage in STAGES}
+        return {stage: cycles / self.packets for stage, cycles in self.stage_cycles().items()}
+
+    @property
+    def mean_batch(self) -> float:
+        return self.packets / self.batches if self.batches else 0.0
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """The per-run attribution artifact: per-path and chain breakdowns."""
+
+    switch: str
+    scenario: str
+    paths: tuple[PathProfile, ...]
+    #: Cycles not attributable to a single path (pipeline app overhead,
+    #: stability stalls), amortised into the chain's "overhead" stage.
+    global_overhead_cycles: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def packets(self) -> int:
+        return sum(path.packets for path in self.paths)
+
+    def chain_cycles_per_packet(self) -> dict[str, float]:
+        """Per-stage cycles a packet pays traversing the whole chain.
+
+        A packet crosses every path of its direction once, so the chain
+        cost is the *sum* of per-path cycles/packet -- directly
+        comparable to the closed-form sum over hops.  Bidirectional runs
+        sum both (symmetric) directions; halve, or inspect ``paths``
+        individually, to recover the per-direction figure.
+        """
+        out = {stage: 0.0 for stage in STAGES}
+        for path in self.paths:
+            for stage, value in path.cycles_per_packet().items():
+                out[stage] += value
+        packets = self.packets
+        if packets:
+            out["overhead"] += sum(self.global_overhead_cycles.values()) / packets
+        return out
+
+    @property
+    def total_cycles_per_packet(self) -> float:
+        return sum(self.chain_cycles_per_packet().values())
+
+    def to_dict(self) -> dict:
+        """JSON-safe form, embedded in campaign metric snapshots."""
+        return {
+            "switch": self.switch,
+            "scenario": self.scenario,
+            "packets": self.packets,
+            "chain_cycles_per_packet": self.chain_cycles_per_packet(),
+            "global_overhead_cycles": dict(self.global_overhead_cycles),
+            "paths": [
+                {
+                    "name": path.name,
+                    "packets": path.packets,
+                    "batches": path.batches,
+                    "mean_batch": path.mean_batch,
+                    "cycles_per_packet": path.cycles_per_packet(),
+                }
+                for path in self.paths
+            ],
+        }
+
+
+class CycleProfiler:
+    """Accumulates per-batch stage cycles reported by the switch probe."""
+
+    def __init__(self, switch: str = "", scenario: str = "") -> None:
+        self.switch = switch
+        self.scenario = scenario
+        self._paths: dict[str, PathProfile] = {}
+        self._global_overhead: dict[str, float] = {}
+
+    def record_batch(
+        self,
+        path_name: str,
+        n_packets: int,
+        rx_cycles: float,
+        proc_cycles: float,
+        tx_cycles: float,
+        overhead_cycles: float = 0.0,
+    ) -> None:
+        profile = self._paths.get(path_name)
+        if profile is None:
+            profile = self._paths[path_name] = PathProfile(path_name)
+        profile.packets += n_packets
+        profile.batches += 1
+        profile.rx_cycles += rx_cycles
+        profile.proc_cycles += proc_cycles
+        profile.tx_cycles += tx_cycles
+        profile.overhead_cycles += overhead_cycles
+
+    def record_global_overhead(self, kind: str, cycles: float) -> None:
+        """Cycles with no owning path (pipeline app overhead, stalls)."""
+        self._global_overhead[kind] = self._global_overhead.get(kind, 0.0) + cycles
+
+    def report(self) -> ProfileReport:
+        return ProfileReport(
+            switch=self.switch,
+            scenario=self.scenario,
+            paths=tuple(self._paths.values()),
+            global_overhead_cycles=dict(self._global_overhead),
+        )

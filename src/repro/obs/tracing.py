@@ -1,0 +1,132 @@
+"""Structured event tracing in Chrome trace-event form.
+
+A :class:`Tracer` buffers *span* ("X", complete), *instant* ("i") and
+*counter* ("C") events keyed to the simulated clock.  Components never
+talk to the tracer directly on their hot paths; they hold an optional
+probe object (``core.obs``, ``switch.obs``) that is ``None`` unless a run
+is being observed, so the disabled cost is a single attribute test.
+
+Timestamps are simulated nanoseconds; export converts to the microsecond
+unit Chrome/Perfetto expect.  Events stay plain dicts throughout -- the
+exporter only wraps them in the document envelope.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Hard ceiling on buffered events: a runaway trace degrades to dropping
+#: (counted) rather than eating the host's memory.
+DEFAULT_MAX_EVENTS = 500_000
+
+#: Default per-packet lifecycle sampling: one traced batch in N.
+DEFAULT_SAMPLE_RATE = 64
+
+
+class Tracer:
+    """Buffers structured trace events for one observed run."""
+
+    def __init__(
+        self,
+        sample_rate: int = DEFAULT_SAMPLE_RATE,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> None:
+        if sample_rate < 1:
+            raise ValueError("sample_rate must be >= 1")
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.sample_rate = sample_rate
+        self.max_events = max_events
+        self.events: list[dict] = []
+        self.dropped_events = 0
+
+    # -- emission ----------------------------------------------------------
+
+    def _emit(self, event: dict) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(event)
+
+    def span(
+        self,
+        name: str,
+        ts_ns: float,
+        dur_ns: float,
+        tid: str = "sim",
+        cat: str = "sim",
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """A complete event: work occupying [ts, ts+dur] on track ``tid``."""
+        event = {"name": name, "ph": "X", "cat": cat, "ts": ts_ns, "dur": dur_ns, "tid": tid}
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def instant(
+        self,
+        name: str,
+        ts_ns: float,
+        tid: str = "sim",
+        cat: str = "sim",
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        event = {"name": name, "ph": "i", "cat": cat, "ts": ts_ns, "tid": tid, "s": "t"}
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def counter(self, name: str, ts_ns: float, values: dict[str, float], tid: str = "sim") -> None:
+        self._emit({"name": name, "ph": "C", "cat": "sim", "ts": ts_ns, "tid": tid, "args": values})
+
+    # -- sampling ----------------------------------------------------------
+
+    def sampled(self, key: float) -> bool:
+        """Deterministic 1-in-N sampling decision from a simulation key.
+
+        The key must be derived from simulated state (e.g. the batch's
+        service timestamp), *never* from process-local counters, so the
+        same run traces the same packets under serial and parallel
+        campaign execution alike.
+        """
+        if self.sample_rate == 1:
+            return True
+        return int(key) % self.sample_rate == 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class SimObserver:
+    """Engine dispatch hook: per-callback event counts + queue-depth track.
+
+    Installed via :meth:`repro.core.engine.Simulator.set_observer`; the
+    engine only pays for it when one is attached (the un-observed loop
+    does not consult it at all).
+    """
+
+    #: Queue-depth counter sampling: one counter event per N dispatches.
+    COUNTER_EVERY = 256
+
+    def __init__(self, sim, tracer: Tracer | None = None) -> None:
+        self.sim = sim
+        self.tracer = tracer
+        self.dispatch_counts: dict[str, int] = {}
+        self._since_counter = 0
+
+    def on_event(self, ts_ns: float, callback) -> None:
+        func = getattr(callback, "__func__", callback)
+        name = getattr(func, "__qualname__", repr(func))
+        self.dispatch_counts[name] = self.dispatch_counts.get(name, 0) + 1
+        if self.tracer is None:
+            return
+        self._since_counter += 1
+        if self._since_counter >= self.COUNTER_EVERY:
+            self._since_counter = 0
+            self.tracer.counter(
+                "sim.queue", ts_ns, {"pending": float(self.sim.pending())}, tid="engine"
+            )
+
+    def top_dispatchers(self, limit: int = 10) -> list[tuple[str, int]]:
+        ranked = sorted(self.dispatch_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:limit]

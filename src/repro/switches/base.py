@@ -144,6 +144,10 @@ class SoftwareSwitch:
         self.paths: list[ForwardingPath] = []
         self.core: Core | None = None
         self.total_forwarded = 0
+        #: Optional per-batch probe (:class:`repro.obs.session.SwitchProbe`);
+        #: None unless an observation session is attached, so the only
+        #: un-observed cost is one attribute test per serviced batch.
+        self.obs = None
         self._stalls = (
             StallProcess(
                 self.rngs.stream(f"{params.name}.stall"),
@@ -247,6 +251,8 @@ class SoftwareSwitch:
         cycles = 0.0
         if self._stalls is not None:
             cycles += self._stalls.cycles_due(self.sim.now)
+            if cycles and self.obs is not None:
+                self.obs.on_global_overhead("stall", cycles)
         if self.params.pipeline:
             worked = 0.0
             # TX stages first so staged packets leave one breath after
@@ -256,7 +262,10 @@ class SoftwareSwitch:
             for path in paths:
                 worked += self._serve_pipeline_rx(path, core, cycles + worked)
             if worked:
-                worked += self.params.app_overhead_cycles * max(1, len(self.attachments))
+                app = self.params.app_overhead_cycles * max(1, len(self.attachments))
+                worked += app
+                if self.obs is not None:
+                    self.obs.on_global_overhead("app", app)
             cycles += worked
         else:
             for path in paths:
@@ -272,14 +281,18 @@ class SoftwareSwitch:
             return self._flush_drain(path, core, carried_cycles, now)
         n = len(batch)
         total_bytes = sum(p.size for p in batch)
-        cycles = self._batch_cycles(path, batch, n, total_bytes)
-        cycles *= path.jitter.multiplier(now)
-        cycles *= self._overload_factor()
+        rx_c, proc_c, tx_c = self._batch_cycle_parts(path, batch, n, total_bytes)
+        raw = rx_c + proc_c + tx_c
+        cycles = raw * path.jitter.multiplier(now) * self._overload_factor()
         delay_ns = core.cycles_to_ns(carried_cycles + cycles)
         delay_ns = max(delay_ns, self._bus_delay(path, total_bytes, now))
         for packet in batch:
             packet.hops += 1
         self._on_forward(batch, path)
+        if self.obs is not None:
+            self.obs.on_batch(
+                path, now, rx_c, proc_c, tx_c, cycles - raw, n, batch, delay_ns
+            )
         if self.params.tx_drain_ns is not None and path.output.is_vif:
             self._buffer_tx(path, batch, core, carried_cycles + cycles, now)
         else:
@@ -305,6 +318,17 @@ class SoftwareSwitch:
         return ring.pop_batch(self.params.batch_size)
 
     def _batch_cycles(self, path: ForwardingPath, batch: list[Packet], n: int, total_bytes: int) -> float:
+        rx, proc, tx = self._batch_cycle_parts(path, batch, n, total_bytes)
+        return rx + proc + tx
+
+    def _batch_cycle_parts(
+        self, path: ForwardingPath, batch: list[Packet], n: int, total_bytes: int
+    ) -> tuple[float, float, float]:
+        """(rx, proc, tx) cycle components of one serviced batch.
+
+        Kept separate so the observability layer can attribute cycles to
+        stages; :meth:`_batch_cycles` is their sum.
+        """
         rx = path.input.rx_cost(self.params).cycles(n, total_bytes)
         tx = path.output.tx_cost(self.params).cycles(n, total_bytes)
         if path.bidir_vif:
@@ -313,7 +337,7 @@ class SoftwareSwitch:
                 rx *= penalty
             if path.output.is_vif:
                 tx *= penalty
-        return rx + self._proc_cycles(batch, path, n, total_bytes) + tx
+        return rx, self._proc_cycles(batch, path, n, total_bytes), tx
 
     def _proc_cycles(self, batch: list[Packet], path: ForwardingPath, n: int, total_bytes: int) -> float:
         """Core switching logic cost; subclasses specialise (flow caches...)."""
@@ -382,13 +406,18 @@ class SoftwareSwitch:
             return 0.0
         n = len(batch)
         total_bytes = sum(p.size for p in batch)
-        cycles = path.input.rx_cost(self.params).cycles(n, total_bytes)
-        cycles += self._proc_cycles(batch, path, n, total_bytes)
-        cycles *= path.jitter.multiplier(now)
-        cycles *= self._overload_factor()
+        rx_c = path.input.rx_cost(self.params).cycles(n, total_bytes)
+        proc_c = self._proc_cycles(batch, path, n, total_bytes)
+        raw = rx_c + proc_c
+        cycles = raw * path.jitter.multiplier(now) * self._overload_factor()
         for packet in batch:
             packet.hops += 1
         self._on_forward(batch, path)
+        if self.obs is not None:
+            self.obs.on_batch(
+                path, now, rx_c, proc_c, 0.0, cycles - raw, 0, batch,
+                core.cycles_to_ns(carried + cycles),
+            )
         link = path.link
         self.sim.after(core.cycles_to_ns(carried + cycles), lambda: link.push_batch(batch))
         return cycles
@@ -401,11 +430,14 @@ class SoftwareSwitch:
             return self._flush_drain(path, core, carried, now)
         n = len(batch)
         total_bytes = sum(p.size for p in batch)
-        cycles = path.output.tx_cost(self.params).cycles(n, total_bytes)
-        cycles *= path.jitter.multiplier(now)
-        cycles *= self._overload_factor()
+        tx_c = path.output.tx_cost(self.params).cycles(n, total_bytes)
+        cycles = tx_c * path.jitter.multiplier(now) * self._overload_factor()
         delay_ns = core.cycles_to_ns(carried + cycles)
         delay_ns = max(delay_ns, self._bus_delay(path, total_bytes, now))
+        if self.obs is not None:
+            self.obs.on_batch(
+                path, now, 0.0, 0.0, tx_c, cycles - tx_c, n, batch, delay_ns
+            )
         if self.params.tx_drain_ns is not None and path.output.is_vif:
             self._buffer_tx(path, batch, core, carried + cycles, now)
         else:

@@ -63,3 +63,71 @@ def test_export_csv_rows(tmp_path):
     assert rows[1]["gbps"] == ""
     assert rows[2]["error"] == "RuntimeError: boom"
     assert rows[1]["n_vnfs"] == "5"
+
+
+def test_torn_mid_record_truncation_costs_exactly_one_row(tmp_path):
+    """Truncating the log mid-record loses that record and nothing else."""
+    path = tmp_path / "campaign.jsonl"
+    store = CampaignStore(path)
+    specs = [RunSpec("p2p", sw) for sw in ("vpp", "bess", "snabb")]
+    for i, spec in enumerate(specs):
+        store.append(f"k{i}", _record(spec, gbps=float(i)))
+    # Tear the *middle* record: cut the file a few bytes into line 2.
+    lines = path.read_bytes().split(b"\n")
+    torn = b"\n".join([lines[0], lines[1][:20]])
+    path.write_bytes(torn)
+    assert set(store.load()) == {"k0"}
+    # Resume appends after the torn tail; the new record must survive.
+    store.append("k2", _record(specs[2], gbps=2.0))
+    loaded = store.load()
+    assert set(loaded) == {"k0", "k2"}
+    assert loaded["k2"].gbps == 2.0
+
+
+def test_append_after_torn_tail_newline_repairs(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    path.write_text('{"record": "result", "spec": {"scenari')  # no newline
+    store = CampaignStore(path)
+    store.append("k", _record(RunSpec("p2p", "vpp")))
+    raw = path.read_text()
+    assert raw.count("\n") == 2  # repaired tail + the new record's line
+    assert set(store.load()) == {"k"}
+
+
+def test_metrics_column_round_trips(tmp_path):
+    import json
+
+    snapshot = {"metrics": {"sim.events_executed": 42.0}, "profile": None,
+                "trace": {"events": 0, "dropped": 0}}
+    record = RunRecord(
+        spec=RunSpec("p2p", "vpp"),
+        per_direction_gbps=[9.5],
+        per_direction_mpps=[14.1],
+        events=3,
+        metrics=snapshot,
+    )
+    path = export_csv([("k", record)], tmp_path / "out.csv")
+    with path.open() as fh:
+        (row,) = list(csv.DictReader(fh))
+    assert json.loads(row["metrics"]) == snapshot
+
+    # And through the JSONL store.
+    store = CampaignStore(tmp_path / "campaign.jsonl")
+    store.append("k", record)
+    assert store.load()["k"].metrics == snapshot
+
+
+def test_metrics_column_empty_without_observation(tmp_path):
+    path = export_csv([("k", _record(RunSpec("p2p", "vpp")))], tmp_path / "out.csv")
+    with path.open() as fh:
+        (row,) = list(csv.DictReader(fh))
+    assert row["metrics"] == ""
+
+
+def test_export_csv_dash_streams_to_stdout(capsys):
+    result = export_csv([("k", _record(RunSpec("p2p", "vpp")))], "-")
+    assert result is None
+    out = capsys.readouterr().out
+    rows = list(csv.DictReader(out.splitlines()))
+    assert rows[0]["switch"] == "vpp"
+    assert rows[0]["gbps"] == "9.5000"

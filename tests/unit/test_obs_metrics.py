@@ -1,0 +1,138 @@
+"""Unit tests for the observability metrics registry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, hdr_bounds
+
+
+def test_counter_increments():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(3.5)
+    assert counter.read() == pytest.approx(4.5)
+
+
+def test_counter_rejects_decrease():
+    with pytest.raises(ValueError):
+        Counter("c").inc(-1)
+
+
+def test_gauge_set_and_read():
+    gauge = Gauge("g")
+    gauge.set(7)
+    assert gauge.read() == 7.0
+
+
+def test_callback_gauge_is_lazy():
+    calls = []
+
+    def probe() -> float:
+        calls.append(1)
+        return float(len(calls))
+
+    gauge = Gauge("g", probe)
+    assert calls == []  # registering costs nothing
+    assert gauge.read() == 1.0
+    assert gauge.read() == 2.0
+    with pytest.raises(ValueError):
+        gauge.set(5)
+
+
+def test_hdr_bounds_shape():
+    bounds = hdr_bounds(max_value=8, subdivisions=4)
+    assert bounds[0] == pytest.approx(0.25)
+    assert 1.0 in bounds and 2.0 in bounds and 4.0 in bounds and 8.0 in bounds
+    assert list(bounds) == sorted(bounds)
+    # Relative spacing within an octave is 1/subdivisions.
+    i = bounds.index(4.0)
+    assert bounds[i + 1] - bounds[i] == pytest.approx(1.0)
+
+
+def test_hdr_bounds_validates():
+    with pytest.raises(ValueError):
+        hdr_bounds(max_value=1)
+    with pytest.raises(ValueError):
+        hdr_bounds(subdivisions=0)
+
+
+def test_histogram_percentile_bounded_error():
+    hist = Histogram("h")
+    for value in range(1, 1001):
+        hist.observe(float(value))
+    # HDR buckets with 4 subdivisions bound relative error to ~25%.
+    assert hist.percentile(50) == pytest.approx(500, rel=0.3)
+    assert hist.percentile(99) == pytest.approx(990, rel=0.3)
+    assert hist.min == 1.0
+    assert hist.max == 1000.0
+    assert hist.mean == pytest.approx(500.5)
+
+
+def test_histogram_percentile_clips_to_observed_range():
+    hist = Histogram("h")
+    hist.observe(5.0)
+    assert hist.percentile(0) == 5.0
+    assert hist.percentile(100) == 5.0
+
+
+def test_histogram_empty():
+    hist = Histogram("h")
+    assert math.isnan(hist.mean)
+    assert math.isnan(hist.percentile(50))
+    assert hist.summary() == {"count": 0}
+
+
+def test_histogram_summary_fields():
+    hist = Histogram("h")
+    for value in (1.0, 2.0, 3.0):
+        hist.observe(value)
+    summary = hist.summary()
+    assert summary["count"] == 3
+    assert summary["sum"] == pytest.approx(6.0)
+    assert summary["min"] == 1.0 and summary["max"] == 3.0
+    assert set(summary) >= {"p50", "p90", "p99"}
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=[2.0, 1.0])
+
+
+def test_histogram_percentile_validates_range():
+    with pytest.raises(ValueError):
+        Histogram("h").percentile(101)
+
+
+def test_registry_rejects_duplicates():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+
+
+def test_registry_get_names_unknown_metric():
+    registry = MetricsRegistry()
+    registry.counter("a.known")
+    with pytest.raises(KeyError, match="a.known"):
+        registry.get("a.missing")
+
+
+def test_registry_snapshot_is_json_safe():
+    import json
+
+    registry = MetricsRegistry()
+    registry.counter("c").inc(2)
+    registry.gauge("g", lambda: 1.5)
+    hist = registry.histogram("h")
+    hist.observe(10.0)
+    snapshot = registry.snapshot()
+    assert snapshot["c"] == 2.0
+    assert snapshot["g"] == 1.5
+    assert snapshot["h"]["count"] == 1
+    json.dumps(snapshot)  # must round-trip
+
+    assert registry.names() == ["c", "g", "h"]
+    assert len(registry) == 3

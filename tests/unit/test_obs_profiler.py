@@ -1,0 +1,65 @@
+"""Unit tests for the cycle-attribution profiler."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.profiler import CycleProfiler, STAGES
+
+
+def test_record_batch_accumulates_per_path():
+    profiler = CycleProfiler(switch="vpp", scenario="p2p")
+    profiler.record_batch("a->b", 32, rx_cycles=320.0, proc_cycles=640.0, tx_cycles=160.0)
+    profiler.record_batch("a->b", 32, rx_cycles=320.0, proc_cycles=640.0, tx_cycles=160.0,
+                          overhead_cycles=64.0)
+    report = profiler.report()
+    (path,) = report.paths
+    assert path.packets == 64
+    assert path.batches == 2
+    assert path.mean_batch == 32.0
+    cpp = path.cycles_per_packet()
+    assert cpp["rx"] == pytest.approx(10.0)
+    assert cpp["proc"] == pytest.approx(20.0)
+    assert cpp["tx"] == pytest.approx(5.0)
+    assert cpp["overhead"] == pytest.approx(1.0)
+
+
+def test_chain_sums_paths():
+    profiler = CycleProfiler()
+    profiler.record_batch("hop1", 10, 100.0, 200.0, 50.0)
+    profiler.record_batch("hop2", 10, 40.0, 60.0, 20.0)
+    chain = profiler.report().chain_cycles_per_packet()
+    assert chain["rx"] == pytest.approx(10.0 + 4.0)
+    assert chain["proc"] == pytest.approx(20.0 + 6.0)
+    assert chain["tx"] == pytest.approx(5.0 + 2.0)
+
+
+def test_global_overhead_amortised_over_chain_packets():
+    profiler = CycleProfiler()
+    profiler.record_batch("hop", 100, 0.0, 0.0, 0.0)
+    profiler.record_global_overhead("stall", 300.0)
+    profiler.record_global_overhead("stall", 200.0)
+    profiler.record_global_overhead("app", 500.0)
+    report = profiler.report()
+    assert report.global_overhead_cycles == {"stall": 500.0, "app": 500.0}
+    assert report.chain_cycles_per_packet()["overhead"] == pytest.approx(10.0)
+
+
+def test_empty_report_is_all_zero():
+    report = CycleProfiler().report()
+    assert report.packets == 0
+    assert report.chain_cycles_per_packet() == {stage: 0.0 for stage in STAGES}
+    assert report.total_cycles_per_packet == 0.0
+
+
+def test_to_dict_round_trips_through_json():
+    profiler = CycleProfiler(switch="snabb", scenario="loopback")
+    profiler.record_batch("nic->vm", 64, 640.0, 1280.0, 320.0)
+    profiler.record_global_overhead("app", 128.0)
+    payload = json.loads(json.dumps(profiler.report().to_dict()))
+    assert payload["switch"] == "snabb"
+    assert payload["packets"] == 64
+    assert payload["paths"][0]["name"] == "nic->vm"
+    assert payload["chain_cycles_per_packet"]["overhead"] == pytest.approx(2.0)

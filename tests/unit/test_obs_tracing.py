@@ -1,0 +1,89 @@
+"""Unit tests for the structured event tracer and engine observer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.obs.tracing import SimObserver, Tracer
+
+
+def test_span_event_shape():
+    tracer = Tracer()
+    tracer.span("work", ts_ns=100.0, dur_ns=50.0, tid="core/sut", args={"n": 32})
+    (event,) = tracer.events
+    assert event["ph"] == "X"
+    assert event["ts"] == 100.0 and event["dur"] == 50.0
+    assert event["tid"] == "core/sut"
+    assert event["args"] == {"n": 32}
+
+
+def test_instant_and_counter_shapes():
+    tracer = Tracer()
+    tracer.instant("wake", ts_ns=5.0, tid="core/sut")
+    tracer.counter("sim.queue", ts_ns=6.0, values={"pending": 3.0}, tid="engine")
+    instant, counter = tracer.events
+    assert instant["ph"] == "i" and instant["s"] == "t"
+    assert counter["ph"] == "C" and counter["args"] == {"pending": 3.0}
+
+
+def test_sampling_is_deterministic_from_key():
+    tracer = Tracer(sample_rate=64)
+    decisions = [tracer.sampled(float(k)) for k in range(256)]
+    assert decisions == [tracer.sampled(float(k)) for k in range(256)]
+    assert sum(decisions) == 4  # exactly 1 in 64
+    assert Tracer(sample_rate=1).sampled(12345.0)
+
+
+def test_max_events_drops_are_counted():
+    tracer = Tracer(max_events=3)
+    for i in range(10):
+        tracer.instant(f"e{i}", ts_ns=float(i))
+    assert len(tracer) == 3
+    assert tracer.dropped_events == 7
+
+
+def test_tracer_validates_config():
+    with pytest.raises(ValueError):
+        Tracer(sample_rate=0)
+    with pytest.raises(ValueError):
+        Tracer(max_events=0)
+
+
+def test_sim_observer_counts_dispatches():
+    sim = Simulator()
+    observer = SimObserver(sim)
+    sim.set_observer(observer)
+
+    def tick() -> None:
+        pass
+
+    for t in (10, 20, 30):
+        sim.at(t, tick)
+    sim.run_until(100)
+    (name, count), *_ = observer.top_dispatchers()
+    assert "tick" in name
+    assert count == 3
+
+
+def test_sim_observer_emits_queue_counter():
+    sim = Simulator()
+    tracer = Tracer()
+    observer = SimObserver(sim, tracer)
+    observer.COUNTER_EVERY = 2
+    sim.set_observer(observer)
+    for t in range(10):
+        sim.at(float(t), lambda: None)
+    sim.run_until(100)
+    counters = [e for e in tracer.events if e["ph"] == "C"]
+    assert counters
+    assert all(e["name"] == "sim.queue" for e in counters)
+
+
+def test_unobserved_engine_has_no_observer():
+    sim = Simulator()
+    assert sim.observer is None
+    fired = []
+    sim.at(10, lambda: fired.append(1))
+    sim.run_until(100)
+    assert fired == [1]

@@ -99,3 +99,81 @@ def test_utilization_requires_samples(sim):
     telemetry = Telemetry(sim, period_ns=100.0)
     telemetry.watch("core", lambda: 0.0)
     assert telemetry.utilization("core") == 0.0
+
+
+def test_series_percentile_and_min():
+    series = Series("s")
+    for t, v in enumerate((5.0, 1.0, 3.0, 2.0, 4.0)):
+        series.add(t, v)
+    assert series.min == 1.0
+    assert series.percentile(0) == 1.0
+    assert series.percentile(50) == 3.0
+    assert series.percentile(100) == 5.0
+
+
+def test_series_percentile_validates_range():
+    series = Series("s")
+    with pytest.raises(ValueError):
+        series.percentile(101)
+    assert series.percentile(50) == 0.0  # empty series
+
+
+def test_stop_halts_sampling(sim):
+    telemetry = Telemetry(sim, period_ns=100.0)
+    series = telemetry.watch("x", lambda: 1.0)
+    telemetry.start()
+    sim.run_until(500)
+    assert telemetry.running
+    telemetry.stop()
+    assert not telemetry.running
+    n = len(series.values)
+    sim.run_until(2_000)
+    assert len(series.values) == n  # the pending sample died silently
+
+
+def test_restart_after_stop_appends(sim):
+    telemetry = Telemetry(sim, period_ns=100.0)
+    series = telemetry.watch("x", lambda: sim.now)
+    telemetry.start()
+    sim.run_until(300)
+    telemetry.stop()
+    sim.run_until(1_000)
+    telemetry.start()
+    sim.run_until(1_300)
+    # Samples from both windows land in the same series, none in between.
+    assert any(t <= 300 for t in series.times_ns)
+    assert any(t >= 1_000 for t in series.times_ns)
+    assert not any(400 <= t <= 900 for t in series.times_ns)
+
+
+def test_restart_after_stop_at_expiry(sim):
+    telemetry = Telemetry(sim, period_ns=100.0)
+    series = telemetry.watch("x", lambda: 1.0)
+    telemetry.start(stop_at_ns=250.0)
+    sim.run_until(1_000)
+    assert not telemetry.running
+    first_window = len(series.values)
+    telemetry.start()  # no stop_at: samples until the run ends
+    sim.run_until(1_500)
+    assert len(series.values) > first_window
+    assert series.times_ns[-1] > 1_000
+
+
+def test_double_start_is_idempotent(sim):
+    telemetry = Telemetry(sim, period_ns=100.0)
+    series = telemetry.watch("x", lambda: 1.0)
+    telemetry.start()
+    telemetry.start()  # must not double the sampling rate
+    sim.run_until(1_000)
+    assert len(series.values) == 11
+
+
+def test_utilization_unknown_series_names_known(sim):
+    telemetry = Telemetry(sim)
+    telemetry.watch("alpha", lambda: 0.0)
+    telemetry.watch("beta", lambda: 0.0)
+    with pytest.raises(KeyError) as excinfo:
+        telemetry.utilization("gamma")
+    message = str(excinfo.value)
+    assert "gamma" in message
+    assert "alpha" in message and "beta" in message
