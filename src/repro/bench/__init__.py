@@ -1,0 +1,12 @@
+"""Performance benchmarking of the simulator itself.
+
+The measurement campaigns (suites, validation grids, campaigns) are
+bounded by raw simulator throughput -- the same cycles/packet economics
+the source paper studies in the switches.  :mod:`repro.bench.perf` is the
+micro-benchmark harness that tracks it: engine events per wall-second and
+simulated Mpps per wall-second on the tier-1 scenarios.
+"""
+
+from repro.bench.perf import PERF_CASES, run_perf
+
+__all__ = ["PERF_CASES", "run_perf"]

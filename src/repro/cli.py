@@ -12,6 +12,7 @@ Examples::
     repro-bench validate --workers 4 --cache
     repro-bench campaign --suite paper --workers 4 --repeat 3 \\
         --store paper.jsonl --export-csv paper.csv
+    repro-bench perf --json
 
 Progress and telemetry go to stderr; tables, measurements and
 ``--export-csv -`` go to stdout, so output can be piped or redirected
@@ -41,8 +42,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "scenario",
-        choices=["p2p", "p2v", "v2v", "loopback", "v2v-latency", "suite", "validate", "campaign", "trace"],
-        help="test scenario (Sec. 4 of the paper), 'suite', 'validate', 'campaign' or 'trace'",
+        choices=["p2p", "p2v", "v2v", "loopback", "v2v-latency", "suite", "validate", "campaign", "trace", "perf"],
+        help="test scenario (Sec. 4 of the paper), 'suite', 'validate', 'campaign', 'trace' or 'perf'",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
@@ -115,6 +116,24 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--sample-rate", type=int, default=None, metavar="N",
         help="per-packet lifecycle spans: trace one batch in N",
+    )
+    # --- simulator perf bench ('perf') ------------------------------------
+    parser.add_argument(
+        "--json", action="store_true",
+        help="perf: also write the report JSON to --perf-out",
+    )
+    parser.add_argument(
+        "--perf-out", default="BENCH_pr3.json", metavar="PATH",
+        help="perf: report JSON path (with --json; default BENCH_pr3.json)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="perf: baseline JSON for speedup columns "
+        "(default benchmarks/perf/baseline_pr3.json)",
+    )
+    parser.add_argument(
+        "--cases", default=None, metavar="A,B,...",
+        help="perf: run only these named cases (default: the full grid)",
     )
     return parser
 
@@ -400,9 +419,44 @@ def _run_campaign_command(args) -> int:
     return 3 if result.failures else 0
 
 
+def _run_perf_command(args) -> int:
+    """Simulator micro-benchmarks: events/sec and sim-Mpps per wall-second."""
+    import json
+
+    from repro.bench.perf import PERF_CASES, format_report, run_perf
+
+    cases = PERF_CASES
+    if args.cases:
+        want = {name.strip() for name in args.cases.split(",") if name.strip()}
+        unknown = sorted(want - {case.name for case in PERF_CASES})
+        if unknown:
+            print(f"unknown perf cases {unknown}; known: {[c.name for c in PERF_CASES]}")
+            return 1
+        cases = tuple(case for case in PERF_CASES if case.name in want)
+    # --repeat defaults to 1 for suites; the bench wants a few samples to
+    # find the noise-free minimum, so treat the default as "3".
+    repeat = args.repeat if args.repeat > 1 else 3
+    report = run_perf(
+        repeat=repeat,
+        cases=cases,
+        baseline_path=args.baseline,
+        progress=lambda msg: _note(f"[perf] {msg}"),
+    )
+    print(format_report(report))
+    if args.json:
+        with open(args.perf_out, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        _note(f"wrote {args.perf_out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     builders = {"p2p": p2p.build, "p2v": p2v.build, "v2v": v2v.build, "loopback": loopback.build}
+
+    if args.scenario == "perf":
+        return _run_perf_command(args)
 
     if args.scenario == "campaign":
         return _run_campaign_command(args)

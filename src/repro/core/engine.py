@@ -10,15 +10,23 @@ Design notes
   cycle-to-ns conversion at 2.6 GHz); events are ordered by ``(time, seq)``
   so simultaneous events fire in FIFO order, which keeps runs deterministic.
 * Callbacks take no arguments; closures capture whatever context they need.
+  Hot re-arming loops (cores, paced sources) pass *bound methods*, so the
+  steady state allocates no closures.
 * There are no "processes"; polling loops re-arm themselves by scheduling
   their next iteration.  This keeps the hot path to a single ``heappush`` /
   ``heappop`` pair per event.
+* ``run`` and ``run_until`` share one dispatch loop (:meth:`_drain`); the
+  observer hook keeps its own branch of that loop so an idle hook adds
+  zero per-event work to unobserved runs.
 """
 
 from __future__ import annotations
 
-import heapq
+import math
+from heapq import heappop, heappush
 from typing import Callable, Protocol
+
+from repro.core.packet import reset_seq
 
 
 class SimObserverProtocol(Protocol):
@@ -42,13 +50,16 @@ class Simulator:
         self._running = False
         self.events_executed = 0
         self._observer: "SimObserverProtocol | None" = None
+        # One run == one Simulator: frame seqs restart so identical runs
+        # hand out identical seqs regardless of process history.
+        reset_seq()
 
     def set_observer(self, observer: "SimObserverProtocol | None") -> None:
         """Install (or clear) a dispatch observer.
 
         The observer's ``on_event(time_ns, callback)`` is invoked after
-        every executed event.  When no observer is set the dispatch loops
-        below take their un-instrumented branch, so an idle hook costs
+        every executed event.  When no observer is set the dispatch loop
+        below takes its un-instrumented branch, so an idle hook costs
         nothing per event.
         """
         self._observer = observer
@@ -68,14 +79,46 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time_ns} ns; clock already at {self._now} ns"
             )
-        heapq.heappush(self._queue, (time_ns, self._seq, callback))
+        heappush(self._queue, (time_ns, self._seq, callback))
         self._seq += 1
 
     def after(self, delay_ns: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` after a relative delay."""
         if delay_ns < 0:
             raise SimulationError(f"negative delay {delay_ns} ns")
-        self.at(self._now + delay_ns, callback)
+        heappush(self._queue, (self._now + delay_ns, self._seq, callback))
+        self._seq += 1
+
+    def _drain(self, t_end_ns: float) -> None:
+        """Execute queued events with ``time <= t_end_ns`` in order.
+
+        The single dispatch loop behind both :meth:`run` and
+        :meth:`run_until`; heap ops and the queue are cached in locals, and
+        the unobserved branch carries no observer test per event.
+        """
+        if self._running:
+            raise SimulationError("dispatch is not reentrant")
+        self._running = True
+        try:
+            queue = self._queue
+            pop = heappop
+            observer = self._observer
+            if observer is None:
+                while queue and queue[0][0] <= t_end_ns:
+                    time_ns, _, callback = pop(queue)
+                    self._now = time_ns
+                    callback()
+                    self.events_executed += 1
+            else:
+                on_event = observer.on_event
+                while queue and queue[0][0] <= t_end_ns:
+                    time_ns, _, callback = pop(queue)
+                    self._now = time_ns
+                    callback()
+                    self.events_executed += 1
+                    on_event(time_ns, callback)
+        finally:
+            self._running = False
 
     def run_until(self, t_end_ns: float) -> None:
         """Execute events in order until the clock reaches ``t_end_ns``.
@@ -83,54 +126,12 @@ class Simulator:
         The first event strictly after ``t_end_ns`` is left in the queue and
         the clock is advanced exactly to ``t_end_ns``.
         """
-        if self._running:
-            raise SimulationError("run_until is not reentrant")
-        self._running = True
-        try:
-            queue = self._queue
-            observer = self._observer
-            if observer is None:
-                while queue and queue[0][0] <= t_end_ns:
-                    time_ns, _, callback = heapq.heappop(queue)
-                    self._now = time_ns
-                    callback()
-                    self.events_executed += 1
-            else:
-                on_event = observer.on_event
-                while queue and queue[0][0] <= t_end_ns:
-                    time_ns, _, callback = heapq.heappop(queue)
-                    self._now = time_ns
-                    callback()
-                    self.events_executed += 1
-                    on_event(time_ns, callback)
-            self._now = max(self._now, t_end_ns)
-        finally:
-            self._running = False
+        self._drain(t_end_ns)
+        self._now = max(self._now, t_end_ns)
 
     def run(self) -> None:
         """Run until the event queue drains completely."""
-        if self._running:
-            raise SimulationError("run is not reentrant")
-        self._running = True
-        try:
-            queue = self._queue
-            observer = self._observer
-            if observer is None:
-                while queue:
-                    time_ns, _, callback = heapq.heappop(queue)
-                    self._now = time_ns
-                    callback()
-                    self.events_executed += 1
-            else:
-                on_event = observer.on_event
-                while queue:
-                    time_ns, _, callback = heapq.heappop(queue)
-                    self._now = time_ns
-                    callback()
-                    self.events_executed += 1
-                    on_event(time_ns, callback)
-        finally:
-            self._running = False
+        self._drain(math.inf)
 
     def pending(self) -> int:
         """Number of events currently queued."""

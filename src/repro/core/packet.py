@@ -1,20 +1,70 @@
-"""Packet model.
+"""Packet model: exact frames and flyweight blocks.
 
 Packets are deliberately lightweight: the simulation is about *where time
 goes*, not about parsing bytes, so a packet carries the fields the paper's
 measurement tools actually use -- frame size, flow identity, MAC addresses
 (t4p4s forwards on destination MAC; VALE learns source MACs), creation and
 timestamping metadata for latency probes.
+
+The paper's workloads are saturating streams of *identical* frames (one
+flow, fixed MACs -- Sec. 5.2), so bulk traffic does not need one Python
+object per frame: a :class:`PacketBlock` is a template plus a count, and
+the whole data path (rings, NIC wires, switch servicing, meters) operates
+on blocks.  Frames whose identity matters -- PTP probes, anything a test
+materialises -- stay exact :class:`Packet` objects; both types expose the
+same template attributes (``size``, ``flow_id``, ``src_mac``, ``dst_mac``,
+``t_created``, ``hops``, ``count``, ``is_probe``) so hot loops never
+branch on the representation.
+
+A free list (:func:`acquire_block` / :func:`release_block`) recycles
+blocks so steady-state traffic allocates nothing.
 """
 
 from __future__ import annotations
 
-import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 from repro.core.units import MIN_FRAME
 
-_packet_ids = itertools.count()
+DEFAULT_SRC_MAC = 0x02_00_00_00_00_01
+DEFAULT_DST_MAC = 0x02_00_00_00_00_02
+
+# -- sequence numbers -------------------------------------------------------
+#
+# Frame sequence numbers are scoped to a run: `Simulator.__init__` calls
+# `reset_seq()`, so two identical runs hand out identical seqs no matter
+# how many runs preceded them in the process (the seed drew from a
+# module-global `itertools.count` that was never reset).
+
+_next_seq = 0
+
+
+def _take_seq() -> int:
+    global _next_seq
+    seq = _next_seq
+    _next_seq = seq + 1
+    return seq
+
+
+def take_seq_range(count: int) -> int:
+    """Reserve ``count`` consecutive seqs; returns the first.
+
+    A block draws its whole range up front, so materialising packet ``i``
+    of a block yields exactly the seq the per-packet path would have
+    assigned to the same frame.
+    """
+    global _next_seq
+    first = _next_seq
+    _next_seq = first + count
+    return first
+
+
+def reset_seq() -> None:
+    """Rewind the per-run frame sequence counter (one run == one Simulator)."""
+    global _next_seq
+    _next_seq = 0
 
 
 @dataclass(slots=True)
@@ -42,13 +92,16 @@ class Packet:
         Number of forwarding hops traversed so far (debug/verification aid).
     """
 
+    #: A Packet is a batch item of one frame (PacketBlock carries many).
+    count: ClassVar[int] = 1
+
     size: int = MIN_FRAME
     flow_id: int = 0
-    src_mac: int = 0x02_00_00_00_00_01
-    dst_mac: int = 0x02_00_00_00_00_02
+    src_mac: int = DEFAULT_SRC_MAC
+    dst_mac: int = DEFAULT_DST_MAC
     t_created: float = 0.0
     is_probe: bool = False
-    seq: int = field(default_factory=lambda: next(_packet_ids))
+    seq: int = field(default_factory=_take_seq)
     tx_timestamp: float | None = None
     rx_timestamp: float | None = None
     hops: int = 0
@@ -65,15 +118,250 @@ class Packet:
         return self.rx_timestamp - self.tx_timestamp
 
 
+class PacketBlock:
+    """A run of ``count`` identical frames, stored once (flyweight).
+
+    The block carries the same template fields as :class:`Packet` plus a
+    ``count``; ``hops`` is block-level (every frame of a block has made
+    the same journey).  ``seq0`` is the seq of the first frame -- the
+    block owns the contiguous range ``[seq0, seq0 + count)``, so exact
+    packets materialised out of a block get the very seqs the per-packet
+    representation would have assigned.
+
+    Blocks are never probes and never timestamped; a probe is split out
+    of the stream as a real :class:`Packet` before emission.
+    """
+
+    __slots__ = ("size", "flow_id", "src_mac", "dst_mac", "t_created", "count", "hops", "seq0")
+
+    is_probe: ClassVar[bool] = False
+    tx_timestamp: ClassVar[None] = None
+    rx_timestamp: ClassVar[None] = None
+    latency_ns: ClassVar[None] = None
+
+    def __init__(
+        self,
+        size: int = MIN_FRAME,
+        flow_id: int = 0,
+        src_mac: int = DEFAULT_SRC_MAC,
+        dst_mac: int = DEFAULT_DST_MAC,
+        t_created: float = 0.0,
+        count: int = 1,
+        hops: int = 0,
+        seq0: int | None = None,
+    ) -> None:
+        if size < MIN_FRAME:
+            raise ValueError(f"frame size {size} below minimum {MIN_FRAME}")
+        if count < 1:
+            raise ValueError(f"block count must be >= 1, got {count}")
+        self.size = size
+        self.flow_id = flow_id
+        self.src_mac = src_mac
+        self.dst_mac = dst_mac
+        self.t_created = t_created
+        self.count = count
+        self.hops = hops
+        self.seq0 = take_seq_range(count) if seq0 is None else seq0
+
+    @property
+    def seq(self) -> int:
+        """Seq of the block's first frame (template view)."""
+        return self.seq0
+
+    def split(self, front_count: int) -> "PacketBlock":
+        """Detach the first ``front_count`` frames as a new block.
+
+        FIFO semantics: the front block takes the oldest frames and their
+        (lowest) seqs; ``self`` keeps the tail.
+        """
+        if not 0 < front_count < self.count:
+            raise ValueError(
+                f"cannot split {front_count} frames off a block of {self.count}"
+            )
+        front = acquire_block(
+            self.size,
+            self.flow_id,
+            self.src_mac,
+            self.dst_mac,
+            self.t_created,
+            front_count,
+            hops=self.hops,
+            seq0=self.seq0,
+        )
+        self.count -= front_count
+        self.seq0 += front_count
+        return front
+
+    def merge(self, other: "PacketBlock") -> bool:
+        """Absorb ``other`` if it is the seq-contiguous same-template tail.
+
+        Returns True (and recycles ``other``) on success; used to coalesce
+        blocks that a probe boundary or a ring split fragmented.
+        """
+        if (
+            other.seq0 == self.seq0 + self.count
+            and other.size == self.size
+            and other.flow_id == self.flow_id
+            and other.src_mac == self.src_mac
+            and other.dst_mac == self.dst_mac
+            and other.t_created == self.t_created
+            and other.hops == self.hops
+        ):
+            self.count += other.count
+            release_block(other)
+            return True
+        return False
+
+    def materialize(self) -> list[Packet]:
+        """Expand to exact packets (tests, sampled lifecycle inspection)."""
+        return [
+            Packet(
+                size=self.size,
+                flow_id=self.flow_id,
+                src_mac=self.src_mac,
+                dst_mac=self.dst_mac,
+                t_created=self.t_created,
+                seq=self.seq0 + i,
+                hops=self.hops,
+            )
+            for i in range(self.count)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PacketBlock(count={self.count}, size={self.size}, flow={self.flow_id}, "
+            f"seq0={self.seq0}, hops={self.hops})"
+        )
+
+
+# -- block free list --------------------------------------------------------
+
+_POOL: list[PacketBlock] = []
+#: Upper bound on retained blocks; enough for every ring in the largest
+#: chain scenario, small enough to be irrelevant memory-wise.
+POOL_MAX = 4096
+
+
+def acquire_block(
+    size: int,
+    flow_id: int,
+    src_mac: int,
+    dst_mac: int,
+    t_created: float,
+    count: int,
+    hops: int = 0,
+    seq0: int | None = None,
+) -> PacketBlock:
+    """Pooled block constructor: reuses a released block when available."""
+    if _POOL:
+        block = _POOL.pop()
+        if size < MIN_FRAME:
+            raise ValueError(f"frame size {size} below minimum {MIN_FRAME}")
+        if count < 1:
+            raise ValueError(f"block count must be >= 1, got {count}")
+        block.size = size
+        block.flow_id = flow_id
+        block.src_mac = src_mac
+        block.dst_mac = dst_mac
+        block.t_created = t_created
+        block.count = count
+        block.hops = hops
+        block.seq0 = take_seq_range(count) if seq0 is None else seq0
+        return block
+    return PacketBlock(size, flow_id, src_mac, dst_mac, t_created, count, hops, seq0)
+
+
+def release_block(block: PacketBlock) -> None:
+    """Return a dead block to the free list (caller must drop its reference)."""
+    if len(_POOL) < POOL_MAX:
+        _POOL.append(block)
+
+
+def release_batch(batch: list) -> None:
+    """Recycle every block in a consumed batch (Packets pass through GC)."""
+    pool = _POOL
+    for item in batch:
+        if item.__class__ is PacketBlock and len(pool) < POOL_MAX:
+            pool.append(item)
+
+
+def pool_size() -> int:
+    """Current free-list occupancy (introspection for tests/benchmarks)."""
+    return len(_POOL)
+
+
+# -- emission mode ----------------------------------------------------------
+#
+# Traffic generators emit blocks whenever the stream is uniform.  Tests
+# that verify representation-independence flip to per-packet emission and
+# assert the run's stats are bit-identical.
+
+_block_emission = True
+
+
+def blocks_enabled() -> bool:
+    return _block_emission
+
+
+def set_block_emission(enabled: bool) -> None:
+    global _block_emission
+    _block_emission = bool(enabled)
+
+
+@contextmanager
+def per_packet_emission():
+    """Force seed-style one-object-per-frame emission (golden tests)."""
+    global _block_emission
+    previous = _block_emission
+    _block_emission = False
+    try:
+        yield
+    finally:
+        _block_emission = previous
+
+
+# -- batch helpers ----------------------------------------------------------
+
+
+def batch_stats(batch: list) -> tuple[int, int]:
+    """(frame count, total bytes) of a mixed Packet/PacketBlock batch."""
+    n = 0
+    total_bytes = 0
+    for item in batch:
+        c = item.count
+        n += c
+        total_bytes += item.size * c
+    return n, total_bytes
+
+
+def batch_count(batch: list) -> int:
+    """Total frames in a mixed Packet/PacketBlock batch."""
+    n = 0
+    for item in batch:
+        n += item.count
+    return n
+
+
 def make_batch(
     count: int,
     size: int,
     t_created: float,
     flow_id: int = 0,
-    dst_mac: int = 0x02_00_00_00_00_02,
+    dst_mac: int = DEFAULT_DST_MAC,
 ) -> list[Packet]:
     """Create ``count`` identical synthetic frames (one flow, like MoonGen)."""
     return [
         Packet(size=size, flow_id=flow_id, t_created=t_created, dst_mac=dst_mac)
         for _ in range(count)
     ]
+
+
+def make_block(
+    count: int,
+    size: int,
+    t_created: float,
+    flow_id: int = 0,
+    dst_mac: int = DEFAULT_DST_MAC,
+) -> PacketBlock:
+    """The flyweight equivalent of :func:`make_batch`: one object."""
+    return acquire_block(size, flow_id, DEFAULT_SRC_MAC, dst_mac, t_created, count)

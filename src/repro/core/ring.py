@@ -6,6 +6,14 @@ FIFO that drops on overflow and counts what it drops.  Drop-on-overflow is
 the semantics of a poll-mode data plane: there is no backpressure to the
 wire, excess packets are simply lost, which is exactly the effect the
 paper's saturating-load methodology measures.
+
+Capacity, occupancy, drop and enqueue accounting are all in *frames*
+(descriptors), not Python objects: a ring holds a FIFO of items that are
+either exact :class:`~repro.core.packet.Packet` objects (``count == 1``)
+or :class:`~repro.core.packet.PacketBlock` flyweights (``count >= 1``).
+A block that does not fully fit is split at the free-slot boundary --
+the accepted prefix keeps FIFO order and the overflowing tail is dropped,
+frame for frame what the seed's per-packet loop did.
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Iterable
 
-from repro.core.packet import Packet
+from repro.core.packet import Packet, PacketBlock, release_block
 
 
 class Ring:
@@ -22,7 +30,7 @@ class Ring:
     Parameters
     ----------
     capacity:
-        Maximum number of packets (descriptors) the ring holds.  The paper
+        Maximum number of frames (descriptors) the ring holds.  The paper
         tunes FastClick's NIC rings to 4096 descriptors (Table 2); DPDK
         defaults are typically 512-1024.
     name:
@@ -34,7 +42,7 @@ class Ring:
         an interrupt, whereas poll-mode consumers ignore it.
     """
 
-    __slots__ = ("capacity", "name", "_queue", "enqueued", "dropped", "on_push")
+    __slots__ = ("capacity", "name", "_queue", "_frames", "enqueued", "dropped", "on_push")
 
     def __init__(
         self,
@@ -46,49 +54,89 @@ class Ring:
             raise ValueError(f"ring capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.name = name
-        self._queue: deque[Packet] = deque()
+        self._queue: deque[Packet | PacketBlock] = deque()
+        self._frames = 0
         self.enqueued = 0
         self.dropped = 0
         self.on_push = on_push
 
     def __len__(self) -> int:
-        return len(self._queue)
+        """Occupancy in frames (a block of 32 fills 32 descriptors)."""
+        return self._frames
 
     @property
     def free(self) -> int:
         """Remaining descriptor slots."""
-        return self.capacity - len(self._queue)
+        return self.capacity - self._frames
 
-    def push(self, packet: Packet) -> bool:
-        """Enqueue one packet; returns False (and counts a drop) if full."""
-        if len(self._queue) >= self.capacity:
-            self.dropped += 1
+    def push(self, item: Packet | PacketBlock) -> bool:
+        """Enqueue one item; returns True if at least one frame landed.
+
+        A block larger than the free space is truncated to fit: the
+        overflowing tail frames are dropped (and recounted), exactly as if
+        they had been pushed one by one into the full ring.
+        """
+        count = item.count
+        free = self.capacity - self._frames
+        if free <= 0:
+            self.dropped += count
+            if item.__class__ is PacketBlock:
+                release_block(item)
             return False
-        was_empty = not self._queue
-        self._queue.append(packet)
-        self.enqueued += 1
+        if count > free:
+            self.dropped += count - free
+            item.count = free  # blocks only: Packet.count == 1 always fits
+            count = free
+        was_empty = self._frames == 0
+        self._queue.append(item)
+        self._frames += count
+        self.enqueued += count
         if was_empty and self.on_push is not None:
             self.on_push()
         return True
 
-    def push_batch(self, packets: Iterable[Packet]) -> int:
-        """Enqueue a batch; returns how many packets were accepted."""
-        accepted = 0
-        for packet in packets:
-            if self.push(packet):
-                accepted += 1
-        return accepted
+    def push_batch(self, items: Iterable[Packet | PacketBlock]) -> int:
+        """Enqueue a batch; returns how many frames were accepted."""
+        before = self.enqueued
+        push = self.push
+        for item in items:
+            push(item)
+        return self.enqueued - before
 
-    def pop_batch(self, max_count: int) -> list[Packet]:
-        """Dequeue up to ``max_count`` packets in FIFO order."""
+    def pop_batch(self, max_count: int) -> list[Packet | PacketBlock]:
+        """Dequeue up to ``max_count`` frames in FIFO order.
+
+        A block straddling the boundary is split: the popped prefix keeps
+        the oldest frames, the remainder stays at the head of the ring.
+        """
         queue = self._queue
-        count = min(max_count, len(queue))
-        return [queue.popleft() for _ in range(count)]
+        if not queue or max_count <= 0:
+            return []
+        out: list[Packet | PacketBlock] = []
+        remaining = max_count
+        popped = 0
+        while queue and remaining > 0:
+            head = queue[0]
+            count = head.count
+            if count <= remaining:
+                out.append(queue.popleft())
+                remaining -= count
+                popped += count
+            else:
+                out.append(head.split(remaining))
+                popped += remaining
+                remaining = 0
+        self._frames -= popped
+        return out
 
     def peek_len(self) -> int:
         """Occupancy without dequeuing (poll-mode 'ring not empty?' check)."""
-        return len(self._queue)
+        return self._frames
 
     def clear(self) -> None:
         """Discard contents (used when a test tears a scenario down)."""
+        for item in self._queue:
+            if item.__class__ is PacketBlock:
+                release_block(item)
         self._queue.clear()
+        self._frames = 0

@@ -139,6 +139,24 @@ class RateMeter:
         else:
             self.warmup_packets += 1
 
+    def record_block(self, now_ns: float, size: int, count: int) -> None:
+        """Count ``count`` identical frames arriving together.
+
+        Integer counters accumulate exactly as ``count`` calls to
+        :meth:`record` would -- the whole block shares one arrival time,
+        so the window test is made once.
+        """
+        in_window = (
+            self.window_start_ns is not None
+            and now_ns >= self.window_start_ns
+            and (self.window_end_ns is None or now_ns <= self.window_end_ns)
+        )
+        if in_window:
+            self.packets += count
+            self.bytes += size * count
+        else:
+            self.warmup_packets += count
+
     @property
     def duration_ns(self) -> float:
         if self.window_start_ns is None or self.window_end_ns is None:

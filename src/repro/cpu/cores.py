@@ -15,6 +15,7 @@ hinges on:
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Protocol
 
 from repro.core.units import cycles_to_ns
@@ -77,6 +78,14 @@ class Core:
         self._started = False
         self._sleeping = False
         self._idle_streak = 0
+        # (idle_loop_cycles, cycles_to_ns(idle_loop_cycles)) memo -- the
+        # idle re-arm delay is recomputed only when the cycle count
+        # changes, not once per idle iteration.
+        self._idle_cache: tuple[float, float] = (-1.0, 0.0)
+        # Idle-grid parking (pure-reactive tasks only, see start()).
+        self._park_rings = None
+        self._parked = False
+        self._parked_at = 0.0
         #: Optional trace probe (:class:`repro.obs.session.CoreProbe`);
         #: None unless an observation session is attached.
         self.obs = None
@@ -90,6 +99,24 @@ class Core:
         if self._started:
             return
         self._started = True
+        # A core may *park* while idle -- stop re-arming the idle grid and
+        # resume at the exact grid point after a frame arrives -- only when
+        # every pinned task is pure-reactive: it declares the rings it
+        # watches via a ``park_rings`` attribute, does nothing but drain
+        # them, and keeps no time-based obligations (drain timers, stalls).
+        # The resulting schedule of *executed* polls is identical to
+        # busy-polling the grid; only the no-op iterations disappear.
+        rings: list | None = []
+        for task in self.tasks:
+            task_rings = getattr(task, "park_rings", None)
+            if task_rings is None:
+                rings = None
+                break
+            rings.extend(task_rings)
+        if rings and not self.interrupt_driven and all(
+            ring.on_push is None for ring in rings
+        ):
+            self._park_rings = rings
         self.sim.after(0, self._iterate)
 
     def cycles_to_ns(self, cycles: float) -> float:
@@ -131,8 +158,48 @@ class Core:
                 if self.obs is not None:
                     self.obs.on_sleep(self.name, self.sim.now)
                 return
-            delay = self.cycles_to_ns(self.idle_loop_cycles)
-        self.sim.after(delay, self._iterate)
+            idle_cycles, delay = self._idle_cache
+            if idle_cycles != self.idle_loop_cycles:
+                idle_cycles = self.idle_loop_cycles
+                delay = self.cycles_to_ns(idle_cycles)
+                self._idle_cache = (idle_cycles, delay)
+            rings = self._park_rings
+            if rings is not None:
+                for ring in rings:
+                    if ring._frames:
+                        break  # residual frames: keep polling the grid
+                else:
+                    self._parked = True
+                    self._parked_at = self.sim.now
+                    for ring in rings:
+                        ring.on_push = self._unpark
+                    return
+        # Inlined sim.after(): the re-arm is the single hottest schedule
+        # in the simulation and the delay is never negative.
+        sim = self.sim
+        heappush(sim._queue, (sim._now + delay, sim._seq, self._iterate))
+        sim._seq += 1
+
+    def _unpark(self) -> None:
+        """A frame landed in a watched ring: rejoin the idle poll grid.
+
+        Runs inside ``Ring.push`` at the arrival timestamp.  The next poll
+        fires at the first grid point the busy-polling core would have
+        reached after this instant; the grid is reconstructed by the same
+        repeated float addition the per-iteration re-arm performs, so poll
+        times are bit-identical to never having parked.
+        """
+        self._parked = False
+        for ring in self._park_rings:
+            ring.on_push = None
+        sim = self.sim
+        now = sim.now
+        delay = self._idle_cache[1]
+        # The parking poll already ran at _parked_at; resume strictly after.
+        t = self._parked_at + delay
+        while t < now:
+            t += delay
+        sim.at(t, self._iterate)
 
     def utilization(self, elapsed_ns: float) -> float:
         """Fraction of ``elapsed_ns`` spent doing useful work."""

@@ -9,13 +9,21 @@ interrupt (netmap).
 
 The 10 Gbps wire is "the theoretical bottleneck" for every scenario that
 touches a physical NIC (Sec. 5.1) -- it is enforced here and nowhere else.
+
+Traffic arrives as a mix of exact :class:`Packet` objects (probes) and
+:class:`PacketBlock` flyweights (bulk frames).  Serialisation walks every
+*frame* either way -- the per-frame backlog check and the deterministic
+driver-hiccup hash are frame-level semantics -- but the block path hoists
+everything loop-invariant (wire time, backlog bound, the hash prefix over
+the port name and the block's uniform fields) so the inner loop is a few
+integer operations per frame instead of an object allocation.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Sequence
 
-from repro.core.packet import Packet
+from repro.core.packet import Packet, PacketBlock, release_block
 from repro.core.ring import Ring
 from repro.core.units import LINE_RATE_BPS, wire_time_ns
 
@@ -43,6 +51,34 @@ PCIE_LATENCY_NS = 2_400.0
 #: throughput measurements is a negligible ~0.01%.
 DRIVER_DROP_PROB = 1e-4
 
+# FNV-1a over stable per-run quantities: the drop decision replays
+# bit-identically regardless of what ran earlier in the process.
+_FNV_OFFSET = 1469598103934665603
+_FNV_PRIME = 1099511628211
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_DENOM53 = float(1 << 53)
+
+_name_hashes: dict[str, int] = {}
+
+
+def _name_hash(port_name: str) -> int:
+    """FNV-1a fold of the port name (cached; the loop-invariant prefix)."""
+    value = _name_hashes.get(port_name)
+    if value is None:
+        value = _FNV_OFFSET
+        for byte in port_name.encode():
+            value = ((value ^ byte) * _FNV_PRIME) & _MASK64
+        _name_hashes[port_name] = value
+    return value
+
+
+def _hiccup_base(name_hash: int, t_created_int: int, size: int, flow_id: int, hops: int) -> int:
+    """Fold the per-frame-invariant fields; only the burst index remains."""
+    value = ((name_hash ^ (t_created_int & 0xFFFFFFFF)) * _FNV_PRIME) & _MASK64
+    value = ((value ^ (size & 0xFFFFFFFF)) * _FNV_PRIME) & _MASK64
+    value = ((value ^ (flow_id & 0xFFFFFFFF)) * _FNV_PRIME) & _MASK64
+    return ((value ^ (hops & 0xFFFFFFFF)) * _FNV_PRIME) & _MASK64
+
 
 def _driver_hiccup(port_name: str, packet: Packet, index: int, prob: float) -> bool:
     """Deterministic pseudo-random drop decision (reproducible runs).
@@ -53,13 +89,11 @@ def _driver_hiccup(port_name: str, packet: Packet, index: int, prob: float) -> b
     """
     if prob <= 0.0:
         return False
-    value = 1469598103934665603
-    for byte in port_name.encode():
-        value = ((value ^ byte) * 1099511628211) & 0xFFFFFFFFFFFFFFFF
-    fields = (int(packet.t_created), packet.size, packet.flow_id, packet.hops, index)
-    for field in fields:
-        value = ((value ^ (field & 0xFFFFFFFF)) * 1099511628211) & 0xFFFFFFFFFFFFFFFF
-    return (value >> 11) / float(1 << 53) < prob
+    base = _hiccup_base(
+        _name_hash(port_name), int(packet.t_created), packet.size, packet.flow_id, packet.hops
+    )
+    value = ((base ^ (index & 0xFFFFFFFF)) * _FNV_PRIME) & _MASK64
+    return (value >> 11) / _DENOM53 < prob
 
 
 class NicPort:
@@ -95,7 +129,7 @@ class NicPort:
         self.timestamp_tx = timestamp_tx
         self.timestamp_rx = timestamp_rx
         self.pcie_latency_ns = pcie_latency_ns
-        self.sink: Callable[[list[Packet]], None] | None = None
+        self.sink: Callable[[list[Packet | PacketBlock]], None] | None = None
         self.peer: "NicPort | None" = None
         #: Interrupt moderation (ixgbe ITR): when set, received frames are
         #: released to the host rx ring only on period boundaries, adding a
@@ -104,6 +138,7 @@ class NicPort:
         self.rx_moderation_ns: float | None = None
 
         self._tx_busy_until_ns = 0.0
+        self._name_hash = _name_hash(name)
         self.tx_packets = 0
         self.tx_bytes = 0
         self.tx_dropped = 0
@@ -116,8 +151,8 @@ class NicPort:
         self.peer = peer
         peer.peer = self
 
-    def send_batch(self, packets: Sequence[Packet]) -> int:
-        """Serialise ``packets`` onto the wire towards the peer.
+    def send_batch(self, items: Sequence[Packet | PacketBlock]) -> int:
+        """Serialise the batch's frames onto the wire towards the peer.
 
         Returns the number of frames actually transmitted; frames that
         would exceed the tx descriptor backlog are dropped (no
@@ -126,41 +161,88 @@ class NicPort:
         if self.peer is None:
             raise RuntimeError(f"port {self.name} is not connected")
         now = self.sim.now
-        arrivals: list[tuple[Packet, float]] = []
         busy = max(now, self._tx_busy_until_ns)
-        for index, packet in enumerate(packets):
-            if _driver_hiccup(self.name, packet, index, self.driver_drop_prob):
-                self.driver_drops += 1
+        rate = self.rate_bps
+        prob = self.driver_drop_prob
+        name_hash = self._name_hash
+        tx_slots = self.tx_slots
+        arrivals: list[tuple[Packet | PacketBlock, float]] = []
+        sent_frames = 0
+        sent_bytes = 0
+        index = 0  # frame position within the burst (hiccup hash input)
+        for item in items:
+            size = item.size
+            wire = wire_time_ns(size, rate)
+            max_backlog_ns = tx_slots * wire
+            if item.__class__ is PacketBlock:
+                count = item.count
+                base = (
+                    _hiccup_base(name_hash, int(item.t_created), size, item.flow_id, item.hops)
+                    if prob > 0.0
+                    else 0
+                )
+                accepted = 0
+                for i in range(index, index + count):
+                    if prob > 0.0:
+                        value = ((base ^ (i & 0xFFFFFFFF)) * _FNV_PRIME) & _MASK64
+                        if (value >> 11) / _DENOM53 < prob:
+                            self.driver_drops += 1
+                            continue
+                    # Descriptor-count backlog limit: a full tx ring of
+                    # frames of this size corresponds to this much
+                    # serialization backlog.
+                    if busy - now > max_backlog_ns:
+                        self.tx_dropped += 1
+                        continue
+                    busy = busy + wire
+                    accepted += 1
+                index += count
+                if accepted:
+                    if accepted != count:
+                        item.count = accepted
+                    arrivals.append((item, busy))
+                    sent_frames += accepted
+                    sent_bytes += size * accepted
+                else:
+                    release_block(item)
                 continue
-            # Descriptor-count backlog limit: a full tx ring of frames of
-            # this packet's size corresponds to this much serialization
-            # backlog (exact for the paper's fixed-size workloads).
-            max_backlog_ns = self.tx_slots * wire_time_ns(packet.size, self.rate_bps)
+            packet = item
+            if _driver_hiccup(self.name, packet, index, prob):
+                self.driver_drops += 1
+                index += 1
+                continue
             if busy - now > max_backlog_ns:
                 self.tx_dropped += 1
+                index += 1
                 continue
             start = busy
-            busy = start + wire_time_ns(packet.size, self.rate_bps)
+            busy = start + wire
             if self.timestamp_tx and packet.is_probe and packet.tx_timestamp is None:
                 # 82599 hardware timestamping: stamp at start of transmission.
                 packet.tx_timestamp = start
             arrivals.append((packet, busy))
+            sent_frames += 1
+            sent_bytes += size
+            index += 1
         self._tx_busy_until_ns = busy
         if arrivals:
-            self.tx_packets += len(arrivals)
-            self.tx_bytes += sum(packet.size for packet, _ in arrivals)
+            self.tx_packets += sent_frames
+            self.tx_bytes += sent_bytes
             peer = self.peer
             self.sim.at(arrivals[-1][1], lambda: peer._receive(arrivals))
-        return len(arrivals)
+        return sent_frames
 
-    def _receive(self, arrivals: list[tuple[Packet, float]]) -> None:
+    def _receive(self, arrivals: list[tuple[Packet | PacketBlock, float]]) -> None:
         """Wire delivery: stamp, then hand to sink or rx descriptor ring."""
-        packets: list[Packet] = []
-        for packet, arrival_ns in arrivals:
-            if self.timestamp_rx and packet.is_probe:
-                packet.rx_timestamp = arrival_ns
-            packets.append(packet)
-        self.rx_packets += len(packets)
+        packets: list[Packet | PacketBlock] = []
+        frames = 0
+        stamp_rx = self.timestamp_rx
+        for item, arrival_ns in arrivals:
+            if stamp_rx and item.is_probe:
+                item.rx_timestamp = arrival_ns
+            packets.append(item)
+            frames += item.count
+        self.rx_packets += frames
         if self.sink is not None:
             self.sink(packets)
             return

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable
 
+from repro.core.packet import batch_count
 from repro.obs.exporters import (
     prometheus_text,
     write_chrome_trace,
@@ -144,7 +145,7 @@ class SwitchProbe:
                 path_name, n_packets, rx_cycles, proc_cycles, tx_cycles, overhead_cycles
             )
         if self.batch_hist is not None and batch:
-            self.batch_hist.observe(float(len(batch)))
+            self.batch_hist.observe(float(batch_count(batch)))
         if self.service_hist is not None and n_packets:
             total = rx_cycles + proc_cycles + tx_cycles + overhead_cycles
             self.service_hist.observe(total / n_packets)
@@ -174,7 +175,7 @@ class SwitchProbe:
                 )
             tracer.span(
                 "pkt.service", ts_ns, max(service_ns, 0.0), tid=tid, cat="packet",
-                args={"flow": head.flow_id, "size": head.size, "batch": len(batch)},
+                args={"flow": head.flow_id, "size": head.size, "batch": batch_count(batch)},
             )
 
     def on_global_overhead(self, kind: str, cycles: float) -> None:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.packet import Packet
+from repro.core.packet import Packet, batch_stats
 from repro.core.ring import Ring
 from repro.core.rng import RngRegistry
 from repro.cpu.cores import Core
@@ -119,8 +119,10 @@ class ForwardingPath:
         self.bidir_vif = False  # set when the reverse path also exists
         # t4p4s strict batching state.
         self.wait_started_ns: float | None = None
-        # FastClick vif TX drain buffer state.
+        # FastClick vif TX drain buffer state (frame count tracked
+        # separately: a buffered block fills many descriptor slots).
         self.tx_buffer: list[Packet] = []
+        self.tx_buffer_frames = 0
         self.tx_buffer_since_ns = 0.0
         # Snabb pipeline staging link (used only when params.pipeline).
         self.link = Ring(link_slots, name=f"{inp.name}->{out.name}.link")
@@ -279,8 +281,7 @@ class SoftwareSwitch:
         batch = self._take_batch(path, now)
         if not batch:
             return self._flush_drain(path, core, carried_cycles, now)
-        n = len(batch)
-        total_bytes = sum(p.size for p in batch)
+        n, total_bytes = batch_stats(batch)
         rx_c, proc_c, tx_c = self._batch_cycle_parts(path, batch, n, total_bytes)
         raw = rx_c + proc_c + tx_c
         cycles = raw * path.jitter.multiplier(now) * self._overload_factor()
@@ -303,7 +304,7 @@ class SoftwareSwitch:
 
     def _take_batch(self, path: ForwardingPath, now: float) -> list[Packet]:
         ring = path.input.input_ring
-        occupancy = ring.peek_len()
+        occupancy = ring._frames
         if occupancy == 0:
             path.wait_started_ns = None
             return []
@@ -378,7 +379,9 @@ class SoftwareSwitch:
         if not path.tx_buffer:
             path.tx_buffer_since_ns = now
         path.tx_buffer.extend(batch)
-        if len(path.tx_buffer) >= self.params.tx_drain_burst:
+        for item in batch:
+            path.tx_buffer_frames += item.count
+        if path.tx_buffer_frames >= self.params.tx_drain_burst:
             self._deliver_buffered(path, core, cycles_so_far)
 
     def _flush_drain(self, path: ForwardingPath, core: Core, carried: float, now: float) -> float:
@@ -394,6 +397,7 @@ class SoftwareSwitch:
     def _deliver_buffered(self, path: ForwardingPath, core: Core, cycles_so_far: float) -> None:
         buffered = path.tx_buffer
         path.tx_buffer = []
+        path.tx_buffer_frames = 0
         path.output.deliver(self.sim, buffered, core.cycles_to_ns(cycles_so_far))
 
     # -- Snabb pipeline servicing ---------------------------------------------
@@ -404,8 +408,7 @@ class SoftwareSwitch:
         batch = path.input.input_ring.pop_batch(self.params.batch_size)
         if not batch:
             return 0.0
-        n = len(batch)
-        total_bytes = sum(p.size for p in batch)
+        n, total_bytes = batch_stats(batch)
         rx_c = path.input.rx_cost(self.params).cycles(n, total_bytes)
         proc_c = self._proc_cycles(batch, path, n, total_bytes)
         raw = rx_c + proc_c
@@ -428,8 +431,7 @@ class SoftwareSwitch:
         batch = path.link.pop_batch(self.params.batch_size)
         if not batch:
             return self._flush_drain(path, core, carried, now)
-        n = len(batch)
-        total_bytes = sum(p.size for p in batch)
+        n, total_bytes = batch_stats(batch)
         tx_c = path.output.tx_cost(self.params).cycles(n, total_bytes)
         cycles = tx_c * path.jitter.multiplier(now) * self._overload_factor()
         delay_ns = core.cycles_to_ns(carried + cycles)

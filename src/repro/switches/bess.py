@@ -18,7 +18,7 @@ Modelled specifics:
 
 from __future__ import annotations
 
-from repro.core.packet import Packet
+from repro.core.packet import Packet, batch_count
 from repro.switches.base import ForwardingPath, SoftwareSwitch
 from repro.switches.params import BESS_PARAMS
 
@@ -44,5 +44,6 @@ class Bess(SoftwareSwitch):
         return path
 
     def _on_forward(self, batch: list[Packet], path: ForwardingPath) -> None:
+        frames = batch_count(batch)
         for module in self.pipelines[id(path)]:
-            self.module_counters[module] += len(batch)
+            self.module_counters[module] += frames

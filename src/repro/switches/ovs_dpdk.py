@@ -50,11 +50,14 @@ class OvsDpdk(SoftwareSwitch):
 
     def _proc_cycles(self, batch: list[Packet], path: ForwardingPath, n: int, total_bytes: int) -> float:
         cycles = self.params.proc.cycles(n, total_bytes)  # EMC-hit baseline
-        for packet in batch:
-            flow = packet.flow_id
+        for item in batch:
+            flow = item.flow_id
+            count = item.count
             if flow in self._emc:
-                self.emc_hits += 1
+                self.emc_hits += count
                 continue
+            # A block's frames share one flow: the first frame misses and
+            # installs the EMC entry, the remaining count-1 frames hit it.
             self.emc_misses += 1
             cycles += OVS_EMC_MISS_EXTRA.per_packet
             if flow not in self._megaflows:
@@ -64,13 +67,15 @@ class OvsDpdk(SoftwareSwitch):
                 self.upcalls += 1
                 cycles += OVS_UPCALL_EXTRA.per_packet
                 if len(self.flow_table):
-                    rule = self.flow_table.lookup(packet, in_port=0)
+                    rule = self.flow_table.lookup(item, in_port=0)
                     if rule is not None:
                         self.megaflow_entries.append(
-                            self.flow_table.derive_megaflow(packet, 0, rule)
+                            self.flow_table.derive_megaflow(item, 0, rule)
                         )
                 self._megaflows.add(flow)
             self._insert_emc(flow)
+            if count > 1:
+                self.emc_hits += count - 1
         return cycles
 
     def _insert_emc(self, flow: int) -> None:

@@ -108,5 +108,15 @@ class T4P4S(SoftwareSwitch):
         return cycles
 
     def _on_forward(self, batch: list[Packet], path: ForwardingPath) -> None:
-        for packet in batch:
-            self.table.lookup(packet.dst_mac)
+        table = self.table
+        for item in batch:
+            # One lookup decides for the whole block (identical dst MACs
+            # against a table that this loop does not mutate); the other
+            # count-1 frames repeat the same hit or miss.
+            entry = table.lookup(item.dst_mac)
+            extra = item.count - 1
+            if extra:
+                if entry is None:
+                    table.misses += extra
+                else:
+                    table.hits += extra

@@ -43,18 +43,21 @@ class Vale(SoftwareSwitch):
 
     def _on_forward(self, batch: list[Packet], path: ForwardingPath) -> None:
         table = self._mac_table
-        for packet in batch:
-            src = packet.src_mac
+        for item in batch:
+            # A block's frames are identical: the first frame does any
+            # learning, after which the table is stable for the rest, so
+            # one pass per item covers every frame it carries.
+            src = item.src_mac
             if src not in table:
                 if len(table) >= VALE_MAC_TABLE_ENTRIES:
                     table.pop(next(iter(table)))
                 self.learned += 1
             table[src] = path.input
-            if packet.dst_mac not in table:
+            if item.dst_mac not in table:
                 # Unknown destination: a real VALE floods; the measured
                 # scenarios use static single-destination traffic, so we
                 # only account for it.
-                self.flooded += 1
+                self.flooded += item.count
 
     def lookup(self, dst_mac: int) -> Attachment | None:
         """Forwarding-table lookup (exposed for tests and examples)."""

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.packet import Packet
+from repro.core.packet import Packet, batch_count
 from repro.switches.base import ForwardingPath, SoftwareSwitch
 from repro.switches.params import VPP_PARAMS
 
@@ -51,7 +51,8 @@ class Vpp(SoftwareSwitch):
         return rx_node, "l2-patch", tx_node
 
     def _on_forward(self, batch: list[Packet], path: ForwardingPath) -> None:
+        vector = batch_count(batch)
         for node in self._graph_nodes(path):
             runtime = self.node_runtime.setdefault(node, NodeRuntime())
             runtime.calls += 1
-            runtime.vectors += len(batch)
+            runtime.vectors += vector

@@ -30,4 +30,6 @@ class FloWatcher(GuestMonitor):
 
     def _on_batch(self, batch: list[Packet]) -> None:
         if self.per_flow:
-            self.flow_counts.update(packet.flow_id for packet in batch)
+            counts = self.flow_counts
+            for item in batch:
+                counts[item.flow_id] += item.count

@@ -15,7 +15,8 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.core.packet import Packet
+from repro.core.packet import Packet, PacketBlock, acquire_block, blocks_enabled
+from repro.core.packet import DEFAULT_DST_MAC, DEFAULT_SRC_MAC
 
 if TYPE_CHECKING:
     from repro.core.engine import Simulator
@@ -86,10 +87,52 @@ class PacedSource:
         now = self.sim.now
         if self._stop_at is not None and now >= self._stop_at:
             return
-        batch = self._make_burst(now)
+        burst = self.burst
+        if self._uniform and blocks_enabled():
+            batch = self._make_block_burst(now, burst)
+        else:
+            batch = self._make_burst(now)
         self._emit(batch)
-        self.packets_sent += len(batch)
-        self.sim.after(self.burst * 1e9 / self.rate_pps, self._tick)
+        self.packets_sent += burst
+        self.sim.after(burst * 1e9 / self.rate_pps, self._tick)
+
+    @property
+    def _uniform(self) -> bool:
+        """Uniform streams (one flow, fixed size) can be emitted as blocks."""
+        return (
+            self.size_profile is None
+            and self.flow_profile is None
+            and self.flow_count == 1
+        )
+
+    def _make_block_burst(self, now: float, burst: int) -> list[Packet | PacketBlock]:
+        """Flyweight burst: one block, plus an exact probe Packet when due.
+
+        The probe is drawn *first* so it takes the burst's lowest seq --
+        exactly the frame (``batch[0]``) the per-packet path flags.
+        """
+        batch: list[Packet | PacketBlock] = []
+        if self.probe_interval_ns is not None and now >= self._next_probe_at:
+            probe = Packet(size=self.frame_size, flow_id=self.flow_id, t_created=now)
+            probe.is_probe = True
+            self.probes_sent += 1
+            if self.stamp_probe_tx is not None:
+                self.stamp_probe_tx(probe, now)
+            self._next_probe_at = now + self.probe_interval_ns
+            batch.append(probe)
+            burst -= 1
+        if burst > 0:
+            batch.append(
+                acquire_block(
+                    self.frame_size,
+                    self.flow_id,
+                    DEFAULT_SRC_MAC,
+                    DEFAULT_DST_MAC,
+                    now,
+                    burst,
+                )
+            )
+        return batch
 
     def _make_burst(self, now: float) -> list[Packet]:
         sizes = None

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro.core.packet import Packet
+from repro.core.packet import Packet, PacketBlock, batch_stats, release_block
 from repro.core.ring import Ring
 from repro.core.stats import RateMeter
 from repro.cpu.cores import Core
@@ -71,31 +71,45 @@ class GuestMonitor:
         self._in_ring = from_ring if from_ring is not None else vif.to_guest
         self.meter = RateMeter(frame_size_hint=frame_size)
         self.stamp_probe_rx = stamp_probe_rx
+        #: Pure-reactive declaration for Core parking: the monitor only
+        #: drains this ring and holds no time-based state, so its vCPU may
+        #: skip idle poll iterations while the ring is empty.
+        self.park_rings = (self._in_ring,)
 
     def poll(self, core: Core) -> float:
-        batch = self._in_ring.pop_batch(self.MAX_BATCH)
+        ring = self._in_ring
+        if not ring._frames:  # idle fast path: no pop, no list allocation
+            return 0.0
+        batch = ring.pop_batch(self.MAX_BATCH)
         if not batch:
             return 0.0
         now = self.sim.now
         cycles = 0.0
         if self.vif is not None:
-            cycles = self.vif.costs.guest_rx.cycles(len(batch), sum(p.size for p in batch))
+            frames, total_bytes = batch_stats(batch)
+            cycles = self.vif.costs.guest_rx.cycles(frames, total_bytes)
         self._on_batch(batch)
+        meter = self.meter
         in_window = (
-            self.meter.window_start_ns is not None
-            and now >= self.meter.window_start_ns
-            and (self.meter.window_end_ns is None or now <= self.meter.window_end_ns)
+            meter.window_start_ns is not None
+            and now >= meter.window_start_ns
+            and (meter.window_end_ns is None or now <= meter.window_end_ns)
         )
-        for packet in batch:
-            self.meter.record(now, packet.size)
-            if packet.is_probe:
+        for item in batch:
+            if item.__class__ is PacketBlock:
+                # Monitor is a terminal consumer: count and recycle.
+                meter.record_block(now, item.size, item.count)
+                release_block(item)
+                continue
+            meter.record(now, item.size)
+            if item.is_probe:
                 if self.stamp_probe_rx is not None:
-                    self.stamp_probe_rx(packet, now)
+                    self.stamp_probe_rx(item, now)
                 else:
-                    packet.rx_timestamp = now
-                if in_window and packet.latency_ns is not None:
-                    self.meter.latency.add(packet.latency_ns)
+                    item.rx_timestamp = now
+                if in_window and item.latency_ns is not None:
+                    meter.latency.add(item.latency_ns)
         return cycles
 
-    def _on_batch(self, batch: list[Packet]) -> None:
+    def _on_batch(self, batch: list[Packet | PacketBlock]) -> None:
         """Hook for subclasses to inspect each drained batch."""

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.packet import Packet
+from repro.core.packet import Packet, PacketBlock, release_block
 from repro.core.stats import RateMeter
 from repro.core.units import LINE_RATE_BPS, gbps_to_pps, line_rate_pps, pps_to_gbps
 from repro.nic.port import NicPort
@@ -64,17 +64,24 @@ class MoonGenRx:
         port.timestamp_rx = True
         port.sink = self._on_packets
 
-    def _on_packets(self, packets: list[Packet]) -> None:
+    def _on_packets(self, packets: list[Packet | PacketBlock]) -> None:
         now = self.sim.now
+        meter = self.meter
         in_window = (
-            self.meter.window_start_ns is not None
-            and now >= self.meter.window_start_ns
-            and (self.meter.window_end_ns is None or now <= self.meter.window_end_ns)
+            meter.window_start_ns is not None
+            and now >= meter.window_start_ns
+            and (meter.window_end_ns is None or now <= meter.window_end_ns)
         )
-        for packet in packets:
-            self.meter.record(now, packet.size)
-            if in_window and packet.is_probe and packet.latency_ns is not None:
-                self.meter.latency.add(packet.latency_ns)
+        for item in packets:
+            if item.__class__ is PacketBlock:
+                # Hardware counter read: one add per block of frames, then
+                # the block's journey ends here (recycle it).
+                meter.record_block(now, item.size, item.count)
+                release_block(item)
+                continue
+            meter.record(now, item.size)
+            if in_window and item.is_probe and item.latency_ns is not None:
+                meter.latency.add(item.latency_ns)
 
 
 def saturating_rate(frame_size: int, rate_bps: int = LINE_RATE_BPS) -> float:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.packet import Packet
+from repro.core.packet import Packet, batch_stats
 from repro.core.ring import Ring
 from repro.cpu.cores import Core
 from repro.cpu.costmodel import Cost
@@ -69,35 +69,43 @@ class GuestL2Fwd:
         self.proc = proc
         self.dst_mac = dst_mac
         self._tx_buffer: list[Packet] = []
+        self._tx_frames = 0
         self._last_flush_ns = 0.0
         self.forwarded = 0
 
     def poll(self, core: Core) -> float:
+        rx_ring = self.rx_vif.to_guest
+        if not rx_ring._frames and not self._tx_buffer:
+            return 0.0  # idle: nothing to receive, nothing pending drain
         cycles = 0.0
-        batch = self.rx_vif.to_guest.pop_batch(self.burst)
+        batch = rx_ring.pop_batch(self.burst)
         if batch:
-            total_bytes = sum(p.size for p in batch)
-            cycles += self.rx_vif.costs.guest_rx.cycles(len(batch), total_bytes)
-            cycles += self.proc.cycles(len(batch), total_bytes)
-            for packet in batch:
-                packet.dst_mac = self.dst_mac
-                packet.hops += 1
+            n, total_bytes = batch_stats(batch)
+            cycles += self.rx_vif.costs.guest_rx.cycles(n, total_bytes)
+            cycles += self.proc.cycles(n, total_bytes)
+            for item in batch:
+                # Template rewrite covers every frame the item carries.
+                item.dst_mac = self.dst_mac
+                item.hops += 1
             self._tx_buffer.extend(batch)
+            self._tx_frames += n
         now = self.sim.now
         should_flush = self._tx_buffer and (
-            len(self._tx_buffer) >= self.burst
+            self._tx_frames >= self.burst
             or now - self._last_flush_ns >= self.drain_ns
         )
         if should_flush:
             out = self._tx_buffer
+            out_frames = self._tx_frames
             self._tx_buffer = []
+            self._tx_frames = 0
             self._last_flush_ns = now
-            total_bytes = sum(p.size for p in out)
-            cycles += self.tx_vif.costs.guest_tx.cycles(len(out), total_bytes)
+            _, total_bytes = batch_stats(out)
+            cycles += self.tx_vif.costs.guest_tx.cycles(out_frames, total_bytes)
             ring = self.tx_vif.to_host
             delay = core.cycles_to_ns(cycles) + self.tx_vif.notify_ns
             self.sim.after(delay, lambda: ring.push_batch(out))
-            self.forwarded += len(out)
+            self.forwarded += out_frames
         return cycles
 
 
@@ -130,16 +138,16 @@ class GuestValeXConnect:
             batch = rx.to_guest.pop_batch(self.MAX_BATCH)
             if not batch:
                 continue
-            total_bytes = sum(p.size for p in batch)
-            step = rx.costs.guest_rx.cycles(len(batch), total_bytes)
-            step += self.proc.cycles(len(batch), total_bytes)
-            step += tx.costs.guest_tx.cycles(len(batch), total_bytes)
-            for packet in batch:
-                packet.hops += 1
+            n, total_bytes = batch_stats(batch)
+            step = rx.costs.guest_rx.cycles(n, total_bytes)
+            step += self.proc.cycles(n, total_bytes)
+            step += tx.costs.guest_tx.cycles(n, total_bytes)
+            for item in batch:
+                item.hops += 1
             ring = tx.to_host
             delay = core.cycles_to_ns(cycles + step)
             self.sim.after(delay, lambda ring=ring, batch=batch: ring.push_batch(batch))
-            self.forwarded += len(batch)
+            self.forwarded += n
             cycles += step
         return cycles
 
@@ -175,22 +183,22 @@ class GuestValeBridge:
         # pkt-gen TX -> ptnet port (towards the host SUT).
         outbound = self.gen_to_bridge.pop_batch(self.MAX_BATCH)
         if outbound:
-            total_bytes = sum(p.size for p in outbound)
-            step = self.proc.cycles(len(outbound), total_bytes)
-            step += self.vif.costs.guest_tx.cycles(len(outbound), total_bytes)
+            n, total_bytes = batch_stats(outbound)
+            step = self.proc.cycles(n, total_bytes)
+            step += self.vif.costs.guest_tx.cycles(n, total_bytes)
             ring = self.vif.to_host
             self.sim.after(core.cycles_to_ns(step), lambda: ring.push_batch(outbound))
-            self.forwarded += len(outbound)
+            self.forwarded += n
             cycles += step
         # ptnet port -> pkt-gen RX (from the host SUT).
         inbound = self.vif.to_guest.pop_batch(self.MAX_BATCH)
         if inbound:
-            total_bytes = sum(p.size for p in inbound)
-            step = self.vif.costs.guest_rx.cycles(len(inbound), total_bytes)
-            step += self.proc.cycles(len(inbound), total_bytes)
+            n, total_bytes = batch_stats(inbound)
+            step = self.vif.costs.guest_rx.cycles(n, total_bytes)
+            step += self.proc.cycles(n, total_bytes)
             ring = self.bridge_to_monitor
             delay = core.cycles_to_ns(cycles + step)
             self.sim.after(delay, lambda: ring.push_batch(inbound))
-            self.forwarded += len(inbound)
+            self.forwarded += n
             cycles += step
         return cycles

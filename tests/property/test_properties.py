@@ -221,3 +221,77 @@ class TestThroughputMonotonicity:
         )
         scaled = estimate("vpp", "p2p", 64, params=slowed).core_capacity_pps
         assert math.isclose(scaled, base / factor, rel_tol=1e-9)
+
+
+class TestBlockProperties:
+    """Flyweight blocks: split/merge preserve the frame set and seq range."""
+
+    @given(st.integers(min_value=2, max_value=512), st.data())
+    def test_split_then_merge_round_trips(self, count, data):
+        from repro.core.packet import PacketBlock
+
+        block = PacketBlock(count=count, t_created=7.0)
+        seq0 = block.seq0
+        k = data.draw(st.integers(min_value=1, max_value=count - 1))
+        front = block.split(k)
+        assert (front.count, front.seq0) == (k, seq0)
+        assert (block.count, block.seq0) == (count - k, seq0 + k)
+        assert front.merge(block)
+        assert (front.count, front.seq0) == (count, seq0)
+
+    @given(st.integers(min_value=2, max_value=64), st.data())
+    def test_split_partitions_the_materialized_frames(self, count, data):
+        from repro.core.packet import PacketBlock
+
+        block = PacketBlock(size=128, flow_id=2, count=count, hops=1)
+        seq0 = block.seq0
+        k = data.draw(st.integers(min_value=1, max_value=count - 1))
+        front = block.split(k)
+        seqs = [p.seq for p in front.materialize()] + [p.seq for p in block.materialize()]
+        assert seqs == list(range(seq0, seq0 + count))
+
+
+class TestRingFrameConservation:
+    """Every frame pushed is either enqueued or counted as dropped."""
+
+    @given(
+        st.integers(min_value=1, max_value=128),
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=48), st.integers(min_value=0, max_value=64)),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_push_pop_conserves_frames(self, capacity, steps):
+        from repro.core.packet import Packet, make_block
+
+        ring = Ring(capacity)
+        offered = 0
+        popped = 0
+        for push_count, pop_count in steps:
+            item = Packet() if push_count == 1 else make_block(push_count, 64, 0.0)
+            ring.push(item)
+            offered += push_count
+            batch = ring.pop_batch(pop_count)
+            got = sum(i.count for i in batch)
+            assert got <= pop_count
+            popped += got
+        assert offered == ring.enqueued + ring.dropped
+        assert ring.enqueued == popped + len(ring)
+        assert 0 <= len(ring) <= capacity
+
+    @given(
+        st.integers(min_value=4, max_value=64),
+        st.lists(st.integers(min_value=1, max_value=16), min_size=1, max_size=12),
+    )
+    def test_pop_returns_seqs_in_push_order(self, capacity, pushes):
+        from repro.core.packet import make_block
+
+        ring = Ring(capacity)
+        for count in pushes:
+            ring.push(make_block(count, 64, 0.0))
+        drained = []
+        while len(ring):
+            for item in ring.pop_batch(5):
+                drained.extend(range(item.seq0, item.seq0 + item.count))
+        assert drained == sorted(drained)

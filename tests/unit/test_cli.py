@@ -136,3 +136,26 @@ def test_unknown_switch_rejected():
 def test_unknown_scenario_rejected():
     with pytest.raises(SystemExit):
         main(["warp-drive"])
+
+
+def test_perf_command_writes_report(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    out_path = tmp_path / "bench.json"
+    assert main([
+        "perf", "--cases", "engine.dispatch", "--repeat", "1",
+        "--json", "--perf-out", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "engine.dispatch" in out
+    assert "Mev/s" in out
+    import json
+
+    report = json.loads(out_path.read_text())
+    assert report["cases"]["engine.dispatch"]["events_per_sec"] > 0
+    # The committed baseline resolves independently of the cwd.
+    assert "speedup" in report
+
+
+def test_perf_rejects_unknown_case(capsys):
+    assert main(["perf", "--cases", "nope"]) == 1
+    assert "unknown perf cases" in capsys.readouterr().out

@@ -50,3 +50,96 @@ def test_packet_not_probe_by_default():
 
 def test_hops_counter_starts_at_zero():
     assert Packet().hops == 0
+
+
+# -- flyweight blocks and the free list -------------------------------------
+
+
+def test_block_reserves_a_contiguous_seq_range():
+    from repro.core.packet import PacketBlock
+
+    block = PacketBlock(count=4)
+    follower = Packet()
+    assert follower.seq == block.seq0 + 4
+
+
+def test_block_materialize_yields_per_packet_equivalents():
+    from repro.core.packet import PacketBlock
+
+    block = PacketBlock(size=128, flow_id=3, t_created=42.0, count=5, hops=2)
+    packets = block.materialize()
+    assert [p.seq for p in packets] == list(range(block.seq0, block.seq0 + 5))
+    assert all(
+        (p.size, p.flow_id, p.t_created, p.hops) == (128, 3, 42.0, 2)
+        for p in packets
+    )
+
+
+def test_block_split_keeps_fifo_seq_order():
+    from repro.core.packet import PacketBlock
+
+    block = PacketBlock(count=8)
+    seq0 = block.seq0
+    front = block.split(3)
+    assert (front.count, front.seq0) == (3, seq0)
+    assert (block.count, block.seq0) == (5, seq0 + 3)
+
+
+def test_block_merge_requires_contiguity_and_matching_template():
+    from repro.core.packet import PacketBlock
+
+    a = PacketBlock(count=4)
+    b = PacketBlock(count=2)
+    assert a.merge(b)  # b immediately follows a's seq range
+    assert a.count == 6
+    c = PacketBlock(count=2, flow_id=9)
+    assert not a.merge(c)  # template mismatch
+    Packet()  # burn one seq: the next block is no longer contiguous
+    d = PacketBlock(count=1)
+    assert not a.merge(d)
+
+
+def test_release_block_recycles_the_object():
+    from repro.core.packet import acquire_block, release_block
+
+    block = acquire_block(64, 0, 1, 2, 0.0, 8)
+    release_block(block)
+    again = acquire_block(256, 7, 3, 4, 9.0, 2)
+    assert again is block
+    assert (again.size, again.flow_id, again.count, again.t_created) == (256, 7, 2, 9.0)
+
+
+def test_release_batch_recycles_blocks_but_not_packets():
+    from repro.core.packet import make_block, pool_size, release_batch
+
+    block = make_block(4, 64, 0.0)
+    before = pool_size()
+    release_batch([Packet(), block, Packet()])
+    assert pool_size() == before + 1
+
+
+def test_pooled_acquire_still_validates():
+    from repro.core.packet import acquire_block, release_block
+
+    release_block(acquire_block(64, 0, 1, 2, 0.0, 1))
+    with pytest.raises(ValueError):
+        acquire_block(60, 0, 1, 2, 0.0, 1)
+    with pytest.raises(ValueError):
+        acquire_block(64, 0, 1, 2, 0.0, 0)
+
+
+def test_per_packet_emission_context_restores_mode():
+    from repro.core.packet import blocks_enabled, per_packet_emission
+
+    assert blocks_enabled()
+    with per_packet_emission():
+        assert not blocks_enabled()
+    assert blocks_enabled()
+
+
+def test_batch_stats_mixes_packets_and_blocks():
+    from repro.core.packet import batch_count, batch_stats, make_block
+
+    batch = [Packet(size=64), make_block(10, 128, 0.0), Packet(size=256)]
+    assert batch_count(batch) == 12
+    assert batch_stats(batch) == (12, 64 + 10 * 128 + 256)

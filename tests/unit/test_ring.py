@@ -96,3 +96,52 @@ def test_capacity_enforced_after_drain():
     ring.pop_batch(2)
     assert ring.push(Packet())
     assert ring.dropped == 0
+
+
+# -- flyweight blocks: frame-granular capacity, truncation, splitting -------
+
+
+def test_block_occupancy_counts_frames_not_objects():
+    from repro.core.packet import make_block
+
+    ring = Ring(64)
+    ring.push(make_block(32, 64, 0.0))
+    assert len(ring) == 32
+    assert ring.free == 32
+
+
+def test_overflowing_block_is_truncated_at_the_free_boundary():
+    from repro.core.packet import make_block
+
+    ring = Ring(10)
+    block = make_block(16, 64, 0.0)
+    assert ring.push(block)
+    assert len(ring) == 10
+    assert ring.dropped == 6
+    assert ring.enqueued == 10
+    assert block.count == 10
+
+
+def test_block_into_full_ring_drops_every_frame():
+    from repro.core.packet import make_block
+
+    ring = Ring(4)
+    ring.push(make_block(4, 64, 0.0))
+    assert not ring.push(make_block(8, 64, 0.0))
+    assert ring.dropped == 8
+
+
+def test_pop_batch_splits_a_straddling_block():
+    from repro.core.packet import make_block
+
+    ring = Ring(64)
+    block = make_block(8, 64, 0.0)
+    seq0 = block.seq0
+    ring.push(block)
+    front = ring.pop_batch(3)
+    assert len(front) == 1
+    assert (front[0].count, front[0].seq0) == (3, seq0)
+    assert len(ring) == 5
+    rest = ring.pop_batch(100)
+    assert (rest[0].count, rest[0].seq0) == (5, seq0 + 3)
+    assert len(ring) == 0

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.packet import Packet
+from repro.core.packet import Packet, batch_count
 from repro.core.ring import Ring
 from repro.cpu.cores import Core
 from repro.nic.port import NicPort
@@ -37,7 +37,8 @@ class TestPacedSource:
         src = RecordingSource(sim, rate_pps=1e6, frame_size=64)
         src.start(0.0)
         sim.run_until(1_000_000)  # 1 ms at 1 Mpps ~ 1000 packets
-        assert len(src.emitted) == pytest.approx(1000, rel=0.05)
+        assert batch_count(src.emitted) == pytest.approx(1000, rel=0.05)
+        assert src.packets_sent == batch_count(src.emitted)
 
     def test_burst_shrinks_at_low_rate(self, sim):
         src = RecordingSource(sim, rate_pps=100_000, frame_size=64, burst=32)
