@@ -13,7 +13,7 @@ campaigns (:mod:`repro.campaign.store`).
 """
 
 from repro.campaign.cache import ResultCache, params_fingerprint, run_key
-from repro.campaign.executor import CampaignResult, run_campaign
+from repro.campaign.executor import CampaignInterrupted, CampaignResult, run_campaign
 from repro.campaign.progress import ProgressReporter
 from repro.campaign.spec import (
     CampaignSpec,
@@ -28,6 +28,7 @@ from repro.campaign.spec import (
 from repro.campaign.store import CampaignStore, export_csv
 
 __all__ = [
+    "CampaignInterrupted",
     "CampaignResult",
     "CampaignSpec",
     "CampaignStore",

@@ -17,6 +17,14 @@ Fault handling:
   number of times;
 * a run exceeding the per-run timeout is interrupted inside the worker
   (SIGALRM, where the platform has it) and recorded as a failure.
+
+Interruption handling: SIGINT/SIGTERM during the execution phase raises
+:class:`CampaignInterrupted`.  Outstanding workers are cancelled, every
+already-finished row has been flushed to the store (rows are appended as
+they complete, not at the end), and :func:`run_campaign` returns a partial
+:class:`CampaignResult` with ``interrupted=True`` -- so a re-run with
+``resume=True`` against the same store picks up exactly where the
+campaign stopped.
 """
 
 from __future__ import annotations
@@ -48,6 +56,47 @@ DEFAULT_BACKOFF_S = 0.25
 
 class RunTimeoutError(RuntimeError):
     """A run exceeded its per-run wall-clock budget."""
+
+
+class CampaignInterrupted(BaseException):
+    """SIGINT/SIGTERM arrived mid-campaign.
+
+    Derives :class:`BaseException` (like ``KeyboardInterrupt``) so it
+    sails past the per-run ``except Exception`` fault barriers instead of
+    being recorded as just another failed run.
+    """
+
+    def __init__(self, signum: int) -> None:
+        name = signal.Signals(signum).name if signum in iter(signal.Signals) else str(signum)
+        super().__init__(f"campaign interrupted by {name}")
+        self.signum = signum
+
+
+@contextlib.contextmanager
+def _interruptible(signums: tuple[int, ...] = (signal.SIGINT, signal.SIGTERM)):
+    """Convert the given signals into :class:`CampaignInterrupted`.
+
+    Installing handlers only works on the main thread; anywhere else
+    (e.g. a campaign driven from a worker thread) the block runs with the
+    process defaults -- graceful degradation, same as :func:`_deadline`.
+    """
+
+    def _on_signal(signum, frame):
+        raise CampaignInterrupted(signum)
+
+    previous: dict[int, object] = {}
+    try:
+        for signum in signums:
+            previous[signum] = signal.signal(signum, _on_signal)
+    except ValueError:  # not the main thread
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        previous = {}
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
 
 
 @contextlib.contextmanager
@@ -95,6 +144,9 @@ class CampaignResult:
     cache_hits: int = 0
     resumed: int = 0
     wall_clock_s: float = 0.0
+    #: True when SIGINT/SIGTERM cut the campaign short; ``outcomes`` then
+    #: holds the completed prefix and the store (if any) is resumable.
+    interrupted: bool = False
 
     @property
     def records(self) -> list[RunRecord]:
@@ -171,18 +223,24 @@ def _pool_round(
     interrupted: list[tuple[int, RunSpec, int]] = []
     started = time.monotonic()
     not_done = set(futures)
-    while not_done:
-        done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-        for future in done:
-            index, spec, attempt = futures[future]
-            try:
-                outcome: RunRecord | RunFailure = RunRecord.from_dict(future.result())
-            except BrokenProcessPool:
-                interrupted.append((index, spec, attempt))
-                continue
-            except Exception as exc:
-                outcome = _failure_from_exception(spec, exc, attempt, started)
-            on_done(index, outcome)
+    try:
+        while not_done:
+            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            for future in done:
+                index, spec, attempt = futures[future]
+                try:
+                    outcome: RunRecord | RunFailure = RunRecord.from_dict(future.result())
+                except BrokenProcessPool:
+                    interrupted.append((index, spec, attempt))
+                    continue
+                except Exception as exc:
+                    outcome = _failure_from_exception(spec, exc, attempt, started)
+                on_done(index, outcome)
+    except BaseException:
+        # SIGINT/SIGTERM (or anything equally fatal): cancel whatever has
+        # not started, abandon the in-flight workers, let the caller land.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
     pool.shutdown(wait=False, cancel_futures=True)
     return interrupted
 
@@ -302,10 +360,16 @@ def run_campaign(
         progress.update(outcome, source="executed")
 
     if pending:
-        if n_workers > 1 and _fork_available():
-            _run_parallel(pending, n_workers, timeout_s, retries, backoff_s, on_done)
-        else:
-            _run_serial(pending, timeout_s, on_done)
+        try:
+            with _interruptible():
+                if n_workers > 1 and _fork_available():
+                    _run_parallel(pending, n_workers, timeout_s, retries, backoff_s, on_done)
+                else:
+                    _run_serial(pending, timeout_s, on_done)
+        except CampaignInterrupted:
+            # Partial rows are already flushed (the store appends per
+            # outcome); report what completed and flag the truncation.
+            result.interrupted = True
 
     result.outcomes = [
         (keys[index], outcome)

@@ -101,10 +101,22 @@ class ProgressReporter:
         return self.clock() - self._started
 
     def eta_s(self) -> float | None:
-        """Wall-clock estimate for the remainder, from the mean pace so far."""
-        if self.done == 0 or self.done >= self.total or self._started is None:
+        """Wall-clock estimate for the remainder, from the mean pace so far.
+
+        Pace is derived from *executed* runs only: cache hits and store
+        resumes complete in microseconds, and folding them into the mean
+        would forecast a near-zero ETA for a campaign that still has real
+        runs ahead of it.  Returns ``None`` when there is no basis for an
+        estimate -- empty or fully-done grids (including the degenerate
+        zero- and single-run grids) and campaigns that have only served
+        hits so far.
+        """
+        if self._started is None or self.executed == 0:
             return None
-        return self.elapsed_s / self.done * (self.total - self.done)
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return None
+        return self.elapsed_s / self.executed * remaining
 
     def _eta_suffix(self) -> str:
         eta = self.eta_s()

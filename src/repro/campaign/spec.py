@@ -15,12 +15,23 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Iterator, Sequence
 
+from repro.faults.plan import FaultEvent, FaultPlan
 from repro.measure.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS
 
 #: Scenarios a RunSpec may name (the paper's Fig. 2 plus the Table 4
 #: latency variant of v2v).
 SCENARIOS = ("p2p", "p2v", "v2v", "loopback")
-KINDS = ("throughput", "latency")
+KINDS = ("throughput", "latency", "resilience")
+
+
+def _canonical_fault_key(item) -> tuple:
+    """Normalise one fault description (event, dict or key tuple) to a
+    validated canonical key (see :meth:`FaultEvent.to_key`)."""
+    if isinstance(item, FaultEvent):
+        return item.to_key()
+    if isinstance(item, dict):
+        return FaultEvent.from_dict(item).to_key()
+    return FaultEvent.from_key(item).to_key()
 
 
 @dataclass(frozen=True)
@@ -43,6 +54,11 @@ class RunSpec:
     #: empty means "run unobserved" and is omitted from :meth:`to_dict`
     #: so pre-observability cache keys and stored records stay valid.
     obs: tuple[tuple[str, Any], ...] = ()
+    #: fault schedule (:meth:`repro.faults.FaultPlan.to_keys` canonical
+    #: tuples); empty means "no faults" and is omitted from
+    #: :meth:`to_dict` so pre-fault cache keys and stored records stay
+    #: valid.  Non-empty requires ``kind='resilience'``.
+    faults: tuple[tuple, ...] = ()
 
     def __post_init__(self) -> None:
         if self.scenario not in SCENARIOS:
@@ -53,6 +69,22 @@ class RunSpec:
             raise ValueError("kind='latency' is the Table 4 RTT drive; only scenario 'v2v' supports it")
         object.__setattr__(self, "extra", tuple(sorted(self.extra)))
         object.__setattr__(self, "obs", tuple(sorted(self.obs)))
+        object.__setattr__(
+            self,
+            "faults",
+            tuple(sorted(_canonical_fault_key(item) for item in self.faults)),
+        )
+        if self.kind == "resilience" and not self.faults:
+            raise ValueError("kind='resilience' needs a non-empty fault schedule")
+        if self.faults and self.kind != "resilience":
+            raise ValueError(
+                f"fault schedules require kind='resilience', got kind={self.kind!r}"
+            )
+
+    @property
+    def fault_plan(self) -> FaultPlan:
+        """The spec's fault schedule as a live :class:`FaultPlan`."""
+        return FaultPlan.from_keys(self.faults)
 
     @property
     def label(self) -> str:
@@ -79,6 +111,9 @@ class RunSpec:
             # Only when observed: keeps unobserved cache keys / stored
             # records byte-identical to pre-observability versions.
             data["obs"] = [list(item) for item in self.obs]
+        if self.faults:
+            # Only when faulted, for the same cache-key stability reason.
+            data["faults"] = self.fault_plan.to_items()
         return data
 
     @classmethod
@@ -86,6 +121,7 @@ class RunSpec:
         payload = dict(data)
         payload["extra"] = tuple((key, value) for key, value in payload.get("extra", ()))
         payload["obs"] = tuple((key, value) for key, value in payload.get("obs", ()))
+        payload["faults"] = tuple(payload.get("faults", ()))
         return cls(**payload)
 
 
@@ -109,6 +145,9 @@ class RunRecord:
     #: from :meth:`repro.obs.session.Observation.metrics_snapshot`; None
     #: for unobserved runs and omitted from :meth:`to_dict`.
     metrics: dict | None = None
+    #: Resilience report (:meth:`repro.measure.resilience.ResilienceReport.to_dict`);
+    #: None for non-resilience runs and omitted from :meth:`to_dict`.
+    resilience: dict | None = None
 
     # Convenience mirrors of RunResult so suite/table code can treat a
     # record like a measurement.
@@ -157,6 +196,8 @@ class RunRecord:
         }
         if self.metrics is not None:
             data["metrics"] = self.metrics
+        if self.resilience is not None:
+            data["resilience"] = self.resilience
         return data
 
     @classmethod
@@ -256,6 +297,23 @@ class CampaignSpec:
         runs = tuple(replace(spec, obs=items) for spec in self.runs)
         return CampaignSpec(name=self.name, runs=runs)
 
+    def with_faults(self, plan: FaultPlan) -> "CampaignSpec":
+        """Turn every run into a resilience run under ``plan``.
+
+        An empty plan clears the fault axis instead, restoring throughput
+        runs with their pre-fault cache keys.
+        """
+        if not plan:
+            runs = tuple(
+                replace(spec, kind="throughput", faults=()) for spec in self.runs
+            )
+        else:
+            runs = tuple(
+                replace(spec, kind="resilience", faults=plan.to_keys())
+                for spec in self.runs
+            )
+        return CampaignSpec(name=self.name, runs=runs)
+
 
 # ---------------------------------------------------------------------------
 # Grid builders
@@ -272,12 +330,22 @@ def grid(
     kind: str = "throughput",
     warmup_ns: float = DEFAULT_WARMUP_NS,
     measure_ns: float = DEFAULT_MEASURE_NS,
+    fault_plans: Sequence[FaultPlan] = (),
 ) -> CampaignSpec:
     """Cartesian campaign over the paper's axes.
 
     ``vnfs`` only applies to the loopback scenario; other scenarios get a
     single entry per (size, direction, seed) regardless of ``vnfs``.
+    ``fault_plans`` adds a fault axis: every grid point is crossed with
+    every plan (and the runs become ``kind='resilience'``).
     """
+    if fault_plans and kind not in ("throughput", "resilience"):
+        raise ValueError(f"fault_plans cannot combine with kind={kind!r}")
+    plan_keys: tuple[tuple[tuple, ...], ...] = tuple(
+        plan.to_keys() for plan in fault_plans if plan
+    )
+    if fault_plans and not plan_keys:
+        raise ValueError("fault_plans given but every plan is empty")
     runs: list[RunSpec] = []
     for switch in switches:
         for scenario in scenarios:
@@ -286,19 +354,21 @@ def grid(
                 for size in frame_sizes:
                     for bidi in directions:
                         for seed in seeds:
-                            runs.append(
-                                RunSpec(
-                                    scenario=scenario,
-                                    switch=switch,
-                                    frame_size=size,
-                                    bidirectional=bidi,
-                                    n_vnfs=n,
-                                    seed=seed,
-                                    kind=kind,
-                                    warmup_ns=warmup_ns,
-                                    measure_ns=measure_ns,
+                            for faults in plan_keys or ((),):
+                                runs.append(
+                                    RunSpec(
+                                        scenario=scenario,
+                                        switch=switch,
+                                        frame_size=size,
+                                        bidirectional=bidi,
+                                        n_vnfs=n,
+                                        seed=seed,
+                                        kind="resilience" if faults else kind,
+                                        warmup_ns=warmup_ns,
+                                        measure_ns=measure_ns,
+                                        faults=faults,
+                                    )
                                 )
-                            )
     return CampaignSpec(name=name, runs=tuple(runs))
 
 
@@ -396,11 +466,34 @@ def execute_run(spec: RunSpec) -> RunRecord:
     if spec.scenario == "loopback":
         kwargs["n_vnfs"] = spec.n_vnfs
     observation = None
+    resilience = None
     try:
         if spec.kind == "latency":
             tb = v2v.build_latency(spec.switch, frame_size=spec.frame_size, seed=spec.seed, **kwargs)
             observation = _observe_for_spec(tb, spec)
             result = drive(tb, warmup_ns=spec.warmup_ns, measure_ns=spec.measure_ns)
+        elif spec.kind == "resilience":
+            from repro.measure.resilience import (
+                DEFAULT_BIN_NS,
+                DEFAULT_EPSILON,
+                measure_resilience,
+            )
+
+            result, report, observation = measure_resilience(
+                builders[spec.scenario],
+                spec.switch,
+                spec.frame_size,
+                spec.fault_plan,
+                bidirectional=spec.bidirectional,
+                epsilon=kwargs.pop("epsilon", DEFAULT_EPSILON),
+                bin_ns=kwargs.pop("bin_ns", DEFAULT_BIN_NS),
+                warmup_ns=spec.warmup_ns,
+                measure_ns=spec.measure_ns,
+                seed=spec.seed,
+                observe_config=_obs_config_for_spec(spec),
+                **kwargs,
+            )
+            resilience = report.to_dict()
         elif spec.obs:
             # Observed runs build the testbed here so probes attach before
             # the drive; measurements stay bit-identical to the unobserved
@@ -463,16 +556,25 @@ def execute_run(spec: RunSpec) -> RunRecord:
         duration_ns=result.duration_ns,
         wall_clock_s=time.monotonic() - started,
         metrics=metrics,
+        resilience=resilience,
     )
+
+
+def _obs_config_for_spec(spec: RunSpec):
+    """The spec's ObsConfig, or None when it runs unobserved."""
+    if not spec.obs:
+        return None
+    from repro.obs import ObsConfig
+
+    config = ObsConfig.from_items(spec.obs)
+    return config if config.enabled else None
 
 
 def _observe_for_spec(tb, spec: RunSpec):
     """Attach an observation session when the spec asks for one."""
-    if not spec.obs:
+    config = _obs_config_for_spec(spec)
+    if config is None:
         return None
-    from repro.obs import ObsConfig, observe
+    from repro.obs import observe
 
-    config = ObsConfig.from_items(spec.obs)
-    if not config.enabled:
-        return None
     return observe(tb, config)

@@ -7,6 +7,8 @@ Examples::
     repro-bench p2p --switch bess --latency
     repro-bench p2p --switch vpp --profile --metrics
     repro-bench trace p2p --switch vpp --trace-out trace.json
+    repro-bench resilience p2p --switch vale \\
+        --fault nic-link-flap@sut-nic.p1:at_ns=1200000,duration_ns=300000
     repro-bench v2v-latency --switch snabb
     repro-bench suite --switch vpp --suite smoke --workers 4
     repro-bench validate --workers 4 --cache
@@ -42,14 +44,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "scenario",
-        choices=["p2p", "p2v", "v2v", "loopback", "v2v-latency", "suite", "validate", "campaign", "trace", "perf"],
-        help="test scenario (Sec. 4 of the paper), 'suite', 'validate', 'campaign', 'trace' or 'perf'",
+        choices=["p2p", "p2v", "v2v", "loopback", "v2v-latency", "suite", "validate", "campaign", "trace", "perf", "resilience"],
+        help="test scenario (Sec. 4 of the paper), 'suite', 'validate', 'campaign', 'trace', 'perf' or 'resilience'",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
-        help="scenario to trace (for the 'trace' command; default p2p)",
+        help="scenario to trace or fault (for 'trace'/'resilience'; default p2p)",
     )
-    parser.add_argument("--switch", default="vpp", choices=sorted(switch_names()))
+    parser.add_argument("--switch", default="vpp", metavar="NAME",
+                        help="switch under test (see the registry; default vpp)")
     parser.add_argument("--size", type=int, default=64, help="frame size in bytes")
     parser.add_argument("--bidirectional", action="store_true")
     parser.add_argument("--vnfs", type=int, default=1, help="loopback chain length")
@@ -116,6 +119,20 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--sample-rate", type=int, default=None, metavar="N",
         help="per-packet lifecycle spans: trace one batch in N",
+    )
+    # --- fault injection ('resilience') -----------------------------------
+    parser.add_argument(
+        "--fault", action="append", default=None, metavar="KIND@TARGET:at_ns=...",
+        help="schedule one fault (repeatable), e.g. "
+        "vif-disconnect@vm1.eth0:at_ns=1200000,duration_ns=300000",
+    )
+    parser.add_argument(
+        "--epsilon", type=float, default=None, metavar="F",
+        help="resilience: recovered when rate is within F of baseline (default 0.05)",
+    )
+    parser.add_argument(
+        "--bin-ns", type=float, default=None, metavar="NS",
+        help="resilience: degradation timeline bin width (default 100000)",
     )
     # --- simulator perf bench ('perf') ------------------------------------
     parser.add_argument(
@@ -416,6 +433,140 @@ def _run_campaign_command(args) -> int:
             {"campaign": spec.name, "workers": str(_workers(args) or "auto")},
         )
         _note(f"wrote campaign execution trace {path}")
+    if result.interrupted:
+        _note(_interrupt_summary(result, len(spec), args))
+        return 130
+    return 3 if result.failures else 0
+
+
+def _interrupt_summary(result, total: int, args) -> str:
+    """One actionable line for a SIGINT/SIGTERM-truncated campaign."""
+    outstanding = total - len(result.outcomes)
+    message = (
+        f"campaign interrupted: {len(result.outcomes)}/{total} runs finished, "
+        f"{outstanding} outstanding"
+    )
+    if args.store:
+        message += f"; resume with --store {args.store} --resume"
+    else:
+        message += "; rerun with --store PATH to make interrupted campaigns resumable"
+    return message
+
+
+def _run_resilience_command(args) -> int:
+    """Fault-injection campaign: grid x fault plan, recovery metrics out."""
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.progress import ProgressReporter, emit_to_stderr
+    from repro.campaign.spec import SCENARIOS, grid
+    from repro.campaign.store import CampaignStore, export_csv
+    from repro.faults import FaultPlan, parse_fault
+
+    scenario = args.target or "p2p"
+    if scenario not in SCENARIOS:
+        _note(
+            f"unknown resilience scenario {scenario!r}; valid scenarios: "
+            + ", ".join(SCENARIOS)
+        )
+        return 1
+    if not args.fault:
+        _note(
+            "resilience needs at least one --fault KIND@TARGET:at_ns=...[,duration_ns=...]"
+            " (see docs/robustness.md for kinds and targets)"
+        )
+        return 1
+    try:
+        plan = FaultPlan.of(*(parse_fault(text) for text in args.fault))
+    except ValueError as exc:
+        _note(f"bad --fault: {exc}")
+        return 1
+
+    if args.switches:
+        switches = [name.strip() for name in args.switches.split(",") if name.strip()]
+        unknown = sorted(set(switches) - set(switch_names()))
+        if unknown:
+            _note(
+                f"unknown switches {unknown}; valid switches: "
+                + ", ".join(sorted(switch_names()))
+            )
+            return 1
+    else:
+        switches = [args.switch]
+
+    spec = grid(
+        name=f"resilience-{scenario}",
+        switches=switches,
+        scenarios=(scenario,),
+        frame_sizes=(args.size,),
+        directions=(args.bidirectional,),
+        vnfs=(args.vnfs,),
+        seeds=range(args.seed, args.seed + args.repeat),
+        fault_plans=(plan,),
+        **_windows(args),
+    )
+    if args.epsilon is not None or args.bin_ns is not None:
+        from dataclasses import replace
+
+        extra = {}
+        if args.epsilon is not None:
+            extra["epsilon"] = args.epsilon
+        if args.bin_ns is not None:
+            extra["bin_ns"] = args.bin_ns
+        items = tuple(sorted(extra.items()))
+        spec = type(spec)(
+            name=spec.name,
+            runs=tuple(replace(run, extra=run.extra + items) for run in spec.runs),
+        )
+    obs = _obs_config(args, with_trace_out=False)
+    if obs is not None:
+        spec = spec.with_obs(obs)
+
+    store = CampaignStore(args.store) if args.store else None
+    reporter = ProgressReporter(total=len(spec), emit=emit_to_stderr)
+    result = run_campaign(
+        spec,
+        workers=_workers(args),
+        cache=_cache(args, default_on=False),
+        store=store,
+        resume=args.resume,
+        progress=reporter,
+        timeout_s=args.timeout,
+    )
+
+    csv_to_stdout = args.export_csv == "-"
+    say = _note if csv_to_stdout else print
+    rows = []
+    for _, outcome in result.outcomes:
+        if outcome.status == "failed":
+            rows.append([outcome.spec.label, "failed", "-", "-", "-", f"FAILED: {outcome.error}"])
+            continue
+        report = getattr(outcome, "resilience", None) or {}
+        ttr = report.get("time_to_recover_ns")
+        rows.append(
+            [
+                outcome.spec.label,
+                round(report.get("pre_fault_pps", 0.0) / 1e6, 3),
+                round(report.get("loss_during_fault_frames", 0.0), 1),
+                f"{ttr / 1e3:.0f} us" if ttr is not None else "never",
+                "yes" if report.get("recovered") else "NO",
+                "ok",
+            ]
+        )
+    fault_labels = ", ".join(event.label for event in plan)
+    say(
+        format_table(
+            ["run", "pre-fault Mpps", "loss (frames)", "TTR", "recovered", "status"],
+            rows,
+            title=f"resilience '{scenario}' under [{fault_labels}]",
+        )
+    )
+    say(reporter.summary())
+    if args.export_csv:
+        path = export_csv(result.outcomes, args.export_csv)
+        if path is not None:
+            _note(f"wrote {path}")
+    if result.interrupted:
+        _note(_interrupt_summary(result, len(spec), args))
+        return 130
     return 3 if result.failures else 0
 
 
@@ -455,11 +606,21 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     builders = {"p2p": p2p.build, "p2v": p2v.build, "v2v": v2v.build, "loopback": loopback.build}
 
+    if args.switch not in switch_names():
+        _note(
+            f"unknown switch {args.switch!r}; valid switches: "
+            + ", ".join(sorted(switch_names()))
+        )
+        return 1
+
     if args.scenario == "perf":
         return _run_perf_command(args)
 
     if args.scenario == "campaign":
         return _run_campaign_command(args)
+
+    if args.scenario == "resilience":
+        return _run_resilience_command(args)
 
     if args.scenario == "trace":
         return _observed_single_run(args)

@@ -133,10 +133,82 @@ class Ring:
         """Occupancy without dequeuing (poll-mode 'ring not empty?' check)."""
         return self._frames
 
-    def clear(self) -> None:
-        """Discard contents (used when a test tears a scenario down)."""
+    def clear(self) -> int:
+        """Discard contents (teardown, or a fault losing in-flight frames).
+
+        Returns the number of frames discarded so fault accounting can
+        attribute the loss.
+        """
+        lost = self._frames
         for item in self._queue:
             if item.__class__ is PacketBlock:
                 release_block(item)
         self._queue.clear()
         self._frames = 0
+        return lost
+
+
+# -- fault states -----------------------------------------------------------
+#
+# ``repro.faults`` puts a live ring into a fault state by swapping its
+# *class* (both subclasses add no slots, so the instance layout is
+# identical and every cached reference keeps working).  Normal rings pay
+# nothing for this capability: no flag, no branch, no extra attribute on
+# the hot push/pop paths.
+
+
+class FrozenRing(Ring):
+    """A vring whose consumer side has stopped processing descriptors.
+
+    Producers still see free slots and fill them (overflow drops once the
+    ring is full -- exactly what a stalled vring looks like from the
+    producer side); the consumer finds nothing to reap until the ring is
+    thawed, at which point the preserved contents drain normally.
+    """
+
+    __slots__ = ()
+
+    def pop_batch(self, max_count: int) -> list[Packet | PacketBlock]:
+        return []
+
+
+class DisconnectedRing(Ring):
+    """A ring whose backing channel is gone (vhost-user backend died).
+
+    Every push is dropped and counted; there is nothing to pop.  The
+    in-flight contents are discarded by :func:`disconnect_ring` (shared
+    memory is unmapped when the backend disappears).
+    """
+
+    __slots__ = ()
+
+    def push(self, item: Packet | PacketBlock) -> bool:
+        self.dropped += item.count
+        if item.__class__ is PacketBlock:
+            release_block(item)
+        return False
+
+    def pop_batch(self, max_count: int) -> list[Packet | PacketBlock]:
+        return []
+
+
+def freeze_ring(ring: Ring) -> None:
+    """Stop the ring's consumer side (virtio ring freeze); contents keep."""
+    if ring.__class__ is not Ring:
+        raise ValueError(f"ring {ring.name!r} is already in fault state {ring.__class__.__name__}")
+    ring.__class__ = FrozenRing
+
+
+def disconnect_ring(ring: Ring) -> int:
+    """Detach the ring's backing channel; returns in-flight frames lost."""
+    if ring.__class__ is not Ring:
+        raise ValueError(f"ring {ring.name!r} is already in fault state {ring.__class__.__name__}")
+    lost = ring.clear()
+    ring.__class__ = DisconnectedRing
+    return lost
+
+
+def restore_ring(ring: Ring) -> None:
+    """Leave any fault state (thaw / reconnect); a plain ring is a no-op."""
+    if ring.__class__ is not Ring:
+        ring.__class__ = Ring

@@ -201,6 +201,46 @@ class Core:
             t += delay
         sim.at(t, self._iterate)
 
+    # -- fault hooks (repro.faults) ----------------------------------------
+    #
+    # Preemption and frequency changes piggyback on state the poll loop
+    # already tests every iteration (``_sleeping``, ``_idle_cache``), so a
+    # core that is never faulted executes exactly the same instructions.
+
+    def preempt(self) -> None:
+        """The OS steals the core: pending poll iterations become no-ops.
+
+        Any already-scheduled ``_iterate`` event fires once, sees the
+        sleeping flag and returns without re-arming -- the poll chain is
+        broken until :meth:`resume_from_preemption`.
+        """
+        if not self._started or self._sleeping:
+            return
+        self._sleeping = True
+
+    def resume_from_preemption(self) -> None:
+        """The scheduler gives the core back; polling restarts *now*.
+
+        Unlike :meth:`wake` there is no interrupt latency: the thread was
+        runnable all along, it simply was not on the CPU.
+        """
+        if not self._started or not self._sleeping:
+            return
+        self._sleeping = False
+        self._idle_streak = 0
+        self.sim.after(0.0, self._iterate)
+
+    def set_frequency(self, freq_hz: float) -> None:
+        """Change the core clock (thermal throttling episodes).
+
+        Invalidates the idle-delay memo, which caches a *time* computed at
+        the old frequency under a cycle-count key.
+        """
+        if freq_hz <= 0:
+            raise ValueError(f"core frequency must be positive, got {freq_hz}")
+        self.freq_hz = freq_hz
+        self._idle_cache = (-1.0, 0.0)
+
     def utilization(self, elapsed_ns: float) -> float:
         """Fraction of ``elapsed_ns`` spent doing useful work."""
         if elapsed_ns <= 0:

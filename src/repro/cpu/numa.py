@@ -42,6 +42,7 @@ class MemoryBus:
         self.bandwidth = bandwidth_bytes_per_s
         self._busy_until_ns = 0.0
         self.bytes_copied = 0
+        self._bw_base: float | None = None
 
     def reserve(self, n_bytes: int, now_ns: float) -> float:
         """Reserve bus time for ``n_bytes``; return extra delay in ns.
@@ -57,6 +58,25 @@ class MemoryBus:
         self._busy_until_ns = start + duration
         self.bytes_copied += n_bytes
         return self._busy_until_ns - now_ns
+
+    # -- fault hooks (repro.faults) ----------------------------------------
+
+    def throttle(self, factor: float) -> None:
+        """Contention burst: a co-runner claims ``1 - factor`` of the bus,
+        so packet copies see only ``factor`` of the nominal bandwidth."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"throttle factor must be in (0, 1], got {factor}")
+        if self._bw_base is not None:
+            return
+        self._bw_base = self.bandwidth
+        self.bandwidth = self.bandwidth * factor
+
+    def unthrottle(self) -> None:
+        """Co-runner gone: restore the nominal bandwidth."""
+        if self._bw_base is None:
+            return
+        self.bandwidth = self._bw_base
+        self._bw_base = None
 
 
 class NumaNode:

@@ -1,0 +1,50 @@
+"""Deterministic fault injection for the simulated testbed.
+
+The paper benchmarks switches in steady state; this package perturbs the
+*modelled testbed itself* -- NIC links, PCIe, vhost-user backends, guest
+apps, cores, the memory bus and switch control planes -- on a declarative,
+seeded schedule, so every existing scenario composes with every fault
+kind and replays bit-identically.
+
+Three pieces:
+
+* :mod:`repro.faults.plan` -- :class:`FaultEvent`/:class:`FaultPlan`, the
+  declarative schedule (``kind``, ``target``, ``at_ns``, ``duration_ns``,
+  per-fault ``seed``) plus the CLI grammar (:func:`parse_fault`);
+* :mod:`repro.faults.injector` -- :class:`FaultInjector` resolves plan
+  targets against a built :class:`~repro.scenarios.base.Testbed` and arms
+  simulator events that flip the per-layer fault hooks;
+* :mod:`repro.faults.watchdog` -- :class:`InvariantWatchdog`, an opt-in
+  periodic checker that turns silent model corruption into structured
+  diagnostics.
+
+Determinism contract: a run with no :class:`FaultPlan` constructs none of
+this machinery -- no extra heap events, no RNG draws, bit-identical
+results (``tools/golden_stats.py`` pins it).  Each armed fault draws only
+from its own named RNG stream, so adding one fault never shifts the
+randomness seen by anything else.
+"""
+
+from repro.faults.injector import FaultInjector, FaultSpan, FaultTargetError
+from repro.faults.plan import (
+    FAULT_KINDS,
+    INSTANT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    parse_fault,
+)
+from repro.faults.watchdog import InvariantWatchdog, Violation, WatchdogError
+
+__all__ = [
+    "FAULT_KINDS",
+    "INSTANT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpan",
+    "FaultTargetError",
+    "InvariantWatchdog",
+    "Violation",
+    "WatchdogError",
+    "parse_fault",
+]

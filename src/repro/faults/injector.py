@@ -1,0 +1,318 @@
+"""Arming fault plans against a built testbed.
+
+The :class:`FaultInjector` resolves each :class:`~repro.faults.plan.FaultEvent`
+target to a live component by name, validates the whole plan *before* the
+simulation starts (misspelled targets fail fast with the available names
+listed), then schedules start/stop events that flip the per-layer fault
+hooks (``Ring`` class swaps, instance-level ``send_batch``/``poll``
+overrides, control-plane flushes...).
+
+Everything is deterministic: start/stop times come straight from the
+plan, and any stochastic behaviour (memory-contention burst placement)
+draws from the fault's *own* named RNG stream
+(``fault.{kind}@{target}#{seed}``), so arming one fault never shifts the
+draws seen by jitter processes, stalls or other faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.faults.plan import INSTANT_KINDS, FaultEvent, FaultPlan
+from repro.switches.base import PhyAttachment, VifAttachment
+from repro.traffic.generator import PacedSource
+
+if TYPE_CHECKING:
+    from repro.scenarios.base import Testbed
+
+
+class FaultTargetError(ValueError):
+    """A plan names a target the built testbed does not have."""
+
+    def __init__(self, event: FaultEvent, available: list[str]) -> None:
+        names = ", ".join(sorted(available)) if available else "<none>"
+        super().__init__(
+            f"fault {event.label!r}: no such target {event.target!r} for kind "
+            f"{event.kind!r}; available targets: {names}"
+        )
+        self.event = event
+        self.available = sorted(available)
+
+
+@dataclass
+class FaultSpan:
+    """One executed fault window, for reports and Chrome-trace export."""
+
+    kind: str
+    target: str
+    start_ns: float
+    end_ns: float
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "detail": dict(sorted(self.detail.items())),
+        }
+
+
+class FaultInjector:
+    """Schedules a :class:`FaultPlan`'s events onto a testbed's simulator."""
+
+    def __init__(self, tb: "Testbed", plan: FaultPlan) -> None:
+        self.tb = tb
+        self.plan = plan
+        #: completed fault windows, in completion order.
+        self.spans: list[FaultSpan] = []
+        self._ports = self._resolve_ports()
+        self._vifs = self._resolve_vifs()
+        self._cores = {core.name: core for node in tb.machine.nodes for core in node.cores}
+        for vm in tb.vms:
+            for core in vm.cores:
+                self._cores.setdefault(core.name, core)
+        self._vms = {vm.name: vm for vm in tb.vms}
+        self._buses = {f"numa{node.index}": node.bus for node in tb.machine.nodes}
+        self._switches = {"switch": tb.switch, tb.switch.params.name: tb.switch}
+        self._generators = self._resolve_generators()
+        self._armed = False
+        for event in plan:
+            self._resolve(event)  # fail fast on bad targets / unsupported kinds
+
+    # -- target discovery --------------------------------------------------
+
+    def _resolve_ports(self) -> dict[str, Any]:
+        ports: dict[str, Any] = {}
+        for attachment in self.tb.switch.attachments:
+            if isinstance(attachment, PhyAttachment):
+                ports[attachment.port.name] = attachment.port
+        for key in ("gen_ports", "sut_ports"):
+            for port in self.tb.extras.get(key, ()):  # type: ignore[union-attr]
+                ports[port.name] = port
+        return ports
+
+    def _resolve_vifs(self) -> dict[str, Any]:
+        vifs: dict[str, Any] = {}
+        for attachment in self.tb.switch.attachments:
+            if isinstance(attachment, VifAttachment):
+                vifs[attachment.vif.name] = attachment.vif
+        for vif in self.tb.extras.get("vifs", ()):
+            vifs[vif.name] = vif
+        for vm in self.tb.vms:
+            for vif in vm.interfaces:
+                vifs.setdefault(vif.name, vif)
+        return vifs
+
+    def _resolve_generators(self) -> list[PacedSource]:
+        """Every paced source in the scenario (host MoonGen, guest tools)."""
+        found: list[PacedSource] = []
+        seen: set[int] = set()
+        stack = list(self.tb.extras.values())
+        while stack:
+            value = stack.pop()
+            if isinstance(value, (list, tuple)):
+                stack.extend(value)
+            elif isinstance(value, PacedSource) and id(value) not in seen:
+                seen.add(id(value))
+                found.append(value)
+        return found
+
+    def _guest_generators(self, vm) -> list[PacedSource]:
+        vifs = set(map(id, vm.interfaces))
+        return [
+            gen
+            for gen in self._generators
+            if id(getattr(gen, "vif", None)) in vifs
+        ]
+
+    def _resolve(self, event: FaultEvent) -> Any:
+        kind = event.kind
+        if kind in ("nic-link-flap", "nic-pcie-stall"):
+            pool: dict[str, Any] = self._ports
+        elif kind in ("vif-disconnect", "vif-freeze"):
+            pool = self._vifs
+        elif kind == "vnf-crash":
+            pool = self._vms
+        elif kind in ("core-preempt", "core-throttle"):
+            pool = self._cores
+        elif kind == "mem-contention":
+            pool = self._buses
+        else:  # switch control-plane kinds
+            pool = self._switches
+            target = pool.get(event.target)
+            if target is None:
+                raise FaultTargetError(event, list(pool))
+            method = {
+                "switch-mac-flush": "flush_mac_table",
+                "switch-emc-flush": "flush_emc",
+                "switch-flow-reinstall": "begin_flow_reinstall",
+            }[kind]
+            if not hasattr(target, method):
+                raise FaultTargetError(
+                    event,
+                    [
+                        name
+                        for name, sw in pool.items()
+                        if hasattr(sw, method)
+                    ],
+                )
+            return target
+        target = pool.get(event.target)
+        if target is None:
+            raise FaultTargetError(event, list(pool))
+        return target
+
+    # -- scheduling --------------------------------------------------------
+
+    def arm(self) -> None:
+        """Schedule every plan event; idempotent."""
+        if self._armed:
+            return
+        self._armed = True
+        for event in self.plan:
+            self.tb.sim.at(event.at_ns, lambda e=event: self._start(e))
+
+    def _stream(self, event: FaultEvent):
+        """The fault's private RNG stream (created only when drawn from)."""
+        return self.tb.rngs.stream(f"fault.{event.label}#{event.seed}")
+
+    def _finish(self, event: FaultEvent, detail: dict[str, Any]) -> None:
+        self.spans.append(
+            FaultSpan(
+                kind=event.kind,
+                target=event.target,
+                start_ns=event.at_ns,
+                end_ns=event.end_ns,
+                detail=detail,
+            )
+        )
+
+    def _start(self, event: FaultEvent) -> None:
+        target = self._resolve(event)
+        detail: dict[str, Any] = {}
+        kind = event.kind
+        if kind == "nic-link-flap":
+            # Carrier loss is full duplex: both ends of the cable go down.
+            detail["_dropped_base"] = target.tx_dropped + (
+                target.peer.tx_dropped if target.peer is not None else 0
+            )
+            target.link_down()
+            if target.peer is not None:
+                target.peer.link_down()
+        elif kind == "nic-pcie-stall":
+            target.stall_pcie(event.arg("extra_ns"))
+        elif kind == "vif-disconnect":
+            detail["_dropped_base"] = target.to_guest.dropped + target.to_host.dropped
+            detail["frames_lost"] = target.disconnect()
+        elif kind == "vif-freeze":
+            target.freeze()
+        elif kind == "vnf-crash":
+            detail["frames_lost"] = target.crash()
+            for gen in self._guest_generators(target):
+                gen.halt()
+        elif kind == "core-preempt":
+            target.preempt()
+        elif kind == "core-throttle":
+            detail["_base_freq_hz"] = target.freq_hz
+            detail["factor"] = event.arg("factor")
+            target.set_frequency(target.freq_hz * event.arg("factor"))
+        elif kind == "mem-contention":
+            target.throttle(event.arg("factor"))
+            bursts = int(event.arg("bursts"))
+            burst_bytes = int(event.arg("burst_bytes"))
+            if bursts > 0 and burst_bytes > 0:
+                # Stochastic co-runner traffic: burst instants drawn from
+                # this fault's private stream, reserved on the bus as real
+                # copy traffic would be.
+                rng = self._stream(event)
+                offsets = rng.uniform(0.0, event.duration_ns, size=bursts)
+                offsets.sort()
+                for offset in offsets:
+                    self.tb.sim.at(
+                        event.at_ns + float(offset),
+                        lambda b=target, n=burst_bytes: b.reserve(n, self.tb.sim.now),
+                    )
+                detail["bursts"] = bursts
+        elif kind == "switch-mac-flush":
+            detail["entries_flushed"] = target.flush_mac_table()
+            self._finish(event, detail)
+            return
+        elif kind == "switch-emc-flush":
+            detail["entries_flushed"] = target.flush_emc()
+            self._finish(event, detail)
+            return
+        elif kind == "switch-flow-reinstall":
+            rules = target.begin_flow_reinstall()
+            detail["rules"] = len(rules)
+            self.tb.sim.at(
+                event.end_ns,
+                lambda e=event, t=target, r=rules, d=detail: self._stop(e, t, d, rules=r),
+            )
+            return
+        self.tb.sim.at(
+            event.end_ns, lambda e=event, t=target, d=detail: self._stop(e, t, d)
+        )
+
+    def _stop(
+        self,
+        event: FaultEvent,
+        target: Any,
+        detail: dict[str, Any],
+        rules: list | None = None,
+    ) -> None:
+        kind = event.kind
+        if kind == "nic-link-flap":
+            target.restore_link()
+            if target.peer is not None:
+                target.peer.restore_link()
+            dropped = target.tx_dropped + (
+                target.peer.tx_dropped if target.peer is not None else 0
+            )
+            detail["frames_dropped"] = dropped - detail.pop("_dropped_base")
+        elif kind == "nic-pcie-stall":
+            target.unstall_pcie()
+        elif kind == "vif-disconnect":
+            dropped = target.to_guest.dropped + target.to_host.dropped
+            detail["frames_dropped"] = dropped - detail.pop("_dropped_base")
+            target.reconnect()
+        elif kind == "vif-freeze":
+            target.thaw()
+        elif kind == "vnf-crash":
+            detail["frames_drained"] = target.restart()
+            for gen in self._guest_generators(target):
+                gen.resume()
+        elif kind == "core-preempt":
+            target.resume_from_preemption()
+        elif kind == "core-throttle":
+            target.set_frequency(detail.pop("_base_freq_hz"))
+        elif kind == "mem-contention":
+            target.unthrottle()
+        elif kind == "switch-flow-reinstall":
+            target.finish_flow_reinstall(rules or [])
+        self._finish(event, detail)
+
+    # -- reporting ---------------------------------------------------------
+
+    def export(self, observation) -> None:
+        """Emit executed fault windows into an obs session (Chrome-trace
+        spans on per-target ``fault/...`` tracks + a counter)."""
+        counter = (
+            observation.registry.counter("faults_injected_total")
+            if observation.registry is not None
+            else None
+        )
+        for span in self.spans:
+            if counter is not None:
+                counter.inc()
+            if observation.tracer is not None:
+                observation.tracer.span(
+                    span.kind,
+                    span.start_ns,
+                    max(span.end_ns - span.start_ns, 1.0),
+                    tid=f"fault/{span.target}",
+                    cat="fault",
+                    args=span.detail,
+                )

@@ -1,0 +1,256 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is an ordered tuple of :class:`FaultEvent` records:
+*what* breaks (``kind``), *where* (``target``, a testbed component name),
+*when* (``at_ns``) and *for how long* (``duration_ns``; instant kinds such
+as a MAC-table flush have none).  Plans are plain frozen data so they
+hash, compare, serialise into campaign cache keys / JSONL stores, and
+round-trip through worker processes byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+#: Every supported fault kind, by faulted layer.
+FAULT_KINDS = (
+    # repro.nic.port
+    "nic-link-flap",
+    "nic-pcie-stall",
+    # repro.vif
+    "vif-disconnect",
+    "vif-freeze",
+    # repro.vm / repro.traffic.guest
+    "vnf-crash",
+    # repro.cpu.cores
+    "core-preempt",
+    "core-throttle",
+    # repro.cpu.numa
+    "mem-contention",
+    # repro.switches control planes
+    "switch-mac-flush",
+    "switch-emc-flush",
+    "switch-flow-reinstall",
+)
+
+#: Kinds that fire once and complete immediately (graceful re-convergence
+#: happens through normal data-plane operation, not a stop event).
+INSTANT_KINDS = frozenset({"switch-mac-flush", "switch-emc-flush"})
+
+#: Optional per-kind arguments (name -> default), used for validation and
+#: the CLI grammar.
+KIND_ARGS: dict[str, dict[str, float]] = {
+    "nic-pcie-stall": {"extra_ns": 20_000.0},
+    "core-throttle": {"factor": 0.5},
+    "mem-contention": {"factor": 0.5, "burst_bytes": 0.0, "bursts": 0.0},
+}
+
+
+def _unknown_kind_error(kind: str) -> ValueError:
+    return ValueError(
+        f"unknown fault kind {kind!r}; valid kinds: {', '.join(FAULT_KINDS)}"
+    )
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault: kind + target + window (+ seed + kind args)."""
+
+    at_ns: float
+    kind: str
+    target: str
+    duration_ns: float = 0.0
+    #: per-fault RNG salt: the injector derives the stream
+    #: ``fault.{kind}@{target}#{seed}`` for any stochastic behaviour, so
+    #: two faults never share draws and unrelated streams never shift.
+    seed: int = 0
+    #: canonical (sorted) extra arguments, e.g. (("factor", 0.5),).
+    args: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise _unknown_kind_error(self.kind)
+        if not self.target:
+            raise ValueError(f"fault {self.kind!r} needs a non-empty target")
+        if self.at_ns < 0:
+            raise ValueError(f"fault at_ns must be >= 0, got {self.at_ns}")
+        if self.duration_ns < 0:
+            raise ValueError(
+                f"fault duration_ns must be >= 0, got {self.duration_ns}"
+            )
+        if self.duration_ns == 0 and self.kind not in INSTANT_KINDS:
+            raise ValueError(
+                f"fault kind {self.kind!r} needs a positive duration_ns "
+                f"(only {', '.join(sorted(INSTANT_KINDS))} are instantaneous)"
+            )
+        allowed = KIND_ARGS.get(self.kind, {})
+        canonical = tuple(sorted((str(k), float(v)) for k, v in self.args))
+        for name, _ in canonical:
+            if name not in allowed:
+                raise ValueError(
+                    f"fault kind {self.kind!r} does not take argument {name!r}"
+                    + (
+                        f"; valid arguments: {', '.join(sorted(allowed))}"
+                        if allowed
+                        else " (it takes none)"
+                    )
+                )
+        object.__setattr__(self, "args", canonical)
+
+    @property
+    def end_ns(self) -> float:
+        return self.at_ns + self.duration_ns
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}@{self.target}"
+
+    def arg(self, name: str) -> float:
+        """Look up a kind argument, falling back to its default."""
+        for key, value in self.args:
+            if key == name:
+                return value
+        return KIND_ARGS[self.kind][name]
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "kind": self.kind,
+            "target": self.target,
+            "at_ns": self.at_ns,
+        }
+        if self.duration_ns:
+            payload["duration_ns"] = self.duration_ns
+        if self.seed:
+            payload["seed"] = self.seed
+        if self.args:
+            payload["args"] = {k: v for k, v in self.args}
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultEvent":
+        return cls(
+            at_ns=float(payload["at_ns"]),
+            kind=str(payload["kind"]),
+            target=str(payload["target"]),
+            duration_ns=float(payload.get("duration_ns", 0.0)),
+            seed=int(payload.get("seed", 0)),
+            args=tuple(sorted(dict(payload.get("args", {})).items())),
+        )
+
+    def to_key(self) -> tuple:
+        """Canonical hashable form for embedding in frozen RunSpecs."""
+        return (self.at_ns, self.kind, self.target, self.duration_ns, self.seed, self.args)
+
+    @classmethod
+    def from_key(cls, key) -> "FaultEvent":
+        at_ns, kind, target, duration_ns, seed, args = key
+        return cls(
+            at_ns=float(at_ns),
+            kind=str(kind),
+            target=str(target),
+            duration_ns=float(duration_ns),
+            seed=int(seed),
+            args=tuple((str(k), float(v)) for k, v in args),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, canonically ordered schedule of faults."""
+
+    events: tuple[FaultEvent, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(sorted(self.events)))
+
+    @classmethod
+    def of(cls, *events: FaultEvent) -> "FaultPlan":
+        return cls(events=tuple(events))
+
+    @classmethod
+    def from_items(cls, items: Iterable[Mapping[str, Any]]) -> "FaultPlan":
+        return cls(events=tuple(FaultEvent.from_dict(item) for item in items))
+
+    def to_items(self) -> list[dict[str, Any]]:
+        return [event.to_dict() for event in self.events]
+
+    @classmethod
+    def from_keys(cls, keys: Iterable[tuple]) -> "FaultPlan":
+        return cls(events=tuple(FaultEvent.from_key(key) for key in keys))
+
+    def to_keys(self) -> tuple[tuple, ...]:
+        return tuple(event.to_key() for event in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    @property
+    def first_at_ns(self) -> float:
+        """Start of the earliest fault (inf for an empty plan)."""
+        return self.events[0].at_ns if self.events else float("inf")
+
+    @property
+    def last_end_ns(self) -> float:
+        """End of the latest fault window (0 for an empty plan)."""
+        return max((event.end_ns for event in self.events), default=0.0)
+
+
+def parse_fault(text: str) -> FaultEvent:
+    """Parse the CLI fault grammar: ``kind@target:at_ns=...[,key=value...]``.
+
+    Examples::
+
+        vif-disconnect@vm1.eth0:at_ns=1000000,duration_ns=300000
+        core-throttle@numa0/sut:at_ns=1e6,duration_ns=5e5,factor=0.4
+        switch-mac-flush@switch:at_ns=1500000
+    """
+    head, sep, tail = text.partition(":")
+    if not sep:
+        raise ValueError(
+            f"malformed fault {text!r}: expected "
+            "'kind@target:at_ns=...[,duration_ns=...,key=value...]'"
+        )
+    kind, sep, target = head.partition("@")
+    if not sep or not kind or not target:
+        raise ValueError(
+            f"malformed fault {text!r}: expected 'kind@target' before ':', "
+            f"got {head!r}"
+        )
+    if kind not in FAULT_KINDS:
+        raise _unknown_kind_error(kind)
+    fields: dict[str, float] = {}
+    for part in tail.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, raw = part.partition("=")
+        if not sep:
+            raise ValueError(
+                f"malformed fault parameter {part!r} in {text!r}: expected key=value"
+            )
+        try:
+            fields[name.strip()] = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"fault parameter {name.strip()!r} in {text!r} is not a number: {raw!r}"
+            ) from None
+    if "at_ns" not in fields:
+        raise ValueError(f"fault {text!r} needs at_ns=<time>")
+    at_ns = fields.pop("at_ns")
+    duration_ns = fields.pop("duration_ns", 0.0)
+    seed = int(fields.pop("seed", 0))
+    return FaultEvent(
+        at_ns=at_ns,
+        kind=kind,
+        target=target,
+        duration_ns=duration_ns,
+        seed=seed,
+        args=tuple(sorted(fields.items())),
+    )

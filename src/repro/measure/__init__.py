@@ -14,10 +14,18 @@ from repro.measure.runner import (
     drive,
 )
 from repro.measure.ndr import NdrResult, measure_loss, ndr_search
+from repro.measure.resilience import (
+    DEFAULT_BIN_NS,
+    DEFAULT_EPSILON,
+    ResilienceReport,
+    measure_resilience,
+)
 from repro.measure.suites import NFV_SUITE, PAPER_SUITE, SMOKE_SUITE, SUITES, TestSuite
 from repro.measure.throughput import estimate_r_plus, measure_throughput
 
 __all__ = [
+    "DEFAULT_BIN_NS",
+    "DEFAULT_EPSILON",
     "DEFAULT_LATENCY_MEASURE_NS",
     "DEFAULT_MEASURE_NS",
     "DEFAULT_WARMUP_NS",
@@ -26,6 +34,7 @@ __all__ = [
     "NFV_SUITE",
     "NdrResult",
     "PAPER_SUITE",
+    "ResilienceReport",
     "RunResult",
     "SMOKE_SUITE",
     "SUITES",
@@ -35,6 +44,7 @@ __all__ = [
     "latency_sweep",
     "measure_latency_at",
     "measure_loss",
+    "measure_resilience",
     "measure_throughput",
     "ndr_search",
 ]

@@ -1,8 +1,18 @@
-"""Experiment execution: warm-up, measurement window, result records."""
+"""Experiment execution: warm-up, measurement window, result records.
+
+Setting ``REPRO_WATCHDOG=1`` in the environment attaches an
+:class:`~repro.faults.watchdog.InvariantWatchdog` to every driven
+testbed (``REPRO_WATCHDOG=strict`` raises on the first violation;
+``REPRO_WATCHDOG_REPORT=path.jsonl`` appends one report row per run).
+The watchdog is a read-only periodic scanner, so measured numbers are
+unchanged -- it exists so CI can assert model invariants across the
+whole tier-1 suite without instrumenting hot paths.
+"""
 
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 
 from repro.core.stats import LatencySample
@@ -13,6 +23,18 @@ from repro.scenarios.base import Testbed
 #: wall-clock cost and are overridable everywhere.
 DEFAULT_WARMUP_NS = 600_000.0
 DEFAULT_MEASURE_NS = 3_000_000.0
+
+
+def _env_watchdog(tb: Testbed):
+    """Attach the opt-in invariant watchdog when the environment asks."""
+    mode = os.environ.get("REPRO_WATCHDOG", "")
+    if mode not in ("1", "true", "strict"):
+        return None
+    from repro.faults.watchdog import InvariantWatchdog
+
+    watchdog = InvariantWatchdog(tb, strict=mode == "strict")
+    watchdog.start()
+    return watchdog
 
 
 @dataclass
@@ -55,7 +77,16 @@ def drive(
     for meter in tb.meters:
         meter.open_window(t_open)
         meter.close_window(t_close)
+    watchdog = _env_watchdog(tb)
     tb.sim.run_until(t_close)
+    if watchdog is not None:
+        watchdog.finalize()
+        report_path = os.environ.get("REPRO_WATCHDOG_REPORT")
+        if report_path:
+            watchdog.append_report(
+                report_path,
+                label=f"{tb.scenario}/{tb.switch.params.name}/{tb.frame_size}B",
+            )
 
     per_gbps = []
     per_mpps = []

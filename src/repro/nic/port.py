@@ -139,6 +139,7 @@ class NicPort:
 
         self._tx_busy_until_ns = 0.0
         self._name_hash = _name_hash(name)
+        self._pcie_stall_base: float | None = None
         self.tx_packets = 0
         self.tx_bytes = 0
         self.tx_dropped = 0
@@ -257,6 +258,51 @@ class NicPort:
             boundary = -(-ready // period) * period  # ceil to next ITR tick
             delay = boundary - self.sim.now
         self.sim.after(delay, lambda: ring.push_batch(packets))
+
+    # -- fault hooks (repro.faults) ----------------------------------------
+
+    @property
+    def link_up(self) -> bool:
+        return "send_batch" not in self.__dict__
+
+    def link_down(self) -> None:
+        """Carrier loss: frames handed to this port during the flap vanish.
+
+        Implemented as an instance-level ``send_batch`` override (all call
+        sites resolve the method dynamically), so a port whose link never
+        flaps executes exactly the class method with no extra branch.
+        Frames already serialised onto the wire still arrive at the peer.
+        """
+        if "send_batch" in self.__dict__:
+            return
+
+        def _no_carrier(items: Sequence[Packet | PacketBlock]) -> int:
+            frames = 0
+            for item in items:
+                frames += item.count
+                if item.__class__ is PacketBlock:
+                    release_block(item)
+            self.tx_dropped += frames
+            return 0
+
+        self.send_batch = _no_carrier
+
+    def restore_link(self) -> None:
+        """Carrier back: the class ``send_batch`` resumes transmitting."""
+        self.__dict__.pop("send_batch", None)
+
+    def stall_pcie(self, extra_ns: float) -> None:
+        """PCIe/driver stall: DMA completion latency inflates by ``extra_ns``."""
+        if self._pcie_stall_base is not None:
+            return
+        self._pcie_stall_base = self.pcie_latency_ns
+        self.pcie_latency_ns += extra_ns
+
+    def unstall_pcie(self) -> None:
+        if self._pcie_stall_base is None:
+            return
+        self.pcie_latency_ns = self._pcie_stall_base
+        self._pcie_stall_base = None
 
 
 def dual_port_nic(sim: "Simulator", name: str, **kwargs) -> tuple[NicPort, NicPort]:

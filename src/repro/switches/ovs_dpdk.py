@@ -84,3 +84,34 @@ class OvsDpdk(SoftwareSwitch):
             # fair stand-in for the occupancy behaviour we need.
             self._emc.pop(next(iter(self._emc)))
         self._emc[flow] = 1
+
+    # -- fault hooks (repro.faults) ----------------------------------------
+
+    def flush_emc(self) -> int:
+        """Flush the exact-match cache (``ovs-appctl dpctl/flush-conntrack``
+        style churn): every active flow re-misses into the megaflow
+        classifier on its next packet.  Returns entries flushed.
+        """
+        flushed = len(self._emc)
+        self._emc.clear()
+        return flushed
+
+    def begin_flow_reinstall(self) -> list:
+        """Controller restart: all three lookup levels are wiped.
+
+        Until :meth:`finish_flow_reinstall` puts the OpenFlow rules back,
+        every flow's first packet takes the full upcall slow path -- the
+        slow-path storm of a control-plane reset.  Returns the stashed
+        rules to hand back to ``finish_flow_reinstall``.
+        """
+        rules = list(self.flow_table._rules)
+        self.flow_table._rules.clear()
+        self._emc.clear()
+        self._megaflows.clear()
+        self.megaflow_entries.clear()
+        return rules
+
+    def finish_flow_reinstall(self, rules: list) -> None:
+        """Re-converge: the controller reinstalls its OpenFlow rules."""
+        for rule in rules:
+            self.flow_table.add_rule(rule)

@@ -62,3 +62,17 @@ class Vale(SoftwareSwitch):
     def lookup(self, dst_mac: int) -> Attachment | None:
         """Forwarding-table lookup (exposed for tests and examples)."""
         return self._mac_table.get(dst_mac)
+
+    # -- fault hooks (repro.faults) ----------------------------------------
+
+    def flush_mac_table(self) -> int:
+        """Control-plane reset: forget every learned MAC.
+
+        The data plane keeps forwarding -- the next frame per source
+        relearns its entry and unknown destinations flood until then,
+        which is VALE's graceful re-convergence.  Returns the number of
+        entries flushed.
+        """
+        flushed = len(self._mac_table)
+        self._mac_table.clear()
+        return flushed

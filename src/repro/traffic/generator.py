@@ -76,6 +76,8 @@ class PacedSource:
         self._next_probe_at = 0.0
         self._stop_at: float | None = None
         self._flow_cursor = 0
+        self._halted = False
+        self._chain_broken = False
 
     def start(self, t0_ns: float = 0.0, stop_at_ns: float | None = None) -> None:
         """Begin emitting at ``t0_ns``; stop after ``stop_at_ns`` if given."""
@@ -85,6 +87,9 @@ class PacedSource:
 
     def _tick(self) -> None:
         now = self.sim.now
+        if self._halted:
+            self._chain_broken = True
+            return
         if self._stop_at is not None and now >= self._stop_at:
             return
         burst = self.burst
@@ -164,3 +169,24 @@ class PacedSource:
 
     def _emit(self, batch: list[Packet]) -> None:
         raise NotImplementedError
+
+    # -- fault hooks (repro.faults) ----------------------------------------
+
+    def halt(self) -> None:
+        """Stop emitting (crashed generator app); pacing chain breaks on
+        its next scheduled tick."""
+        self._halted = True
+
+    def resume(self) -> None:
+        """Restart emission after a halt.
+
+        If the halt window outlasted the inter-burst gap the pacing chain
+        already broke and is re-armed now; otherwise the still-pending tick
+        simply carries on.
+        """
+        if not self._halted:
+            return
+        self._halted = False
+        if self._chain_broken:
+            self._chain_broken = False
+            self.sim.after(0.0, self._tick)

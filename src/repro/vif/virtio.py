@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.core.ring import Ring
+from repro.core.ring import Ring, disconnect_ring, freeze_ring, restore_ring
 from repro.cpu.costmodel import Cost
 
 if TYPE_CHECKING:
@@ -85,6 +85,32 @@ class VirtualInterface:
         if copy_bytes <= 0:
             return 0.0
         return self.bus.reserve(copy_bytes, now_ns)
+
+    # -- fault hooks (repro.faults) ----------------------------------------
+
+    def disconnect(self) -> int:
+        """vhost-user backend death: both vrings detach, contents are lost.
+
+        Returns the number of in-flight frames discarded.  Pushes from
+        either side drop (and count) until :meth:`reconnect`.
+        """
+        return disconnect_ring(self.to_guest) + disconnect_ring(self.to_host)
+
+    def reconnect(self) -> None:
+        """Backend reconnects: fresh, empty, working vrings."""
+        restore_ring(self.to_guest)
+        restore_ring(self.to_host)
+
+    def freeze(self) -> None:
+        """virtio ring freeze: descriptors stop being reaped on both
+        directions; producers fill the remaining slots, then overflow-drop."""
+        freeze_ring(self.to_guest)
+        freeze_ring(self.to_host)
+
+    def thaw(self) -> None:
+        """End a freeze; preserved ring contents drain normally."""
+        restore_ring(self.to_guest)
+        restore_ring(self.to_host)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"VirtualInterface({self.name}, backend={self.backend})"

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.packet import PacketBlock, release_block
 from repro.cpu.cores import Core
 from repro.vif.virtio import VirtualInterface
 
@@ -40,6 +41,7 @@ class VirtualMachine:
             node.add_core(f"{name}/vcpu{i}") for i in range(vcpus)
         ]
         self.interfaces: list[VirtualInterface] = []
+        self.crashed = False
 
     def plug(self, vif: VirtualInterface) -> VirtualInterface:
         """Attach a virtual interface (virtio or ptnet device) to the guest."""
@@ -51,6 +53,61 @@ class VirtualMachine:
         core = self.cores[vcpu]
         core.attach(app)
         core.start()
+
+    # -- fault hooks (repro.faults) ----------------------------------------
+
+    def crash(self) -> int:
+        """Kill the guest app(s): polls become no-ops, buffered tx is lost.
+
+        Each pinned task gets an instance-level ``poll`` that shadows the
+        class method (``Core._iterate`` looks ``poll`` up dynamically every
+        iteration, so no core-side change is needed).  Returns the number
+        of frames discarded from app transmit buffers.
+        """
+        if self.crashed:
+            return 0
+        self.crashed = True
+        lost = 0
+        for core in self.cores:
+            for task in core.tasks:
+                task.poll = _dead_poll
+                buf = getattr(task, "_tx_buffer", None)
+                if buf:
+                    for item in buf:
+                        lost += item.count
+                        if item.__class__ is PacketBlock:
+                            release_block(item)
+                    buf.clear()
+                    task._tx_frames = 0
+        return lost
+
+    def restart(self) -> int:
+        """Bring the guest app(s) back after a crash.
+
+        The restarting virtio drivers reset their vrings, so frames that
+        accumulated in the guest-facing rings while the app was dead are
+        drained and dropped (returned as the lost-frame count).  Drain
+        timers restart from the current instant.
+        """
+        if not self.crashed:
+            return 0
+        self.crashed = False
+        now = self.sim.now
+        for core in self.cores:
+            for task in core.tasks:
+                task.__dict__.pop("poll", None)
+                if hasattr(task, "_last_flush_ns"):
+                    task._last_flush_ns = now
+        lost = 0
+        for vif in self.interfaces:
+            lost += vif.to_guest.clear()
+            lost += vif.to_host.clear()
+        return lost
+
+
+def _dead_poll(core: Core) -> float:
+    """Poll body of a crashed guest app: consumes nothing, does nothing."""
+    return 0.0
 
 
 class Hypervisor:

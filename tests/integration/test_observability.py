@@ -215,3 +215,42 @@ def test_disabled_observability_dispatch_overhead_under_5_percent():
         f"unobserved dispatch loop regressed: {current:.4f}s vs "
         f"seed-style {baseline:.4f}s"
     )
+
+
+def _ring_push_pop_seconds(ring, n_rounds=4_000) -> float:
+    from repro.core.packet import make_block, release_batch
+
+    start = time.perf_counter()
+    for _ in range(n_rounds):
+        ring.push(make_block(32, 64, 0.0))
+        release_batch(ring.pop_batch(32))
+    return time.perf_counter() - start
+
+
+def test_fault_capable_ring_hot_path_overhead_under_5_percent():
+    """The fault layer must cost unfaulted rings nothing measurable.
+
+    Fault states are entered by swapping the ring's *class* and left by
+    swapping it back, so a pristine ring and a faulted-then-restored ring
+    must run the same push/pop machinery: no flags, no extra branches.
+    The watchdog is likewise external (a periodic scanner), so with
+    ``REPRO_WATCHDOG`` unset the hot path is exactly the pre-fault code.
+    """
+    from repro.core.ring import Ring, disconnect_ring, freeze_ring, restore_ring
+
+    pristine = Ring(64)
+    restored = Ring(64)
+    freeze_ring(restored)
+    restore_ring(restored)
+    disconnect_ring(restored)
+    restore_ring(restored)
+    assert restored.__class__ is Ring
+
+    baseline = current = float("inf")
+    for _ in range(7):
+        baseline = min(baseline, _ring_push_pop_seconds(pristine))
+        current = min(current, _ring_push_pop_seconds(restored))
+    assert current <= baseline * 1.05, (
+        f"faulted-then-restored ring slower than pristine: {current:.4f}s "
+        f"vs {baseline:.4f}s"
+    )

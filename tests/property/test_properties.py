@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given, seed, settings
 from hypothesis import strategies as st
 
 from repro.core import units
@@ -295,3 +295,113 @@ class TestRingFrameConservation:
             for item in ring.pop_batch(5):
                 drained.extend(range(item.seq0, item.seq0 + item.count))
         assert drained == sorted(drained)
+
+
+class TestRingFaultStateProperties:
+    """Frame conservation must survive arbitrary fault/restore interleavings.
+
+    The fault layer swaps a ring's class (freeze/disconnect) and swaps it
+    back; under any interleaving of pushes, pops and fault transitions,
+    every offered frame must still be accounted for as enqueued, dropped
+    or still queued -- and FIFO order must survive a freeze.
+
+    Seeds are pinned so CI replays the exact example corpus.
+    """
+
+    #: push(n>0) / pop(n<0) / freeze(-1000) / disconnect(-2000) / restore(0)
+    ops = st.lists(
+        st.one_of(
+            st.integers(min_value=1, max_value=32),     # push n frames
+            st.integers(min_value=-40, max_value=-1),   # pop up to |n|
+            st.sampled_from([-1000, -2000, 0]),         # fault transitions
+        ),
+        min_size=1,
+        max_size=60,
+    )
+
+    @seed(20260806)
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=1, max_value=96), ops)
+    def test_conservation_with_faults_active(self, capacity, ops):
+        from repro.core.packet import Packet, make_block
+        from repro.core.ring import disconnect_ring, freeze_ring, restore_ring
+
+        ring = Ring(capacity)
+        offered = 0
+        popped = 0
+        lost = 0  # in-flight frames a disconnect discards (it reports them)
+        for op in ops:
+            if op == 0:
+                restore_ring(ring)
+            elif op == -1000:
+                restore_ring(ring)
+                freeze_ring(ring)
+            elif op == -2000:
+                restore_ring(ring)
+                lost += disconnect_ring(ring)
+            elif op > 0:
+                item = Packet() if op == 1 else make_block(op, 64, 0.0)
+                ring.push(item)
+                offered += op
+            else:
+                popped += sum(i.count for i in ring.pop_batch(-op))
+        restore_ring(ring)
+        assert offered == ring.enqueued + ring.dropped
+        assert ring.enqueued == popped + len(ring) + lost
+        assert 0 <= len(ring) <= ring.capacity
+
+    @seed(20260806)
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(min_value=8, max_value=64),
+        st.lists(st.integers(min_value=1, max_value=8), min_size=2, max_size=10),
+        st.data(),
+    )
+    def test_freeze_preserves_fifo_order(self, capacity, pushes, data):
+        from repro.core.packet import make_block
+        from repro.core.ring import freeze_ring, restore_ring
+
+        ring = Ring(capacity)
+        for count in pushes:
+            ring.push(make_block(count, 64, 0.0))
+            if data.draw(st.booleans()):
+                freeze_ring(ring)
+                assert ring.pop_batch(capacity) == []  # frozen: nothing moves
+                restore_ring(ring)
+        drained = []
+        while len(ring):
+            for item in ring.pop_batch(3):
+                drained.extend(range(item.seq0, item.seq0 + item.count))
+        assert drained == sorted(drained)
+
+
+class TestBlockIntegrityUnderFaults:
+    """Split/truncate invariants hold for blocks bounced off faulted rings."""
+
+    @seed(20260806)
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=256),
+        st.integers(min_value=1, max_value=300),
+        st.data(),
+    )
+    def test_split_after_fault_round_trip_keeps_seq_range(self, count, cap, data):
+        from repro.core.packet import make_block
+        from repro.core.ring import disconnect_ring, restore_ring
+
+        ring = Ring(cap)
+        block = make_block(count, 64, 0.0)
+        seq0, total = block.seq0, block.count
+
+        bounced = make_block(5, 64, 0.0)  # dropped on the floor, released
+        disconnect_ring(ring)
+        assert ring.push(bounced) == 0
+        restore_ring(ring)
+
+        # The surviving block still splits into a clean seq partition.
+        k = data.draw(st.integers(min_value=1, max_value=count - 1))
+        front = block.split(k)
+        assert front.count + block.count == total
+        assert front.seq0 == seq0
+        assert block.seq0 == seq0 + k
+        assert front.seq0 + front.count == block.seq0

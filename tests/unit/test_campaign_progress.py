@@ -57,6 +57,50 @@ def test_eta_from_mean_pace():
     assert reporter.eta_s() is None  # finished
 
 
+def test_eta_zero_run_grid_is_none():
+    """A degenerate empty grid must not divide by zero or emit an ETA."""
+    clock = FakeClock()
+    reporter = ProgressReporter(total=0, clock=clock)
+    reporter.start()
+    clock.now = 5.0
+    assert reporter.eta_s() is None
+
+
+def test_eta_single_run_grid_never_estimates():
+    """With one run there is nothing left to estimate: before it finishes
+    there is no pace, after it finishes there is no remainder."""
+    clock = FakeClock()
+    reporter = ProgressReporter(total=1, clock=clock)
+    reporter.start()
+    assert reporter.eta_s() is None
+    clock.now = 10.0
+    reporter.update(_record())
+    assert reporter.eta_s() is None
+
+
+def test_eta_ignores_cache_hits_for_pace():
+    """A burst of instant cache hits must not forecast a near-zero ETA
+    for the real runs still pending."""
+    clock = FakeClock()
+    reporter = ProgressReporter(total=10, clock=clock)
+    reporter.start()
+    for _ in range(5):
+        reporter.update(_record(), source="cache")
+    # Only hits so far: no execution pace, so no estimate at all.
+    assert reporter.eta_s() is None
+    clock.now = 10.0
+    reporter.update(_record(), source="executed")
+    # Pace = 10s per *executed* run, 4 runs remaining.
+    assert reporter.eta_s() == 40.0
+
+
+def test_eta_suffix_absent_when_no_estimate():
+    lines = []
+    reporter = ProgressReporter(total=1, emit=lines.append)
+    reporter.update(_record())
+    assert all("ETA" not in line for line in lines)
+
+
 def test_emitted_lines_and_summary():
     lines = []
     reporter = ProgressReporter(total=2, emit=lines.append)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import main
+from repro.switches.registry import switch_names
 
 
 def test_throughput_command(capsys):
@@ -128,9 +129,13 @@ def test_campaign_store_and_csv(capsys, tmp_path, monkeypatch):
     assert "4 resumed" in out
 
 
-def test_unknown_switch_rejected():
-    with pytest.raises(SystemExit):
-        main(["p2p", "--switch", "notaswitch"])
+def test_unknown_switch_rejected(capsys):
+    assert main(["p2p", "--switch", "notaswitch"]) == 1
+    err = capsys.readouterr().err
+    assert "notaswitch" in err
+    # The error must be actionable: every registered switch is listed.
+    for name in switch_names():
+        assert name in err
 
 
 def test_unknown_scenario_rejected():

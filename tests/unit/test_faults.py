@@ -1,0 +1,331 @@
+"""Unit tests for repro.faults: plans, the injector, the watchdog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import Packet, make_block
+from repro.core.ring import (
+    DisconnectedRing,
+    FrozenRing,
+    Ring,
+    disconnect_ring,
+    freeze_ring,
+    restore_ring,
+)
+from repro.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultInjector,
+    FaultTargetError,
+    InvariantWatchdog,
+    WatchdogError,
+    parse_fault,
+)
+from repro.scenarios import p2p, p2v, v2v
+
+
+# ---------------------------------------------------------------------------
+# FaultEvent / FaultPlan model
+# ---------------------------------------------------------------------------
+
+
+def test_event_validates_kind_with_actionable_error():
+    with pytest.raises(ValueError) as err:
+        FaultEvent(at_ns=0.0, kind="frobnicate", target="x", duration_ns=1.0)
+    for kind in FAULT_KINDS:
+        assert kind in str(err.value)
+
+
+def test_event_rejects_zero_duration_for_window_kinds():
+    with pytest.raises(ValueError, match="positive duration_ns"):
+        FaultEvent(at_ns=0.0, kind="nic-link-flap", target="p0")
+
+
+def test_instant_kinds_need_no_duration():
+    event = FaultEvent(at_ns=5.0, kind="switch-mac-flush", target="switch")
+    assert event.end_ns == 5.0
+    assert event.label == "switch-mac-flush@switch"
+
+
+def test_event_rejects_unknown_kind_argument():
+    with pytest.raises(ValueError, match="does not take argument"):
+        FaultEvent(
+            at_ns=0.0,
+            kind="core-throttle",
+            target="numa0/sut",
+            duration_ns=1.0,
+            args=(("warp", 9.0),),
+        )
+
+
+def test_event_arg_falls_back_to_kind_default():
+    event = FaultEvent(at_ns=0.0, kind="core-throttle", target="c", duration_ns=1.0)
+    assert event.arg("factor") == 0.5
+    tuned = FaultEvent(
+        at_ns=0.0, kind="core-throttle", target="c", duration_ns=1.0,
+        args=(("factor", 0.25),),
+    )
+    assert tuned.arg("factor") == 0.25
+
+
+def test_event_round_trips_through_dict_and_key():
+    event = FaultEvent(
+        at_ns=100.0, kind="mem-contention", target="numa0", duration_ns=50.0,
+        seed=3, args=(("factor", 0.7),),
+    )
+    assert FaultEvent.from_dict(event.to_dict()) == event
+    assert FaultEvent.from_key(event.to_key()) == event
+
+
+def test_plan_sorts_events_and_reports_window():
+    late = FaultEvent(at_ns=200.0, kind="core-preempt", target="c", duration_ns=10.0)
+    early = FaultEvent(at_ns=50.0, kind="core-preempt", target="d", duration_ns=100.0)
+    plan = FaultPlan.of(late, early)
+    assert plan.events[0] is early
+    assert plan.first_at_ns == 50.0
+    assert plan.last_end_ns == 210.0
+    assert len(plan) == 2 and bool(plan)
+
+
+def test_empty_plan_is_falsy_with_inf_start():
+    plan = FaultPlan()
+    assert not plan
+    assert plan.first_at_ns == float("inf")
+    assert plan.last_end_ns == 0.0
+
+
+def test_parse_fault_grammar():
+    event = parse_fault("vif-disconnect@vm1.eth0:at_ns=1e6,duration_ns=3e5,seed=2")
+    assert event == FaultEvent(
+        at_ns=1e6, kind="vif-disconnect", target="vm1.eth0", duration_ns=3e5, seed=2
+    )
+    tuned = parse_fault("core-throttle@numa0/sut:at_ns=10,duration_ns=5,factor=0.4")
+    assert tuned.arg("factor") == 0.4
+
+
+@pytest.mark.parametrize(
+    "text, match",
+    [
+        ("nonsense", "expected"),
+        ("justakind:at_ns=1", "kind@target"),
+        ("warp-drive@x:at_ns=1", "valid kinds"),
+        ("core-preempt@c:at_ns=abc", "not a number"),
+        ("core-preempt@c:duration_ns=5", "needs at_ns"),
+        ("core-preempt@c:at_ns", "key=value"),
+    ],
+)
+def test_parse_fault_rejects_malformed_text(text, match):
+    with pytest.raises(ValueError, match=match):
+        parse_fault(text)
+
+
+# ---------------------------------------------------------------------------
+# Ring fault states
+# ---------------------------------------------------------------------------
+
+
+def test_frozen_ring_holds_frames_and_restores():
+    ring = Ring(8)
+    ring.push(make_block(4, 64, 0.0))
+    freeze_ring(ring)
+    assert ring.__class__ is FrozenRing
+    assert ring.pop_batch(8) == []
+    assert len(ring) == 4  # frames held, not lost
+    restore_ring(ring)
+    assert ring.__class__ is Ring
+    assert sum(i.count for i in ring.pop_batch(8)) == 4
+
+
+def test_disconnected_ring_drops_pushes_and_counts_them():
+    ring = Ring(8)
+    disconnect_ring(ring)
+    before = ring.dropped
+    assert ring.push(make_block(3, 64, 0.0)) == 0
+    assert ring.push(Packet()) == 0
+    assert ring.dropped == before + 4
+    assert ring.pop_batch(8) == []
+    restore_ring(ring)
+    assert ring.push(Packet()) == 1
+
+
+def test_double_fault_on_one_ring_is_an_error():
+    ring = Ring(4)
+    freeze_ring(ring)
+    with pytest.raises(ValueError, match="already"):
+        disconnect_ring(ring)
+    restore_ring(ring)
+    restore_ring(ring)  # idempotent
+
+
+def test_clear_reports_lost_frames():
+    ring = Ring(8)
+    ring.push(make_block(5, 64, 0.0))
+    assert ring.clear() == 5
+    assert len(ring) == 0
+
+
+# ---------------------------------------------------------------------------
+# FaultInjector resolution
+# ---------------------------------------------------------------------------
+
+
+def test_injector_rejects_unknown_target_listing_available():
+    tb = p2p.build("vale", frame_size=64, seed=1)
+    plan = FaultPlan.of(
+        FaultEvent(at_ns=1.0, kind="nic-link-flap", target="bogus.p9", duration_ns=1.0)
+    )
+    with pytest.raises(FaultTargetError) as err:
+        FaultInjector(tb, plan)
+    message = str(err.value)
+    assert "bogus.p9" in message
+    assert "sut-nic.p1" in message  # available targets are listed
+
+
+def test_injector_rejects_unsupported_switch_kind():
+    # VALE has a MAC table but no EMC; the error lists switches that do.
+    tb = p2p.build("vale", frame_size=64, seed=1)
+    plan = FaultPlan.of(
+        FaultEvent(at_ns=1.0, kind="switch-emc-flush", target="switch")
+    )
+    with pytest.raises(FaultTargetError):
+        FaultInjector(tb, plan)
+
+
+def test_injector_resolves_every_layer():
+    tb = v2v.build("vale", frame_size=64, seed=1)
+    plan = FaultPlan.of(
+        FaultEvent(at_ns=1.0, kind="vif-disconnect", target="vm1.eth0", duration_ns=1.0),
+        FaultEvent(at_ns=1.0, kind="vnf-crash", target="vm2", duration_ns=1.0),
+        FaultEvent(at_ns=1.0, kind="core-preempt", target="numa0/sut", duration_ns=1.0),
+        FaultEvent(at_ns=1.0, kind="mem-contention", target="numa0", duration_ns=1.0),
+        FaultEvent(at_ns=1.0, kind="switch-mac-flush", target="switch"),
+    )
+    injector = FaultInjector(tb, plan)  # no FaultTargetError
+    assert injector.plan is plan
+
+
+def test_unfaulted_run_never_constructs_rng_streams():
+    """Determinism contract: arming a plan without stochastic kinds draws
+    nothing; an absent plan means no injector at all (see golden stats)."""
+    tb = p2p.build("vale", frame_size=64, seed=1)
+    streams_before = set(tb.rngs.names()) if hasattr(tb.rngs, "names") else None
+    plan = FaultPlan.of(
+        FaultEvent(at_ns=1_000.0, kind="nic-link-flap", target="sut-nic.p1", duration_ns=500.0)
+    )
+    injector = FaultInjector(tb, plan)
+    injector.arm()
+    tb.sim.run_until(2_000.0)
+    if streams_before is not None:
+        assert set(tb.rngs.names()) == streams_before
+    assert len(injector.spans) == 1
+
+
+def test_flow_reinstall_preserves_rules_and_their_stats():
+    from repro.core.engine import Simulator
+    from repro.switches.openflow import FlowMatch, FlowRule
+    from repro.switches.registry import create_switch
+
+    switch = create_switch("ovs-dpdk", Simulator())
+    rule = FlowRule(match=FlowMatch(flow_id=1), action="output:1", priority=5, n_packets=42)
+    switch.flow_table.add_rule(rule)
+    switch.flow_table.add_rule(FlowRule(match=FlowMatch(), action="drop", priority=0))
+
+    stashed = switch.begin_flow_reinstall()
+    assert len(stashed) == 2
+    assert len(switch.flow_table) == 0  # slow-path storm while empty
+    switch.finish_flow_reinstall(stashed)
+    assert len(switch.flow_table) == 2
+    assert switch.flow_table._rules[0] is rule  # priority order + stats kept
+    assert switch.flow_table._rules[0].n_packets == 42
+
+
+# ---------------------------------------------------------------------------
+# InvariantWatchdog
+# ---------------------------------------------------------------------------
+
+
+def test_watchdog_clean_run_has_no_violations():
+    tb = p2p.build("vale", frame_size=64, seed=1)
+    watchdog = InvariantWatchdog(tb, interval_ns=50_000.0)
+    watchdog.start()
+    tb.sim.run_until(500_000.0)
+    report = watchdog.finalize()
+    assert report["violations"] == []
+    assert report["scans"] >= 10
+    assert report["rings_watched"] > 0
+
+
+def test_watchdog_catches_seeded_conservation_bug():
+    """A deliberately corrupted forwarded counter must be flagged."""
+    tb = p2p.build("vale", frame_size=64, seed=1)
+    watchdog = InvariantWatchdog(tb, interval_ns=50_000.0)
+    watchdog.start()
+    tb.sim.run_until(200_000.0)
+
+    # Seed the bug: pretend the path forwarded frames it never received.
+    path = tb.switch.paths[0]
+    path.forwarded += 1_000_000
+
+    violations = watchdog.scan_once()
+    assert any(v.check == "conservation" for v in violations)
+    report = watchdog.report()
+    assert any(row["check"] == "conservation" for row in report["violations"])
+
+
+def test_watchdog_catches_seeded_ring_corruption():
+    tb = p2p.build("vale", frame_size=64, seed=1)
+    watchdog = InvariantWatchdog(tb, interval_ns=50_000.0)
+    tb.sim.run_until(200_000.0)
+
+    name, ring = watchdog._rings[0]
+    ring._frames = ring.capacity + 7  # occupancy out of bounds + inconsistent
+
+    violations = watchdog.scan_once()
+    checks = {v.check for v in violations}
+    assert "ring-occupancy" in checks
+    assert "ring-consistency" in checks
+    assert any(v.subject == name for v in violations)
+
+
+def test_watchdog_strict_mode_raises():
+    tb = p2p.build("vale", frame_size=64, seed=1)
+    watchdog = InvariantWatchdog(tb, interval_ns=50_000.0, strict=True)
+    tb.sim.run_until(200_000.0)
+    tb.switch.paths[0].forwarded += 1_000_000
+    with pytest.raises(WatchdogError, match="conservation"):
+        watchdog.scan_once()
+
+
+def test_watchdog_report_appends_jsonl(tmp_path):
+    import json
+
+    tb = p2p.build("vale", frame_size=64, seed=1)
+    watchdog = InvariantWatchdog(tb, interval_ns=100_000.0)
+    watchdog.start()
+    tb.sim.run_until(300_000.0)
+    watchdog.finalize()
+    path = tmp_path / "watchdog.jsonl"
+    watchdog.append_report(str(path), label="unit")
+    watchdog.append_report(str(path), label="unit-2")
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [row["label"] for row in rows] == ["unit", "unit-2"]
+    assert rows[0]["violations"] == []
+
+
+def test_watchdog_survives_active_faults():
+    """Class-swapped (faulted) rings must not trip the invariants."""
+    tb = p2v.build("vale", frame_size=64, seed=1)
+    plan = FaultPlan.of(
+        FaultEvent(at_ns=100_000.0, kind="vif-freeze", target="vm1.eth0", duration_ns=150_000.0),
+        FaultEvent(at_ns=400_000.0, kind="vnf-crash", target="vm1", duration_ns=100_000.0),
+    )
+    injector = FaultInjector(tb, plan)
+    injector.arm()
+    watchdog = InvariantWatchdog(tb, interval_ns=25_000.0, strict=True)
+    watchdog.start()
+    tb.sim.run_until(700_000.0)  # strict: any violation raises
+    report = watchdog.finalize()
+    assert report["violations"] == []
+    assert len(injector.spans) == 2
