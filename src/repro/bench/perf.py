@@ -13,7 +13,15 @@ Each case is repeated ``repeat`` times and the *minimum* wall time is
 reported (the minimum is the noise-free cost; everything above it is
 scheduler jitter).  ``run_perf`` compares against a committed baseline
 JSON (``benchmarks/perf/baseline_pr3.json`` holds the pre-flyweight seed
-numbers) and reports per-case speedups.
+numbers) and reports per-case speedups; :func:`perf_regressions` turns
+that comparison into a CI gate (``repro-bench perf --max-regress 20``
+exits non-zero when any case runs >20% slower than its baseline).
+
+``WARP_CASES`` are the long-horizon acceptance pairs for the
+steady-state fast-forward (:mod:`repro.core.warp`): a 10x measurement
+window at a paced sub-capacity load, driven once with warp pinned off
+and once pinned on, reported as ``warp_speedup`` (the wall-clock ratio;
+results are verified bit-identical elsewhere, this bench only times).
 
 CLI entry point: ``repro-bench perf --json`` (writes ``BENCH_pr3.json``).
 """
@@ -43,6 +51,12 @@ class PerfCase:
     switch: str = ""
     frame_size: int = 64
     bidirectional: bool = False
+    #: offered rate for paced sources (None = saturating input).
+    rate_pps: float | None = None
+    #: measurement-window multiplier (long-horizon cases use 10x).
+    measure_scale: float = 1.0
+    #: pin the steady-state fast-forward (None follows REPRO_WARP).
+    warp: bool | None = None
 
 
 #: The standard grid: engine dispatch plus the tier-1 scenario hot paths.
@@ -58,6 +72,36 @@ PERF_CASES: tuple[PerfCase, ...] = (
     PerfCase("v2v.vale.64", "scenario", "v2v", "vale"),
     PerfCase("loopback.vpp.64", "scenario", "loopback", "vpp"),
 )
+
+#: Long-horizon warp acceptance cases: a 10x measurement window at an
+#: NDR-trial-style sub-capacity offered load (the workload class where a
+#: rate search or latency sweep burns most of its wall clock).  Each
+#: scenario appears twice -- warp pinned off (the event-by-event cost)
+#: and warp pinned on -- so the report's ``warp_speedup`` section is a
+#: same-process A/B, not a cross-machine comparison.
+LONG_HORIZON_RATE_PPS = 3_000_000.0
+LONG_HORIZON_SCALE = 10.0
+WARP_CASES: tuple[PerfCase, ...] = (
+    PerfCase(
+        "longh.p2p.ovs-dpdk.nowarp", "scenario", "p2p", "ovs-dpdk",
+        rate_pps=LONG_HORIZON_RATE_PPS, measure_scale=LONG_HORIZON_SCALE, warp=False,
+    ),
+    PerfCase(
+        "longh.p2p.ovs-dpdk.warp", "scenario", "p2p", "ovs-dpdk",
+        rate_pps=LONG_HORIZON_RATE_PPS, measure_scale=LONG_HORIZON_SCALE, warp=True,
+    ),
+    PerfCase(
+        "longh.p2p.vpp.nowarp", "scenario", "p2p", "vpp",
+        rate_pps=LONG_HORIZON_RATE_PPS, measure_scale=LONG_HORIZON_SCALE, warp=False,
+    ),
+    PerfCase(
+        "longh.p2p.vpp.warp", "scenario", "p2p", "vpp",
+        rate_pps=LONG_HORIZON_RATE_PPS, measure_scale=LONG_HORIZON_SCALE, warp=True,
+    ),
+)
+
+#: Everything: the standard grid plus the long-horizon warp A/B pairs.
+ALL_CASES: tuple[PerfCase, ...] = PERF_CASES + WARP_CASES
 
 #: Engine case: enough events that interpreter warm-up amortises away.
 ENGINE_EVENTS = 100_000
@@ -85,8 +129,11 @@ def _build_testbed(case: PerfCase):
     from repro.scenarios import loopback, p2p, p2v, v2v
 
     builders = {"p2p": p2p.build, "p2v": p2v.build, "v2v": v2v.build, "loopback": loopback.build}
+    kwargs: dict[str, Any] = {}
+    if case.rate_pps is not None:
+        kwargs["rate_pps"] = case.rate_pps
     return builders[case.scenario](
-        case.switch, frame_size=case.frame_size, bidirectional=case.bidirectional
+        case.switch, frame_size=case.frame_size, bidirectional=case.bidirectional, **kwargs
     )
 
 
@@ -97,7 +144,12 @@ def _bench_scenario(
 ) -> dict[str, Any]:
     tb = _build_testbed(case)
     start = time.perf_counter()
-    result = drive(tb, warmup_ns=warmup_ns, measure_ns=measure_ns)
+    result = drive(
+        tb,
+        warmup_ns=warmup_ns,
+        measure_ns=measure_ns * case.measure_scale,
+        warp=case.warp,
+    )
     wall = time.perf_counter() - start
     # Simulated traffic actually moved end-to-end (warm-up included: the
     # simulator pays for those packets too).
@@ -145,9 +197,12 @@ def run_perf(
             progress(f"bench {case.name}")
         results[case.name] = _run_case(case, repeat)
 
+    from repro.core.warp import engine_features
+
     report: dict[str, Any] = {
         "bench": "simulator-perf",
         "repeat": repeat,
+        "engine": engine_features(),
         "cases": results,
     }
     baseline = load_baseline(baseline_path)
@@ -160,7 +215,38 @@ def run_perf(
                 speedups[name] = base["wall_s"] / current["wall_s"]
         report["baseline"] = base_cases
         report["speedup"] = speedups
+    # Same-process warp A/B: pair every "<key>.nowarp" with "<key>.warp".
+    warp_speedups: dict[str, float] = {}
+    for name, row in results.items():
+        if not name.endswith(".nowarp"):
+            continue
+        key = name[: -len(".nowarp")]
+        partner = results.get(key + ".warp")
+        if partner and partner.get("wall_s") and row.get("wall_s"):
+            warp_speedups[key] = row["wall_s"] / partner["wall_s"]
+    if warp_speedups:
+        report["warp_speedup"] = warp_speedups
     return report
+
+
+def perf_regressions(
+    report: dict[str, Any], max_regress_pct: float
+) -> list[tuple[str, float]] | None:
+    """Cases slower than the baseline by more than ``max_regress_pct``.
+
+    Returns None when the report carries no baseline comparison (nothing
+    to gate against); otherwise the offending ``(case, speedup)`` pairs,
+    empty when the gate passes.  A speedup below ``1 - pct/100`` is a
+    regression: at ``--max-regress 10`` a case may run up to 10% slower
+    than its committed baseline before CI fails.
+    """
+    speedups = report.get("speedup")
+    if speedups is None:
+        return None
+    floor = 1.0 - max_regress_pct / 100.0
+    return [
+        (name, ratio) for name, ratio in sorted(speedups.items()) if ratio < floor
+    ]
 
 
 def format_report(report: dict[str, Any]) -> str:
@@ -174,5 +260,10 @@ def format_report(report: dict[str, Any]) -> str:
             else f"{row['sim_mpps_per_wall_s']:8.2f} sim-Mpps/s"
         )
         extra = f"  x{speedups[name]:.2f} vs baseline" if name in speedups else ""
-        lines.append(f"  {name:<20} {row['wall_s'] * 1e3:9.1f} ms  {rate}{extra}")
+        lines.append(f"  {name:<26} {row['wall_s'] * 1e3:9.1f} ms  {rate}{extra}")
+    warp_speedups = report.get("warp_speedup", {})
+    if warp_speedups:
+        lines.append("  warp fast-forward (same-process A/B, bit-identical results):")
+        for key, ratio in sorted(warp_speedups.items()):
+            lines.append(f"    {key:<24} x{ratio:.2f} wall-clock")
     return "\n".join(lines)

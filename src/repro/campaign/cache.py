@@ -40,16 +40,26 @@ def _canonical(obj):
 
 
 def params_fingerprint(switch: str) -> str:
-    """Stable hash of one switch's calibrated cost model.
+    """Stable hash of one switch's calibrated cost model + engine config.
 
     Derived from every field of its :class:`SwitchParams` tree (costs,
-    batching, rings, stability), so editing any calibration constant
-    yields a different fingerprint and therefore different cache keys.
+    batching, rings, stability) plus the engine feature flags
+    (:func:`repro.core.warp.engine_features`: warp on/off and its
+    version), so editing any calibration constant -- or toggling or
+    upgrading the steady-state fast-forward -- yields a different
+    fingerprint and therefore different cache keys.  Warp results are
+    verified bit-identical, but the cache must never have to take that
+    on faith: a record says which engine produced it.
     """
+    from repro.core.warp import engine_features
     from repro.switches.registry import params_for
 
     payload = json.dumps(
-        {"version": CACHE_VERSION, "params": _canonical(params_for(switch))},
+        {
+            "version": CACHE_VERSION,
+            "params": _canonical(params_for(switch)),
+            "engine": _canonical(engine_features()),
+        },
         sort_keys=True,
     )
     return hashlib.sha256(payload.encode()).hexdigest()[:16]

@@ -60,6 +60,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--suite", default="smoke", help="suite name for 'suite'/'campaign'")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
+        "--warp", action=argparse.BooleanOptionalAction, default=None,
+        help="steady-state fast-forward (default: REPRO_WARP env, on); "
+        "results are bit-identical either way",
+    )
+    parser.add_argument(
         "--warmup-ns", type=float, default=None, metavar="NS",
         help="override the warm-up window (default: the runner's)",
     )
@@ -150,7 +155,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--cases", default=None, metavar="A,B,...",
-        help="perf: run only these named cases (default: the full grid)",
+        help="perf: run only these named cases (default: the standard grid; "
+        "long-horizon warp cases are opt-in by name or --long-horizon)",
+    )
+    parser.add_argument(
+        "--long-horizon", action="store_true",
+        help="perf: include the long-horizon warp A/B cases (10x window)",
+    )
+    parser.add_argument(
+        "--max-regress", type=float, default=None, metavar="PCT",
+        help="perf: fail (exit 4) when any case runs more than PCT%% slower "
+        "than the --baseline",
     )
     return parser
 
@@ -250,7 +265,9 @@ def _profile_table(report, scenario: str, args) -> str:
     )
 
 
-def _emit_single_run_obs(args, observation, scenario: str, default_trace_out: str | None = None) -> None:
+def _emit_single_run_obs(
+    args, observation, scenario: str, default_trace_out: str | None = None, result=None
+) -> None:
     """Print/write whatever artifacts the obs flags asked for."""
     trace_out = args.trace_out or default_trace_out
     if observation.tracer is not None and trace_out:
@@ -262,6 +279,11 @@ def _emit_single_run_obs(args, observation, scenario: str, default_trace_out: st
     if observation.profiler is not None and (args.profile or args.scenario == "trace"):
         report = observation.profile()
         print(_profile_table(report, scenario, args))
+        if result is not None:
+            if result.warp is not None:
+                print(f"warp: {result.warp.describe()}")
+            else:
+                print("warp: disabled (REPRO_WARP=0 or --no-warp)")
     if observation.registry is not None:
         if args.metrics_out:
             path = observation.write_prometheus(args.metrics_out)
@@ -290,7 +312,7 @@ def _observed_single_run(args) -> int:
     if scenario == "v2v-latency":
         tb = v2v.build_latency(args.switch, frame_size=args.size, seed=args.seed)
         observation = observe(tb, config)
-        result = drive(tb, **_windows(args))
+        result = drive(tb, **_windows(args), warp=args.warp)
         bottleneck_scenario = "v2v"
     else:
         builders = {"p2p": p2p.build, "p2v": p2v.build, "v2v": v2v.build, "loopback": loopback.build}
@@ -303,7 +325,9 @@ def _observed_single_run(args) -> int:
             **extra,
         )
         observation = observe(tb, config)
-        result = drive(tb, **_windows(args), bidirectional=args.bidirectional)
+        result = drive(
+            tb, **_windows(args), bidirectional=args.bidirectional, warp=args.warp
+        )
         bottleneck_scenario = scenario
     observation.finish(result)
 
@@ -317,7 +341,9 @@ def _observed_single_run(args) -> int:
         _note(summary)
     else:
         print(summary)
-    _emit_single_run_obs(args, observation, bottleneck_scenario, default_trace_out)
+    _emit_single_run_obs(
+        args, observation, bottleneck_scenario, default_trace_out, result=result
+    )
     return 0
 
 
@@ -574,16 +600,23 @@ def _run_perf_command(args) -> int:
     """Simulator micro-benchmarks: events/sec and sim-Mpps per wall-second."""
     import json
 
-    from repro.bench.perf import PERF_CASES, format_report, run_perf
+    from repro.bench.perf import (
+        ALL_CASES,
+        PERF_CASES,
+        WARP_CASES,
+        format_report,
+        perf_regressions,
+        run_perf,
+    )
 
-    cases = PERF_CASES
+    cases = PERF_CASES + WARP_CASES if args.long_horizon else PERF_CASES
     if args.cases:
         want = {name.strip() for name in args.cases.split(",") if name.strip()}
-        unknown = sorted(want - {case.name for case in PERF_CASES})
+        unknown = sorted(want - {case.name for case in ALL_CASES})
         if unknown:
-            print(f"unknown perf cases {unknown}; known: {[c.name for c in PERF_CASES]}")
+            print(f"unknown perf cases {unknown}; known: {[c.name for c in ALL_CASES]}")
             return 1
-        cases = tuple(case for case in PERF_CASES if case.name in want)
+        cases = tuple(case for case in ALL_CASES if case.name in want)
     # --repeat defaults to 1 for suites; the bench wants a few samples to
     # find the noise-free minimum, so treat the default as "3".
     repeat = args.repeat if args.repeat > 1 else 3
@@ -599,6 +632,22 @@ def _run_perf_command(args) -> int:
             json.dump(report, fh, indent=1, sort_keys=True)
             fh.write("\n")
         _note(f"wrote {args.perf_out}")
+    if args.max_regress is not None:
+        regressions = perf_regressions(report, args.max_regress)
+        if regressions is None:
+            _note("perf gate: no baseline to compare against; failing closed")
+            return 4
+        if regressions:
+            for name, ratio in regressions:
+                _note(
+                    f"perf gate: {name} regressed to x{ratio:.2f} of baseline "
+                    f"(floor x{1.0 - args.max_regress / 100.0:.2f})"
+                )
+            return 4
+        _note(
+            f"perf gate: {len(report.get('speedup', {}))} cases within "
+            f"{args.max_regress:g}% of baseline"
+        )
     return 0
 
 
@@ -712,7 +761,7 @@ def main(argv: list[str] | None = None) -> int:
         if _obs_config(args) is not None:
             return _observed_single_run(args)
         tb = v2v.build_latency(args.switch, frame_size=args.size, seed=args.seed)
-        result = drive(tb, **_windows(args))
+        result = drive(tb, **_windows(args), warp=args.warp)
         latency = result.latency
         mean = latency.mean_us if latency is not None and len(latency) else float("nan")
         std = latency.std_us if latency is not None and len(latency) else float("nan")
@@ -735,6 +784,7 @@ def main(argv: list[str] | None = None) -> int:
             sweep_windows["measure_ns"] = args.measure_ns
         points = latency_sweep(
             build, args.switch, frame_size=args.size, seed=args.seed,
+            cache=_cache(args, default_on=False),
             **sweep_windows, **extra,
         )
         rows = [
@@ -756,6 +806,7 @@ def main(argv: list[str] | None = None) -> int:
         frame_size=args.size,
         bidirectional=args.bidirectional,
         seed=args.seed,
+        warp=args.warp,
         **_windows(args),
         **extra,
     )

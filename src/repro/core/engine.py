@@ -136,3 +136,30 @@ class Simulator:
     def pending(self) -> int:
         """Number of events currently queued."""
         return len(self._queue)
+
+    def replace_pending(
+        self,
+        entries: list[tuple[float, int, Callable[[], None]]],
+        *,
+        now: float,
+        seq: int,
+        events: int,
+    ) -> None:
+        """Atomically install a reconstructed scheduler state.
+
+        Used by :mod:`repro.core.warp` to commit a fast-forwarded run:
+        ``entries`` must be ``(time, seq, callback)`` tuples sorted by
+        ``(time, seq)`` (a sorted list is a valid heap), ``now``/``seq``/
+        ``events`` the clock, next event seq and executed-event count the
+        replaced state corresponds to.  Refuses to run mid-dispatch.
+        """
+        if self._running:
+            raise SimulationError("cannot replace pending events mid-dispatch")
+        if now < self._now:
+            raise SimulationError(
+                f"cannot rewind clock to {now} ns; already at {self._now} ns"
+            )
+        self._queue = list(entries)
+        self._now = now
+        self._seq = seq
+        self.events_executed = events

@@ -127,6 +127,12 @@ class RateMeter:
     def close_window(self, now_ns: float) -> None:
         self.window_end_ns = now_ns
 
+    def set_counts(self, packets: int, bytes_: int, warmup_packets: int) -> None:
+        """Install externally reconstructed counts (warp fast-forward)."""
+        self.packets = packets
+        self.bytes = bytes_
+        self.warmup_packets = warmup_packets
+
     def record(self, now_ns: float, size: int) -> None:
         in_window = (
             self.window_start_ns is not None

@@ -172,6 +172,8 @@ class FaultInjector:
         if self._armed:
             return
         self._armed = True
+        # Mark the testbed so replay-safety checks (core.warp) see the plan.
+        self.tb.extras["fault_injector"] = self
         for event in self.plan:
             self.tb.sim.at(event.at_ns, lambda e=event: self._start(e))
 

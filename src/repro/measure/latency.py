@@ -4,17 +4,28 @@ RTT is measured with PTP probes injected into background traffic offered
 at a *fraction* of R+: 0.10 (batch-formation effects), 0.50 (normal
 load) and 0.99 (near-congestion).  R+ itself comes from the throughput
 test (:func:`repro.measure.throughput.estimate_r_plus`).
+
+Because the R+ run is exactly the unidirectional saturating-throughput
+run a campaign would execute, :func:`latency_sweep` can reuse a
+:class:`~repro.campaign.cache.ResultCache` entry instead of re-measuring:
+pass ``cache=`` and the sweep keys the R+ run by the same
+``(RunSpec, params fingerprint)`` hash the campaign machinery uses, so a
+prior throughput campaign over the same grid point makes the estimate
+free (and a miss populates the cache for the next caller).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.stats import LatencySample
-from repro.measure.runner import DEFAULT_WARMUP_NS, drive
+from repro.measure.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS, drive
 from repro.measure.throughput import estimate_r_plus
 from repro.scenarios.base import Testbed
+
+if TYPE_CHECKING:
+    from repro.campaign.cache import ResultCache
 
 #: The paper's load points.
 LOAD_FRACTIONS = (0.10, 0.50, 0.99)
@@ -68,6 +79,77 @@ def measure_latency_at(
     return LatencyPoint(fraction=fraction, offered_pps=rate_pps, sample=sample)
 
 
+def _r_plus_spec(
+    build: Callable[..., Testbed],
+    switch_name: str,
+    frame_size: int,
+    seed: int,
+    build_kwargs: dict,
+):
+    """The R+ estimation run expressed as a campaign :class:`RunSpec`.
+
+    Returns None when the builder is not a stock scenario module or the
+    kwargs cannot be expressed declaratively -- those runs cannot share a
+    cache key with campaign records, so callers fall back to measuring.
+    """
+    module = getattr(build, "__module__", "") or ""
+    if not module.startswith("repro.scenarios."):
+        return None
+    from repro.campaign.spec import SCENARIOS, RunSpec
+
+    scenario = module.rsplit(".", 1)[-1]
+    if scenario not in SCENARIOS:
+        return None
+    kwargs = dict(build_kwargs)
+    n_vnfs = kwargs.pop("n_vnfs", 1)
+    try:
+        return RunSpec(
+            scenario=scenario,
+            switch=switch_name,
+            frame_size=frame_size,
+            bidirectional=False,
+            n_vnfs=n_vnfs,
+            seed=seed,
+            kind="throughput",
+            warmup_ns=DEFAULT_WARMUP_NS,
+            measure_ns=DEFAULT_MEASURE_NS,
+            extra=tuple(sorted(kwargs.items())),
+        )
+    except (TypeError, ValueError):
+        return None
+
+
+def cached_r_plus(
+    build: Callable[..., Testbed],
+    switch_name: str,
+    frame_size: int,
+    cache: "ResultCache",
+    seed: int = 1,
+    **build_kwargs,
+) -> float:
+    """R+ in pps, served from (and stored to) a campaign result cache.
+
+    The R+ run *is* the unidirectional saturating-throughput run, so its
+    cache key is the ordinary campaign key for that grid point: a prior
+    throughput campaign supplies the number for free, and a miss executes
+    the run through :func:`repro.campaign.spec.execute_run` (the same
+    choke point campaigns use) and persists the record.
+    """
+    spec = _r_plus_spec(build, switch_name, frame_size, seed, build_kwargs)
+    if spec is None:
+        return estimate_r_plus(
+            build, switch_name, frame_size, seed=seed, **build_kwargs
+        )
+    record = cache.get(spec)
+    if record is None or not record.ok:
+        from repro.campaign.spec import execute_run
+
+        record = execute_run(spec)
+        if record.ok:
+            cache.put(spec, record)
+    return record.mpps * 1e6
+
+
 def latency_sweep(
     build: Callable[..., Testbed],
     switch_name: str,
@@ -78,13 +160,24 @@ def latency_sweep(
     measure_ns: float = DEFAULT_LATENCY_MEASURE_NS,
     probe_interval_ns: float = DEFAULT_PROBE_INTERVAL_NS,
     seed: int = 1,
+    cache: "ResultCache | None" = None,
     **build_kwargs,
 ) -> dict[float, LatencyPoint]:
-    """The Table 3 per-switch procedure: estimate R+, probe at fractions."""
+    """The Table 3 per-switch procedure: estimate R+, probe at fractions.
+
+    ``cache`` (a :class:`~repro.campaign.cache.ResultCache`) lets the R+
+    estimate reuse a cached campaign throughput record for the same grid
+    point instead of re-driving the saturating run.
+    """
     if r_plus_pps is None:
-        r_plus_pps = estimate_r_plus(
-            build, switch_name, frame_size, seed=seed, **build_kwargs
-        )
+        if cache is not None:
+            r_plus_pps = cached_r_plus(
+                build, switch_name, frame_size, cache, seed=seed, **build_kwargs
+            )
+        else:
+            r_plus_pps = estimate_r_plus(
+                build, switch_name, frame_size, seed=seed, **build_kwargs
+            )
     points = {}
     for fraction in fractions:
         points[fraction] = measure_latency_at(

@@ -6,6 +6,15 @@ single packet drop caused at the driver level."  This module implements
 the classic binary search so that claim is testable: for jittery switches
 the strict-NDR estimate sits far below the average forwarding rate R+
 and varies wildly across seeds, while R+ (the paper's choice) is stable.
+
+``seed_from_model=True`` skips the expensive top of the search tree: the
+closed-form capacity model (:func:`repro.analysis.bottleneck.estimate`)
+predicts which dyadic bracket the search would land in, two trials verify
+the bracket edges, and the binary search resumes *inside* it -- visiting
+exactly the midpoints the unseeded search would have visited from that
+depth on, so (under the monotone-loss assumption the verification trials
+check) the returned ``ndr_pps`` is bit-identical with fewer trials.  A
+failed verification falls back to the full unseeded search.
 """
 
 from __future__ import annotations
@@ -54,6 +63,45 @@ def measure_loss(
     return max(0.0, 1.0 - received / offered)
 
 
+def _model_bracket(
+    switch_name: str,
+    scenario: str,
+    frame_size: int,
+    line: float,
+    iterations: int,
+    margin: float,
+    bidirectional: bool,
+) -> tuple[float, float, int]:
+    """Descend the unseeded search tree toward the model's capacity estimate.
+
+    Replays the *exact* float recurrence ``mid = (low + high) / 2`` the
+    binary search performs, branching toward the closed-form prediction,
+    so the returned bracket edges are bit-identical to the values the
+    unseeded search would hold at that depth.  Stops descending when the
+    next split point is within ``margin`` (relative) of the prediction --
+    the closed form is not trusted to that precision -- or when fewer
+    than two refinement steps would remain.
+    """
+    from repro.analysis.bottleneck import estimate
+
+    predicted = estimate(
+        switch_name, scenario, frame_size=frame_size, bidirectional=bidirectional
+    ).predicted_pps
+    low, high = 0.0, line
+    depth = 0
+    max_depth = iterations - 2
+    while depth < max_depth:
+        mid = (low + high) / 2
+        if abs(predicted - mid) < margin * predicted:
+            break
+        if predicted >= mid:
+            low = mid
+        else:
+            high = mid
+        depth += 1
+    return low, high, depth
+
+
 def ndr_search(
     build: Callable[..., Testbed],
     switch_name: str,
@@ -64,6 +112,9 @@ def ndr_search(
     warmup_ns: float = DEFAULT_WARMUP_NS,
     measure_ns: float = DEFAULT_MEASURE_NS,
     seed: int = 1,
+    seed_from_model: bool = False,
+    scenario: str = "p2p",
+    model_margin: float = 0.1,
     **build_kwargs,
 ) -> NdrResult:
     """RFC 2544 binary search for the highest rate with loss <= threshold.
@@ -75,30 +126,63 @@ def ndr_search(
     edge effects (batches straddling the window boundary) register as
     loss, which is precisely the non-determinism the paper's footnote 3
     blames for NDR's unreliability on software testbeds.
+
+    With ``seed_from_model=True`` the top of the search tree is replaced
+    by the closed-form capacity model: the predicted dyadic bracket is
+    verified with (at most) two trials -- the lower edge must carry, the
+    upper edge must drop -- and refinement continues inside it.  Loss is
+    monotone in offered rate exactly when those two trials imply every
+    skipped decision, so a verified bracket yields the bit-identical
+    ``ndr_pps`` in fewer trials; a failed verification falls back to the
+    full unseeded search (correct for jittery, non-monotone switches).
     """
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
     if not 0.0 <= loss_threshold < 1.0:
         raise ValueError("loss threshold must be in [0, 1)")
-    low = 0.0
-    high = line_rate_pps(frame_size)
-    best = 0.0
-    trials = []
-    for _ in range(iterations):
-        mid = (low + high) / 2
-        if mid <= 0:
-            break
+    line = line_rate_pps(frame_size)
+    trials: list[tuple[float, float]] = []
+
+    def carries(rate: float) -> bool:
         loss = measure_loss(
-            build, switch_name, frame_size, mid,
+            build, switch_name, frame_size, rate,
             warmup_ns=warmup_ns, measure_ns=measure_ns, seed=seed, **build_kwargs,
         )
-        allowance = tolerance_packets / (mid * measure_ns / 1e9)
-        trials.append((mid, loss))
-        if loss <= loss_threshold + allowance:
-            best = mid
-            low = mid
-        else:
-            high = mid
+        allowance = tolerance_packets / (rate * measure_ns / 1e9)
+        trials.append((rate, loss))
+        return loss <= loss_threshold + allowance
+
+    def refine(low: float, high: float, best: float, steps: int) -> float:
+        for _ in range(steps):
+            mid = (low + high) / 2
+            if mid <= 0:
+                break
+            if carries(mid):
+                best = mid
+                low = mid
+            else:
+                high = mid
+        return best
+
+    seeded = False
+    best = 0.0
+    if seed_from_model:
+        try:
+            s_low, s_high, depth = _model_bracket(
+                switch_name, scenario, frame_size, line, iterations,
+                model_margin, bool(build_kwargs.get("bidirectional", False)),
+            )
+        except Exception:
+            depth = 0
+        if depth > 0:
+            verified = (s_low == 0.0 or carries(s_low)) and (
+                s_high >= line or not carries(s_high)
+            )
+            if verified:
+                seeded = True
+                best = refine(s_low, s_high, s_low, iterations - depth)
+    if not seeded:
+        best = refine(0.0, line, 0.0, iterations)
     return NdrResult(
         switch=switch_name,
         frame_size=frame_size,

@@ -16,6 +16,7 @@ import os
 from dataclasses import dataclass, field
 
 from repro.core.stats import LatencySample
+from repro.core.warp import WarpReport, try_warp, warp_enabled
 from repro.scenarios.base import Testbed
 
 #: Default windows.  Throughput stabilises within a few hundred
@@ -50,6 +51,8 @@ class RunResult:
     per_direction_mpps: list[float] = field(default_factory=list)
     latency: LatencySample | None = None
     events: int = 0
+    #: What the steady-state fast-forward did (None when warp disabled).
+    warp: WarpReport | None = None
 
     @property
     def gbps(self) -> float:
@@ -66,8 +69,15 @@ def drive(
     warmup_ns: float = DEFAULT_WARMUP_NS,
     measure_ns: float = DEFAULT_MEASURE_NS,
     bidirectional: bool | None = None,
+    warp: bool | None = None,
 ) -> RunResult:
-    """Run a wired testbed through warm-up + measurement; collect results."""
+    """Run a wired testbed through warm-up + measurement; collect results.
+
+    ``warp`` controls the steady-state fast-forward (:mod:`repro.core.warp`):
+    ``None`` follows the ``REPRO_WARP`` environment switch (default on).
+    Results are bit-identical either way -- the warp declines automatically
+    whenever the run is not provably replay-safe.
+    """
     if warmup_ns < 0:
         raise ValueError("warmup_ns must be non-negative")
     if measure_ns <= 0:
@@ -78,6 +88,9 @@ def drive(
         meter.open_window(t_open)
         meter.close_window(t_close)
     watchdog = _env_watchdog(tb)
+    warp_report: WarpReport | None = None
+    if warp if warp is not None else warp_enabled():
+        warp_report = try_warp(tb, t_open, t_close, watchdog is not None)
     tb.sim.run_until(t_close)
     if watchdog is not None:
         watchdog.finalize()
@@ -113,4 +126,5 @@ def drive(
         per_direction_mpps=per_mpps,
         latency=latency,
         events=tb.sim.events_executed,
+        warp=warp_report,
     )

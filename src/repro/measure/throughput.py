@@ -26,6 +26,7 @@ def measure_throughput(
     warmup_ns: float = DEFAULT_WARMUP_NS,
     measure_ns: float = DEFAULT_MEASURE_NS,
     seed: int = 1,
+    warp: bool | None = None,
     **build_kwargs,
 ) -> RunResult:
     """Saturating-input throughput for one (scenario, switch, size, dir)."""
@@ -36,7 +37,13 @@ def measure_throughput(
         seed=seed,
         **build_kwargs,
     )
-    return drive(tb, warmup_ns=warmup_ns, measure_ns=measure_ns, bidirectional=bidirectional)
+    return drive(
+        tb,
+        warmup_ns=warmup_ns,
+        measure_ns=measure_ns,
+        bidirectional=bidirectional,
+        warp=warp,
+    )
 
 
 def estimate_r_plus(

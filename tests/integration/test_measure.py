@@ -96,3 +96,64 @@ def test_latency_sweep_accepts_precomputed_r_plus():
         fractions=(0.5,), warmup_ns=FAST_WARMUP_NS, measure_ns=1_000_000.0,
     )
     assert points[0.5].offered_pps == pytest.approx(5e6)
+
+
+class TestCachedRPlus:
+    """latency_sweep reuses campaign-cached R+ rows (repro.campaign.cache)."""
+
+    def test_r_plus_round_trips_through_the_campaign_cache(self, tmp_path):
+        from repro.campaign.cache import ResultCache
+        from repro.measure.latency import cached_r_plus
+
+        cache = ResultCache(tmp_path / "cache")
+        miss = cached_r_plus(p2p.build, "bess", 64, cache)
+        assert len(cache) == 1
+        hit = cached_r_plus(p2p.build, "bess", 64, cache)
+        assert repr(hit) == repr(miss)
+        # The number is the plain estimate, bit for bit.
+        assert repr(miss) == repr(estimate_r_plus(p2p.build, "bess", 64))
+
+    def test_campaign_record_is_reused_verbatim(self, tmp_path):
+        """A prior campaign throughput run at the same grid point feeds
+        the sweep without re-measuring: the key is the ordinary campaign
+        key, so the record planted by execute_run must be a hit."""
+        from repro.campaign.cache import ResultCache
+        from repro.campaign.spec import RunSpec, execute_run
+        from repro.measure.latency import cached_r_plus
+
+        cache = ResultCache(tmp_path / "cache")
+        spec = RunSpec("p2p", "vpp")
+        cache.put(spec, execute_run(spec))
+        r_plus = cached_r_plus(p2p.build, "vpp", 64, cache)
+        assert len(cache) == 1  # reused, not re-keyed
+        assert repr(r_plus) == repr(estimate_r_plus(p2p.build, "vpp", 64))
+
+    def test_sweep_with_cache_matches_uncached_sweep(self, tmp_path):
+        from repro.campaign.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        cached = latency_sweep(
+            p2p.build, "bess", 64, cache=cache,
+            fractions=(0.5,), warmup_ns=FAST_WARMUP_NS, measure_ns=1_000_000.0,
+        )
+        plain = latency_sweep(
+            p2p.build, "bess", 64,
+            fractions=(0.5,), warmup_ns=FAST_WARMUP_NS, measure_ns=1_000_000.0,
+        )
+        assert repr(cached[0.5].offered_pps) == repr(plain[0.5].offered_pps)
+        assert repr(cached[0.5].mean_us) == repr(plain[0.5].mean_us)
+        assert len(cache) == 1
+
+    def test_custom_builder_bypasses_the_cache(self, tmp_path):
+        """A builder outside repro.scenarios cannot be named by a RunSpec,
+        so the sweep measures directly and stores nothing."""
+        from repro.campaign.cache import ResultCache
+        from repro.measure.latency import cached_r_plus
+
+        def custom_build(switch_name, **kwargs):
+            return p2p.build(switch_name, **kwargs)
+
+        cache = ResultCache(tmp_path / "cache")
+        r_plus = cached_r_plus(custom_build, "bess", 64, cache)
+        assert r_plus > 0
+        assert len(cache) == 0

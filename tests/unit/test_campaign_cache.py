@@ -75,3 +75,35 @@ def test_corrupt_entry_is_a_miss(tmp_path):
     path = cache.put(spec, _record(spec))
     path.write_text("{ not json")
     assert cache.get(spec) is None
+
+
+def test_fingerprint_changes_with_engine_features(monkeypatch):
+    """Toggling or versioning the warp engine invalidates cache keys."""
+    monkeypatch.delenv("REPRO_WARP", raising=False)
+    warp_on = params_fingerprint("vpp")
+    monkeypatch.setenv("REPRO_WARP", "0")
+    warp_off = params_fingerprint("vpp")
+    assert warp_on != warp_off
+
+    import repro.core.warp as warp_mod
+
+    monkeypatch.delenv("REPRO_WARP", raising=False)
+    monkeypatch.setattr(warp_mod, "WARP_VERSION", warp_mod.WARP_VERSION + 1)
+    assert params_fingerprint("vpp") not in (warp_on, warp_off)
+
+
+def test_engine_toggle_invalidates_entries(tmp_path, monkeypatch):
+    """A record cached with warp on is a miss once warp is off (and back)."""
+    monkeypatch.delenv("REPRO_WARP", raising=False)
+    cache = ResultCache(tmp_path / "cache")
+    spec = RunSpec("p2p", "vpp")
+    cache.put(spec, _record(spec))
+    assert cache.get(spec) is not None
+
+    monkeypatch.setenv("REPRO_WARP", "0")
+    off_view = ResultCache(tmp_path / "cache")  # fingerprints memoised per instance
+    assert off_view.get(spec) is None
+
+    monkeypatch.delenv("REPRO_WARP", raising=False)
+    on_view = ResultCache(tmp_path / "cache")
+    assert on_view.get(spec) is not None

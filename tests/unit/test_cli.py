@@ -164,3 +164,53 @@ def test_perf_command_writes_report(capsys, tmp_path, monkeypatch):
 def test_perf_rejects_unknown_case(capsys):
     assert main(["perf", "--cases", "nope"]) == 1
     assert "unknown perf cases" in capsys.readouterr().out
+
+
+def test_perf_gate_passes_within_tolerance(tmp_path, capsys):
+    """--max-regress lets the bench fail CI; a generous baseline passes."""
+    import json
+
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(
+        {"cases": {"engine.dispatch": {"kind": "engine", "wall_s": 1e9}}}
+    ))
+    assert main([
+        "perf", "--cases", "engine.dispatch", "--repeat", "1",
+        "--baseline", str(baseline), "--max-regress", "20",
+    ]) == 0
+    assert "perf gate" in capsys.readouterr().err
+
+
+def test_perf_gate_fails_on_regression(tmp_path, capsys):
+    import json
+
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(
+        {"cases": {"engine.dispatch": {"kind": "engine", "wall_s": 1e-9}}}
+    ))
+    assert main([
+        "perf", "--cases", "engine.dispatch", "--repeat", "1",
+        "--baseline", str(baseline), "--max-regress", "20",
+    ]) == 4
+    assert "regressed" in capsys.readouterr().err
+
+
+def test_perf_gate_fails_closed_without_baseline(tmp_path, capsys):
+    assert main([
+        "perf", "--cases", "engine.dispatch", "--repeat", "1",
+        "--baseline", str(tmp_path / "missing.json"), "--max-regress", "20",
+    ]) == 4
+    assert "failing closed" in capsys.readouterr().err
+
+
+def test_profile_surfaces_warp_state(capsys):
+    """--profile reports what the fast-forward did (here: why it declined
+    -- per-packet profiling is one of the replay-safety guard rails)."""
+    assert main(["p2p", "--switch", "vpp", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "warp: declined: per-packet-tracing" in out
+
+
+def test_no_warp_flag(capsys):
+    assert main(["p2p", "--switch", "vpp", "--profile", "--no-warp"]) == 0
+    assert "warp: disabled" in capsys.readouterr().out

@@ -1,0 +1,217 @@
+"""Unit tests for the steady-state fast-forward (repro.core.warp).
+
+The warp's contract has two halves, and both get tested here:
+
+* when it engages, the fast-forwarded run is *bit-identical* to the
+  event-by-event run -- every counter, timestamp, stats accumulator and
+  RNG state (see also the property tests and tools/warp_check.py);
+* when the run is not provably replay-safe (faults armed, watchdog
+  scanning, per-packet observers, probes, non-p2p shapes...) it declines
+  automatically, with a stable reason surfaced in the WarpReport.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SimulationError, Simulator
+from repro.core.stats import RateMeter
+from repro.core.warp import (
+    WARP_VERSION,
+    WarpReport,
+    engine_features,
+    state_fingerprint,
+    try_warp,
+    warp_enabled,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.measure.runner import drive
+from repro.scenarios import p2p, v2v
+
+WARMUP = 600_000.0
+MEASURE = 3_000_000.0
+
+
+def _drive(tb, warp):
+    return drive(tb, warmup_ns=WARMUP, measure_ns=MEASURE, warp=warp)
+
+
+# -- environment switch and feature flags -----------------------------------
+
+
+def test_warp_enabled_parses_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_WARP", raising=False)
+    assert warp_enabled() is True
+    assert warp_enabled(default=False) is False
+    for value in ("0", "false", "off", "no", " OFF "):
+        monkeypatch.setenv("REPRO_WARP", value)
+        assert warp_enabled() is False, value
+    for value in ("1", "true", "on", "yes"):
+        monkeypatch.setenv("REPRO_WARP", value)
+        assert warp_enabled(default=False) is True, value
+    monkeypatch.setenv("REPRO_WARP", "gibberish")
+    assert warp_enabled() is True  # unrecognised -> default
+
+
+def test_engine_features_reflect_warp_state(monkeypatch):
+    monkeypatch.delenv("REPRO_WARP", raising=False)
+    assert engine_features() == {"warp": True, "warp_version": WARP_VERSION}
+    monkeypatch.setenv("REPRO_WARP", "0")
+    assert engine_features() == {"warp": False, "warp_version": WARP_VERSION}
+
+
+def test_report_describe_both_shapes():
+    ok = WarpReport(engaged=True, warped_ns=2e6, events_replayed=7, verify_ns=2.5e5)
+    assert "engaged" in ok.describe() and "7 events" in ok.describe()
+    no = WarpReport(engaged=False, reason="probes-active")
+    assert no.describe() == "declined: probes-active"
+
+
+# -- engagement and bit-identity --------------------------------------------
+
+
+@pytest.mark.parametrize("switch", ["vpp", "ovs-dpdk"])
+def test_warp_engages_and_is_bit_identical(switch):
+    off = p2p.build(switch, frame_size=64, rate_pps=3e6)
+    r_off = _drive(off, warp=False)
+    on = p2p.build(switch, frame_size=64, rate_pps=3e6)
+    r_on = _drive(on, warp=True)
+
+    assert r_off.warp is None
+    assert r_on.warp is not None and r_on.warp.engaged, r_on.warp.describe()
+    assert r_on.warp.warped_ns > 0
+    assert state_fingerprint(off) == state_fingerprint(on)
+    assert [repr(v) for v in r_off.per_direction_gbps] == [
+        repr(v) for v in r_on.per_direction_gbps
+    ]
+    assert r_off.events == r_on.events
+
+
+def test_warp_engages_under_saturating_input():
+    tb = p2p.build("bess", frame_size=64)
+    result = _drive(tb, warp=True)
+    assert result.warp is not None and result.warp.engaged
+
+
+# -- automatic declines ------------------------------------------------------
+
+
+def _reason(tb, watchdog_active=False):
+    report = try_warp(tb, WARMUP, WARMUP + MEASURE, watchdog_active)
+    assert not report.engaged
+    return report.reason
+
+
+def test_declines_on_armed_fault_plan():
+    tb = p2p.build("vpp", frame_size=64)
+    plan = FaultPlan.of(
+        FaultEvent.from_dict(
+            {
+                "kind": "nic-link-flap",
+                "target": "sut-nic.p1",
+                "at_ns": 1.2e6,
+                "duration_ns": 3e5,
+            }
+        )
+    )
+    injector = FaultInjector(tb, plan)
+    assert "fault_injector" not in tb.extras  # constructing does not mark
+    injector.arm()
+    assert tb.extras["fault_injector"] is injector  # arm() marks the testbed
+    assert _reason(tb) == "fault-plan-active"
+
+
+def test_declines_under_watchdog():
+    tb = p2p.build("vpp", frame_size=64)
+    assert _reason(tb, watchdog_active=True) == "watchdog-active"
+
+
+def test_declines_on_per_packet_observation():
+    from repro.obs import ObsConfig, observe
+
+    tb = p2p.build("vpp", frame_size=64)
+    observe(tb, ObsConfig(profile=True))
+    assert _reason(tb) == "per-packet-tracing"
+
+
+def test_declines_on_latency_probes():
+    tb = p2p.build("vpp", frame_size=64, probe_interval_ns=20_000.0)
+    assert _reason(tb) == "probes-active"
+
+
+def test_declines_on_non_p2p_scenario():
+    tb = v2v.build("vpp", frame_size=64)
+    assert _reason(tb) == "scenario:v2v"
+
+
+def test_declines_on_bidirectional_traffic():
+    tb = p2p.build("vpp", frame_size=64, bidirectional=True)
+    assert _reason(tb) == "bidirectional"
+
+
+@pytest.mark.parametrize("switch", ["snabb", "vale"])
+def test_declines_on_unsupported_switches(switch):
+    tb = p2p.build(switch, frame_size=64)
+    report = try_warp(tb, WARMUP, WARMUP + MEASURE, False)
+    assert not report.engaged
+    assert report.reason  # a stable, non-empty reason is part of the contract
+    # ...and the run still completes normally afterwards.
+    result = _drive(tb, warp=True)
+    assert result.warp is not None and not result.warp.engaged
+    assert result.mpps > 0
+
+
+def test_declines_on_short_span():
+    tb = p2p.build("vpp", frame_size=64)
+    report = try_warp(tb, 100_000.0, 200_000.0, False)
+    assert not report.engaged
+    assert report.reason == "span-too-short"
+
+
+# -- commit plumbing ---------------------------------------------------------
+
+
+def test_replace_pending_refuses_mid_dispatch():
+    sim = Simulator()
+
+    def hostile():
+        sim.replace_pending([], now=5.0, seq=99, events=1)
+
+    sim.at(1.0, hostile)
+    with pytest.raises(SimulationError, match="mid-dispatch"):
+        sim.run_until(2.0)
+
+
+def test_replace_pending_refuses_rewind():
+    sim = Simulator()
+    sim.at(1.0, lambda: None)
+    sim.run_until(10.0)
+    with pytest.raises(SimulationError, match="rewind"):
+        sim.replace_pending([], now=5.0, seq=99, events=1)
+
+
+def test_replace_pending_installs_state():
+    sim = Simulator()
+    fired = []
+    sim.replace_pending(
+        [(12.0, 3, lambda: fired.append("a")), (13.0, 4, lambda: fired.append("b"))],
+        now=11.0,
+        seq=5,
+        events=2,
+    )
+    assert sim.now == 11.0
+    assert sim.events_executed == 2
+    sim.run_until(20.0)
+    assert fired == ["a", "b"]
+    assert sim.events_executed == 4
+
+
+def test_rate_meter_set_counts():
+    meter = RateMeter(frame_size_hint=64)
+    meter.open_window(10.0)
+    meter.close_window(20.0)
+    meter.set_counts(100, 6_400, 7)
+    assert meter.packets == 100
+    assert meter.bytes == 6_400
+    assert meter.warmup_packets == 7

@@ -1,0 +1,67 @@
+"""Dev harness: assert warp-on vs warp-off bit-identity across switches."""
+
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro.core.warp import state_fingerprint
+from repro.measure.runner import drive
+from repro.scenarios.p2p import build
+
+SWITCHES = ["bess", "fastclick", "ovs-dpdk", "vpp", "t4p4s", "snabb", "vale"]
+
+
+def run(switch, warp, warmup, measure, rate=None, probe=None, seed=1):
+    tb = build(switch, frame_size=64, rate_pps=rate, probe_interval_ns=probe, seed=seed)
+    t0 = time.perf_counter()
+    res = drive(tb, warmup_ns=warmup, measure_ns=measure, warp=warp)
+    wall = time.perf_counter() - t0
+    return res, state_fingerprint(tb), wall
+
+
+def diff(a, b, path="root"):
+    if a == b:
+        return
+    if isinstance(a, tuple) and isinstance(b, tuple) and len(a) == len(b):
+        for i, (x, y) in enumerate(zip(a, b)):
+            diff(x, y, f"{path}[{i}]")
+    else:
+        print(f"  MISMATCH at {path}:\n    off: {a!r}\n    on:  {b!r}")
+
+
+def main():
+    measure = float(sys.argv[1]) if len(sys.argv) > 1 else 3_000_000.0
+    failures = 0
+    for switch in SWITCHES:
+        for label, kwargs in [
+            ("saturating", {}),
+            ("sub-capacity", {"rate": 3_000_000.0}),
+        ]:
+            r_off, f_off, w_off = run(switch, False, 600_000.0, measure, **kwargs)
+            r_on, f_on, w_on = run(switch, True, 600_000.0, measure, **kwargs)
+            ident = f_off == f_on
+            same_res = (
+                [repr(v) for v in r_off.per_direction_gbps]
+                == [repr(v) for v in r_on.per_direction_gbps]
+                and r_off.events == r_on.events
+            )
+            status = "OK " if ident and same_res else "FAIL"
+            if not (ident and same_res):
+                failures += 1
+            wr = r_on.warp.describe() if r_on.warp else "none"
+            print(
+                f"{status} {switch:10s} {label:12s} off={w_off:6.3f}s on={w_on:6.3f}s "
+                f"x{w_off / w_on:5.2f}  {wr}"
+            )
+            if not ident:
+                diff(f_off, f_on)
+            if not same_res:
+                print(f"  result off={r_off.per_direction_gbps} ev={r_off.events}")
+                print(f"  result on ={r_on.per_direction_gbps} ev={r_on.events}")
+    print("failures:", failures)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
