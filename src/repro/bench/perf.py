@@ -57,6 +57,9 @@ class PerfCase:
     measure_scale: float = 1.0
     #: pin the steady-state fast-forward (None follows REPRO_WARP).
     warp: bool | None = None
+    #: extra build kwargs as sorted items (e.g. the repro.flows axis:
+    #: ``(("flow_dist", "zipf"), ("flows", 100_000))``).
+    extra: tuple = ()
 
 
 #: The standard grid: engine dispatch plus the tier-1 scenario hot paths.
@@ -71,6 +74,10 @@ PERF_CASES: tuple[PerfCase, ...] = (
     PerfCase("v2v.ovs-dpdk.64", "scenario", "v2v", "ovs-dpdk"),
     PerfCase("v2v.vale.64", "scenario", "v2v", "vale"),
     PerfCase("loopback.vpp.64", "scenario", "loopback", "vpp"),
+    PerfCase(
+        "p2p.ovs-dpdk.64.100kflows", "scenario", "p2p", "ovs-dpdk",
+        extra=(("flow_dist", "zipf"), ("flows", 100_000)),
+    ),
 )
 
 #: Long-horizon warp acceptance cases: a 10x measurement window at an
@@ -100,8 +107,21 @@ WARP_CASES: tuple[PerfCase, ...] = (
     ),
 )
 
+#: Million-flow long-horizon datapoint: a Zipf population two orders of
+#: magnitude past the EMC's 8K entries over a 10x window -- the flow-cache
+#: thrash regime at the scale the subsystem is named for.  Warp correctly
+#: declines multi-flow traffic, so this rides the event-by-event path;
+#: the report row carries the switch's cache counters (hit rates).
+FLOW_LONG_CASES: tuple[PerfCase, ...] = (
+    PerfCase(
+        "longh.p2p.ovs-dpdk.1mflows", "scenario", "p2p", "ovs-dpdk",
+        rate_pps=LONG_HORIZON_RATE_PPS, measure_scale=LONG_HORIZON_SCALE,
+        extra=(("flow_dist", "zipf"), ("flows", 1_000_000)),
+    ),
+)
+
 #: Everything: the standard grid plus the long-horizon warp A/B pairs.
-ALL_CASES: tuple[PerfCase, ...] = PERF_CASES + WARP_CASES
+ALL_CASES: tuple[PerfCase, ...] = PERF_CASES + WARP_CASES + FLOW_LONG_CASES
 
 #: Engine case: enough events that interpreter warm-up amortises away.
 ENGINE_EVENTS = 100_000
@@ -129,7 +149,7 @@ def _build_testbed(case: PerfCase):
     from repro.scenarios import loopback, p2p, p2v, v2v
 
     builders = {"p2p": p2p.build, "p2v": p2v.build, "v2v": v2v.build, "loopback": loopback.build}
-    kwargs: dict[str, Any] = {}
+    kwargs: dict[str, Any] = dict(case.extra)
     if case.rate_pps is not None:
         kwargs["rate_pps"] = case.rate_pps
     return builders[case.scenario](
@@ -154,7 +174,7 @@ def _bench_scenario(
     # Simulated traffic actually moved end-to-end (warm-up included: the
     # simulator pays for those packets too).
     packets = sum(m.packets + m.warmup_packets for m in tb.meters)
-    return {
+    row: dict[str, Any] = {
         "wall_s": wall,
         "events": tb.sim.events_executed,
         "delivered_packets": packets,
@@ -162,6 +182,10 @@ def _bench_scenario(
         "gbps": result.gbps,
         "mpps": result.mpps,
     }
+    cache = tb.switch.cache_stats()
+    if cache:
+        row["cache"] = cache
+    return row
 
 
 def _run_case(case: PerfCase, repeat: int) -> dict[str, Any]:

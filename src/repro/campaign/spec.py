@@ -92,7 +92,10 @@ class RunSpec:
         scenario = f"loopback{self.n_vnfs}" if self.scenario == "loopback" else self.scenario
         direction = "bidi" if self.bidirectional else "uni"
         kind = "" if self.kind == "throughput" else f"+{self.kind}"
-        return f"{scenario}-{self.frame_size}B-{direction}{kind}/{self.switch}#s{self.seed}"
+        extra = dict(self.extra)
+        flows = extra.get("flows", 1)
+        flow_part = f"+{flows}flows" if flows != 1 else ""
+        return f"{scenario}-{self.frame_size}B-{direction}{kind}{flow_part}/{self.switch}#s{self.seed}"
 
     def to_dict(self) -> dict:
         data = {
@@ -297,6 +300,36 @@ class CampaignSpec:
         runs = tuple(replace(spec, obs=items) for spec in self.runs)
         return CampaignSpec(name=self.name, runs=runs)
 
+    def with_flows(
+        self,
+        flows: int,
+        flow_dist: str = "uniform",
+        churn: float = 0.0,
+        size_mix: str | None = None,
+    ) -> "CampaignSpec":
+        """Offer every run a flow population (``repro.flows``).
+
+        ``flows=1`` with defaults clears the flow axis instead, restoring
+        the single-flow cache keys (flow keys are omitted entirely from
+        trivial specs, so pre-flow-axis stored records stay valid).
+        """
+        from repro.flows import flow_axis_items
+
+        items = flow_axis_items(
+            flows=flows, flow_dist=flow_dist, churn=churn, size_mix=size_mix
+        )
+        flow_keys = ("flows", "flow_dist", "churn", "size_mix")
+        runs = tuple(
+            replace(
+                spec,
+                extra=tuple(
+                    item for item in spec.extra if item[0] not in flow_keys
+                ) + items,
+            )
+            for spec in self.runs
+        )
+        return CampaignSpec(name=self.name, runs=runs)
+
     def with_faults(self, plan: FaultPlan) -> "CampaignSpec":
         """Turn every run into a resilience run under ``plan``.
 
@@ -331,6 +364,10 @@ def grid(
     warmup_ns: float = DEFAULT_WARMUP_NS,
     measure_ns: float = DEFAULT_MEASURE_NS,
     fault_plans: Sequence[FaultPlan] = (),
+    flows: Sequence[int] = (1,),
+    flow_dist: str = "uniform",
+    churn: float = 0.0,
+    size_mix: str | None = None,
 ) -> CampaignSpec:
     """Cartesian campaign over the paper's axes.
 
@@ -338,6 +375,10 @@ def grid(
     single entry per (size, direction, seed) regardless of ``vnfs``.
     ``fault_plans`` adds a fault axis: every grid point is crossed with
     every plan (and the runs become ``kind='resilience'``).
+    ``flows`` adds the flow-population axis (``repro.flows``): every grid
+    point is crossed with every flow count, sharing one distribution/
+    churn/size-mix configuration; ``flows=(1,)`` with defaults is the
+    seed workload with unchanged cache keys.
     """
     if fault_plans and kind not in ("throughput", "resilience"):
         raise ValueError(f"fault_plans cannot combine with kind={kind!r}")
@@ -346,6 +387,14 @@ def grid(
     )
     if fault_plans and not plan_keys:
         raise ValueError("fault_plans given but every plan is empty")
+    from repro.flows import flow_axis_items
+
+    flow_extras = tuple(
+        flow_axis_items(
+            flows=count, flow_dist=flow_dist, churn=churn, size_mix=size_mix
+        )
+        for count in (flows or (1,))
+    )
     runs: list[RunSpec] = []
     for switch in switches:
         for scenario in scenarios:
@@ -355,20 +404,22 @@ def grid(
                     for bidi in directions:
                         for seed in seeds:
                             for faults in plan_keys or ((),):
-                                runs.append(
-                                    RunSpec(
-                                        scenario=scenario,
-                                        switch=switch,
-                                        frame_size=size,
-                                        bidirectional=bidi,
-                                        n_vnfs=n,
-                                        seed=seed,
-                                        kind="resilience" if faults else kind,
-                                        warmup_ns=warmup_ns,
-                                        measure_ns=measure_ns,
-                                        faults=faults,
+                                for extra in flow_extras:
+                                    runs.append(
+                                        RunSpec(
+                                            scenario=scenario,
+                                            switch=switch,
+                                            frame_size=size,
+                                            bidirectional=bidi,
+                                            n_vnfs=n,
+                                            seed=seed,
+                                            kind="resilience" if faults else kind,
+                                            warmup_ns=warmup_ns,
+                                            measure_ns=measure_ns,
+                                            faults=faults,
+                                            extra=extra,
+                                        )
                                     )
-                                )
     return CampaignSpec(name=name, runs=tuple(runs))
 
 

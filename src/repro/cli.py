@@ -72,6 +72,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--measure-ns", type=float, default=None, metavar="NS",
         help="override the measurement window (default: the runner's)",
     )
+    # --- traffic diversity (repro.flows) ----------------------------------
+    parser.add_argument(
+        "--flows", default="1", metavar="N[,N...]",
+        help="concurrent flows (k/m suffixes ok, e.g. 100k; a comma list "
+        "sweeps the axis, campaign only)",
+    )
+    parser.add_argument(
+        "--flow-dist", choices=["uniform", "zipf"], default="uniform",
+        help="per-flow rate distribution (default uniform)",
+    )
+    parser.add_argument(
+        "--churn", type=float, default=0.0, metavar="FPS",
+        help="flow churn: fresh flows per second displacing cached ones",
+    )
+    parser.add_argument(
+        "--size-mix", default=None, metavar="NAME",
+        help="frame-size mix profile (e.g. imix); sizes are drawn per "
+        "packet instead of the fixed --size",
+    )
     # --- campaign execution (also honoured by 'suite' and 'validate') -----
     parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -168,6 +187,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "than the --baseline",
     )
     return parser
+
+
+def _flow_counts(args) -> list[int]:
+    """Parse --flows: comma-separated counts with k/m suffixes."""
+    counts = []
+    for token in str(args.flows).split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        scale = 1
+        if token.endswith("k"):
+            scale, token = 1_000, token[:-1]
+        elif token.endswith("m"):
+            scale, token = 1_000_000, token[:-1]
+        counts.append(int(token) * scale)
+    return counts or [1]
+
+
+def _flow_kwargs(args) -> dict:
+    """Flow-axis build kwargs; empty at the defaults so single-flow runs
+    keep their pre-flow-axis cache keys and golden identity."""
+    count = _flow_counts(args)[0]
+    kwargs = {}
+    if count != 1:
+        kwargs["flows"] = count
+    if args.flow_dist != "uniform":
+        kwargs["flow_dist"] = args.flow_dist
+    if args.churn:
+        kwargs["churn"] = args.churn
+    if args.size_mix is not None:
+        kwargs["size_mix"] = args.size_mix
+    return kwargs
 
 
 def _workers(args) -> int | None:
@@ -317,6 +368,7 @@ def _observed_single_run(args) -> int:
     else:
         builders = {"p2p": p2p.build, "p2v": p2v.build, "v2v": v2v.build, "loopback": loopback.build}
         extra = {"n_vnfs": args.vnfs} if scenario == "loopback" else {}
+        extra.update(_flow_kwargs(args))
         tb = builders[scenario](
             args.switch,
             frame_size=args.size,
@@ -397,6 +449,21 @@ def _run_campaign_command(args) -> int:
         seeds=range(args.seed, args.seed + args.repeat),
         **_windows(args),
     )
+    flow_counts = _flow_counts(args)
+    if flow_counts != [1] or args.flow_dist != "uniform" or args.churn or args.size_mix:
+        variants = [
+            spec.with_flows(
+                count,
+                flow_dist=args.flow_dist,
+                churn=args.churn,
+                size_mix=args.size_mix,
+            )
+            for count in flow_counts
+        ]
+        spec = type(spec)(
+            name=spec.name,
+            runs=tuple(run for variant in variants for run in variant.runs),
+        )
     # Campaign --trace-out traces the campaign's own execution, so it
     # does not switch per-run tracing on.
     obs = _obs_config(args, with_trace_out=False)
@@ -602,6 +669,7 @@ def _run_perf_command(args) -> int:
 
     from repro.bench.perf import (
         ALL_CASES,
+        FLOW_LONG_CASES,
         PERF_CASES,
         WARP_CASES,
         format_report,
@@ -609,7 +677,7 @@ def _run_perf_command(args) -> int:
         run_perf,
     )
 
-    cases = PERF_CASES + WARP_CASES if args.long_horizon else PERF_CASES
+    cases = PERF_CASES + WARP_CASES + FLOW_LONG_CASES if args.long_horizon else PERF_CASES
     if args.cases:
         want = {name.strip() for name in args.cases.split(",") if name.strip()}
         unknown = sorted(want - {case.name for case in ALL_CASES})
@@ -661,6 +729,23 @@ def main(argv: list[str] | None = None) -> int:
             + ", ".join(sorted(switch_names()))
         )
         return 1
+
+    try:
+        counts = _flow_counts(args)
+    except ValueError:
+        _note(f"bad --flows {args.flows!r}: expected counts like 1,1k,100k,1m")
+        return 1
+    if args.scenario != "campaign" and len(counts) > 1:
+        _note("--flows with a comma list sweeps a campaign axis; pick one count here")
+        return 1
+    if args.size_mix is not None:
+        from repro.traffic.profiles import PROFILES
+
+        if args.size_mix not in PROFILES:
+            _note(f"unknown --size-mix {args.size_mix!r}; known: {sorted(PROFILES)}")
+            return 1
+    if args.scenario == "v2v-latency" and _flow_kwargs(args):
+        _note("note: flow-diversity flags are ignored for v2v-latency")
 
     if args.scenario == "perf":
         return _run_perf_command(args)
@@ -770,6 +855,7 @@ def main(argv: list[str] | None = None) -> int:
 
     build = builders[args.scenario]
     extra = {"n_vnfs": args.vnfs} if args.scenario == "loopback" else {}
+    extra.update(_flow_kwargs(args))
 
     if not args.latency and _obs_config(args) is not None:
         return _observed_single_run(args)

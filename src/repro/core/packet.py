@@ -94,6 +94,8 @@ class Packet:
 
     #: A Packet is a batch item of one frame (PacketBlock carries many).
     count: ClassVar[int] = 1
+    #: Per-frame flow summary is a block concept; a Packet *is* its flow.
+    flows: ClassVar[None] = None
 
     size: int = MIN_FRAME
     flow_id: int = 0
@@ -130,9 +132,19 @@ class PacketBlock:
 
     Blocks are never probes and never timestamped; a probe is split out
     of the stream as a real :class:`Packet` before emission.
+
+    Multi-flow traffic (``repro.flows``) keeps the flyweight: ``flows`` is
+    an optional run-length summary ``((flow, count), ...)`` covering the
+    block's frames in emission order, with ``flow_id``/``src_mac`` holding
+    the *first* run's template.  ``flows is None`` means the whole block is
+    one flow -- the seed's single-flow hot paths never even look at it.
+    Per-frame src MACs are derived, not stored: frame ``i`` of run ``f``
+    has ``src_mac == (block.src_mac - block.flow_id) + f``.
     """
 
-    __slots__ = ("size", "flow_id", "src_mac", "dst_mac", "t_created", "count", "hops", "seq0")
+    __slots__ = (
+        "size", "flow_id", "src_mac", "dst_mac", "t_created", "count", "hops", "seq0", "flows",
+    )
 
     is_probe: ClassVar[bool] = False
     tx_timestamp: ClassVar[None] = None
@@ -149,6 +161,7 @@ class PacketBlock:
         count: int = 1,
         hops: int = 0,
         seq0: int | None = None,
+        flows: tuple | None = None,
     ) -> None:
         if size < MIN_FRAME:
             raise ValueError(f"frame size {size} below minimum {MIN_FRAME}")
@@ -162,6 +175,7 @@ class PacketBlock:
         self.count = count
         self.hops = hops
         self.seq0 = take_seq_range(count) if seq0 is None else seq0
+        self.flows = flows
 
     @property
     def seq(self) -> int:
@@ -190,6 +204,15 @@ class PacketBlock:
         )
         self.count -= front_count
         self.seq0 += front_count
+        if self.flows is not None:
+            front_runs, tail_runs = _runs_split(self.flows, front_count)
+            front.flows = front_runs if len(front_runs) > 1 else None
+            self.flows = tail_runs if len(tail_runs) > 1 else None
+            # Re-anchor the tail's template on its (new) first run; the
+            # src-MAC derivation base (src_mac - flow_id) is invariant.
+            mac_base = self.src_mac - self.flow_id
+            self.flow_id = tail_runs[0][0]
+            self.src_mac = mac_base + self.flow_id
         return front
 
     def merge(self, other: "PacketBlock") -> bool:
@@ -206,6 +229,8 @@ class PacketBlock:
             and other.dst_mac == self.dst_mac
             and other.t_created == self.t_created
             and other.hops == self.hops
+            and other.flows is None
+            and self.flows is None
         ):
             self.count += other.count
             release_block(other)
@@ -214,24 +239,106 @@ class PacketBlock:
 
     def materialize(self) -> list[Packet]:
         """Expand to exact packets (tests, sampled lifecycle inspection)."""
-        return [
-            Packet(
-                size=self.size,
-                flow_id=self.flow_id,
-                src_mac=self.src_mac,
-                dst_mac=self.dst_mac,
-                t_created=self.t_created,
-                seq=self.seq0 + i,
-                hops=self.hops,
-            )
-            for i in range(self.count)
-        ]
+        if self.flows is None:
+            return [
+                Packet(
+                    size=self.size,
+                    flow_id=self.flow_id,
+                    src_mac=self.src_mac,
+                    dst_mac=self.dst_mac,
+                    t_created=self.t_created,
+                    seq=self.seq0 + i,
+                    hops=self.hops,
+                )
+                for i in range(self.count)
+            ]
+        mac_base = self.src_mac - self.flow_id
+        out: list[Packet] = []
+        seq = self.seq0
+        for flow, run in self.flows:
+            for _ in range(run):
+                out.append(
+                    Packet(
+                        size=self.size,
+                        flow_id=flow,
+                        src_mac=mac_base + flow,
+                        dst_mac=self.dst_mac,
+                        t_created=self.t_created,
+                        seq=seq,
+                        hops=self.hops,
+                    )
+                )
+                seq += 1
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        runs = "" if self.flows is None else f", runs={len(self.flows)}"
         return (
             f"PacketBlock(count={self.count}, size={self.size}, flow={self.flow_id}, "
-            f"seq0={self.seq0}, hops={self.hops})"
+            f"seq0={self.seq0}, hops={self.hops}{runs})"
         )
+
+
+# -- flow run-length helpers -------------------------------------------------
+#
+# A ``flows`` summary is a tuple of ``(flow, count)`` runs covering a
+# block's frames in order.  These helpers keep it consistent across the
+# places a block can lose frames: ring truncation (tail dropped), ring
+# pops (front split off) and NIC driver drops (arbitrary offsets lost).
+
+
+def _runs_split(runs: tuple, front_count: int) -> tuple[tuple, tuple]:
+    """Partition runs at frame offset ``front_count`` -> (front, tail)."""
+    front: list = []
+    taken = 0
+    for index, (flow, count) in enumerate(runs):
+        if taken + count < front_count:
+            front.append((flow, count))
+            taken += count
+        elif taken + count == front_count:
+            front.append((flow, count))
+            return tuple(front), runs[index + 1:]
+        else:
+            keep = front_count - taken
+            front.append((flow, keep))
+            return tuple(front), ((flow, count - keep),) + runs[index + 1:]
+    raise ValueError(f"front_count {front_count} exceeds runs {runs}")
+
+
+def flows_front(runs: tuple, keep: int) -> tuple | None:
+    """Truncate a runs summary to its first ``keep`` frames.
+
+    Returns ``None`` when the kept prefix is a single run (normalised
+    single-flow representation).
+    """
+    front, _tail = _runs_split(runs, keep)
+    return front if len(front) > 1 else None
+
+
+def select_flows(runs: tuple, kept_offsets: list) -> tuple | None:
+    """Re-encode the runs summary for a subset of kept frame offsets.
+
+    ``kept_offsets`` must be sorted ascending (they are produced by a
+    forward scan).  Returns ``None`` when the survivors are one run.
+    """
+    bounds: list = []  # (end_offset_exclusive, flow)
+    end = 0
+    for flow, count in runs:
+        end += count
+        bounds.append((end, flow))
+    out: list = []
+    run_index = 0
+    for offset in kept_offsets:
+        while offset >= bounds[run_index][0]:
+            run_index += 1
+        flow = bounds[run_index][1]
+        if out and out[-1][0] == flow:
+            out[-1][1] += 1
+        else:
+            out.append([flow, 1])
+    if len(out) <= 1:
+        return None
+    return tuple((flow, count) for flow, count in out)
 
 
 # -- block free list --------------------------------------------------------
@@ -251,6 +358,7 @@ def acquire_block(
     count: int,
     hops: int = 0,
     seq0: int | None = None,
+    flows: tuple | None = None,
 ) -> PacketBlock:
     """Pooled block constructor: reuses a released block when available."""
     if _POOL:
@@ -267,8 +375,9 @@ def acquire_block(
         block.count = count
         block.hops = hops
         block.seq0 = take_seq_range(count) if seq0 is None else seq0
+        block.flows = flows
         return block
-    return PacketBlock(size, flow_id, src_mac, dst_mac, t_created, count, hops, seq0)
+    return PacketBlock(size, flow_id, src_mac, dst_mac, t_created, count, hops, seq0, flows)
 
 
 def release_block(block: PacketBlock) -> None:

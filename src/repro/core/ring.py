@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Iterable
 
-from repro.core.packet import Packet, PacketBlock, release_block
+from repro.core.packet import Packet, PacketBlock, flows_front, release_block
 
 
 class Ring:
@@ -86,6 +86,8 @@ class Ring:
         if count > free:
             self.dropped += count - free
             item.count = free  # blocks only: Packet.count == 1 always fits
+            if item.flows is not None:
+                item.flows = flows_front(item.flows, free)
             count = free
         was_empty = self._frames == 0
         self._queue.append(item)

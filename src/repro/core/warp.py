@@ -192,6 +192,13 @@ def _eligibility(tb: "Testbed", watchdog_active: bool) -> _Ctx:
         raise _Decline("watchdog-active")
     if tb.scenario != "p2p":
         raise _Decline(f"scenario:{tb.scenario}")
+    population = tb.extras.get("flow_population")
+    if population is not None:
+        # Flow-diverse offered load drives stateful cache dynamics (EMC
+        # thrash, eviction storms) the steady-state replay does not model.
+        # Checked before the observability gates so --profile surfaces the
+        # traffic-shape reason rather than its own tracing decline.
+        raise _Decline("flow-churn" if population.churn_fps else "multi-flow-traffic")
     if tb.sim._observer is not None:
         raise _Decline("per-packet-tracing")
     if not blocks_enabled():
@@ -237,6 +244,11 @@ def _eligibility(tb: "Testbed", watchdog_active: bool) -> _Ctx:
         raise _Decline("unrecognized-generator")
     if src.probe_interval_ns is not None:
         raise _Decline("probes-active")
+    population = getattr(src, "flow_population", None)
+    if population is not None:
+        # Belt-and-braces for a source handed a population directly,
+        # without apply_flow_axis registering it in tb.extras.
+        raise _Decline("flow-churn" if population.churn_fps else "multi-flow-traffic")
     if not src._uniform:
         raise _Decline("non-uniform-traffic")
     if src._halted or src._stop_at is not None:
@@ -333,6 +345,8 @@ class _Snap:
 def _mirror_block(ctx: _Ctx, item: Any, hops: int) -> PacketBlock:
     if item.__class__ is not PacketBlock:
         raise _Decline("probes-active")
+    if item.flows is not None:
+        raise _Decline("multi-flow-traffic")
     if item.size != ctx.frame_size or item.flow_id != ctx.flow_id:
         raise _Decline("non-uniform-traffic")
     if item.hops != hops:

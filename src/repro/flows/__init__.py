@@ -1,0 +1,25 @@
+"""repro.flows: flow-population specs for traffic diversity studies.
+
+The paper's per-switch pipelines hinge on flow-cache behaviour (OvS-DPDK's
+EMC/megaflow hierarchy, VALE's MAC learning, t4p4s table lookup), yet fixed
+single-flow traffic only ever exercises their hit paths.  This package makes
+flow count, per-flow-rate skew (uniform/Zipf), flow churn and size mixes a
+first-class axis: a :class:`FlowPopulation` rides from the CLI through
+scenario builders into the generators, which emit flow-diverse traffic as
+run-length summaries on the flyweight blocks (see ``repro.core.packet``)
+so the PR 3 block fast path survives at a million concurrent flows.
+"""
+
+from repro.flows.population import (
+    FlowPopulation,
+    flow_axis_items,
+    flow_kwargs_from_items,
+    resolve_flow_population,
+)
+
+__all__ = [
+    "FlowPopulation",
+    "flow_axis_items",
+    "flow_kwargs_from_items",
+    "resolve_flow_population",
+]

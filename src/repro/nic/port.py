@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Sequence
 
-from repro.core.packet import Packet, PacketBlock, release_block
+from repro.core.packet import Packet, PacketBlock, release_block, select_flows
 from repro.core.ring import Ring
 from repro.core.units import LINE_RATE_BPS, wire_time_ns
 
@@ -177,6 +177,55 @@ class NicPort:
             max_backlog_ns = tx_slots * wire
             if item.__class__ is PacketBlock:
                 count = item.count
+                if item.flows is not None:
+                    # Multi-flow block: same frame-level semantics, but the
+                    # surviving frames' run-length summary must be
+                    # re-encoded when drops puncture the block.
+                    base = (
+                        _hiccup_base(name_hash, int(item.t_created), size, item.flow_id, item.hops)
+                        if prob > 0.0
+                        else 0
+                    )
+                    kept: list[int] = []
+                    offset = 0
+                    for i in range(index, index + count):
+                        if prob > 0.0:
+                            value = ((base ^ (i & 0xFFFFFFFF)) * _FNV_PRIME) & _MASK64
+                            if (value >> 11) / _DENOM53 < prob:
+                                self.driver_drops += 1
+                                offset += 1
+                                continue
+                        if busy - now > max_backlog_ns:
+                            self.tx_dropped += 1
+                            offset += 1
+                            continue
+                        busy = busy + wire
+                        kept.append(offset)
+                        offset += 1
+                    index += count
+                    accepted = len(kept)
+                    if accepted:
+                        if accepted != count:
+                            runs = item.flows
+                            item.count = accepted
+                            item.flows = select_flows(runs, kept)
+                            if item.flows is None:
+                                # Survivors collapsed to one flow; re-anchor
+                                # the template on it.
+                                mac_base = item.src_mac - item.flow_id
+                                end = 0
+                                for flow, run in runs:
+                                    end += run
+                                    if kept[0] < end:
+                                        item.flow_id = flow
+                                        item.src_mac = mac_base + flow
+                                        break
+                        arrivals.append((item, busy))
+                        sent_frames += accepted
+                        sent_bytes += size * accepted
+                    else:
+                        release_block(item)
+                    continue
                 base = (
                     _hiccup_base(name_hash, int(item.t_created), size, item.flow_id, item.hops)
                     if prob > 0.0

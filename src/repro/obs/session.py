@@ -272,6 +272,16 @@ class Observation:
             registry.gauge(f"{label}.input.dropped", lambda r=ring: float(r.dropped))
             registry.gauge(f"{label}.input.enqueued", lambda r=ring: float(r.enqueued))
 
+        if tb.extras.get("flow_population") is not None:
+            # Flow-cache gauges exist only under a non-trivial population:
+            # single-flow observed snapshots stay bit-identical to the
+            # pre-flow-axis golden capture.
+            for key in switch.cache_stats():
+                registry.gauge(
+                    f"switch.{sw}.cache.{key}",
+                    lambda s=switch, k=key: float(s.cache_stats()[k]),
+                )
+
         seen_ports: set[int] = set()
         for attachment in switch.attachments:
             port = getattr(attachment, "port", None)

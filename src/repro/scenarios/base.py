@@ -135,3 +135,44 @@ def make_hypervisor(
 def connect_ports(a: NicPort, b: NicPort) -> None:
     """Back-to-back cable between a generator port and a SUT port."""
     a.connect(b)
+
+
+def apply_flow_axis(
+    tb: Testbed,
+    flows: int = 1,
+    flow_dist: str = "uniform",
+    churn: float = 0.0,
+    size_mix: str | None = None,
+) -> None:
+    """Resolve the flow axis for a testbed under construction.
+
+    A non-trivial population lands in ``tb.extras["flow_population"]``
+    (the obs layer keys its cache gauges off it) and is announced to the
+    switch so capacity-gated models (t4p4s) can arm themselves.  The
+    trivial single-flow case leaves the testbed exactly as it was.
+    """
+    from repro.flows import resolve_flow_population
+
+    population = resolve_flow_population(
+        flows=flows, flow_dist=flow_dist, churn=churn, size_mix=size_mix
+    )
+    if population is None:
+        return
+    tb.extras["flow_population"] = population
+    tb.switch.on_flow_population(population)
+
+
+def flow_source_kwargs(tb: Testbed, source_name: str) -> dict:
+    """Per-source kwargs for the testbed's flow population, if any.
+
+    Each traffic source samples from its own named per-run RNG stream
+    (``flows.<source>``), the same discipline the fault planner uses, so
+    multi-flow runs are deterministic and serial-vs-parallel identical.
+    """
+    population = tb.extras.get("flow_population")
+    if population is None:
+        return {}
+    return {
+        "flow_population": population,
+        "rng": tb.rngs.stream(f"flows.{source_name}"),
+    }

@@ -8,7 +8,13 @@ MoonGen's receive port(s), RTT from hardware-timestamped PTP probes.
 from __future__ import annotations
 
 from repro.nic.port import NicPort
-from repro.scenarios.base import Testbed, connect_ports, new_testbed_parts
+from repro.scenarios.base import (
+    Testbed,
+    apply_flow_axis,
+    connect_ports,
+    flow_source_kwargs,
+    new_testbed_parts,
+)
 from repro.traffic.moongen import MoonGenRx, MoonGenTx, saturating_rate
 
 
@@ -19,6 +25,10 @@ def build(
     rate_pps: float | None = None,
     probe_interval_ns: float | None = None,
     seed: int = 1,
+    flows: int = 1,
+    flow_dist: str = "uniform",
+    churn: float = 0.0,
+    size_mix: str | None = None,
 ) -> Testbed:
     """Wire the p2p testbed for one switch.
 
@@ -45,8 +55,12 @@ def build(
 
     rate = rate_pps if rate_pps is not None else saturating_rate(frame_size)
     tb = Testbed(sim, machine, rngs, switch, sut_core, frame_size, scenario="p2p")
+    apply_flow_axis(tb, flows=flows, flow_dist=flow_dist, churn=churn, size_mix=size_mix)
 
-    tx0 = MoonGenTx(sim, gen0, rate, frame_size, probe_interval_ns=probe_interval_ns)
+    tx0 = MoonGenTx(
+        sim, gen0, rate, frame_size, probe_interval_ns=probe_interval_ns,
+        **flow_source_kwargs(tb, "tx0"),
+    )
     rx1 = MoonGenRx(sim, gen1, frame_size)
     tx0.start(0.0)
     tb.meters.append(rx1.meter)
@@ -54,7 +68,10 @@ def build(
     tb.extras.update(gen_ports=(gen0, gen1), sut_ports=(sut0, sut1), tx=[tx0], rx=[rx1])
 
     if bidirectional:
-        tx1 = MoonGenTx(sim, gen1, rate, frame_size, probe_interval_ns=probe_interval_ns)
+        tx1 = MoonGenTx(
+            sim, gen1, rate, frame_size, probe_interval_ns=probe_interval_ns,
+            **flow_source_kwargs(tb, "tx1"),
+        )
         rx0 = MoonGenRx(sim, gen0, frame_size)
         tx1.start(0.0)
         tb.meters.append(rx0.meter)

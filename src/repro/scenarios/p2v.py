@@ -18,7 +18,9 @@ from __future__ import annotations
 from repro.nic.port import NicPort
 from repro.scenarios.base import (
     Testbed,
+    apply_flow_axis,
     connect_ports,
+    flow_source_kwargs,
     make_guest_interface,
     make_hypervisor,
     new_testbed_parts,
@@ -40,6 +42,10 @@ def build(
     probe_interval_ns: float | None = None,
     virtualization: str = "vm",
     seed: int = 1,
+    flows: int = 1,
+    flow_dist: str = "uniform",
+    churn: float = 0.0,
+    size_mix: str | None = None,
 ) -> Testbed:
     """Wire the p2v testbed.
 
@@ -64,6 +70,7 @@ def build(
     tb = Testbed(sim, machine, rngs, switch, sut_core, frame_size, scenario="p2v")
     tb.vms.append(vm)
     tb.extras.update(gen_port=gen0, sut_port=sut0, vif=vif)
+    apply_flow_axis(tb, flows=flows, flow_dist=flow_dist, churn=churn, size_mix=size_mix)
 
     ptnet = uses_ptnet(switch_name)
     forward = not reversed_path
@@ -75,7 +82,10 @@ def build(
 
     if forward:
         # NIC -> VM direction: MoonGen TX on node 1, monitor in the guest.
-        tx = MoonGenTx(sim, gen0, rate, frame_size, probe_interval_ns=probe_interval_ns)
+        tx = MoonGenTx(
+            sim, gen0, rate, frame_size, probe_interval_ns=probe_interval_ns,
+            **flow_source_kwargs(tb, "tx0"),
+        )
         tx.start(0.0)
         tb.extras["tx"] = tx
 
@@ -89,7 +99,10 @@ def build(
                 monitor = make_pktgen_rx(sim, None, frame_size, from_ring=bridge.bridge_to_monitor)
                 vm.run(monitor, vcpu=2)
                 tb.meters.append(monitor.meter)
-            guest_tx = make_pktgen_tx(sim, vif, rate, frame_size, via_ring=bridge.gen_to_bridge)
+            guest_tx = make_pktgen_tx(
+                sim, vif, rate, frame_size, via_ring=bridge.gen_to_bridge,
+                **flow_source_kwargs(tb, "guest_tx"),
+            )
             guest_tx.start(0.0)
             tb.extras["bridge"] = bridge
         else:
@@ -103,7 +116,10 @@ def build(
             tb.meters.append(monitor.meter)
         if needs_guest_tx:
             # MoonGen inside the guest; its virtio vNIC tops out at 10 Gbps.
-            guest_tx = GuestTrafficGen(sim, vif, min(rate, saturating_rate(frame_size)), frame_size)
+            guest_tx = GuestTrafficGen(
+                sim, vif, min(rate, saturating_rate(frame_size)), frame_size,
+                **flow_source_kwargs(tb, "guest_tx"),
+            )
             guest_tx.start(0.0)
 
     if needs_guest_tx:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from repro.scenarios.base import (
     Testbed,
+    apply_flow_axis,
+    flow_source_kwargs,
     make_guest_interface,
     make_hypervisor,
     new_testbed_parts,
@@ -36,6 +38,10 @@ def build(
     rate_pps: float | None = None,
     virtualization: str = "vm",
     seed: int = 1,
+    flows: int = 1,
+    flow_dist: str = "uniform",
+    churn: float = 0.0,
+    size_mix: str | None = None,
 ) -> Testbed:
     """Wire the v2v throughput testbed."""
     sim, machine, rngs, switch, sut_core = new_testbed_parts(switch_name, seed)
@@ -56,6 +62,7 @@ def build(
     tb = Testbed(sim, machine, rngs, switch, sut_core, frame_size, scenario="v2v")
     tb.vms.extend((vm1, vm2))
     tb.extras.update(vifs=(vif1, vif2))
+    apply_flow_axis(tb, flows=flows, flow_dist=flow_dist, churn=churn, size_mix=size_mix)
 
     if rate_pps is not None:
         rate = rate_pps
@@ -78,19 +85,27 @@ def build(
                 if f"bridge{src_vm.name}_started" not in tb.extras:
                     src_vm.run(bridge, vcpu=1)
                     tb.extras[f"bridge{src_vm.name}_started"] = True
-                gen = make_pktgen_tx(sim, src_vif, rate, frame_size, via_ring=bridge.gen_to_bridge)
+                gen = make_pktgen_tx(
+                    sim, src_vif, rate, frame_size, via_ring=bridge.gen_to_bridge,
+                    **flow_source_kwargs(tb, f"gen{idx}"),
+                )
                 dst_bridge = tb.extras.setdefault(f"bridge{dst_vm.name}", GuestValeBridge(sim, dst_vif))
                 if f"bridge{dst_vm.name}_started" not in tb.extras:
                     dst_vm.run(dst_bridge, vcpu=1)
                     tb.extras[f"bridge{dst_vm.name}_started"] = True
                 monitor = make_pktgen_rx(sim, None, frame_size, from_ring=dst_bridge.bridge_to_monitor)
             else:
-                gen = make_pktgen_tx(sim, src_vif, rate, frame_size)
+                gen = make_pktgen_tx(
+                    sim, src_vif, rate, frame_size, **flow_source_kwargs(tb, f"gen{idx}")
+                )
                 monitor = make_pktgen_rx(sim, dst_vif, frame_size)
         else:
             # MoonGen in the source guest (virtio vNIC: 10 Gbps ceiling),
             # FloWatcher in the destination guest.
-            gen = GuestTrafficGen(sim, src_vif, min(rate, saturating_rate(frame_size)), frame_size)
+            gen = GuestTrafficGen(
+                sim, src_vif, min(rate, saturating_rate(frame_size)), frame_size,
+                **flow_source_kwargs(tb, f"gen{idx}"),
+            )
             monitor = FloWatcher(sim, dst_vif, frame_size)
         gen.start(0.0)
         dst_vm.run(monitor, vcpu=2 + idx)

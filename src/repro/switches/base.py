@@ -347,6 +347,21 @@ class SoftwareSwitch:
     def _on_forward(self, batch: list[Packet], path: ForwardingPath) -> None:
         """State-update hook (MAC learning, flow tables); cost via _proc_cycles."""
 
+    # -- flow-cache introspection (repro.flows) ---------------------------
+
+    def on_flow_population(self, population) -> None:
+        """Notification that a non-trivial flow population will be offered.
+
+        Most switches need nothing: their caches exist unconditionally.
+        t4p4s enables its capacity-bounded flow table here so single-flow
+        runs keep their original (cheaper, golden-pinned) lookup path.
+        """
+
+    def cache_stats(self) -> dict:
+        """Flow-cache occupancy and hit/miss counters, if the switch has
+        a capacity-bounded cache (empty dict otherwise)."""
+        return {}
+
     def _overload_factor(self) -> float:
         """Snabb's thrash cliff; 1.0 for everyone else."""
         threshold = self.params.thrash_attachments

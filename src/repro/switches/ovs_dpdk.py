@@ -46,36 +46,48 @@ class OvsDpdk(SoftwareSwitch):
         self.megaflow_entries: list[FlowMatch] = []
         self.emc_hits = 0
         self.emc_misses = 0
+        self.emc_evictions = 0
         self.upcalls = 0
 
     def _proc_cycles(self, batch: list[Packet], path: ForwardingPath, n: int, total_bytes: int) -> float:
         cycles = self.params.proc.cycles(n, total_bytes)  # EMC-hit baseline
         for item in batch:
-            flow = item.flow_id
-            count = item.count
-            if flow in self._emc:
-                self.emc_hits += count
-                continue
-            # A block's frames share one flow: the first frame misses and
-            # installs the EMC entry, the remaining count-1 frames hit it.
-            self.emc_misses += 1
-            cycles += OVS_EMC_MISS_EXTRA.per_packet
-            if flow not in self._megaflows:
-                # ofproto upcall: consult the OpenFlow rules (when an SDN
-                # controller installed any) and collapse the result into a
-                # datapath megaflow.
-                self.upcalls += 1
-                cycles += OVS_UPCALL_EXTRA.per_packet
-                if len(self.flow_table):
-                    rule = self.flow_table.lookup(item, in_port=0)
-                    if rule is not None:
-                        self.megaflow_entries.append(
-                            self.flow_table.derive_megaflow(item, 0, rule)
-                        )
-                self._megaflows.add(flow)
-            self._insert_emc(flow)
-            if count > 1:
-                self.emc_hits += count - 1
+            runs = item.flows
+            if runs is None:
+                cycles += self._classify_run(item.flow_id, item.count, item)
+            else:
+                # Multi-flow block: fold the classifier over the run-length
+                # summary -- per-run semantics identical to the per-packet
+                # path without materialising any headers.
+                for flow, count in runs:
+                    cycles += self._classify_run(flow, count, item)
+        return cycles
+
+    def _classify_run(self, flow: int, count: int, item) -> float:
+        """Classify ``count`` consecutive frames of one flow; extra cycles."""
+        if flow in self._emc:
+            self.emc_hits += count
+            return 0.0
+        # A run's frames share one flow: the first frame misses and
+        # installs the EMC entry, the remaining count-1 frames hit it.
+        self.emc_misses += 1
+        cycles = OVS_EMC_MISS_EXTRA.per_packet
+        if flow not in self._megaflows:
+            # ofproto upcall: consult the OpenFlow rules (when an SDN
+            # controller installed any) and collapse the result into a
+            # datapath megaflow.
+            self.upcalls += 1
+            cycles += OVS_UPCALL_EXTRA.per_packet
+            if len(self.flow_table):
+                rule = self.flow_table.lookup(item, in_port=0)
+                if rule is not None:
+                    self.megaflow_entries.append(
+                        self.flow_table.derive_megaflow(item, 0, rule)
+                    )
+            self._megaflows.add(flow)
+        self._insert_emc(flow)
+        if count > 1:
+            self.emc_hits += count - 1
         return cycles
 
     def _insert_emc(self, flow: int) -> None:
@@ -83,7 +95,23 @@ class OvsDpdk(SoftwareSwitch):
             # EMC eviction is hash-indexed; dropping the oldest entry is a
             # fair stand-in for the occupancy behaviour we need.
             self._emc.pop(next(iter(self._emc)))
+            self.emc_evictions += 1
         self._emc[flow] = 1
+
+    def cache_stats(self) -> dict:
+        """EMC occupancy/traffic counters for obs gauges and campaigns."""
+        hits, misses = self.emc_hits, self.emc_misses
+        total = hits + misses
+        return {
+            "emc_entries": len(self._emc),
+            "emc_capacity": self.emc_entries,
+            "emc_hits": hits,
+            "emc_misses": misses,
+            "emc_evictions": self.emc_evictions,
+            "emc_hit_rate": hits / total if total else 1.0,
+            "upcalls": self.upcalls,
+            "megaflows": len(self._megaflows),
+        }
 
     # -- fault hooks (repro.faults) ----------------------------------------
 

@@ -288,6 +288,17 @@ T4P4S_STAGES = {
     "deparse": Cost(per_packet=56.0, per_byte=0.24),
 }
 
+#: Capacity of the generated exact-match flow table DPDK backs with a
+#: ``rte_hash`` (default entry budget of the l2fwd-style table configs).
+T4P4S_FLOW_TABLE_ENTRIES = 65_536
+#: Per-frame cycles of a flow-table probe at zero occupancy; the effective
+#: cost scales with occupancy (hash-bucket chains lengthen as the table
+#: fills): ``per_packet * (1 + occupancy/capacity)``.
+T4P4S_FLOW_LOOKUP = Cost(per_packet=18.0)
+#: Extra per-miss cycles: default-action path plus controller-digest work
+#: when a new flow key is inserted.
+T4P4S_FLOW_MISS_EXTRA = Cost(per_packet=900.0)
+
 ALL_PARAMS = {
     params.name: params
     for params in (

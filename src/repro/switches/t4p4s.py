@@ -24,7 +24,13 @@ from __future__ import annotations
 from repro.core.packet import Packet
 from repro.cpu.costmodel import Cost
 from repro.switches.base import Attachment, ForwardingPath, SoftwareSwitch
-from repro.switches.params import T4P4S_PARAMS, T4P4S_STAGES
+from repro.switches.params import (
+    T4P4S_FLOW_LOOKUP,
+    T4P4S_FLOW_MISS_EXTRA,
+    T4P4S_FLOW_TABLE_ENTRIES,
+    T4P4S_PARAMS,
+    T4P4S_STAGES,
+)
 
 
 class P4Table:
@@ -87,6 +93,15 @@ class T4P4S(SoftwareSwitch):
         self.mac_learning = mac_learning
         self.table = P4Table()
         self.stage_cycles = {stage: 0.0 for stage in T4P4S_STAGES}
+        # Capacity-bounded per-flow exact-match table, enabled only when a
+        # non-trivial flow population is offered (on_flow_population) so
+        # single-flow runs keep the original lookup path bit-for-bit.
+        self.flow_table_enabled = False
+        self.flow_table_entries = T4P4S_FLOW_TABLE_ENTRIES
+        self._flow_keys: dict[int, int] = {}
+        self.flow_hits = 0
+        self.flow_misses = 0
+        self.flow_evictions = 0
 
     def add_path(self, inp, out) -> ForwardingPath:
         path = super().add_path(inp, out)
@@ -105,7 +120,57 @@ class T4P4S(SoftwareSwitch):
         # Stage accounting for introspection (costs already in params.proc).
         for stage, cost in T4P4S_STAGES.items():
             self.stage_cycles[stage] += cost.cycles(n, total_bytes)
+        if self.flow_table_enabled:
+            cycles += self._flow_table_cycles(batch)
         return cycles
+
+    def _flow_table_cycles(self, batch: list[Packet]) -> float:
+        """Occupancy-dependent flow-table lookups over the batch's runs.
+
+        The generated exact-match table probes a bounded ``rte_hash``: the
+        per-frame cost rises linearly with occupancy (bucket chains), a
+        miss pays the default-action/digest path and inserts the key,
+        FIFO-evicting when the table is full.
+        """
+        keys = self._flow_keys
+        capacity = self.flow_table_entries
+        lookup = T4P4S_FLOW_LOOKUP.per_packet
+        cycles = 0.0
+        for item in batch:
+            runs = item.flows if item.flows is not None else ((item.flow_id, item.count),)
+            for flow, count in runs:
+                cycles += lookup * (1.0 + len(keys) / capacity) * count
+                if flow in keys:
+                    self.flow_hits += count
+                    continue
+                self.flow_misses += 1
+                cycles += T4P4S_FLOW_MISS_EXTRA.per_packet
+                if len(keys) >= capacity:
+                    keys.pop(next(iter(keys)))
+                    self.flow_evictions += 1
+                keys[flow] = 1
+                if count > 1:
+                    self.flow_hits += count - 1
+        return cycles
+
+    def on_flow_population(self, population) -> None:
+        """Arm the capacity-bounded flow table for a multi-flow offered load."""
+        self.flow_table_enabled = True
+
+    def cache_stats(self) -> dict:
+        """Flow-table occupancy counters for obs gauges and campaigns."""
+        if not self.flow_table_enabled:
+            return {}
+        hits, misses = self.flow_hits, self.flow_misses
+        total = hits + misses
+        return {
+            "flow_entries": len(self._flow_keys),
+            "flow_capacity": self.flow_table_entries,
+            "flow_hits": hits,
+            "flow_misses": misses,
+            "flow_evictions": self.flow_evictions,
+            "flow_hit_rate": hits / total if total else 1.0,
+        }
 
     def _on_forward(self, batch: list[Packet], path: ForwardingPath) -> None:
         table = self.table

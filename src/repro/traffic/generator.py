@@ -45,6 +45,7 @@ class PacedSource:
         flow_count: int = 1,
         size_profile=None,
         flow_profile=None,
+        flow_population=None,
         rng: np.random.Generator | None = None,
         name: str = "source",
     ) -> None:
@@ -65,9 +66,19 @@ class PacedSource:
         self.flow_count = flow_count
         self.probe_interval_ns = probe_interval_ns
         self.stamp_probe_tx = stamp_probe_tx
+        self.flow_population = flow_population
+        if size_profile is None and flow_population is not None:
+            size_profile = flow_population.size_profile
         self.size_profile = size_profile
         self.flow_profile = flow_profile
-        if (size_profile is not None or flow_profile is not None) and rng is None:
+        if (
+            size_profile is not None
+            or flow_profile is not None
+            or flow_population is not None
+        ) and rng is None:
+            # Fallback for direct construction; scenario builders pass a
+            # named per-run stream (``rngs.stream("flows.<source>")``) so
+            # multi-flow runs stay deterministic and parallel-safe.
             rng = np.random.default_rng(0)
         self.name = name
         self._rng = rng
@@ -95,6 +106,12 @@ class PacedSource:
         burst = self.burst
         if self._uniform and blocks_enabled():
             batch = self._make_block_burst(now, burst)
+        elif (
+            self.flow_population is not None
+            and self.flow_profile is None
+            and blocks_enabled()
+        ):
+            batch = self._make_flow_burst(now, burst)
         else:
             batch = self._make_burst(now)
         self._emit(batch)
@@ -107,6 +124,7 @@ class PacedSource:
         return (
             self.size_profile is None
             and self.flow_profile is None
+            and self.flow_population is None
             and self.flow_count == 1
         )
 
@@ -139,12 +157,80 @@ class PacedSource:
             )
         return batch
 
+    def _make_flow_burst(self, now: float, burst: int) -> list[Packet | PacketBlock]:
+        """Flyweight multi-flow burst: size-run blocks carrying flow RLEs.
+
+        Draw order matches :meth:`_make_burst`'s population path exactly
+        (sizes first, then flows), so flipping the emission mode mid-study
+        leaves the shared RNG stream in the same state.  The probe, when
+        due, materialises frame 0 of the burst -- its sampled size and
+        flow -- and takes the lowest seq.
+        """
+        rng = self._rng
+        sizes = None
+        if self.size_profile is not None:
+            sizes = self.size_profile.sample(rng, burst)
+        flows = self.flow_population.sample_flows(rng, burst, now)
+        batch: list[Packet | PacketBlock] = []
+        start = 0
+        if self.probe_interval_ns is not None and now >= self._next_probe_at:
+            flow = self.flow_id + int(flows[0])
+            probe = Packet(
+                size=int(sizes[0]) if sizes is not None else self.frame_size,
+                flow_id=flow,
+                src_mac=DEFAULT_SRC_MAC + flow,
+                t_created=now,
+            )
+            probe.is_probe = True
+            self.probes_sent += 1
+            if self.stamp_probe_tx is not None:
+                self.stamp_probe_tx(probe, now)
+            self._next_probe_at = now + self.probe_interval_ns
+            batch.append(probe)
+            start = 1
+        i = start
+        while i < burst:
+            if sizes is None:
+                size = self.frame_size
+                j = burst
+            else:
+                size = int(sizes[i])
+                j = i + 1
+                while j < burst and sizes[j] == size:
+                    j += 1
+            runs: list[list[int]] = []
+            for k in range(i, j):
+                flow = self.flow_id + int(flows[k])
+                if runs and runs[-1][0] == flow:
+                    runs[-1][1] += 1
+                else:
+                    runs.append([flow, 1])
+            first_flow = runs[0][0]
+            batch.append(
+                acquire_block(
+                    size,
+                    first_flow,
+                    DEFAULT_SRC_MAC + first_flow,
+                    DEFAULT_DST_MAC,
+                    now,
+                    j - i,
+                    flows=(
+                        tuple((f, c) for f, c in runs) if len(runs) > 1 else None
+                    ),
+                )
+            )
+            i = j
+        return batch
+
     def _make_burst(self, now: float) -> list[Packet]:
         sizes = None
         if self.size_profile is not None:
             sizes = self.size_profile.sample(self._rng, self.burst)
         flows = None
-        if self.flow_profile is not None:
+        population = self.flow_population
+        if population is not None:
+            flows = population.sample_flows(self._rng, self.burst, now)
+        elif self.flow_profile is not None:
             flows = self.flow_profile.sample(self._rng, self.burst)
         batch = []
         for i in range(self.burst):
@@ -156,7 +242,12 @@ class PacedSource:
             else:
                 flow = self.flow_id
             size = int(sizes[i]) if sizes is not None else self.frame_size
-            packet = Packet(size=size, flow_id=flow, t_created=now)
+            if population is not None:
+                packet = Packet(
+                    size=size, flow_id=flow, src_mac=DEFAULT_SRC_MAC + flow, t_created=now
+                )
+            else:
+                packet = Packet(size=size, flow_id=flow, t_created=now)
             batch.append(packet)
         if self.probe_interval_ns is not None and now >= self._next_probe_at:
             probe = batch[0]

@@ -103,10 +103,18 @@ class FlowProfile:
         """Draw ``count`` flow ids."""
         if self.zipf_alpha == 0.0:
             return rng.integers(0, self.flow_count, size=count)
-        ranks = np.arange(1, self.flow_count + 1, dtype=float)
-        probs = ranks ** (-self.zipf_alpha)
-        probs /= probs.sum()
-        return rng.choice(self.flow_count, size=count, p=probs)
+        # Inverse-CDF sampling off a cached cumulative distribution:
+        # ``rng.choice(p=...)`` rebuilds its alias table on every call,
+        # which is prohibitive at 10^6 flows.
+        cdf = self.__dict__.get("_cdf_cache")
+        if cdf is None:
+            ranks = np.arange(1, self.flow_count + 1, dtype=float)
+            pmf = ranks ** (-self.zipf_alpha)
+            pmf /= pmf.sum()
+            cdf = np.cumsum(pmf)
+            cdf[-1] = 1.0
+            object.__setattr__(self, "_cdf_cache", cdf)
+        return np.searchsorted(cdf, rng.random(count)).astype(np.int64)
 
 
 SINGLE_FLOW = FlowProfile(name="single", flow_count=1)
