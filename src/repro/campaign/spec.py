@@ -151,6 +151,10 @@ class RunRecord:
     #: Resilience report (:meth:`repro.measure.resilience.ResilienceReport.to_dict`);
     #: None for non-resilience runs and omitted from :meth:`to_dict`.
     resilience: dict | None = None
+    #: Per-flow telemetry summary (:meth:`repro.obs.flowstats.FlowStats.summary`);
+    #: None unless the run was observed with ``flowstats=True`` and
+    #: omitted from :meth:`to_dict` so older stored records stay valid.
+    flowstats: dict | None = None
 
     # Convenience mirrors of RunResult so suite/table code can treat a
     # record like a measurement.
@@ -201,6 +205,8 @@ class RunRecord:
             data["metrics"] = self.metrics
         if self.resilience is not None:
             data["resilience"] = self.resilience
+        if self.flowstats is not None:
+            data["flowstats"] = self.flowstats
         return data
 
     @classmethod
@@ -583,9 +589,12 @@ def execute_run(spec: RunSpec) -> RunRecord:
         )
 
     metrics = None
+    flowstats = None
     if observation is not None:
         observation.finish(result)
         metrics = observation.metrics_snapshot()
+        # Flow telemetry is its own record column, not a metrics blob.
+        flowstats = metrics.pop("flowstats", None)
 
     latency = result.latency
     has_latency = latency is not None and len(latency)
@@ -608,6 +617,7 @@ def execute_run(spec: RunSpec) -> RunRecord:
         wall_clock_s=time.monotonic() - started,
         metrics=metrics,
         resilience=resilience,
+        flowstats=flowstats,
     )
 
 

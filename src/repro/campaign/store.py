@@ -34,6 +34,7 @@ CSV_COLUMNS = (
     "wall_clock_s",
     "error",
     "metrics",
+    "flowstats",
 )
 
 
@@ -113,6 +114,7 @@ def _row_for(outcome: RunRecord | RunFailure, key: str) -> dict:
         "wall_clock_s": f"{outcome.wall_clock_s:.3f}",
         "error": "",
         "metrics": "",
+        "flowstats": "",
     }
     if isinstance(outcome, RunFailure):
         row["error"] = f"{outcome.error}: {outcome.message}"
@@ -126,6 +128,8 @@ def _row_for(outcome: RunRecord | RunFailure, key: str) -> dict:
         row["events"] = outcome.events
     if getattr(outcome, "metrics", None) is not None:
         row["metrics"] = json.dumps(outcome.metrics, sort_keys=True)
+    if getattr(outcome, "flowstats", None) is not None:
+        row["flowstats"] = json.dumps(outcome.flowstats, sort_keys=True)
     return row
 
 

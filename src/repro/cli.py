@@ -7,6 +7,8 @@ Examples::
     repro-bench p2p --switch bess --latency
     repro-bench p2p --switch vpp --profile --metrics
     repro-bench trace p2p --switch vpp --trace-out trace.json
+    repro-bench flowstats p2p --switch ovs-dpdk --flows 100k --flow-dist zipf \\
+        --top-k 64
     repro-bench resilience p2p --switch vale \\
         --fault nic-link-flap@sut-nic.p1:at_ns=1200000,duration_ns=300000
     repro-bench v2v-latency --switch snabb
@@ -44,12 +46,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "scenario",
-        choices=["p2p", "p2v", "v2v", "loopback", "v2v-latency", "suite", "validate", "campaign", "trace", "perf", "resilience"],
-        help="test scenario (Sec. 4 of the paper), 'suite', 'validate', 'campaign', 'trace', 'perf' or 'resilience'",
+        choices=["p2p", "p2v", "v2v", "loopback", "v2v-latency", "suite", "validate", "campaign", "trace", "perf", "resilience", "flowstats"],
+        help="test scenario (Sec. 4 of the paper), 'suite', 'validate', 'campaign', 'trace', 'perf', 'resilience' or 'flowstats'",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
-        help="scenario to trace or fault (for 'trace'/'resilience'; default p2p)",
+        help="scenario to trace, fault or flow-profile (for 'trace'/"
+        "'resilience'/'flowstats'; default p2p)",
     )
     parser.add_argument("--switch", default="vpp", metavar="NAME",
                         help="switch under test (see the registry; default vpp)")
@@ -144,6 +147,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--sample-rate", type=int, default=None, metavar="N",
         help="per-packet lifecycle spans: trace one batch in N",
     )
+    parser.add_argument(
+        "--flow-stats", action="store_true",
+        help="collect per-flow telemetry (latency/loss/throughput per flow "
+        "with heavy-hitter tracking); implied by the 'flowstats' command",
+    )
+    parser.add_argument(
+        "--top-k", type=int, default=None, metavar="K",
+        help="flow telemetry: heavy-hitter tracker capacity (default 64); "
+        "memory stays O(K) regardless of --flows",
+    )
+    parser.add_argument(
+        "--flow-out", default=None, metavar="PATH",
+        help="write per-flow Prometheus text (repro_flow_*) to PATH",
+    )
     # --- fault injection ('resilience') -----------------------------------
     parser.add_argument(
         "--fault", action="append", default=None, metavar="KIND@TARGET:at_ns=...",
@@ -221,6 +238,54 @@ def _flow_kwargs(args) -> dict:
     return kwargs
 
 
+#: Subcommands the flow-diversity axis reaches end to end.  Every other
+#: command rejects non-default flow flags via :func:`_flow_flags_error`
+#: instead of silently dropping them somewhere down its pipeline.
+_FLOW_COMMANDS = (
+    "p2p", "p2v", "v2v", "loopback", "trace", "flowstats", "suite",
+    "campaign", "resilience",
+)
+
+
+def _flow_flags_error(args) -> str | None:
+    """One validation path for --flows/--flow-dist/--churn/--size-mix.
+
+    Returns the stderr line for invalid flags, or None when this
+    subcommand can honour them.  All commands funnel through here, so a
+    flag a command cannot carry is a consistent error everywhere.
+    """
+    try:
+        counts = _flow_counts(args)
+    except ValueError:
+        return f"bad --flows {args.flows!r}: expected counts like 1,1k,100k,1m"
+    if len(counts) > 1 and args.scenario != "campaign":
+        return "--flows with a comma list sweeps a campaign axis; pick one count here"
+    if args.size_mix is not None:
+        from repro.traffic.profiles import PROFILES
+
+        if args.size_mix not in PROFILES:
+            return f"unknown --size-mix {args.size_mix!r}; known: {sorted(PROFILES)}"
+    nondefault = (
+        counts != [1]
+        or args.flow_dist != "uniform"
+        or bool(args.churn)
+        or args.size_mix is not None
+    )
+    if not nondefault:
+        return None
+    if args.scenario not in _FLOW_COMMANDS:
+        return (
+            "--flows/--flow-dist/--churn/--size-mix are not supported by "
+            f"'{args.scenario}'; flow-aware commands: " + ", ".join(_FLOW_COMMANDS)
+        )
+    if args.scenario in ("trace", "flowstats") and (args.target or "p2p") == "v2v-latency":
+        return (
+            "the v2v-latency scenario drives a fixed probe flow; "
+            "flow-diversity flags are not supported"
+        )
+    return None
+
+
 def _workers(args) -> int | None:
     """CLI convention: unset -> 1 (serial), 0 -> auto-size to the machine."""
     if args.workers is None:
@@ -260,18 +325,23 @@ def _note(message: str) -> None:
     print(message, file=sys.stderr, flush=True)
 
 
-def _obs_config(args, trace: bool = False, with_trace_out: bool = True):
+def _obs_config(args, trace: bool = False, with_trace_out: bool = True, flowstats: bool = False):
     """Build an ObsConfig from the CLI flags; None when nothing was asked."""
     want_trace = trace or (with_trace_out and args.trace_out is not None)
     want_metrics = args.metrics or args.metrics_out is not None
     want_profile = args.profile
-    if not (want_trace or want_metrics or want_profile):
+    want_flowstats = flowstats or args.flow_stats or args.flow_out is not None
+    if not (want_trace or want_metrics or want_profile or want_flowstats):
         return None
     from repro.obs import ObsConfig
 
     kwargs = {}
     if args.sample_rate is not None:
         kwargs["sample_rate"] = args.sample_rate
+    if want_flowstats:
+        kwargs["flowstats"] = True
+        if args.top_k is not None:
+            kwargs["top_k"] = args.top_k
     return ObsConfig(
         trace=want_trace,
         metrics=want_metrics or want_trace,
@@ -335,6 +405,18 @@ def _emit_single_run_obs(
                 print(f"warp: {result.warp.describe()}")
             else:
                 print("warp: disabled (REPRO_WARP=0 or --no-warp)")
+    if getattr(observation, "flowstats", None) is not None:
+        from repro.obs.flowstats import flow_table
+
+        # The flow table moves to stderr when metrics stream to stdout,
+        # mirroring the measurement line.
+        say = _note if (args.metrics and not args.metrics_out) else print
+        say(flow_table(observation.flow_summary()))
+        if args.flow_out:
+            path = observation.write_flow_prometheus(
+                args.flow_out, labels={"scenario": scenario, "switch": args.switch}
+            )
+            _note(f"wrote per-flow metrics {path}")
     if observation.registry is not None:
         if args.metrics_out:
             path = observation.write_prometheus(args.metrics_out)
@@ -354,6 +436,13 @@ def _observed_single_run(args) -> int:
             return 1
         config = _obs_config(args, trace=True)
         default_trace_out = "trace.json"
+    elif args.scenario == "flowstats":
+        scenario = args.target or "p2p"
+        if scenario not in _RUN_TARGETS:
+            _note(f"unknown flowstats target {scenario!r}; known: {_RUN_TARGETS}")
+            return 1
+        config = _obs_config(args, flowstats=True)
+        default_trace_out = None
     else:
         scenario = args.scenario
         config = _obs_config(args)
@@ -594,6 +683,10 @@ def _run_resilience_command(args) -> int:
         vnfs=(args.vnfs,),
         seeds=range(args.seed, args.seed + args.repeat),
         fault_plans=(plan,),
+        flows=(_flow_counts(args)[0],),
+        flow_dist=args.flow_dist,
+        churn=args.churn,
+        size_mix=args.size_mix,
         **_windows(args),
     )
     if args.epsilon is not None or args.bin_ns is not None:
@@ -730,22 +823,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 1
 
-    try:
-        counts = _flow_counts(args)
-    except ValueError:
-        _note(f"bad --flows {args.flows!r}: expected counts like 1,1k,100k,1m")
+    error = _flow_flags_error(args)
+    if error is not None:
+        _note(error)
         return 1
-    if args.scenario != "campaign" and len(counts) > 1:
-        _note("--flows with a comma list sweeps a campaign axis; pick one count here")
-        return 1
-    if args.size_mix is not None:
-        from repro.traffic.profiles import PROFILES
-
-        if args.size_mix not in PROFILES:
-            _note(f"unknown --size-mix {args.size_mix!r}; known: {sorted(PROFILES)}")
-            return 1
-    if args.scenario == "v2v-latency" and _flow_kwargs(args):
-        _note("note: flow-diversity flags are ignored for v2v-latency")
 
     if args.scenario == "perf":
         return _run_perf_command(args)
@@ -756,7 +837,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.scenario == "resilience":
         return _run_resilience_command(args)
 
-    if args.scenario == "trace":
+    if args.scenario in ("trace", "flowstats"):
         return _observed_single_run(args)
 
     if args.scenario == "validate":
@@ -817,6 +898,7 @@ def main(argv: list[str] | None = None) -> int:
         if suite is None:
             print(f"unknown suite {args.suite!r}; known: {sorted(SUITES)}")
             return 1
+        flow_kwargs = _flow_kwargs(args)
         outcomes = suite.run_outcomes(
             args.switch,
             seed=args.seed,
@@ -826,16 +908,28 @@ def main(argv: list[str] | None = None) -> int:
             progress=ProgressReporter(
                 total=len(suite.experiments) * args.repeat, emit=emit_to_stderr
             ),
-            obs=_obs_config(args, with_trace_out=False),
+            # An active flow population switches flow telemetry on so the
+            # table can show cache hit-rate and fairness per experiment.
+            obs=_obs_config(args, with_trace_out=False, flowstats=bool(flow_kwargs)),
+            **flow_kwargs,
             **_windows(args),
         )
-        rows = [
-            [name, *_outcome_cells(outcome)]
-            for name, outcome in outcomes.items()
-        ]
+        headers = ["experiment", "Gbps", "Mpps", "status"]
+        if flow_kwargs:
+            headers = ["experiment", "Gbps", "Mpps", "hit-rate", "jain", "status"]
+        rows = []
+        for name, outcome in outcomes.items():
+            cells = _outcome_cells(outcome)
+            if flow_kwargs:
+                hit, jain = outcome.cache_hit_rate, outcome.jain
+                cells[2:2] = [
+                    f"{hit:.3f}" if hit is not None else "-",
+                    f"{jain:.3f}" if jain is not None else "-",
+                ]
+            rows.append([name, *cells])
         print(
             format_table(
-                ["experiment", "Gbps", "Mpps", "status"],
+                headers,
                 rows,
                 title=f"suite '{suite.name}' for {args.switch}: {suite.description}",
             )
@@ -862,7 +956,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.latency:
         if _obs_config(args) is not None:
-            _note("note: --metrics/--profile/--trace-out are ignored for the latency sweep")
+            _note("note: --metrics/--profile/--trace-out/--flow-stats are ignored for the latency sweep")
         sweep_windows = {}
         if args.warmup_ns is not None:
             sweep_windows["warmup_ns"] = args.warmup_ns

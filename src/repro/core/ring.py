@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Iterable
 
-from repro.core.packet import Packet, PacketBlock, flows_front, release_block
+from repro.core.packet import Packet, PacketBlock, _runs_split, flows_front, release_block
 
 
 class Ring:
@@ -42,7 +42,10 @@ class Ring:
         an interrupt, whereas poll-mode consumers ignore it.
     """
 
-    __slots__ = ("capacity", "name", "_queue", "_frames", "enqueued", "dropped", "on_push")
+    __slots__ = (
+        "capacity", "name", "_queue", "_frames", "enqueued", "dropped", "on_push",
+        "flowstats",
+    )
 
     def __init__(
         self,
@@ -59,6 +62,10 @@ class Ring:
         self.enqueued = 0
         self.dropped = 0
         self.on_push = on_push
+        #: Optional per-flow accounting (:class:`repro.obs.flowstats.FlowStats`);
+        #: None unless flow telemetry is enabled, so unobserved pushes pay
+        #: a single attribute test per drop event (nothing on clean pushes).
+        self.flowstats = None
 
     def __len__(self) -> int:
         """Occupancy in frames (a block of 32 fills 32 descriptors)."""
@@ -80,11 +87,21 @@ class Ring:
         free = self.capacity - self._frames
         if free <= 0:
             self.dropped += count
+            if self.flowstats is not None:
+                self.flowstats.drop_item(item)
             if item.__class__ is PacketBlock:
                 release_block(item)
             return False
         if count > free:
             self.dropped += count - free
+            if self.flowstats is not None:
+                runs = item.flows
+                tail = (
+                    _runs_split(runs, free)[1]
+                    if runs is not None
+                    else ((item.flow_id, count - free),)
+                )
+                self.flowstats.drop_runs(tail, item.size)
             item.count = free  # blocks only: Packet.count == 1 always fits
             if item.flows is not None:
                 item.flows = flows_front(item.flows, free)
@@ -186,6 +203,8 @@ class DisconnectedRing(Ring):
 
     def push(self, item: Packet | PacketBlock) -> bool:
         self.dropped += item.count
+        if self.flowstats is not None:
+            self.flowstats.drop_item(item)
         if item.__class__ is PacketBlock:
             release_block(item)
         return False

@@ -199,6 +199,11 @@ def _eligibility(tb: "Testbed", watchdog_active: bool) -> _Ctx:
         # Checked before the observability gates so --profile surfaces the
         # traffic-shape reason rather than its own tracing decline.
         raise _Decline("flow-churn" if population.churn_fps else "multi-flow-traffic")
+    if tb.extras.get("flowstats") is not None:
+        # Per-flow accounting reads every drop/send/forward event; the
+        # replayed fast-path skips those call sites, so warping would
+        # silently under-count the telemetry.
+        raise _Decline("flow-telemetry")
     if tb.sim._observer is not None:
         raise _Decline("per-packet-tracing")
     if not blocks_enabled():
@@ -226,6 +231,10 @@ def _eligibility(tb: "Testbed", watchdog_active: bool) -> _Ctx:
         raise _Decline("interrupt-driven")
     if sw.obs is not None:
         raise _Decline("per-packet-tracing")
+    if sw.flowstats is not None:
+        # Belt-and-braces for a switch wired directly (wire_flowstats
+        # normally also registers the session in tb.extras).
+        raise _Decline("flow-telemetry")
     if sw._overload_factor() != 1.0:
         raise _Decline("overloaded-switch")
     if type(sw) is OvsDpdk and len(sw.flow_table):
@@ -1197,7 +1206,7 @@ def state_fingerprint(tb: "Testbed") -> tuple:
     # Switch hook state: everything mutable except object-graph
     # back-references (pipelines are id-keyed; covered via path_views).
     skip = {
-        "sim", "rngs", "obs", "params", "bus", "core",
+        "sim", "rngs", "obs", "flowstats", "params", "bus", "core",
         "attachments", "paths", "pipelines", "_stalls",
     }
     sw_view = tuple(

@@ -13,6 +13,7 @@ from repro.measure.runner import (
     RunResult,
     drive,
 )
+from repro.measure.flowreport import FlowReport, flow_report
 from repro.measure.ndr import NdrResult, measure_loss, ndr_search
 from repro.measure.resilience import (
     DEFAULT_BIN_NS,
@@ -29,6 +30,7 @@ __all__ = [
     "DEFAULT_LATENCY_MEASURE_NS",
     "DEFAULT_MEASURE_NS",
     "DEFAULT_WARMUP_NS",
+    "FlowReport",
     "LOAD_FRACTIONS",
     "LatencyPoint",
     "NFV_SUITE",
@@ -41,6 +43,7 @@ __all__ = [
     "TestSuite",
     "drive",
     "estimate_r_plus",
+    "flow_report",
     "latency_sweep",
     "measure_latency_at",
     "measure_loss",

@@ -1,0 +1,72 @@
+"""Per-flow measurement report: throughput run + flow telemetry.
+
+:func:`flow_report` is the flow-level sibling of
+:func:`~repro.measure.resilience.measure_resilience` and the latency
+sweep: it drives one saturating-input run with per-flow accounting
+(:mod:`repro.obs.flowstats`) enabled and returns the aggregate result
+together with the bounded heavy-hitter summary -- which flows carried
+the traffic, which paid the drops, and how unfair the split was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.measure.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS, RunResult, drive
+from repro.obs.flowstats import DEFAULT_TOP_K, flow_table
+from repro.obs.session import ObsConfig, Observation, observe
+from repro.scenarios.base import Testbed
+
+
+@dataclass
+class FlowReport:
+    """One run's aggregate result plus its per-flow telemetry summary."""
+
+    result: RunResult
+    summary: dict
+    observation: Observation = field(repr=False)
+
+    @property
+    def fairness(self) -> dict:
+        return self.summary["fairness"]
+
+    @property
+    def totals(self) -> dict:
+        return self.summary["totals"]
+
+    def table(self, top: int = 10) -> str:
+        """Aligned heavy-hitter table for terminal output."""
+        return flow_table(self.summary, top=top)
+
+
+def flow_report(
+    build: Callable[..., Testbed],
+    switch_name: str,
+    frame_size: int = 64,
+    top_k: int = DEFAULT_TOP_K,
+    warmup_ns: float = DEFAULT_WARMUP_NS,
+    measure_ns: float = DEFAULT_MEASURE_NS,
+    seed: int = 1,
+    observe_config: ObsConfig | None = None,
+    **build_kwargs,
+) -> FlowReport:
+    """Run one scenario with per-flow telemetry and report the flow story.
+
+    ``observe_config`` overrides the whole observation config; when given
+    it must have ``flowstats=True``.  Pass ``probe_interval_ns`` (for
+    builders that accept it) to collect per-flow latency histograms for
+    the probe-tagged flows.
+    """
+    config = observe_config
+    if config is None:
+        config = ObsConfig(flowstats=True, top_k=top_k)
+    elif not config.flowstats:
+        raise ValueError("flow_report needs ObsConfig.flowstats=True")
+    tb = build(switch_name, frame_size=frame_size, seed=seed, **build_kwargs)
+    observation = observe(tb, config)
+    result = drive(tb, warmup_ns=warmup_ns, measure_ns=measure_ns)
+    observation.finish(result)
+    return FlowReport(
+        result=result, summary=observation.flow_summary(), observation=observation
+    )

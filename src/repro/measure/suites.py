@@ -72,6 +72,35 @@ class ExperimentOutcome:
             return None
         return sum(r.mpps for r in self.records) / len(self.records)
 
+    def _flow_summaries(self) -> list[dict]:
+        if self.status != "ok":
+            return []
+        return [
+            record.flowstats
+            for record in self.records
+            if getattr(record, "flowstats", None)
+        ]
+
+    @property
+    def cache_hit_rate(self) -> float | None:
+        """Mean flow-cache hit rate across replicas (flow telemetry runs)."""
+        rates = [
+            summary["totals"]["cache_hit_rate"]
+            for summary in self._flow_summaries()
+            if summary["totals"].get("cache_hit_rate") is not None
+        ]
+        return sum(rates) / len(rates) if rates else None
+
+    @property
+    def jain(self) -> float | None:
+        """Mean Jain's fairness index across replicas (flow telemetry runs)."""
+        values = [
+            summary["fairness"]["jain"]
+            for summary in self._flow_summaries()
+            if summary.get("fairness", {}).get("jain") is not None
+        ]
+        return sum(values) / len(values) if values else None
+
 
 @dataclass(frozen=True)
 class TestSuite:
@@ -125,6 +154,10 @@ class TestSuite:
         cache=None,
         progress=None,
         obs=None,
+        flows: int = 1,
+        flow_dist: str = "uniform",
+        churn: float = 0.0,
+        size_mix: str | None = None,
     ) -> dict[str, ExperimentOutcome]:
         """Run the suite through the campaign executor.
 
@@ -136,6 +169,10 @@ class TestSuite:
         sinking the suite).  ``obs`` (an
         :class:`~repro.obs.session.ObsConfig`) runs every experiment
         observed; each ok record then carries a ``metrics`` snapshot.
+        ``flows``/``flow_dist``/``churn``/``size_mix`` offer every
+        experiment a flow population (``repro.flows``); combined with an
+        ``obs`` that enables ``flowstats``, each ok record also carries
+        a per-flow telemetry summary.
         """
         from repro.campaign.executor import run_campaign
         from repro.campaign.spec import CampaignSpec, RunFailure, runspec_from_experiment
@@ -158,13 +195,19 @@ class TestSuite:
                 runs.append(spec)
 
         campaign = CampaignSpec(name=f"suite:{self.name}/{switch_name}", runs=tuple(runs))
+        if flows != 1 or flow_dist != "uniform" or churn or size_mix is not None:
+            campaign = campaign.with_flows(
+                flows, flow_dist=flow_dist, churn=churn, size_mix=size_mix
+            )
         if obs is not None:
             campaign = campaign.with_obs(obs)
-            # with_obs preserves run order; re-map each experiment's specs
-            # to their observed counterparts so outcome_for() keys match.
-            observed = iter(campaign.runs)
+        if campaign.runs != tuple(runs):
+            # Both transforms preserve run order; re-map each experiment's
+            # specs to their transformed counterparts so outcome_for()
+            # keys match.
+            transformed = iter(campaign.runs)
             for name in spec_map:
-                spec_map[name] = [next(observed) for _ in spec_map[name]]
+                spec_map[name] = [next(transformed) for _ in spec_map[name]]
         result = run_campaign(
             campaign, workers=workers, cache=cache, progress=progress
         )

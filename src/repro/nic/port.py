@@ -146,6 +146,10 @@ class NicPort:
         self.driver_drops = 0
         self.driver_drop_prob = DRIVER_DROP_PROB
         self.rx_packets = 0
+        #: Optional per-flow accounting (:class:`repro.obs.flowstats.FlowStats`);
+        #: None unless flow telemetry is enabled -- the un-accounted cost is
+        #: one attribute load per send_batch call.
+        self.flowstats = None
 
     def connect(self, peer: "NicPort") -> None:
         """Cable this port to ``peer`` (full duplex, both directions)."""
@@ -167,6 +171,7 @@ class NicPort:
         prob = self.driver_drop_prob
         name_hash = self._name_hash
         tx_slots = self.tx_slots
+        flowstats = self.flowstats
         arrivals: list[tuple[Packet | PacketBlock, float]] = []
         sent_frames = 0
         sent_bytes = 0
@@ -204,6 +209,10 @@ class NicPort:
                         offset += 1
                     index += count
                     accepted = len(kept)
+                    if flowstats is not None:
+                        # Attribute survivors and punctures before the
+                        # block's run summary is re-encoded below.
+                        flowstats.wire_split_runs(item.flows, kept, size)
                     if accepted:
                         if accepted != count:
                             runs = item.flows
@@ -247,6 +256,12 @@ class NicPort:
                     busy = busy + wire
                     accepted += 1
                 index += count
+                if flowstats is not None:
+                    flow = item.flow_id
+                    if accepted:
+                        flowstats.wire_runs(((flow, accepted),), size)
+                    if accepted != count:
+                        flowstats.drop_runs(((flow, count - accepted),), size)
                 if accepted:
                     if accepted != count:
                         item.count = accepted
@@ -259,10 +274,14 @@ class NicPort:
             packet = item
             if _driver_hiccup(self.name, packet, index, prob):
                 self.driver_drops += 1
+                if flowstats is not None:
+                    flowstats.drop_runs(((packet.flow_id, 1),), size)
                 index += 1
                 continue
             if busy - now > max_backlog_ns:
                 self.tx_dropped += 1
+                if flowstats is not None:
+                    flowstats.drop_runs(((packet.flow_id, 1),), size)
                 index += 1
                 continue
             start = busy
@@ -270,6 +289,8 @@ class NicPort:
             if self.timestamp_tx and packet.is_probe and packet.tx_timestamp is None:
                 # 82599 hardware timestamping: stamp at start of transmission.
                 packet.tx_timestamp = start
+            if flowstats is not None:
+                flowstats.wire_runs(((packet.flow_id, 1),), size)
             arrivals.append((packet, busy))
             sent_frames += 1
             sent_bytes += size
@@ -329,6 +350,8 @@ class NicPort:
             frames = 0
             for item in items:
                 frames += item.count
+                if self.flowstats is not None:
+                    self.flowstats.drop_item(item)
                 if item.__class__ is PacketBlock:
                     release_block(item)
             self.tx_dropped += frames

@@ -24,6 +24,14 @@ Entry point::
     print(obs.profile().chain_cycles_per_packet())
 """
 
+from repro.obs.flowstats import (
+    DEFAULT_TOP_K,
+    FlowRecord,
+    FlowStats,
+    flow_table,
+    jain_index,
+    wire_flowstats,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, hdr_bounds
 from repro.obs.profiler import CycleProfiler, PathProfile, ProfileReport, STAGES
 from repro.obs.session import ObsConfig, Observation, observe
@@ -32,6 +40,9 @@ from repro.obs.tracing import SimObserver, Tracer
 __all__ = [
     "Counter",
     "CycleProfiler",
+    "DEFAULT_TOP_K",
+    "FlowRecord",
+    "FlowStats",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -42,6 +53,9 @@ __all__ = [
     "STAGES",
     "SimObserver",
     "Tracer",
+    "flow_table",
     "hdr_bounds",
+    "jain_index",
     "observe",
+    "wire_flowstats",
 ]

@@ -133,6 +133,87 @@ def write_prometheus(
     return path
 
 
+#: Hard ceiling on per-flow label cardinality in one exposition document.
+#: A flowstats summary is already capped at its top-k, but an adversarial
+#: or hand-built summary must still never emit an unbounded .prom file.
+MAX_FLOW_LABELS = 1024
+
+#: Per-flow counters exported from a flowstats record.
+_FLOW_FIELDS = (
+    "tx_frames",
+    "tx_bytes",
+    "wire_frames",
+    "rx_frames",
+    "rx_bytes",
+    "drop_frames",
+    "fwd_frames",
+    "cache_hits",
+    "cache_misses",
+    "loss_rate",
+    "cache_hit_rate",
+)
+
+
+def _flow_label(value) -> str:
+    """Sanitize a flow id for use as a Prometheus label value."""
+    return _PROM_SANITIZE.sub("_", str(value))[:64]
+
+
+def flow_prometheus_text(summary: dict, labels: dict[str, str] | None = None) -> str:
+    """Render a flowstats summary as labelled Prometheus gauges.
+
+    Cardinality is bounded by construction: only the summary's tracked
+    heavy hitters (at most ``MAX_FLOW_LABELS``, normally top-k) get a
+    ``flow="<id>"`` label; everything evicted rides the ``flow="other"``
+    rollup, and exact aggregate totals export under ``flow="total"`` so
+    scrapes can always reconcile the table against the aggregates.
+    """
+    base_items = sorted((labels or {}).items())
+
+    def fmt(flow_label: str) -> str:
+        items = base_items + [("flow", flow_label)]
+        body = ",".join(f'{key}="{value}"' for key, value in items)
+        return "{" + body + "}"
+
+    lines: list[str] = []
+    for field in _FLOW_FIELDS:
+        lines.append(f"# TYPE {prometheus_name('flow.' + field)} gauge")
+    rows = [(str(r["flow"]), r) for r in summary["flows"][:MAX_FLOW_LABELS]]
+    rows.append(("other", summary["other"]))
+    rows.append(("total", summary["totals"]))
+    for flow_label, record in rows:
+        decorated = fmt(_flow_label(flow_label))
+        for field in _FLOW_FIELDS:
+            lines.append(
+                f"{prometheus_name('flow.' + field)}{decorated} {record[field]}"
+            )
+    base = "{" + ",".join(f'{k}="{v}"' for k, v in base_items) + "}" if base_items else ""
+    fairness = summary["fairness"]
+    for key in ("jain", "skew", "loss_p50", "loss_p90", "loss_p99"):
+        value = fairness[key]
+        if value is None:
+            continue
+        name = prometheus_name(f"flow.fairness.{key}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{base} {value}")
+    for key in ("tracked", "evictions", "top_k"):
+        name = prometheus_name(f"flow.{key}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{base} {summary[key]}")
+    return "\n".join(lines) + "\n"
+
+
+def write_flow_prometheus(
+    path: str | Path,
+    summary: dict,
+    labels: dict[str, str] | None = None,
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(flow_prometheus_text(summary, labels))
+    return path
+
+
 def snapshot_prometheus_text(
     snapshots: Iterable[tuple[dict[str, str], dict]],
     fh: IO[str],

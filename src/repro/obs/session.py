@@ -21,11 +21,14 @@ from typing import Any, Iterable
 
 from repro.core.packet import batch_count
 from repro.obs.exporters import (
+    flow_prometheus_text,
     prometheus_text,
     write_chrome_trace,
     write_events_jsonl,
+    write_flow_prometheus,
     write_prometheus,
 )
+from repro.obs.flowstats import DEFAULT_TOP_K, FlowStats, wire_flowstats
 from repro.obs.metrics import MetricsRegistry, hdr_bounds
 from repro.obs.profiler import CycleProfiler, ProfileReport
 from repro.obs.tracing import (
@@ -52,6 +55,11 @@ class ObsConfig:
     profile: bool = True
     sample_rate: int = DEFAULT_SAMPLE_RATE
     max_trace_events: int = DEFAULT_MAX_EVENTS
+    #: Per-flow telemetry (``repro.obs.flowstats``): off by default so
+    #: pre-existing observed snapshots stay bit-identical.
+    flowstats: bool = False
+    #: Heavy-hitter table capacity when ``flowstats`` is on.
+    top_k: int = DEFAULT_TOP_K
 
     @classmethod
     def from_items(cls, items: Iterable[tuple[str, Any]]) -> "ObsConfig":
@@ -71,7 +79,7 @@ class ObsConfig:
 
     @property
     def enabled(self) -> bool:
-        return self.trace or self.metrics or self.profile
+        return self.trace or self.metrics or self.profile or self.flowstats
 
 
 class CoreProbe:
@@ -104,7 +112,7 @@ class SwitchProbe:
     spans on the tracer.
     """
 
-    __slots__ = ("tracer", "profiler", "batch_hist", "service_hist", "freq_hz")
+    __slots__ = ("tracer", "profiler", "batch_hist", "service_hist", "freq_hz", "flowstats")
 
     def __init__(
         self,
@@ -113,12 +121,14 @@ class SwitchProbe:
         batch_hist=None,
         service_hist=None,
         freq_hz: float = 2.6e9,
+        flowstats=None,
     ) -> None:
         self.tracer = tracer
         self.profiler = profiler
         self.batch_hist = batch_hist
         self.service_hist = service_hist
         self.freq_hz = freq_hz
+        self.flowstats = flowstats
 
     def on_batch(
         self,
@@ -177,6 +187,22 @@ class SwitchProbe:
                 "pkt.service", ts_ns, max(service_ns, 0.0), tid=tid, cat="packet",
                 args={"flow": head.flow_id, "size": head.size, "batch": batch_count(batch)},
             )
+            # Flow lanes: one span per tracked flow in the sampled batch's
+            # head item.  Restricting lanes to flows the heavy-hitter
+            # table currently tracks keeps trace cardinality O(top_k).
+            flowstats = self.flowstats
+            if flowstats is not None:
+                runs = head.flows
+                if runs is None:
+                    runs = ((head.flow_id, head.count),)
+                records = flowstats.records
+                for flow, frames in runs:
+                    if flow in records:
+                        tracer.span(
+                            "flow.batch", ts_ns, max(service_ns, 0.0),
+                            tid=f"flow/{flow}", cat="flow",
+                            args={"frames": frames},
+                        )
 
     def on_global_overhead(self, kind: str, cycles: float) -> None:
         if self.profiler is not None:
@@ -203,6 +229,9 @@ class Observation:
             CycleProfiler(switch=tb.switch.params.name, scenario=tb.scenario)
             if config.profile
             else None
+        )
+        self.flowstats: FlowStats | None = (
+            FlowStats(top_k=config.top_k) if config.flowstats else None
         )
         self.sim_observer: SimObserver | None = None
         self._latency_hist = None
@@ -231,6 +260,8 @@ class Observation:
                 f"switch.{tb.switch.params.name}.cycles_per_packet",
                 bounds=hdr_bounds(max_value=65536, subdivisions=8),
             )
+        if self.flowstats is not None:
+            wire_flowstats(tb, self.flowstats)
         if tracer is not None or self.profiler is not None or registry is not None:
             tb.switch.obs = SwitchProbe(
                 tracer,
@@ -238,6 +269,7 @@ class Observation:
                 batch_hist=batch_hist,
                 service_hist=service_hist,
                 freq_hz=tb.machine.freq_hz,
+                flowstats=self.flowstats,
             )
 
     def _register_metrics(self) -> None:
@@ -340,6 +372,25 @@ class Observation:
             registry.gauge("run.gbps").set(result.gbps)
             registry.gauge("run.mpps").set(result.mpps)
             registry.gauge("run.duration_ns").set(result.duration_ns)
+        if self.flowstats is not None and "flow.tracked" not in registry.names():
+            # Scalar ``flow.*`` series fold into the standard registry;
+            # the labelled per-flow tables stay in the dedicated exporter
+            # so cardinality in the main series is fixed.
+            summary = self.flowstats.summary()
+            totals = summary["totals"]
+            fairness = summary["fairness"]
+            registry.gauge("flow.tracked").set(summary["tracked"])
+            registry.gauge("flow.evictions").set(summary["evictions"])
+            registry.gauge("flow.total.tx_frames").set(totals["tx_frames"])
+            registry.gauge("flow.total.rx_frames").set(totals["rx_frames"])
+            registry.gauge("flow.total.drop_frames").set(totals["drop_frames"])
+            registry.gauge("flow.total.cache_hit_rate").set(totals["cache_hit_rate"])
+            registry.gauge("flow.fairness.jain").set(fairness["jain"])
+            if fairness["skew"] is not None:
+                registry.gauge("flow.fairness.skew").set(fairness["skew"])
+            registry.gauge("flow.loss.p50").set(fairness["loss_p50"])
+            registry.gauge("flow.loss.p90").set(fairness["loss_p90"])
+            registry.gauge("flow.loss.p99").set(fairness["loss_p99"])
 
     # -- artifacts ---------------------------------------------------------
 
@@ -363,6 +414,8 @@ class Observation:
                 "events": len(self.tracer),
                 "dropped": self.tracer.dropped_events,
             }
+        if self.flowstats is not None:
+            snapshot["flowstats"] = self.flowstats.summary()
         return snapshot
 
     def trace_metadata(self) -> dict:
@@ -393,6 +446,23 @@ class Observation:
         if self.registry is None:
             raise ValueError("run collected no metrics (ObsConfig.metrics=False)")
         return write_prometheus(path, self.registry, labels)
+
+    def flow_summary(self) -> dict:
+        if self.flowstats is None:
+            raise ValueError("run collected no flow stats (ObsConfig.flowstats=False)")
+        return self.flowstats.summary()
+
+    def flow_prometheus_text(self, labels: dict[str, str] | None = None) -> str:
+        if self.flowstats is None:
+            raise ValueError("run collected no flow stats (ObsConfig.flowstats=False)")
+        return flow_prometheus_text(self.flowstats.summary(), labels)
+
+    def write_flow_prometheus(
+        self, path: str | Path, labels: dict[str, str] | None = None
+    ) -> Path:
+        if self.flowstats is None:
+            raise ValueError("run collected no flow stats (ObsConfig.flowstats=False)")
+        return write_flow_prometheus(path, self.flowstats.summary(), labels)
 
 
 def observe(tb, config: ObsConfig | None = None, **overrides) -> Observation:

@@ -99,6 +99,7 @@ def build(
                 monitor = make_pktgen_rx(sim, None, frame_size, from_ring=bridge.bridge_to_monitor)
                 vm.run(monitor, vcpu=2)
                 tb.meters.append(monitor.meter)
+                tb.extras["monitor"] = monitor
             guest_tx = make_pktgen_tx(
                 sim, vif, rate, frame_size, via_ring=bridge.gen_to_bridge,
                 **flow_source_kwargs(tb, "guest_tx"),
@@ -109,11 +110,15 @@ def build(
             monitor = make_pktgen_rx(sim, vif, frame_size)
             vm.run(monitor, vcpu=1)
             tb.meters.append(monitor.meter)
+            tb.extras["monitor"] = monitor
     else:
         if forward:
             monitor = FloWatcher(sim, vif, frame_size)
             vm.run(monitor, vcpu=1)
             tb.meters.append(monitor.meter)
+            # Monitors opt in to per-flow telemetry through the extras
+            # walk in wire_flowstats.
+            tb.extras["monitor"] = monitor
         if needs_guest_tx:
             # MoonGen inside the guest; its virtio vNIC tops out at 10 Gbps.
             guest_tx = GuestTrafficGen(

@@ -111,6 +111,9 @@ def build(
         dst_vm.run(monitor, vcpu=2 + idx)
         tb.meters.append(monitor.meter)
         tb.extras[f"gen{idx}"] = gen
+        # Monitors opt in to per-flow telemetry (repro.obs.flowstats)
+        # through the extras walk in wire_flowstats.
+        tb.extras[f"monitor{idx}"] = monitor
     return tb
 
 
@@ -183,5 +186,5 @@ def build_latency(
     vm1.run(monitor, vcpu=1)
     tb.meters.append(monitor.meter)
     tb.latency_meters.append(monitor.meter)
-    tb.extras.update(gen=gen, bounce=bounce)
+    tb.extras.update(gen=gen, bounce=bounce, monitor=monitor)
     return tb

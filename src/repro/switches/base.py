@@ -150,6 +150,9 @@ class SoftwareSwitch:
         #: None unless an observation session is attached, so the only
         #: un-observed cost is one attribute test per serviced batch.
         self.obs = None
+        #: Optional per-flow accounting (:class:`repro.obs.flowstats.FlowStats`),
+        #: same disabled-by-default contract as ``obs``.
+        self.flowstats = None
         self._stalls = (
             StallProcess(
                 self.rngs.stream(f"{params.name}.stall"),
@@ -294,6 +297,8 @@ class SoftwareSwitch:
             self.obs.on_batch(
                 path, now, rx_c, proc_c, tx_c, cycles - raw, n, batch, delay_ns
             )
+        if self.flowstats is not None:
+            self.flowstats.fwd_batch(batch)
         if self.params.tx_drain_ns is not None and path.output.is_vif:
             self._buffer_tx(path, batch, core, carried_cycles + cycles, now)
         else:
@@ -455,6 +460,8 @@ class SoftwareSwitch:
             self.obs.on_batch(
                 path, now, 0.0, 0.0, tx_c, cycles - tx_c, n, batch, delay_ns
             )
+        if self.flowstats is not None:
+            self.flowstats.fwd_batch(batch)
         if self.params.tx_drain_ns is not None and path.output.is_vif:
             self._buffer_tx(path, batch, core, carried + cycles, now)
         else:

@@ -51,26 +51,31 @@ class OvsDpdk(SoftwareSwitch):
 
     def _proc_cycles(self, batch: list[Packet], path: ForwardingPath, n: int, total_bytes: int) -> float:
         cycles = self.params.proc.cycles(n, total_bytes)  # EMC-hit baseline
+        flowstats = self.flowstats
         for item in batch:
             runs = item.flows
             if runs is None:
-                cycles += self._classify_run(item.flow_id, item.count, item)
+                cycles += self._classify_run(item.flow_id, item.count, item, flowstats)
             else:
                 # Multi-flow block: fold the classifier over the run-length
                 # summary -- per-run semantics identical to the per-packet
                 # path without materialising any headers.
                 for flow, count in runs:
-                    cycles += self._classify_run(flow, count, item)
+                    cycles += self._classify_run(flow, count, item, flowstats)
         return cycles
 
-    def _classify_run(self, flow: int, count: int, item) -> float:
+    def _classify_run(self, flow: int, count: int, item, flowstats=None) -> float:
         """Classify ``count`` consecutive frames of one flow; extra cycles."""
         if flow in self._emc:
             self.emc_hits += count
+            if flowstats is not None:
+                flowstats.cache(flow, count, 0)
             return 0.0
         # A run's frames share one flow: the first frame misses and
         # installs the EMC entry, the remaining count-1 frames hit it.
         self.emc_misses += 1
+        if flowstats is not None:
+            flowstats.cache(flow, count - 1, 1)
         cycles = OVS_EMC_MISS_EXTRA.per_packet
         if flow not in self._megaflows:
             # ofproto upcall: consult the OpenFlow rules (when an SDN

@@ -135,6 +135,7 @@ class T4P4S(SoftwareSwitch):
         keys = self._flow_keys
         capacity = self.flow_table_entries
         lookup = T4P4S_FLOW_LOOKUP.per_packet
+        flowstats = self.flowstats
         cycles = 0.0
         for item in batch:
             runs = item.flows if item.flows is not None else ((item.flow_id, item.count),)
@@ -142,8 +143,12 @@ class T4P4S(SoftwareSwitch):
                 cycles += lookup * (1.0 + len(keys) / capacity) * count
                 if flow in keys:
                     self.flow_hits += count
+                    if flowstats is not None:
+                        flowstats.cache(flow, count, 0)
                     continue
                 self.flow_misses += 1
+                if flowstats is not None:
+                    flowstats.cache(flow, count - 1, 1)
                 cycles += T4P4S_FLOW_MISS_EXTRA.per_packet
                 if len(keys) >= capacity:
                     keys.pop(next(iter(keys)))

@@ -48,12 +48,21 @@ class Vale(SoftwareSwitch):
 
     def _on_forward(self, batch: list[Packet], path: ForwardingPath) -> None:
         table = self._mac_table
+        flowstats = self.flowstats
         for item in batch:
             runs = item.flows
             if runs is None:
                 # A single-flow block's frames are identical: the first
                 # frame does any learning, after which the table is stable
                 # for the rest, so one pass covers every frame it carries.
+                if flowstats is not None:
+                    known = item.src_mac in table
+                    count = item.count
+                    flowstats.cache(
+                        item.flow_id,
+                        count if known else count - 1,
+                        0 if known else 1,
+                    )
                 self._learn_src(item.src_mac, path.input)
             else:
                 # Multi-flow block: one learning step per run.  Per-run
@@ -61,6 +70,13 @@ class Vale(SoftwareSwitch):
                 # PacketBlock.flows), never materialised.
                 mac_base = item.src_mac - item.flow_id
                 for flow, _count in runs:
+                    if flowstats is not None:
+                        known = (mac_base + flow) in table
+                        flowstats.cache(
+                            flow,
+                            _count if known else _count - 1,
+                            0 if known else 1,
+                        )
                     self._learn_src(mac_base + flow, path.input)
             if item.dst_mac not in table:
                 # Unknown destination: a real VALE floods; the measured

@@ -82,6 +82,10 @@ class PacedSource:
             rng = np.random.default_rng(0)
         self.name = name
         self._rng = rng
+        #: Optional per-flow accounting (:class:`repro.obs.flowstats.FlowStats`);
+        #: None unless flow telemetry is enabled -- the un-accounted cost is
+        #: one attribute test per emitted burst.
+        self.flowstats = None
         self.packets_sent = 0
         self.probes_sent = 0
         self._next_probe_at = 0.0
@@ -114,6 +118,8 @@ class PacedSource:
             batch = self._make_flow_burst(now, burst)
         else:
             batch = self._make_burst(now)
+        if self.flowstats is not None:
+            self.flowstats.tx_batch(batch)
         self._emit(batch)
         self.packets_sent += burst
         self.sim.after(burst * 1e9 / self.rate_pps, self._tick)

@@ -71,6 +71,8 @@ class GuestMonitor:
         self._in_ring = from_ring if from_ring is not None else vif.to_guest
         self.meter = RateMeter(frame_size_hint=frame_size)
         self.stamp_probe_rx = stamp_probe_rx
+        #: Optional per-flow accounting; None unless flow telemetry is on.
+        self.flowstats = None
         #: Pure-reactive declaration for Core parking: the monitor only
         #: drains this ring and holds no time-based state, so its vCPU may
         #: skip idle poll iterations while the ring is empty.
@@ -90,6 +92,9 @@ class GuestMonitor:
             cycles = self.vif.costs.guest_rx.cycles(frames, total_bytes)
         self._on_batch(batch)
         meter = self.meter
+        flowstats = self.flowstats
+        if flowstats is not None:
+            flowstats.rx_batch(batch)
         in_window = (
             meter.window_start_ns is not None
             and now >= meter.window_start_ns
@@ -109,6 +114,8 @@ class GuestMonitor:
                     item.rx_timestamp = now
                 if in_window and item.latency_ns is not None:
                     meter.latency.add(item.latency_ns)
+                    if flowstats is not None:
+                        flowstats.latency(item.flow_id, item.latency_ns)
         return cycles
 
     def _on_batch(self, batch: list[Packet | PacketBlock]) -> None:

@@ -61,12 +61,17 @@ class MoonGenRx:
         self.sim = sim
         self.port = port
         self.meter = RateMeter(frame_size_hint=frame_size)
+        #: Optional per-flow accounting; None unless flow telemetry is on.
+        self.flowstats = None
         port.timestamp_rx = True
         port.sink = self._on_packets
 
     def _on_packets(self, packets: list[Packet | PacketBlock]) -> None:
         now = self.sim.now
         meter = self.meter
+        flowstats = self.flowstats
+        if flowstats is not None:
+            flowstats.rx_batch(packets)
         in_window = (
             meter.window_start_ns is not None
             and now >= meter.window_start_ns
@@ -82,6 +87,8 @@ class MoonGenRx:
             meter.record(now, item.size)
             if in_window and item.is_probe and item.latency_ns is not None:
                 meter.latency.add(item.latency_ns)
+                if flowstats is not None:
+                    flowstats.latency(item.flow_id, item.latency_ns)
 
 
 def saturating_rate(frame_size: int, rate_bps: int = LINE_RATE_BPS) -> float:

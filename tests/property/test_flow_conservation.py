@@ -1,0 +1,157 @@
+"""Property-based tests: per-flow telemetry conserves every frame.
+
+Two layers of the same invariant:
+
+* **model level** -- arbitrary run-length streams through the accounting
+  hooks never lose or invent a frame: for every counter,
+  ``sum(tracked records) + other == totals`` regardless of eviction
+  pressure, and a punctured wire split partitions a block exactly into
+  sent + dropped frames;
+* **simulation level** -- a full testbed run (flow churn, block splits,
+  driver hiccup drops, injected link faults) reconciles the flowstats
+  totals against the independent port/ring aggregate counters frame for
+  frame.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measure.runner import drive
+from repro.obs.flowstats import FlowStats
+from repro.scenarios import p2p
+
+from tests._helpers import FAST_MEASURE_NS, FAST_WARMUP_NS
+
+COUNTERS = (
+    "tx_frames", "tx_bytes", "wire_frames", "wire_bytes", "rx_frames",
+    "rx_bytes", "drop_frames", "drop_bytes", "fwd_frames", "cache_hits",
+    "cache_misses",
+)
+
+runs_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=1, max_value=32),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _conserved(stats: FlowStats) -> None:
+    for name in COUNTERS:
+        tracked = sum(getattr(r, name) for r in stats.records.values())
+        assert tracked + getattr(stats.other, name) == getattr(stats.totals, name), name
+
+
+class TestModelConservation:
+    @given(
+        streams=st.lists(
+            st.tuples(st.sampled_from(["tx", "wire", "rx", "drop", "fwd"]), runs_strategy),
+            min_size=1,
+            max_size=12,
+        ),
+        top_k=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hooks_conserve_under_eviction(self, streams, top_k):
+        stats = FlowStats(top_k=top_k)
+        for kind, runs in streams:
+            if kind == "tx":
+                stats.tx_runs(runs, 64)
+            elif kind == "wire":
+                stats.wire_runs(runs, 64)
+            elif kind == "rx":
+                stats.rx_runs(runs, 64)
+            elif kind == "drop":
+                stats.drop_runs(runs, 64)
+            else:
+                stats.fwd_runs(runs)
+            assert len(stats.records) <= top_k
+            _conserved(stats)
+
+    @given(
+        runs=runs_strategy,
+        data=st.data(),
+        top_k=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_wire_split_partitions_block(self, runs, data, top_k):
+        """kept + dropped must partition the block's frames exactly."""
+        frames = sum(count for _, count in runs)
+        kept = sorted(
+            data.draw(
+                st.sets(st.integers(min_value=0, max_value=frames - 1), max_size=frames)
+            )
+        )
+        stats = FlowStats(top_k=top_k)
+        stats.wire_split_runs(runs, kept, 64)
+        assert stats.totals.wire_frames == len(kept)
+        assert stats.totals.drop_frames == frames - len(kept)
+        _conserved(stats)
+
+
+class TestSimulationConservation:
+    @given(
+        flows=st.sampled_from([1, 37, 500, 4096]),
+        dist=st.sampled_from(["uniform", "zipf"]),
+        churn=st.sampled_from([0.0, 50_000.0]),
+        top_k=st.sampled_from([4, 64]),
+        seed=st.integers(min_value=1, max_value=2**31 - 1),
+        fault=st.booleans(),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_flow_sums_match_port_and_ring_aggregates(
+        self, flows, dist, churn, top_k, seed, fault
+    ):
+        from repro.faults import FaultEvent, FaultInjector, FaultPlan
+        from repro.obs.flowstats import wire_flowstats
+
+        tb = p2p.build(
+            "ovs-dpdk", frame_size=64, seed=seed,
+            flows=flows, flow_dist=dist, churn=churn,
+        )
+        stats = FlowStats(top_k=top_k)
+        wire_flowstats(tb, stats)
+        if fault:
+            injector = FaultInjector(
+                tb,
+                FaultPlan.of(
+                    FaultEvent(
+                        at_ns=FAST_WARMUP_NS + 100_000.0,
+                        kind="nic-link-flap",
+                        target="sut-nic.p1",
+                        duration_ns=150_000.0,
+                    )
+                ),
+            )
+            injector.arm()
+        drive(tb, warmup_ns=FAST_WARMUP_NS, measure_ns=FAST_MEASURE_NS, warp=False)
+
+        _conserved(stats)
+        ports = list(tb.extras["gen_ports"]) + list(tb.extras["sut_ports"])
+        rings = [port.rx_ring for port in ports]
+        # Frames on the wire == the ports' own tx counters; frames lost ==
+        # every hooked drop site's own count (tx backlog + driver hiccups
+        # + carrier loss on ports, overflow on rings).
+        assert stats.totals.wire_frames == sum(p.tx_packets for p in ports)
+        assert stats.totals.drop_frames == (
+            sum(p.tx_dropped + p.driver_drops for p in ports)
+            + sum(r.dropped for r in rings)
+        )
+        # Delivered frames == what physically arrived at the monitors'
+        # ports; offered frames bound everything else (the remainder is
+        # still in flight inside rings at shutdown, never double-counted).
+        monitor_ports = [p for p in ports if p.sink is not None]
+        assert monitor_ports
+        assert stats.totals.rx_frames == sum(p.rx_packets for p in monitor_ports)
+        # wire_frames counts hops (a p2p frame crosses two wires); every
+        # frame is offered once and ends at most once (delivered or
+        # dropped), so these bound each other per-hop and per-frame.
+        assert stats.totals.wire_frames <= 2 * stats.totals.tx_frames
+        assert (
+            stats.totals.rx_frames + stats.totals.drop_frames
+            <= stats.totals.tx_frames
+        )
