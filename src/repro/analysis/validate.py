@@ -105,6 +105,8 @@ def validate(
     cache=None,
     obs=None,
     metrics_sink: dict | None = None,
+    repeat: int = 1,
+    seed_policy: str | None = None,
 ) -> list[Check]:
     """Run the validation battery; returns one Check per criterion.
 
@@ -114,9 +116,39 @@ def validate(
     execution -- as does observing the battery with ``obs`` (an
     :class:`~repro.obs.session.ObsConfig`), which additionally fills
     ``metrics_sink`` (if given) with ``{run label: metrics snapshot}``.
+
+    ``repeat > 1`` measures every anchor that many times and grades each
+    criterion on the *mean* across replicas.  It requires an explicit
+    ``seed_policy`` (``"trial"`` for soundness trials that perturb only
+    measurement phases, ``"reseed"`` for whole-workload reseeding) --
+    repeating without stating how replicas differ would silently grade
+    one arbitrary interpretation, so that is an error.  ``repeat=1``
+    (the default) is bit-identical to the pre-soundness battery.
     """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    if repeat > 1 and seed_policy is None:
+        from repro.measure.soundness import SEED_POLICIES
+
+        raise ValueError(
+            "repeat > 1 requires an explicit seed_policy "
+            f"(one of {SEED_POLICIES}): replicas must state whether they "
+            "are soundness trials or whole-workload reseeds"
+        )
+    if seed_policy not in (None, "trial", "reseed"):
+        from repro.measure.soundness import SEED_POLICIES
+
+        raise ValueError(
+            f"unknown seed policy {seed_policy!r}; known: {SEED_POLICIES}"
+        )
     windows = dict(warmup_ns=warmup_ns, measure_ns=measure_ns, seed=seed)
     specs = _battery(warmup_ns, measure_ns, seed)
+    if repeat > 1:
+        from repro.measure.soundness import trial_specs
+
+        specs = [
+            rep for spec in specs for rep in trial_specs(spec, repeat, seed_policy)
+        ]
     # Anchors shared between criteria (e.g. snabb p2v feeds both Fig. 4b
     # and the Fig. 4c ordering) are simulated once.
     campaign = CampaignSpec(name="validate", runs=tuple(specs)).deduplicated()
@@ -137,11 +169,24 @@ def validate(
             if isinstance(outcome, RunRecord) and outcome.metrics is not None:
                 metrics_sink[outcome.spec.label] = outcome.metrics
 
+    def replicas_of(spec: RunSpec) -> list[RunSpec]:
+        if repeat > 1:
+            from repro.measure.soundness import trial_specs
+
+            reps = trial_specs(spec, repeat, seed_policy)
+        else:
+            reps = [spec]
+        return [replace(rep, obs=obs_items) for rep in reps]
+
     def gbps(spec: RunSpec) -> float:
-        outcome = result.outcome_for(replace(spec, obs=obs_items))
-        if not isinstance(outcome, RunRecord) or outcome.status != "ok":
+        values = []
+        for rep in replicas_of(spec):
+            outcome = result.outcome_for(rep)
+            if isinstance(outcome, RunRecord) and outcome.status == "ok":
+                values.append(outcome.gbps)
+        if not values:
             return math.nan
-        return outcome.gbps
+        return sum(values) / len(values)
 
     checks: list[Check] = []
 
@@ -210,12 +255,12 @@ def validate(
             measure_ns=max(measure_ns, 2_000_000.0),
             seed=seed,
         )
-        outcome = result.outcome_for(replace(spec, obs=obs_items))
-        rtts[name] = (
-            outcome.latency_mean_us
-            if isinstance(outcome, RunRecord) and outcome.latency_mean_us is not None
-            else math.nan
-        )
+        values = []
+        for rep in replicas_of(spec):
+            outcome = result.outcome_for(rep)
+            if isinstance(outcome, RunRecord) and outcome.latency_mean_us is not None:
+                values.append(outcome.latency_mean_us)
+        rtts[name] = sum(values) / len(values) if values else math.nan
     checks.append(
         _ordering_check(
             "table4", "vale lowest v2v RTT", rtts["vale"] == min(rtts.values()), rtts["vale"],

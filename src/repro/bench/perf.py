@@ -190,12 +190,21 @@ def _bench_scenario(
 
 def _run_case(case: PerfCase, repeat: int) -> dict[str, Any]:
     best: dict[str, Any] | None = None
+    samples: list[float] = []
     for _ in range(max(1, repeat)):
         sample = _bench_engine() if case.kind == "engine" else _bench_scenario(case)
+        samples.append(sample["wall_s"])
         if best is None or sample["wall_s"] < best["wall_s"]:
             best = sample
     assert best is not None
     best["kind"] = case.kind
+    # Variance alongside the point estimate: wall_s stays the noise-free
+    # minimum, but the trials summary (n, CI, instability verdict over
+    # all repeats) is what the variance-aware gate compares against.
+    best["samples"] = samples
+    from repro.measure.soundness import summarize_trials
+
+    best["trials"] = summarize_trials(samples, metric="wall_s").to_dict()
     return best
 
 
@@ -260,17 +269,35 @@ def perf_regressions(
 
     Returns None when the report carries no baseline comparison (nothing
     to gate against); otherwise the offending ``(case, speedup)`` pairs,
-    empty when the gate passes.  A speedup below ``1 - pct/100`` is a
+    empty when the gate passes.
+
+    The comparison is variance-aware (``repro.measure.soundness``): when
+    both sides carry a ``trials`` summary, the gated ratio is the most
+    *optimistic* plausible speedup -- baseline CI high edge over current
+    CI low edge -- so overlapping confidence intervals never fail the
+    gate on sampling noise, while a genuine slowdown (disjoint CIs below
+    the floor) still does.  A side without trial data degrades to its
+    point ``wall_s``, which keeps old point-only baselines gateable --
+    and the gate fail-closed.  A ratio below ``1 - pct/100`` is a
     regression: at ``--max-regress 10`` a case may run up to 10% slower
     than its committed baseline before CI fails.
     """
     speedups = report.get("speedup")
     if speedups is None:
         return None
+    base_cases = report.get("baseline") or {}
+    cases = report.get("cases") or {}
     floor = 1.0 - max_regress_pct / 100.0
-    return [
-        (name, ratio) for name, ratio in sorted(speedups.items()) if ratio < floor
-    ]
+    regressions: list[tuple[str, float]] = []
+    for name, ratio in sorted(speedups.items()):
+        base = base_cases.get(name) or {}
+        current = cases.get(name) or {}
+        base_high = (base.get("trials") or {}).get("ci_high") or base.get("wall_s")
+        cur_low = (current.get("trials") or {}).get("ci_low") or current.get("wall_s")
+        optimistic = base_high / cur_low if base_high and cur_low else ratio
+        if optimistic < floor:
+            regressions.append((name, optimistic))
+    return regressions
 
 
 def format_report(report: dict[str, Any]) -> str:
@@ -284,6 +311,10 @@ def format_report(report: dict[str, Any]) -> str:
             else f"{row['sim_mpps_per_wall_s']:8.2f} sim-Mpps/s"
         )
         extra = f"  x{speedups[name]:.2f} vs baseline" if name in speedups else ""
+        trials = row.get("trials") or {}
+        if trials.get("n", 0) > 1:
+            half_ms = (trials["ci_high"] - trials["ci_low"]) / 2.0 * 1e3
+            extra += f"  (n={trials['n']} +-{half_ms:.1f}ms {trials['verdict']})"
         lines.append(f"  {name:<26} {row['wall_s'] * 1e3:9.1f} ms  {rate}{extra}")
     warp_speedups = report.get("warp_speedup", {})
     if warp_speedups:

@@ -93,6 +93,15 @@ class ProgressReporter:
             f"[{self.done}/{self.total}] {outcome.spec.label}: {status}{tag}{self._eta_suffix()}"
         )
 
+    def retire(self, count: int) -> None:
+        """Shrink the expected total by ``count`` runs that will never
+        happen (a trial point converged early, so its remaining repeat
+        budget is cancelled).  The ETA shrinks immediately; the pace
+        estimate stays executed-only, so it remains cache-hit-blind.
+        """
+        if count > 0:
+            self.total = max(self.done, self.total - count)
+
     # -- derived -----------------------------------------------------------
     @property
     def elapsed_s(self) -> float:

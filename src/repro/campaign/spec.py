@@ -59,6 +59,13 @@ class RunSpec:
     #: :meth:`to_dict` so pre-fault cache keys and stored records stay
     #: valid.  Non-empty requires ``kind='resilience'``.
     faults: tuple[tuple, ...] = ()
+    #: trial index on the soundness repeat axis (``repro.measure.
+    #: soundness``): 0 is the unperturbed base run; k > 0 perturbs
+    #: traffic phase / hiccup hash / churn offset through ``trial.*``
+    #: RNG streams while keeping the workload identical.  0 is omitted
+    #: from :meth:`to_dict` so single-trial cache keys and stored
+    #: records stay valid.
+    trial: int = 0
 
     def __post_init__(self) -> None:
         if self.scenario not in SCENARIOS:
@@ -80,6 +87,8 @@ class RunSpec:
             raise ValueError(
                 f"fault schedules require kind='resilience', got kind={self.kind!r}"
             )
+        if self.trial < 0:
+            raise ValueError(f"trial must be >= 0, got {self.trial}")
 
     @property
     def fault_plan(self) -> FaultPlan:
@@ -95,7 +104,8 @@ class RunSpec:
         extra = dict(self.extra)
         flows = extra.get("flows", 1)
         flow_part = f"+{flows}flows" if flows != 1 else ""
-        return f"{scenario}-{self.frame_size}B-{direction}{kind}{flow_part}/{self.switch}#s{self.seed}"
+        trial = f"+t{self.trial}" if self.trial else ""
+        return f"{scenario}-{self.frame_size}B-{direction}{kind}{flow_part}/{self.switch}#s{self.seed}{trial}"
 
     def to_dict(self) -> dict:
         data = {
@@ -117,6 +127,10 @@ class RunSpec:
         if self.faults:
             # Only when faulted, for the same cache-key stability reason.
             data["faults"] = self.fault_plan.to_items()
+        if self.trial:
+            # Only for trial replicas, for the same cache-key stability
+            # reason: trial 0 *is* the pre-soundness run.
+            data["trial"] = self.trial
         return data
 
     @classmethod
@@ -155,6 +169,12 @@ class RunRecord:
     #: None unless the run was observed with ``flowstats=True`` and
     #: omitted from :meth:`to_dict` so older stored records stay valid.
     flowstats: dict | None = None
+    #: Multi-trial summary (:meth:`repro.measure.soundness.TrialSummary.
+    #: to_dict` plus point status/reason), attached by the repeat
+    #: scheduler to a point's first trial record; None for single-trial
+    #: runs and omitted from :meth:`to_dict` so older stored records
+    #: stay valid.
+    trials: dict | None = None
 
     # Convenience mirrors of RunResult so suite/table code can treat a
     # record like a measurement.
@@ -207,6 +227,8 @@ class RunRecord:
             data["resilience"] = self.resilience
         if self.flowstats is not None:
             data["flowstats"] = self.flowstats
+        if self.trials is not None:
+            data["trials"] = self.trials
         return data
 
     @classmethod
@@ -275,8 +297,9 @@ class CampaignSpec:
     def with_repeats(self, repeat: int) -> "CampaignSpec":
         """Replicate every run over ``repeat`` consecutive seeds.
 
-        Seed replicas are how a campaign tames measurement instability:
-        same grid point, independent RNG streams.
+        This is the legacy ``reseed`` policy: every replica re-derives
+        *all* RNG streams, changing the workload itself.  For sound
+        repeats of an identical workload use :meth:`with_trials`.
         """
         if repeat < 1:
             raise ValueError("repeat must be >= 1")
@@ -284,6 +307,29 @@ class CampaignSpec:
             return self
         runs = tuple(
             replace(spec, seed=spec.seed + i) for spec in self.runs for i in range(repeat)
+        )
+        return CampaignSpec(name=self.name, runs=runs)
+
+    def with_trials(self, repeat: int, seed_policy: str = "trial") -> "CampaignSpec":
+        """Replicate every run over ``repeat`` trials on the soundness axis.
+
+        ``trial`` replicas keep the workload definition identical and
+        perturb only measurement-irrelevant phases (traffic start phase,
+        driver-hiccup hash, churn offset) through dedicated ``trial.*``
+        RNG streams -- the distribution they produce is measurement
+        noise, not workload variation.  ``seed_policy="reseed"`` falls
+        back to :meth:`with_repeats`.
+        """
+        from repro.measure.soundness import trial_specs
+
+        if repeat < 1:
+            raise ValueError("repeat must be >= 1")
+        if repeat == 1:
+            return self
+        runs = tuple(
+            trial
+            for spec in self.runs
+            for trial in trial_specs(spec, repeat, seed_policy)
         )
         return CampaignSpec(name=self.name, runs=runs)
 
@@ -522,6 +568,10 @@ def execute_run(spec: RunSpec) -> RunRecord:
         raise RuntimeError(f"injected fault in {spec.label}")
     if spec.scenario == "loopback":
         kwargs["n_vnfs"] = spec.n_vnfs
+    if spec.trial:
+        # Trial 0 never passes the kwarg, so the base run reaches the
+        # builders with the exact pre-soundness signature (bit-identity).
+        kwargs["trial"] = spec.trial
     observation = None
     resilience = None
     try:

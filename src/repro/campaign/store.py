@@ -35,6 +35,7 @@ CSV_COLUMNS = (
     "error",
     "metrics",
     "flowstats",
+    "trials",
 )
 
 
@@ -115,6 +116,7 @@ def _row_for(outcome: RunRecord | RunFailure, key: str) -> dict:
         "error": "",
         "metrics": "",
         "flowstats": "",
+        "trials": "",
     }
     if isinstance(outcome, RunFailure):
         row["error"] = f"{outcome.error}: {outcome.message}"
@@ -130,6 +132,8 @@ def _row_for(outcome: RunRecord | RunFailure, key: str) -> dict:
         row["metrics"] = json.dumps(outcome.metrics, sort_keys=True)
     if getattr(outcome, "flowstats", None) is not None:
         row["flowstats"] = json.dumps(outcome.flowstats, sort_keys=True)
+    if getattr(outcome, "trials", None) is not None:
+        row["trials"] = json.dumps(outcome.trials, sort_keys=True)
     return row
 
 

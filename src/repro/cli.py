@@ -14,7 +14,8 @@ Examples::
     repro-bench v2v-latency --switch snabb
     repro-bench suite --switch vpp --suite smoke --workers 4
     repro-bench validate --workers 4 --cache
-    repro-bench campaign --suite paper --workers 4 --repeat 3 \\
+    repro-bench campaign --suite paper --workers 4 --repeat 5 \\
+        --seed-policy trial --ci-target 0.05 --trial-summary trials.json \\
         --store paper.jsonl --export-csv paper.csv
     repro-bench perf --json
 
@@ -101,7 +102,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--repeat", type=int, default=1, metavar="N",
-        help="seed replicas per experiment (suite/campaign)",
+        help="replicas per experiment (suite/validate/campaign; needs "
+        "--seed-policy when N > 1)",
+    )
+    parser.add_argument(
+        "--seed-policy", choices=["trial", "reseed"], default=None,
+        help="how --repeat replicas differ: 'trial' runs soundness trials "
+        "(same workload, perturbed measurement phases; campaign adds "
+        "CI-converged early stopping and instability quarantine), "
+        "'reseed' reseeds the whole workload per replica",
+    )
+    parser.add_argument(
+        "--ci-target", type=float, default=0.05, metavar="F",
+        help="trial campaigns: stop adding trials once the bootstrap CI "
+        "half-width shrinks below F of the mean (default 0.05)",
+    )
+    parser.add_argument(
+        "--trial-summary", default=None, metavar="PATH",
+        help="trial campaigns: write the per-point TrialSummary JSON "
+        "artifact (n, CI, instability verdict, quarantine reason)",
     )
     parser.add_argument(
         "--cache", action=argparse.BooleanOptionalAction, default=None,
@@ -532,10 +551,13 @@ def _run_campaign_command(args) -> int:
     else:
         switches = list(switch_names())
 
+    # Trial mode repeats each grid point through the soundness scheduler
+    # instead of widening the seed axis, so the base grid is one seed.
+    trial_mode = args.seed_policy == "trial"
     spec = from_suite(
         suite,
         switches,
-        seeds=range(args.seed, args.seed + args.repeat),
+        seeds=range(args.seed, args.seed + (1 if trial_mode else args.repeat)),
         **_windows(args),
     )
     flow_counts = _flow_counts(args)
@@ -559,6 +581,8 @@ def _run_campaign_command(args) -> int:
     if obs is not None:
         spec = spec.with_obs(obs)
     store = CampaignStore(args.store) if args.store else None
+    if trial_mode:
+        return _run_trial_campaign(args, spec, suite, switches, store)
     reporter = ProgressReporter(total=len(spec), emit=emit_to_stderr)
     result = run_campaign(
         spec,
@@ -618,6 +642,96 @@ def _run_campaign_command(args) -> int:
     if result.interrupted:
         _note(_interrupt_summary(result, len(spec), args))
         return 130
+    return 3 if result.failures else 0
+
+
+def _run_trial_campaign(args, spec, suite, switches, store) -> int:
+    """Campaign in soundness-trial mode: repeat scheduler + quarantine.
+
+    Each grid point runs up to ``--repeat`` trials through
+    :func:`repro.measure.soundness.run_trial_campaign`, stopping early
+    once the bootstrap CI converges (``--ci-target``) and quarantining
+    points the instability detector cannot call stable.
+    """
+    import json
+
+    from repro.campaign.progress import ProgressReporter, emit_to_stderr
+    from repro.campaign.store import export_csv
+    from repro.measure.soundness import TrialPolicy, run_trial_campaign
+
+    policy = TrialPolicy(
+        n_min=min(3, args.repeat),
+        n_max=args.repeat,
+        rel_ci_target=args.ci_target,
+    )
+    reporter = ProgressReporter(total=len(spec) * args.repeat, emit=emit_to_stderr)
+    result = run_trial_campaign(
+        spec.runs,
+        policy,
+        name=spec.name,
+        workers=_workers(args),
+        cache=_cache(args, default_on=True),
+        store=store,
+        progress=reporter,
+        timeout_s=args.timeout,
+    )
+
+    csv_to_stdout = args.export_csv == "-"
+    say = _note if csv_to_stdout else print
+    rows = []
+    for point in result.points:
+        if point.status == "failed":
+            rows.append(
+                [point.label, "-", "-", "-", "-", "-", f"FAILED: {point.reason}"]
+            )
+            continue
+        if point.status == "inapplicable":
+            rows.append([point.label, "-", "-", "-", "-", "-", "inapplicable"])
+            continue
+        summary = point.summary
+        status = f"QUARANTINED: {point.reason}" if point.quarantined else "ok"
+        rows.append(
+            [
+                point.label,
+                summary.metric,
+                round(summary.mean, 3),
+                f"[{summary.ci_low:.3f}, {summary.ci_high:.3f}]",
+                summary.n,
+                summary.verdict,
+                status,
+            ]
+        )
+    say(
+        format_table(
+            ["run", "metric", "mean", f"{int(policy.ci_level * 100)}% CI", "n", "verdict", "status"],
+            rows,
+            title=(
+                f"trial campaign '{spec.name}': {len(switches)} switches x "
+                f"{len(suite.experiments)} experiments, n<={args.repeat} trials "
+                f"(CI target {args.ci_target:g})"
+            ),
+        )
+    )
+    quarantined = [point for point in result.points if point.quarantined]
+    if quarantined:
+        say(f"{len(quarantined)} point(s) quarantined as statistically unstable")
+    say(reporter.summary())
+    if args.trial_summary:
+        with open(args.trial_summary, "w") as fh:
+            json.dump(result.summary_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        _note(f"wrote trial summary {args.trial_summary}")
+    if args.export_csv:
+        path = export_csv(result.outcomes, args.export_csv)
+        if path is not None:
+            _note(f"wrote {path}")
+    if args.metrics_out:
+        from repro.obs.exporters import write_trial_prometheus
+
+        path = write_trial_prometheus(
+            args.metrics_out, result.summary_dict(), labels={"campaign": spec.name}
+        )
+        _note(f"wrote trial metrics {path}")
     return 3 if result.failures else 0
 
 
@@ -828,6 +942,27 @@ def main(argv: list[str] | None = None) -> int:
         _note(error)
         return 1
 
+    # One --repeat semantics for the statistical commands: repeating
+    # without stating how replicas differ would silently pick one
+    # arbitrary interpretation, so it is a loud error (perf is exempt --
+    # its repeats are wall-clock samples of the same computation).
+    _TRIAL_COMMANDS = ("suite", "validate", "campaign")
+    if args.seed_policy is not None and args.scenario not in _TRIAL_COMMANDS:
+        _note(
+            f"--seed-policy is not supported by '{args.scenario}'; "
+            "replica-aware commands: " + ", ".join(_TRIAL_COMMANDS)
+        )
+        return 1
+    if args.repeat > 1 and args.scenario in _TRIAL_COMMANDS and args.seed_policy is None:
+        _note(
+            "--repeat > 1 is ambiguous without --seed-policy: pass "
+            "--seed-policy trial (soundness trials: same workload, "
+            "perturbed measurement phases, CI-converged early stopping) "
+            "or --seed-policy reseed (whole-workload reseeds, the legacy "
+            "consecutive-seed replicas)"
+        )
+        return 2
+
     if args.scenario == "perf":
         return _run_perf_command(args)
 
@@ -856,6 +991,8 @@ def main(argv: list[str] | None = None) -> int:
             cache=_cache(args, default_on=False),
             obs=_obs_config(args, with_trace_out=False),
             metrics_sink=metrics_sink,
+            repeat=args.repeat,
+            seed_policy=args.seed_policy,
             **window_overrides,
         )
         if args.metrics_out and metrics_sink:
@@ -903,6 +1040,7 @@ def main(argv: list[str] | None = None) -> int:
             args.switch,
             seed=args.seed,
             repeat=args.repeat,
+            seed_policy=args.seed_policy,
             workers=_workers(args),
             cache=_cache(args, default_on=False),
             progress=ProgressReporter(
@@ -914,9 +1052,12 @@ def main(argv: list[str] | None = None) -> int:
             **flow_kwargs,
             **_windows(args),
         )
+        trial_cols = args.repeat > 1
         headers = ["experiment", "Gbps", "Mpps", "status"]
         if flow_kwargs:
             headers = ["experiment", "Gbps", "Mpps", "hit-rate", "jain", "status"]
+        if trial_cols:
+            headers[-1:-1] = ["n", "CI±", "verdict"]
         rows = []
         for name, outcome in outcomes.items():
             cells = _outcome_cells(outcome)
@@ -926,6 +1067,13 @@ def main(argv: list[str] | None = None) -> int:
                     f"{hit:.3f}" if hit is not None else "-",
                     f"{jain:.3f}" if jain is not None else "-",
                 ]
+            if trial_cols:
+                summary = outcome.trial_summary()
+                cells[-1:-1] = (
+                    [summary.n, f"±{summary.half_width:.3f}", summary.verdict]
+                    if summary is not None
+                    else ["-", "-", "-"]
+                )
             rows.append([name, *cells])
         print(
             format_table(

@@ -54,6 +54,12 @@ class FlowPopulation:
     churn_fps: float = 0.0
     #: Optional frame-size mix name from ``repro.traffic.profiles.PROFILES``.
     size_mix: str | None = None
+    #: Trial-axis phase shift of the deterministic churn clock
+    #: (``repro.measure.soundness``): the churn window slides as if the
+    #: run had started this many ns later.  Never serialised -- it is
+    #: derived from ``trial.*`` RNG streams, not part of the workload
+    #: definition.
+    churn_offset_ns: float = 0.0
 
     def __post_init__(self) -> None:
         if self.flows < 1:
@@ -64,6 +70,8 @@ class FlowPopulation:
             raise ValueError("zipf_alpha must be > 0")
         if self.churn_fps < 0:
             raise ValueError("churn_fps must be >= 0")
+        if self.churn_offset_ns < 0:
+            raise ValueError("churn_offset_ns must be >= 0")
         if self.size_mix is not None and self.size_mix not in PROFILES:
             raise ValueError(
                 f"unknown size mix {self.size_mix!r}; known: {sorted(PROFILES)}"
@@ -108,7 +116,9 @@ class FlowPopulation:
         else:
             ranks = rng.integers(0, self.flows, size=count)
         if self.churn_fps:
-            ranks = ranks + int(now_ns * self.churn_fps * 1e-9)
+            # churn_offset_ns == 0.0 adds exactly nothing (float identity),
+            # keeping base runs bit-identical.
+            ranks = ranks + int((now_ns + self.churn_offset_ns) * self.churn_fps * 1e-9)
         return ranks
 
 

@@ -16,6 +16,7 @@ free (and a miss populates the cache for the next caller).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
@@ -38,11 +39,22 @@ DEFAULT_PROBE_INTERVAL_NS = 20_000.0
 
 @dataclass
 class LatencyPoint:
-    """RTT statistics at one load fraction."""
+    """RTT statistics at one load fraction.
+
+    Multi-trial sweeps (``latency_sweep(trials=n)``) keep the trial-0
+    sample as the point estimate and attach the per-trial mean RTTs plus
+    a :class:`~repro.measure.soundness.TrialSummary` dict; single-trial
+    sweeps leave both fields at their defaults.
+    """
 
     fraction: float
     offered_pps: float
     sample: LatencySample
+    #: Per-trial mean RTTs in trial order (multi-trial sweeps only).
+    trial_means_us: tuple[float, ...] = ()
+    #: :meth:`repro.measure.soundness.TrialSummary.to_dict` over the
+    #: trial means (multi-trial sweeps only).
+    trials: dict | None = None
 
     @property
     def mean_us(self) -> float:
@@ -63,9 +75,12 @@ def measure_latency_at(
     measure_ns: float = DEFAULT_LATENCY_MEASURE_NS,
     probe_interval_ns: float = DEFAULT_PROBE_INTERVAL_NS,
     seed: int = 1,
+    trial: int = 0,
     **build_kwargs,
 ) -> LatencyPoint:
     """RTT at one offered load (probes woven into background traffic)."""
+    if trial:
+        build_kwargs = dict(build_kwargs, trial=trial)
     tb = build(
         switch_name,
         frame_size=frame_size,
@@ -161,6 +176,7 @@ def latency_sweep(
     probe_interval_ns: float = DEFAULT_PROBE_INTERVAL_NS,
     seed: int = 1,
     cache: "ResultCache | None" = None,
+    trials: int = 1,
     **build_kwargs,
 ) -> dict[float, LatencyPoint]:
     """The Table 3 per-switch procedure: estimate R+, probe at fractions.
@@ -168,7 +184,16 @@ def latency_sweep(
     ``cache`` (a :class:`~repro.campaign.cache.ResultCache`) lets the R+
     estimate reuse a cached campaign throughput record for the same grid
     point instead of re-driving the saturating run.
+
+    ``trials > 1`` measures every load fraction once per soundness trial
+    (``repro.measure.soundness``): the returned point keeps the trial-0
+    sample (bit-identical to a single-trial sweep) and carries the
+    per-trial mean RTTs plus their :class:`TrialSummary` dict.  R+ is
+    estimated once, at trial 0 -- the load grid must be common to all
+    trials or their RTTs are not comparable.
     """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
     if r_plus_pps is None:
         if cache is not None:
             r_plus_pps = cached_r_plus(
@@ -180,7 +205,7 @@ def latency_sweep(
             )
     points = {}
     for fraction in fractions:
-        points[fraction] = measure_latency_at(
+        point = measure_latency_at(
             build,
             switch_name,
             frame_size,
@@ -192,4 +217,30 @@ def latency_sweep(
             seed=seed,
             **build_kwargs,
         )
+        if trials > 1:
+            from repro.measure.soundness import summarize_trials
+
+            means = [point.mean_us]
+            for k in range(1, trials):
+                replica = measure_latency_at(
+                    build,
+                    switch_name,
+                    frame_size,
+                    rate_pps=max(1.0, fraction * r_plus_pps),
+                    fraction=fraction,
+                    warmup_ns=warmup_ns,
+                    measure_ns=measure_ns,
+                    probe_interval_ns=probe_interval_ns,
+                    seed=seed,
+                    trial=k,
+                    **build_kwargs,
+                )
+                means.append(replica.mean_us)
+            point.trial_means_us = tuple(means)
+            finite = [m for m in means if not math.isnan(m)]
+            if finite:
+                point.trials = summarize_trials(
+                    finite, metric="latency_mean_us"
+                ).to_dict()
+        points[fraction] = point
     return points

@@ -101,6 +101,20 @@ class ExperimentOutcome:
         ]
         return sum(values) / len(values) if values else None
 
+    def trial_summary(self, policy=None):
+        """:class:`~repro.measure.soundness.TrialSummary` across replicas.
+
+        None unless the experiment is ok with at least 2 replicas --
+        a single record has no variance to summarise.
+        """
+        if self.status != "ok" or len(self.records) < 2:
+            return None
+        from repro.measure.soundness import DEFAULT_POLICY, summarize_trials
+
+        return summarize_trials(
+            [r.gbps for r in self.records], policy or DEFAULT_POLICY, metric="gbps"
+        )
+
 
 @dataclass(frozen=True)
 class TestSuite:
@@ -150,6 +164,7 @@ class TestSuite:
         measure_ns: float = DEFAULT_MEASURE_NS,
         seed: int = 1,
         repeat: int = 1,
+        seed_policy: str | None = None,
         workers: int = 1,
         cache=None,
         progress=None,
@@ -173,24 +188,41 @@ class TestSuite:
         experiment a flow population (``repro.flows``); combined with an
         ``obs`` that enables ``flowstats``, each ok record also carries
         a per-flow telemetry summary.
+
+        ``seed_policy`` chooses how replicas differ: ``"trial"`` runs
+        soundness trials (same workload, perturbed measurement phases --
+        ``repro.measure.soundness``), ``"reseed"`` (or None, the default)
+        keeps the legacy consecutive-seed replicas that reseed the whole
+        workload.
         """
+        from dataclasses import replace
+
         from repro.campaign.executor import run_campaign
         from repro.campaign.spec import CampaignSpec, RunFailure, runspec_from_experiment
 
-        seeds = range(seed, seed + repeat)
+        if seed_policy not in (None, "trial", "reseed"):
+            from repro.measure.soundness import SEED_POLICIES
+
+            raise ValueError(
+                f"unknown seed policy {seed_policy!r}; known: {SEED_POLICIES}"
+            )
+        use_trials = seed_policy == "trial"
         spec_map: dict[str, list] = {}
         runs = []
         for experiment in self.experiments:
             spec_map[experiment.name] = []
-            for replica_seed in seeds:
+            for k in range(repeat):
                 spec = runspec_from_experiment(
-                    experiment, switch_name, warmup_ns, measure_ns, replica_seed
+                    experiment, switch_name, warmup_ns, measure_ns,
+                    seed if use_trials else seed + k,
                 )
                 if spec is None:
                     raise ValueError(
                         f"experiment {experiment.name!r} uses a custom builder; "
                         "run it via ExperimentSpec.run instead"
                     )
+                if use_trials and k:
+                    spec = replace(spec, trial=k)
                 spec_map[experiment.name].append(spec)
                 runs.append(spec)
 

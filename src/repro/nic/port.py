@@ -156,6 +156,16 @@ class NicPort:
         self.peer = peer
         peer.peer = self
 
+    def set_hiccup_salt(self, salt: int) -> None:
+        """Perturb the driver-hiccup hash for a soundness trial.
+
+        XORs ``salt`` into the port-name prefix of the FNV fold, so a
+        trial replica sees a different (but equally deterministic)
+        realisation of the sporadic driver drops.  Salt 0 restores the
+        base run's hash exactly.
+        """
+        self._name_hash = _name_hash(self.name) ^ (salt & _MASK64)
+
     def send_batch(self, items: Sequence[Packet | PacketBlock]) -> int:
         """Serialise the batch's frames onto the wire towards the peer.
 
@@ -272,12 +282,19 @@ class NicPort:
                     release_block(item)
                 continue
             packet = item
-            if _driver_hiccup(self.name, packet, index, prob):
-                self.driver_drops += 1
-                if flowstats is not None:
-                    flowstats.drop_runs(((packet.flow_id, 1),), size)
-                index += 1
-                continue
+            if prob > 0.0:
+                # Same fold as _driver_hiccup, but through the port's
+                # (possibly trial-salted) cached name hash.
+                base = _hiccup_base(
+                    name_hash, int(packet.t_created), size, packet.flow_id, packet.hops
+                )
+                value = ((base ^ (index & 0xFFFFFFFF)) * _FNV_PRIME) & _MASK64
+                if (value >> 11) / _DENOM53 < prob:
+                    self.driver_drops += 1
+                    if flowstats is not None:
+                        flowstats.drop_runs(((packet.flow_id, 1),), size)
+                    index += 1
+                    continue
             if busy - now > max_backlog_ns:
                 self.tx_dropped += 1
                 if flowstats is not None:

@@ -214,6 +214,79 @@ def write_flow_prometheus(
     return path
 
 
+#: Numeric TrialSummary fields exported per measurement point.
+_TRIAL_FIELDS = (
+    "n",
+    "mean",
+    "std",
+    "cv",
+    "p5",
+    "p50",
+    "p95",
+    "ci_low",
+    "ci_high",
+)
+
+
+def trial_prometheus_text(
+    summaries: dict[str, dict], labels: dict[str, str] | None = None
+) -> str:
+    """Render trial summaries as labelled Prometheus gauges.
+
+    ``summaries`` maps a point label to a
+    :meth:`repro.measure.soundness.TrialSummary.to_dict` payload
+    (optionally carrying the scheduler's ``status``/``reason``, as
+    :meth:`repro.measure.soundness.TrialCampaignResult.summary_dict`
+    produces).  Each point gets a ``point="<label>"`` label; the
+    instability verdict exports both as a ``verdict`` label on
+    ``repro_trials_stable`` (value 1 when stable, else 0) and as a
+    ``repro_trials_quarantined`` 0/1 gauge, so alert rules can key on
+    either.
+    """
+    base_items = sorted((labels or {}).items())
+
+    def fmt(point: str, extra: tuple[tuple[str, str], ...] = ()) -> str:
+        items = base_items + [("point", _flow_label(point))] + list(extra)
+        body = ",".join(f'{key}="{value}"' for key, value in items)
+        return "{" + body + "}"
+
+    lines: list[str] = []
+    for field in _TRIAL_FIELDS:
+        lines.append(f"# TYPE {prometheus_name('trials.' + field)} gauge")
+    for key in ("stable", "quarantined"):
+        lines.append(f"# TYPE {prometheus_name('trials.' + key)} gauge")
+    for point, summary in sorted(summaries.items()):
+        decorated = fmt(point)
+        for field in _TRIAL_FIELDS:
+            value = summary.get(field)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                lines.append(
+                    f"{prometheus_name('trials.' + field)}{decorated} {value}"
+                )
+        verdict = str(summary.get("verdict", "inconclusive"))
+        stable = 1 if verdict == "stable" else 0
+        lines.append(
+            f"{prometheus_name('trials.stable')}"
+            f"{fmt(point, (('verdict', _flow_label(verdict)),))} {stable}"
+        )
+        quarantined = 1 if summary.get("status") == "quarantined" else 0
+        lines.append(
+            f"{prometheus_name('trials.quarantined')}{decorated} {quarantined}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_trial_prometheus(
+    path: str | Path,
+    summaries: dict[str, dict],
+    labels: dict[str, str] | None = None,
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(trial_prometheus_text(summaries, labels))
+    return path
+
+
 def snapshot_prometheus_text(
     snapshots: Iterable[tuple[dict[str, str], dict]],
     fh: IO[str],

@@ -162,6 +162,88 @@ def apply_flow_axis(
     tb.switch.on_flow_population(population)
 
 
+#: Span of the per-trial traffic start-phase offset, in ns.  Small
+#: enough that warmup absorbs it entirely (warmup windows are hundreds
+#: of microseconds), large enough to decorrelate batch-boundary
+#: alignment between trials.
+TRIAL_PHASE_SPAN_NS = 2_048
+
+#: Span of the per-trial churn-clock offset: up to one simulated second,
+#: so a trial replica sees a genuinely shifted active-flow window.
+TRIAL_CHURN_SPAN_NS = 1_000_000_000
+
+
+class TrialPerturbation:
+    """Per-trial seed perturbations for one testbed (``repro.measure.soundness``).
+
+    A trial replica must measure the *same workload* under different
+    measurement-irrelevant phases, so all perturbations draw from
+    dedicated ``trial.<k>.*`` RNG streams: traffic start phase
+    (:meth:`phase_ns`), driver-hiccup hash salt (:meth:`salt_ports`) and
+    churn-clock offset (:meth:`shift_churn`).  Trial 0 is the identity
+    -- every method returns its neutral element *without creating any
+    RNG stream*, so the base run's draws (and hence its results) are
+    bit-identical to a build that never heard of trials.
+    """
+
+    def __init__(self, tb: Testbed, trial: int) -> None:
+        if trial < 0:
+            raise ValueError(f"trial must be >= 0, got {trial}")
+        self.tb = tb
+        self.trial = trial
+
+    def _stream(self, name: str):
+        return self.tb.rngs.stream(f"trial.{self.trial}.{name}")
+
+    def phase_ns(self) -> float:
+        """Start-time offset for the next traffic source (0.0 at trial 0)."""
+        if self.trial == 0:
+            return 0.0
+        return float(self._stream("phase").integers(0, TRIAL_PHASE_SPAN_NS))
+
+    def salt_ports(self, *ports) -> None:
+        """Salt each port's driver-hiccup hash (no-op at trial 0)."""
+        if self.trial == 0:
+            return
+        rng = self._stream("hiccup")
+        for port in ports:
+            port.set_hiccup_salt(int(rng.integers(1, 1 << 62)))
+
+    def shift_churn(self) -> None:
+        """Offset the flow population's churn clock (no-op at trial 0).
+
+        Must run after :func:`apply_flow_axis` and before any traffic
+        source is created, so :func:`flow_source_kwargs` hands out the
+        shifted population.
+        """
+        if self.trial == 0:
+            return
+        population = self.tb.extras.get("flow_population")
+        if population is None or not population.churn_fps:
+            return
+        from dataclasses import replace
+
+        shifted = replace(
+            population,
+            churn_offset_ns=float(self._stream("churn").integers(0, TRIAL_CHURN_SPAN_NS)),
+        )
+        self.tb.extras["flow_population"] = shifted
+        self.tb.switch.on_flow_population(shifted)
+
+
+def trial_axis(tb: Testbed, trial: int) -> TrialPerturbation:
+    """Resolve the trial axis for a testbed under construction.
+
+    Applies the churn shift immediately (it must precede traffic-source
+    creation) and returns the perturbation so the builder can salt its
+    NIC ports and phase-shift its sources.  ``trial=0`` leaves the
+    testbed exactly as it was.
+    """
+    perturbation = TrialPerturbation(tb, trial)
+    perturbation.shift_churn()
+    return perturbation
+
+
 def flow_source_kwargs(tb: Testbed, source_name: str) -> dict:
     """Per-source kwargs for the testbed's flow population, if any.
 

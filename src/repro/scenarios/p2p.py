@@ -14,6 +14,7 @@ from repro.scenarios.base import (
     connect_ports,
     flow_source_kwargs,
     new_testbed_parts,
+    trial_axis,
 )
 from repro.traffic.moongen import MoonGenRx, MoonGenTx, saturating_rate
 
@@ -29,12 +30,15 @@ def build(
     flow_dist: str = "uniform",
     churn: float = 0.0,
     size_mix: str | None = None,
+    trial: int = 0,
 ) -> Testbed:
     """Wire the p2p testbed for one switch.
 
     ``rate_pps`` is the offered load per direction; None means saturating
     input (the throughput methodology).  ``probe_interval_ns`` enables
-    PTP latency probes (the latency methodology).
+    PTP latency probes (the latency methodology).  ``trial`` selects a
+    soundness-trial replica (``repro.measure.soundness``): same workload,
+    perturbed traffic phase / hiccup hash / churn clock.
     """
     sim, machine, rngs, switch, sut_core = new_testbed_parts(switch_name, seed)
 
@@ -56,13 +60,15 @@ def build(
     rate = rate_pps if rate_pps is not None else saturating_rate(frame_size)
     tb = Testbed(sim, machine, rngs, switch, sut_core, frame_size, scenario="p2p")
     apply_flow_axis(tb, flows=flows, flow_dist=flow_dist, churn=churn, size_mix=size_mix)
+    perturb = trial_axis(tb, trial)
+    perturb.salt_ports(gen0, gen1, sut0, sut1)
 
     tx0 = MoonGenTx(
         sim, gen0, rate, frame_size, probe_interval_ns=probe_interval_ns,
         **flow_source_kwargs(tb, "tx0"),
     )
     rx1 = MoonGenRx(sim, gen1, frame_size)
-    tx0.start(0.0)
+    tx0.start(perturb.phase_ns())
     tb.meters.append(rx1.meter)
     tb.latency_meters.append(rx1.meter)
     tb.extras.update(gen_ports=(gen0, gen1), sut_ports=(sut0, sut1), tx=[tx0], rx=[rx1])
@@ -73,7 +79,7 @@ def build(
             **flow_source_kwargs(tb, "tx1"),
         )
         rx0 = MoonGenRx(sim, gen0, frame_size)
-        tx1.start(0.0)
+        tx1.start(perturb.phase_ns())
         tb.meters.append(rx0.meter)
         tb.latency_meters.append(rx0.meter)
         tb.extras["tx"].append(tx1)

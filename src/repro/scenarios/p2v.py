@@ -24,6 +24,7 @@ from repro.scenarios.base import (
     make_guest_interface,
     make_hypervisor,
     new_testbed_parts,
+    trial_axis,
     uses_ptnet,
 )
 from repro.traffic.flowatcher import FloWatcher
@@ -46,6 +47,7 @@ def build(
     flow_dist: str = "uniform",
     churn: float = 0.0,
     size_mix: str | None = None,
+    trial: int = 0,
 ) -> Testbed:
     """Wire the p2v testbed.
 
@@ -71,6 +73,8 @@ def build(
     tb.vms.append(vm)
     tb.extras.update(gen_port=gen0, sut_port=sut0, vif=vif)
     apply_flow_axis(tb, flows=flows, flow_dist=flow_dist, churn=churn, size_mix=size_mix)
+    perturb = trial_axis(tb, trial)
+    perturb.salt_ports(gen0, sut0)
 
     ptnet = uses_ptnet(switch_name)
     forward = not reversed_path
@@ -86,7 +90,7 @@ def build(
             sim, gen0, rate, frame_size, probe_interval_ns=probe_interval_ns,
             **flow_source_kwargs(tb, "tx0"),
         )
-        tx.start(0.0)
+        tx.start(perturb.phase_ns())
         tb.extras["tx"] = tx
 
     needs_guest_tx = reversed_path or bidirectional
@@ -104,7 +108,7 @@ def build(
                 sim, vif, rate, frame_size, via_ring=bridge.gen_to_bridge,
                 **flow_source_kwargs(tb, "guest_tx"),
             )
-            guest_tx.start(0.0)
+            guest_tx.start(perturb.phase_ns())
             tb.extras["bridge"] = bridge
         else:
             monitor = make_pktgen_rx(sim, vif, frame_size)
@@ -125,7 +129,7 @@ def build(
                 sim, vif, min(rate, saturating_rate(frame_size)), frame_size,
                 **flow_source_kwargs(tb, "guest_tx"),
             )
-            guest_tx.start(0.0)
+            guest_tx.start(perturb.phase_ns())
 
     if needs_guest_tx:
         rx0 = MoonGenRx(sim, gen0, frame_size)

@@ -21,6 +21,7 @@ from repro.scenarios.base import (
     make_guest_interface,
     make_hypervisor,
     new_testbed_parts,
+    trial_axis,
     uses_ptnet,
 )
 from repro.nic.timestamp import SoftwareTimestamper
@@ -42,6 +43,7 @@ def build(
     flow_dist: str = "uniform",
     churn: float = 0.0,
     size_mix: str | None = None,
+    trial: int = 0,
 ) -> Testbed:
     """Wire the v2v throughput testbed."""
     sim, machine, rngs, switch, sut_core = new_testbed_parts(switch_name, seed)
@@ -63,6 +65,8 @@ def build(
     tb.vms.extend((vm1, vm2))
     tb.extras.update(vifs=(vif1, vif2))
     apply_flow_axis(tb, flows=flows, flow_dist=flow_dist, churn=churn, size_mix=size_mix)
+    # No physical NIC in v2v: the trial axis perturbs phase and churn only.
+    perturb = trial_axis(tb, trial)
 
     if rate_pps is not None:
         rate = rate_pps
@@ -107,7 +111,7 @@ def build(
                 **flow_source_kwargs(tb, f"gen{idx}"),
             )
             monitor = FloWatcher(sim, dst_vif, frame_size)
-        gen.start(0.0)
+        gen.start(perturb.phase_ns())
         dst_vm.run(monitor, vcpu=2 + idx)
         tb.meters.append(monitor.meter)
         tb.extras[f"gen{idx}"] = gen
@@ -130,6 +134,7 @@ def build_latency(
     frame_size: int = 64,
     probe_interval_ns: float = 20_000.0,
     seed: int = 1,
+    trial: int = 0,
 ) -> Testbed:
     """Wire the Table 4 v2v latency testbed (VM1 gen+rx, VM2 l2fwd bounce)."""
     sim, machine, rngs, switch, sut_core = new_testbed_parts(switch_name, seed)
@@ -153,6 +158,7 @@ def build_latency(
     ptnet = uses_ptnet(switch_name)
     tb = Testbed(sim, machine, rngs, switch, sut_core, frame_size, scenario="v2v-latency")
     tb.vms.extend((vm1, vm2))
+    perturb = trial_axis(tb, trial)
 
     if ptnet:
         # VALE: "standard tools can be used" -- ping over the guest kernel
@@ -181,7 +187,7 @@ def build_latency(
         probe_interval_ns=probe_interval_ns,
         stamp_probe_tx=stamp_tx,
     )
-    gen.start(0.0)
+    gen.start(perturb.phase_ns())
     monitor = GuestMonitor(sim, vif1b, frame_size, stamp_probe_rx=stamp_rx)
     vm1.run(monitor, vcpu=1)
     tb.meters.append(monitor.meter)

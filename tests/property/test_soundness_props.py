@@ -1,0 +1,159 @@
+"""Property-based tests for the soundness layer's statistical contracts.
+
+Three contracts the methodology stands on:
+
+1. **Trial independence / n=1 bit-identity** -- trial 0 is the base run:
+   no ``trial.*`` RNG stream is created, and the result is bit-identical
+   to a build that never heard of trials.  Non-zero trials perturb only
+   through their dedicated streams.
+2. **Bootstrap CI coverage** -- on synthetic samples with a known mean,
+   the nominal-95% interval actually covers the truth at roughly the
+   nominal rate (bootstrap on small n is mildly anti-conservative, so
+   the bound is loose but damning for a broken implementation).
+3. **Quarantine monotonicity** -- making a stable sample *more*
+   concentrated can never flip it to an unstable verdict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from _helpers import FAST_MEASURE_NS, FAST_WARMUP_NS
+from repro.measure.runner import drive
+from repro.measure.soundness import bootstrap_ci, classify_trials, summarize_trials
+from repro.scenarios import p2p
+
+FAST = dict(warmup_ns=FAST_WARMUP_NS, measure_ns=FAST_MEASURE_NS)
+
+
+class TestTrialIndependence:
+    def test_trial_zero_is_bit_identical_to_no_trial_kwarg(self):
+        base = drive(p2p.build("vpp", frame_size=64, seed=1), **FAST)
+        explicit = drive(p2p.build("vpp", frame_size=64, seed=1, trial=0), **FAST)
+        assert repr(base.gbps) == repr(explicit.gbps)
+        assert base.mpps == explicit.mpps
+
+    def test_trial_zero_creates_no_trial_streams(self):
+        """The n=1 path must not even *touch* a trial.* RNG stream --
+        creating one would consume a SeedSequence spawn and could perturb
+        unrelated draws in a future refactor."""
+        tb = p2p.build("vpp", frame_size=64, seed=1, trial=0)
+        drive(tb, **FAST)
+        assert not any(name.startswith("trial.") for name in tb.rngs._streams)
+
+    def test_nonzero_trials_use_their_own_streams(self):
+        tb = p2p.build("vpp", frame_size=64, seed=1, trial=2)
+        names = [name for name in tb.rngs._streams if name.startswith("trial.")]
+        assert names
+        assert all(name.startswith("trial.2.") for name in names)
+
+    @pytest.mark.parametrize("trial", [1, 3])
+    def test_trials_replay_bit_identically(self, trial):
+        """A trial replica is itself deterministic: same trial, same result."""
+        first = drive(p2p.build("vale", frame_size=64, seed=1, trial=trial), **FAST)
+        again = drive(p2p.build("vale", frame_size=64, seed=1, trial=trial), **FAST)
+        assert repr(first.gbps) == repr(again.gbps)
+
+    def test_trials_do_not_change_the_workload_scale(self):
+        """Perturbation, not reseeding: every trial of a point must land
+        within a few percent of the base run -- the workload is the same."""
+        base = drive(p2p.build("vale", frame_size=64, seed=1), **FAST)
+        for trial in (1, 2, 3):
+            replica = drive(
+                p2p.build("vale", frame_size=64, seed=1, trial=trial), **FAST
+            )
+            assert replica.gbps == pytest.approx(base.gbps, rel=0.10)
+
+
+class TestBootstrapCoverage:
+    def test_nominal_coverage_on_known_mean(self):
+        """~95% CIs over N(10, 1) samples of n=10 must cover mu=10 at
+        close to the nominal rate.  200 repetitions; the acceptance band
+        [0.80, 1.0] is ~9 sigma below nominal -- a sign error, off-by-one
+        in the quantiles, or a stuck RNG all land far outside it."""
+        rng = np.random.default_rng(20260807)
+        covered = 0
+        reps = 200
+        for _ in range(reps):
+            sample = rng.normal(10.0, 1.0, size=10)
+            low, high = bootstrap_ci(sample, level=0.95)
+            covered += 1 if low <= 10.0 <= high else 0
+        assert 0.80 <= covered / reps <= 1.0
+
+    def test_lower_level_gives_narrower_intervals(self):
+        rng = np.random.default_rng(7)
+        sample = rng.normal(10.0, 1.0, size=12)
+        low95, high95 = bootstrap_ci(sample, level=0.95)
+        low50, high50 = bootstrap_ci(sample, level=0.50)
+        assert (high50 - low50) < (high95 - low95)
+
+    def test_interval_scales_with_spread(self):
+        rng = np.random.default_rng(11)
+        base = rng.normal(10.0, 1.0, size=10)
+        narrow = bootstrap_ci(10.0 + (base - 10.0) * 0.1)
+        wide = bootstrap_ci(10.0 + (base - 10.0) * 10.0)
+        assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])
+
+
+class TestQuarantineMonotonicity:
+    @given(
+        st.floats(min_value=1.0, max_value=100.0),
+        st.integers(min_value=3, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_constant_samples_are_always_stable(self, value, n):
+        verdict, _ = classify_trials([value] * n)
+        assert verdict == "stable"
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1.0, max_value=1.0),
+            min_size=3,
+            max_size=10,
+        ),
+        st.floats(min_value=1.0, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_shrinking_noise_never_destabilises(self, noise, mean):
+        """If mean + eps*noise is stable at eps, it stays stable at eps/10:
+        concentrating a sample can only ever improve its verdict."""
+        eps = 0.01 * mean
+        sample = [mean + eps * v for v in noise]
+        verdict, _ = classify_trials(sample)
+        if verdict != "stable":
+            return  # premise not met; nothing to check
+        tighter = [mean + (v - mean) * 0.1 for v in sample]
+        tight_verdict, _ = classify_trials(tighter)
+        assert tight_verdict == "stable"
+
+    @given(st.integers(min_value=3, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_appending_the_mean_keeps_stable_stable(self, n):
+        rng = np.random.default_rng(n)
+        sample = list(10.0 + rng.normal(0.0, 0.01, size=n))
+        verdict, _ = classify_trials(sample)
+        if verdict != "stable":
+            return
+        mean = sum(sample) / len(sample)
+        appended_verdict, _ = classify_trials(sample + [mean])
+        assert appended_verdict == "stable"
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=100.0),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_summary_is_internally_consistent(self, values):
+        summary = summarize_trials(values)
+        assert summary.n == len(values)
+        assert summary.ci_low <= summary.ci_high
+        assert summary.p5 <= summary.p50 <= summary.p95
+        assert min(values) <= summary.mean <= max(values)
+        assert summary.verdict in ("stable", "bimodal", "drifting", "inconclusive")
+        assert summary.reason  # every verdict carries a documented reason

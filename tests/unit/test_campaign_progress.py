@@ -120,3 +120,47 @@ def test_failure_line_names_the_error():
     reporter = ProgressReporter(total=1, emit=lines.append)
     reporter.update(RunFailure(spec=RunSpec("p2p", "vale"), error="RuntimeError", message="boom"))
     assert any("FAILED (RuntimeError: boom)" in line for line in lines)
+
+
+def test_retire_shrinks_the_total_and_eta():
+    """A trial point that converges early cancels its unused repeat
+    budget: the ETA shrinks immediately."""
+    clock = FakeClock()
+    reporter = ProgressReporter(total=10, clock=clock)
+    reporter.start()
+    clock.now = 10.0
+    reporter.update(_record())
+    assert reporter.eta_s() == 90.0
+    reporter.retire(5)
+    assert reporter.total == 5
+    assert reporter.eta_s() == 40.0
+
+
+def test_retire_never_drops_below_done():
+    reporter = ProgressReporter(total=3)
+    reporter.update(_record())
+    reporter.update(_record())
+    reporter.retire(100)
+    assert reporter.total == 2
+
+
+def test_retire_ignores_nonpositive_counts():
+    reporter = ProgressReporter(total=5)
+    reporter.retire(0)
+    reporter.retire(-3)
+    assert reporter.total == 5
+
+
+def test_retire_keeps_pace_cache_hit_blind():
+    """Retiring budget must not fold cache hits into the pace estimate."""
+    clock = FakeClock()
+    reporter = ProgressReporter(total=10, clock=clock)
+    reporter.start()
+    for _ in range(4):
+        reporter.update(_record(), source="cache")
+    reporter.retire(2)
+    assert reporter.eta_s() is None  # still no executed-run pace
+    clock.now = 8.0
+    reporter.update(_record(), source="executed")
+    # Pace 8s per executed run; 8 total - 5 done = 3 remaining.
+    assert reporter.eta_s() == 24.0

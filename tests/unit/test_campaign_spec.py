@@ -130,3 +130,47 @@ def test_failure_roundtrip():
     assert revived.error == "RuntimeError"
     assert revived.attempts == 2
     assert not revived.ok
+
+
+class TestTrialAxis:
+    """The soundness-trial field on RunSpec (repro.measure.soundness)."""
+
+    def test_trial_roundtrips_through_dict(self):
+        spec = RunSpec("p2p", "vpp", seed=3, trial=2)
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_trial_zero_is_omitted_from_dict(self):
+        """Cache-key stability: the default trial must serialise exactly
+        as it did before the field existed."""
+        assert "trial" not in RunSpec("p2p", "vpp").to_dict()
+
+    def test_trial_suffixes_the_label(self):
+        assert RunSpec("p2p", "vpp", seed=9, trial=2).label.endswith("#s9+t2")
+        assert RunSpec("p2p", "vpp", seed=9).label.endswith("#s9")
+
+    def test_negative_trial_rejected(self):
+        with pytest.raises(ValueError, match="trial"):
+            RunSpec("p2p", "vpp", trial=-1)
+
+    def test_with_trials_expands_each_run(self):
+        campaign = CampaignSpec("c", (RunSpec("p2p", "vpp", seed=5),)).with_trials(3)
+        assert [s.trial for s in campaign] == [0, 1, 2]
+        assert {s.seed for s in campaign} == {5}
+
+    def test_with_trials_reseed_policy(self):
+        campaign = CampaignSpec(
+            "c", (RunSpec("p2p", "vpp", seed=5),)
+        ).with_trials(3, seed_policy="reseed")
+        assert [s.seed for s in campaign] == [5, 6, 7]
+        assert {s.trial for s in campaign} == {0}
+
+    def test_with_trials_one_is_identity(self):
+        campaign = CampaignSpec("c", (RunSpec("p2p", "vpp"),))
+        assert campaign.with_trials(1) is campaign
+
+    def test_trial_cache_keys_are_distinct(self):
+        from repro.campaign.cache import run_key
+
+        base = RunSpec("p2p", "vpp")
+        keys = {run_key(base), run_key(RunSpec("p2p", "vpp", trial=1))}
+        assert len(keys) == 2

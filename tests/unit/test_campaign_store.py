@@ -131,3 +131,22 @@ def test_export_csv_dash_streams_to_stdout(capsys):
     rows = list(csv.DictReader(out.splitlines()))
     assert rows[0]["switch"] == "vpp"
     assert rows[0]["gbps"] == "9.5000"
+
+
+def test_trials_column_round_trips(tmp_path):
+    """A record carrying a soundness trial summary persists it through
+    the JSONL log and exports it as a JSON cell in the CSV."""
+    import json
+
+    spec = RunSpec("p2p", "vpp")
+    record = _record(spec)
+    record.trials = {"n": 3, "mean": 9.5, "verdict": "stable", "status": "ok"}
+    store = CampaignStore(tmp_path / "campaign.jsonl")
+    store.append("k", record)
+    assert store.load()["k"].trials == record.trials
+
+    path = export_csv([("k", record), ("p", _record(spec))], tmp_path / "out.csv")
+    with path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert json.loads(rows[0]["trials"])["verdict"] == "stable"
+    assert rows[1]["trials"] == ""  # single-trial records stay blank

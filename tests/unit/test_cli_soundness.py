@@ -1,0 +1,133 @@
+"""CLI tests for the soundness layer: --seed-policy, trial campaigns and
+the variance-aware perf gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+FAST = ["--warmup-ns", "100000", "--measure-ns", "400000"]
+
+
+class TestRepeatSemantics:
+    @pytest.mark.parametrize("command", [
+        ["suite", "--switch", "vpp", "--repeat", "2"],
+        ["campaign", "--suite", "smoke", "--repeat", "2"],
+        ["validate", "--repeat", "2"],
+    ])
+    def test_repeat_without_policy_is_a_loud_error(self, command, capsys):
+        assert main(command) == 2
+        err = capsys.readouterr().err
+        assert "--seed-policy" in err
+        assert "trial" in err and "reseed" in err
+
+    def test_seed_policy_rejected_on_single_run_commands(self, capsys):
+        assert main(["p2p", "--switch", "vpp", "--seed-policy", "trial"]) == 1
+        assert "--seed-policy is not supported" in capsys.readouterr().err
+
+    def test_perf_repeat_is_exempt(self, capsys):
+        # perf repeats are wall-clock samples, not statistical replicas.
+        assert main(["perf", "--cases", "engine.dispatch", "--repeat", "2"]) == 0
+
+
+class TestTrialCampaignCommand:
+    def test_end_to_end_artifacts(self, tmp_path, capsys):
+        summary_path = tmp_path / "trials.json"
+        csv_path = tmp_path / "out.csv"
+        prom_path = tmp_path / "trials.prom"
+        assert main([
+            "campaign", "--suite", "smoke", "--switches", "vpp",
+            "--repeat", "4", "--seed-policy", "trial", "--no-cache",
+            "--trial-summary", str(summary_path),
+            "--export-csv", str(csv_path),
+            "--metrics-out", str(prom_path),
+            *FAST,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out and "95% CI" in out
+
+        summary = json.loads(summary_path.read_text())
+        assert summary  # one entry per grid point
+        entry = next(iter(summary.values()))
+        assert {"status", "n", "ci_low", "ci_high", "verdict"} <= set(entry)
+
+        header = csv_path.read_text().splitlines()[0]
+        assert "trials" in header.split(",")
+
+        prom = prom_path.read_text()
+        assert "repro_trials_n{" in prom
+        assert "repro_trials_quarantined{" in prom
+
+    def test_reseed_policy_keeps_the_legacy_seed_axis(self, tmp_path, capsys):
+        assert main([
+            "campaign", "--suite", "smoke", "--switches", "vpp",
+            "--repeat", "2", "--seed-policy", "reseed", "--no-cache",
+            *FAST,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "#s1" in out and "#s2" in out  # two seeds, no trial suffix
+        assert "+t1" not in out
+
+
+class TestVarianceAwareGate:
+    CASE = ["perf", "--cases", "engine.dispatch", "--repeat", "1"]
+
+    def test_overlapping_cis_pass_where_the_point_gate_would_fail(
+        self, tmp_path, capsys
+    ):
+        """A baseline whose CI overlaps the current run must not fail the
+        gate, even when its point estimate alone screams regression."""
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "cases": {"engine.dispatch": {
+                "kind": "engine",
+                "wall_s": 1e-9,  # point gate: regressed by ~infinity
+                "trials": {"n": 5, "ci_low": 1e-9, "ci_high": 1e9},
+            }}
+        }))
+        assert main([
+            *self.CASE, "--baseline", str(baseline), "--max-regress", "20",
+        ]) == 0
+        assert "perf gate" in capsys.readouterr().err
+
+    def test_disjoint_cis_below_floor_fail_with_exit_4(self, tmp_path, capsys):
+        """Injected regression: the baseline CI sits entirely below any
+        plausible current run, so the optimistic ratio is still a
+        regression and CI must fail."""
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "cases": {"engine.dispatch": {
+                "kind": "engine",
+                "wall_s": 1e-9,
+                "trials": {"n": 5, "ci_low": 0.5e-9, "ci_high": 2e-9},
+            }}
+        }))
+        assert main([
+            *self.CASE, "--baseline", str(baseline), "--max-regress", "20",
+        ]) == 4
+        assert "regressed" in capsys.readouterr().err
+
+    def test_missing_baseline_still_fails_closed(self, tmp_path, capsys):
+        assert main([
+            *self.CASE, "--baseline", str(tmp_path / "nope.json"),
+            "--max-regress", "20",
+        ]) == 4
+        assert "failing closed" in capsys.readouterr().err
+
+    def test_report_carries_trial_summaries(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        out_path = tmp_path / "bench.json"
+        assert main([
+            "perf", "--cases", "engine.dispatch", "--repeat", "2",
+            "--json", "--perf-out", str(out_path),
+        ]) == 0
+        report = json.loads(out_path.read_text())
+        case = report["cases"]["engine.dispatch"]
+        assert case["trials"]["n"] == 2
+        assert len(case["samples"]) == 2
+        assert case["trials"]["ci_low"] <= case["trials"]["ci_high"]
+        # wall_s stays the noise-free minimum of the samples.
+        assert case["wall_s"] == min(case["samples"])

@@ -1,0 +1,179 @@
+"""Unit tests for the statistical soundness layer (repro.measure.soundness)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.measure.soundness import (
+    DEFAULT_POLICY,
+    SEED_POLICIES,
+    TrialPolicy,
+    TrialSummary,
+    bootstrap_ci,
+    classify_trials,
+    percentile,
+    summarize_trials,
+    trial_specs,
+)
+
+
+class TestPercentile:
+    def test_median_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50.0) == 2.5
+
+    def test_endpoints(self):
+        data = [5.0, 1.0, 3.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 100.0) == 5.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 95.0) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+
+class TestBootstrapCi:
+    def test_deterministic(self):
+        """The interval is a pure function of the sample -- reruns match."""
+        data = [1.0, 1.2, 0.9, 1.1, 1.05]
+        assert bootstrap_ci(data) == bootstrap_ci(data)
+
+    def test_contains_the_mean_for_a_tight_sample(self):
+        data = [10.0, 10.1, 9.9, 10.05, 9.95]
+        low, high = bootstrap_ci(data)
+        mean = sum(data) / len(data)
+        assert low <= mean <= high
+        assert high - low < 0.5
+
+    def test_single_value_degenerates_to_zero_width(self):
+        assert bootstrap_ci([3.0]) == (3.0, 3.0)
+
+    def test_constant_sample_degenerates_to_zero_width(self):
+        assert bootstrap_ci([2.0, 2.0, 2.0]) == (2.0, 2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_wider_spread_wider_interval(self):
+        tight = bootstrap_ci([1.0, 1.01, 0.99, 1.0, 1.02])
+        wide = bootstrap_ci([1.0, 2.0, 0.1, 1.5, 0.5])
+        assert (wide[1] - wide[0]) > (tight[1] - tight[0])
+
+
+class TestClassifyTrials:
+    def test_too_few_trials_is_inconclusive(self):
+        verdict, reason = classify_trials([1.0, 1.1])
+        assert verdict == "inconclusive"
+        assert "n=2 < 3 trials" in reason
+
+    def test_non_finite_is_inconclusive(self):
+        verdict, reason = classify_trials([1.0, math.nan, 1.1])
+        assert verdict == "inconclusive"
+        assert reason == "non-finite trial values"
+
+    def test_zero_variance_is_stable(self):
+        verdict, reason = classify_trials([5.0, 5.0, 5.0])
+        assert verdict == "stable"
+        assert reason == "zero variance across trials"
+
+    def test_low_cv_is_stable(self):
+        verdict, reason = classify_trials([1.0, 1.01, 0.99, 1.005])
+        assert verdict == "stable"
+        assert "cv=" in reason
+
+    def test_two_clusters_is_bimodal(self):
+        verdict, reason = classify_trials([1.0, 1.001, 1.002, 2.0, 2.001, 2.002])
+        assert verdict == "bimodal"
+        assert "two clusters" in reason
+        assert "3+3 trials" in reason
+
+    def test_monotone_trend_is_drifting(self):
+        verdict, reason = classify_trials([1.0, 1.2, 1.4, 1.6, 1.8])
+        assert verdict == "drifting"
+        assert "monotone trend" in reason
+
+    def test_noise_without_structure_is_inconclusive(self):
+        # High-CV but unordered and unimodal: nothing to blame.
+        verdict, reason = classify_trials([1.0, 1.6, 0.7, 1.5, 0.8, 1.45, 0.9])
+        assert verdict == "inconclusive"
+        assert "no structure" in reason
+
+    def test_a_single_outlier_is_not_bimodal(self):
+        # One cluster of 4 and a lone point: the bimodal test needs >= 2
+        # members on both sides, so this cannot split.
+        verdict, _ = classify_trials([1.0, 1.0, 1.0, 1.0, 10.0])
+        assert verdict != "bimodal"
+
+
+class TestTrialPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrialPolicy(n_min=0)
+        with pytest.raises(ValueError):
+            TrialPolicy(n_min=5, n_max=3)
+        with pytest.raises(ValueError):
+            TrialPolicy(ci_level=1.0)
+        with pytest.raises(ValueError):
+            TrialPolicy(seed_policy="lucky-dip")
+
+    def test_known_policies(self):
+        assert SEED_POLICIES == ("trial", "reseed")
+
+
+class TestTrialSummary:
+    def test_summarize_and_round_trip(self):
+        summary = summarize_trials([1.0, 1.02, 0.98, 1.01], metric="gbps")
+        assert summary.n == 4
+        assert summary.metric == "gbps"
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+        assert summary.p5 <= summary.p50 <= summary.p95
+        assert TrialSummary.from_dict(summary.to_dict()) == summary
+
+    def test_converged_needs_n_min_and_tight_ci(self):
+        policy = TrialPolicy(n_min=3, n_max=5, rel_ci_target=0.05)
+        tight = summarize_trials([1.0, 1.001, 0.999], policy)
+        assert tight.converged(policy)
+        wide = summarize_trials([1.0, 2.0, 0.5], policy)
+        assert not wide.converged(policy)
+        # n below n_min never converges regardless of width.
+        two = summarize_trials([1.0, 1.0], policy)
+        assert not two.converged(policy)
+
+    def test_half_width_properties(self):
+        summary = summarize_trials([2.0, 2.0, 2.0])
+        assert summary.half_width == 0.0
+        assert summary.rel_half_width == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_trials([])
+
+
+class TestTrialSpecs:
+    def test_trial_policy_keeps_base_spec_and_seed(self):
+        from repro.campaign.spec import RunSpec
+
+        base = RunSpec("p2p", "vpp", seed=7)
+        specs = trial_specs(base, 3, "trial")
+        assert specs[0] is base  # trial 0 IS the base run, bit-identical
+        assert [s.trial for s in specs] == [0, 1, 2]
+        assert {s.seed for s in specs} == {7}
+
+    def test_reseed_policy_walks_the_seed(self):
+        from repro.campaign.spec import RunSpec
+
+        base = RunSpec("p2p", "vpp", seed=7)
+        specs = trial_specs(base, 3, "reseed")
+        assert [s.seed for s in specs] == [7, 8, 9]
+        assert {s.trial for s in specs} == {0}
+
+    def test_unknown_policy_raises(self):
+        from repro.campaign.spec import RunSpec
+
+        with pytest.raises(ValueError):
+            trial_specs(RunSpec("p2p", "vpp"), 2, "lucky-dip")
