@@ -11,7 +11,11 @@ Two kinds of cases:
 
 Each case is repeated ``repeat`` times and the *minimum* wall time is
 reported (the minimum is the noise-free cost; everything above it is
-scheduler jitter).  ``run_perf`` compares against a committed baseline
+scheduler jitter).  Same-process A/B pairs (``.nowarp``/``.warp``,
+``.exact``/``.fluid``) interleave their repeats -- A, B, A, B, ... --
+so both sides sample the same host-load conditions; minima taken
+minutes apart let a transient spike land on one side only and skew the
+reported ratio.  ``run_perf`` compares against a committed baseline
 JSON (``benchmarks/perf/baseline_pr3.json`` holds the pre-flyweight seed
 numbers) and reports per-case speedups; :func:`perf_regressions` turns
 that comparison into a CI gate (``repro-bench perf --max-regress 20``
@@ -29,6 +33,9 @@ CLI entry point: ``repro-bench perf --json`` (writes ``BENCH_pr3.json``).
 from __future__ import annotations
 
 import json
+import os
+import subprocess
+import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -46,7 +53,7 @@ class PerfCase:
     """One micro-benchmark: a bare engine loop or a tier-1 scenario."""
 
     name: str
-    kind: str  # "engine" | "scenario"
+    kind: str  # "engine" | "scenario" | "resilience"
     scenario: str = ""
     switch: str = ""
     frame_size: int = 64
@@ -57,6 +64,8 @@ class PerfCase:
     measure_scale: float = 1.0
     #: pin the steady-state fast-forward (None follows REPRO_WARP).
     warp: bool | None = None
+    #: pin the fluid tier (None follows REPRO_FLUID, default off).
+    fluid: bool | None = None
     #: extra build kwargs as sorted items (e.g. the repro.flows axis:
     #: ``(("flow_dist", "zipf"), ("flows", 100_000))``).
     extra: tuple = ()
@@ -105,6 +114,82 @@ WARP_CASES: tuple[PerfCase, ...] = (
         "longh.p2p.vpp.warp", "scenario", "p2p", "vpp",
         rate_pps=LONG_HORIZON_RATE_PPS, measure_scale=LONG_HORIZON_SCALE, warp=True,
     ),
+    # Multi-hop shapes the chain turbo covers: bidirectional p2p, the
+    # vring hops (p2v/v2v) and a loopback VNF chain, each at an NDR-style
+    # sub-capacity load over the 10x window.
+    PerfCase(
+        "longh.p2p-bidi.vpp.nowarp", "scenario", "p2p", "vpp", bidirectional=True,
+        rate_pps=2_000_000.0, measure_scale=LONG_HORIZON_SCALE, warp=False,
+    ),
+    PerfCase(
+        "longh.p2p-bidi.vpp.warp", "scenario", "p2p", "vpp", bidirectional=True,
+        rate_pps=2_000_000.0, measure_scale=LONG_HORIZON_SCALE, warp=True,
+    ),
+    PerfCase(
+        "longh.p2v.ovs-dpdk.nowarp", "scenario", "p2v", "ovs-dpdk",
+        rate_pps=1_000_000.0, measure_scale=LONG_HORIZON_SCALE, warp=False,
+    ),
+    PerfCase(
+        "longh.p2v.ovs-dpdk.warp", "scenario", "p2v", "ovs-dpdk",
+        rate_pps=1_000_000.0, measure_scale=LONG_HORIZON_SCALE, warp=True,
+    ),
+    PerfCase(
+        "longh.v2v.vpp.nowarp", "scenario", "v2v", "vpp",
+        rate_pps=800_000.0, measure_scale=LONG_HORIZON_SCALE, warp=False,
+    ),
+    PerfCase(
+        "longh.v2v.vpp.warp", "scenario", "v2v", "vpp",
+        rate_pps=800_000.0, measure_scale=LONG_HORIZON_SCALE, warp=True,
+    ),
+    PerfCase(
+        "longh.loopback2.vpp.nowarp", "scenario", "loopback", "vpp",
+        rate_pps=500_000.0, measure_scale=LONG_HORIZON_SCALE, warp=False,
+        extra=(("n_vnfs", 2),),
+    ),
+    PerfCase(
+        "longh.loopback2.vpp.warp", "scenario", "loopback", "vpp",
+        rate_pps=500_000.0, measure_scale=LONG_HORIZON_SCALE, warp=True,
+        extra=(("n_vnfs", 2),),
+    ),
+)
+
+#: Between-fault warp acceptance: a resilience run (two NIC link flaps
+#: over a 30x window) driven event-by-event and with the chain turbo
+#: warping the idle stretches between fault instants.  The recovery
+#: timeline is verified bit-identical elsewhere (property tests); this
+#: bench only times the A/B.  The offered rate sits well under capacity
+#: so the inter-fault spans are idle-poll-dominated -- the regime the
+#: turbo exists for (fault soak tests trickle traffic while waiting).
+RESILIENCE_SCALE = 30.0
+RESILIENCE_RATE_PPS = 1_000_000.0
+RESILIENCE_CASES: tuple[PerfCase, ...] = (
+    PerfCase(
+        "longh.resil.p2p.vpp.nowarp", "resilience", "p2p", "vpp",
+        rate_pps=RESILIENCE_RATE_PPS, measure_scale=RESILIENCE_SCALE, warp=False,
+    ),
+    PerfCase(
+        "longh.resil.p2p.vpp.warp", "resilience", "p2p", "vpp",
+        rate_pps=RESILIENCE_RATE_PPS, measure_scale=RESILIENCE_SCALE, warp=True,
+    ),
+)
+
+#: Fluid-tier acceptance: a 500x window (1.5 s simulated -- the regime
+#: of hour-scale NDR trials, scaled to CI budgets) where the exact side
+#: runs the best exact tier and the fluid side extrapolates past an
+#: 8 ms calibration slice.  Reported as ``fluid_speedup``; the relative
+#: error is gated by tools/fluid_check.py, this bench only times.
+FLUID_SCALE = 500.0
+FLUID_CASES: tuple[PerfCase, ...] = (
+    PerfCase(
+        "longh.fluid.p2p.vpp.exact", "scenario", "p2p", "vpp",
+        rate_pps=LONG_HORIZON_RATE_PPS, measure_scale=FLUID_SCALE,
+        warp=True, fluid=False,
+    ),
+    PerfCase(
+        "longh.fluid.p2p.vpp.fluid", "scenario", "p2p", "vpp",
+        rate_pps=LONG_HORIZON_RATE_PPS, measure_scale=FLUID_SCALE,
+        warp=True, fluid=True,
+    ),
 )
 
 #: Million-flow long-horizon datapoint: a Zipf population two orders of
@@ -120,8 +205,10 @@ FLOW_LONG_CASES: tuple[PerfCase, ...] = (
     ),
 )
 
-#: Everything: the standard grid plus the long-horizon warp A/B pairs.
-ALL_CASES: tuple[PerfCase, ...] = PERF_CASES + WARP_CASES + FLOW_LONG_CASES
+#: Everything: the standard grid plus the long-horizon A/B pairs.
+ALL_CASES: tuple[PerfCase, ...] = (
+    PERF_CASES + WARP_CASES + RESILIENCE_CASES + FLUID_CASES + FLOW_LONG_CASES
+)
 
 #: Engine case: enough events that interpreter warm-up amortises away.
 ENGINE_EVENTS = 100_000
@@ -169,6 +256,7 @@ def _bench_scenario(
         warmup_ns=warmup_ns,
         measure_ns=measure_ns * case.measure_scale,
         warp=case.warp,
+        fluid=case.fluid,
     )
     wall = time.perf_counter() - start
     # Simulated traffic actually moved end-to-end (warm-up included: the
@@ -188,24 +276,128 @@ def _bench_scenario(
     return row
 
 
-def _run_case(case: PerfCase, repeat: int) -> dict[str, Any]:
-    best: dict[str, Any] | None = None
-    samples: list[float] = []
-    for _ in range(max(1, repeat)):
-        sample = _bench_engine() if case.kind == "engine" else _bench_scenario(case)
-        samples.append(sample["wall_s"])
-        if best is None or sample["wall_s"] < best["wall_s"]:
-            best = sample
-    assert best is not None
+def _bench_resilience(
+    case: PerfCase,
+    warmup_ns: float = DEFAULT_WARMUP_NS,
+    measure_ns: float = DEFAULT_MEASURE_NS,
+) -> dict[str, Any]:
+    from repro.faults.plan import FaultEvent, FaultPlan
+    from repro.measure.resilience import measure_resilience
+    from repro.scenarios import loopback, p2p, p2v, v2v
+
+    builders = {"p2p": p2p.build, "p2v": p2v.build, "v2v": v2v.build, "loopback": loopback.build}
+    window = measure_ns * case.measure_scale
+    plan = FaultPlan.of(
+        FaultEvent.from_dict(
+            {"kind": "nic-link-flap", "target": "sut-nic.p1",
+             "at_ns": warmup_ns + 0.25 * window, "duration_ns": 4e5}
+        ),
+        FaultEvent.from_dict(
+            {"kind": "nic-link-flap", "target": "sut-nic.p1",
+             "at_ns": warmup_ns + 0.65 * window, "duration_ns": 4e5}
+        ),
+    )
+    kwargs: dict[str, Any] = dict(case.extra)
+    if case.rate_pps is not None:
+        kwargs["rate_pps"] = case.rate_pps
+    start = time.perf_counter()
+    result, report, _ = measure_resilience(
+        builders[case.scenario],
+        case.switch,
+        case.frame_size,
+        plan,
+        bidirectional=case.bidirectional,
+        warmup_ns=warmup_ns,
+        measure_ns=window,
+        warp=case.warp,
+        **kwargs,
+    )
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "events": result.events,
+        "delivered_packets": int(result.mpps * 1e6 * window / 1e9),
+        "sim_mpps_per_wall_s": result.mpps * window / 1e9 / wall if wall else float("inf"),
+        "gbps": result.gbps,
+        "mpps": result.mpps,
+        "faults": len(report.fault_spans),
+    }
+
+
+_BENCH_KINDS = {
+    "engine": lambda case: _bench_engine(),
+    "scenario": lambda case: _bench_scenario(case),
+    "resilience": lambda case: _bench_resilience(case),
+}
+
+
+def _finalize_case(case: PerfCase, runs: list[dict[str, Any]]) -> dict[str, Any]:
+    best = min(runs, key=lambda s: s["wall_s"])
     best["kind"] = case.kind
     # Variance alongside the point estimate: wall_s stays the noise-free
     # minimum, but the trials summary (n, CI, instability verdict over
     # all repeats) is what the variance-aware gate compares against.
-    best["samples"] = samples
+    best["samples"] = [s["wall_s"] for s in runs]
     from repro.measure.soundness import summarize_trials
 
-    best["trials"] = summarize_trials(samples, metric="wall_s").to_dict()
+    best["trials"] = summarize_trials(best["samples"], metric="wall_s").to_dict()
     return best
+
+
+def _run_case(case: PerfCase, repeat: int) -> dict[str, Any]:
+    runs = [_BENCH_KINDS[case.kind](case) for _ in range(max(1, repeat))]
+    return _finalize_case(case, runs)
+
+
+def _run_pair(
+    case_a: PerfCase, case_b: PerfCase, repeat: int
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Run an A/B pair with interleaved repeats (A, B, A, B, ...)."""
+    runs_a: list[dict[str, Any]] = []
+    runs_b: list[dict[str, Any]] = []
+    for _ in range(max(1, repeat)):
+        runs_a.append(_BENCH_KINDS[case_a.kind](case_a))
+        runs_b.append(_BENCH_KINDS[case_b.kind](case_b))
+    return _finalize_case(case_a, runs_a), _finalize_case(case_b, runs_b)
+
+
+#: A/B suffix pairs whose repeats are interleaved when both cases are in
+#: the selected grid.
+_PAIR_SUFFIXES: tuple[tuple[str, str], ...] = (
+    (".nowarp", ".warp"),
+    (".exact", ".fluid"),
+)
+
+
+def _run_pair_isolated(
+    case_a: PerfCase, case_b: PerfCase, repeat: int
+) -> tuple[dict[str, Any], dict[str, Any]] | None:
+    """Run an A/B pair in a fresh interpreter; None when that fails.
+
+    A/B ratios are sensitive to interpreter state in a way absolute
+    timings are not: twenty preceding grid cases warm the allocator free
+    lists, which speeds the allocation-heavy event-by-event side more
+    than the fast-forward side and deflates the reported ratio by tens
+    of percent.  A fresh process (pyperf-style worker isolation) gives
+    both sides the same cold start.
+    """
+    src_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_root)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bench.perf",
+             case_a.name, case_b.name, str(repeat)],
+            capture_output=True, text=True, env=env, timeout=1800,
+        )
+        if proc.returncode != 0:
+            return None
+        payload = json.loads(proc.stdout)
+        return payload[case_a.name], payload[case_b.name]
+    except (OSError, subprocess.SubprocessError, ValueError, KeyError):
+        return None
 
 
 def load_baseline(path: str | Path | None = None) -> dict[str, Any] | None:
@@ -225,10 +417,26 @@ def run_perf(
 ) -> dict[str, Any]:
     """Run the grid; return the report dict (also used for BENCH_pr3.json)."""
     results: dict[str, Any] = {}
+    case_by_name = {c.name: c for c in cases}
     for case in cases:
-        if progress is not None:
-            progress(f"bench {case.name}")
-        results[case.name] = _run_case(case, repeat)
+        if case.name in results:
+            continue
+        partner: PerfCase | None = None
+        for a_sfx, b_sfx in _PAIR_SUFFIXES:
+            if case.name.endswith(a_sfx):
+                partner = case_by_name.get(case.name[: -len(a_sfx)] + b_sfx)
+                break
+        if partner is not None and partner.name not in results:
+            if progress is not None:
+                progress(f"bench {case.name} / {partner.name} (isolated A/B)")
+            pair = _run_pair_isolated(case, partner, repeat)
+            if pair is None:
+                pair = _run_pair(case, partner, repeat)
+            results[case.name], results[partner.name] = pair
+        else:
+            if progress is not None:
+                progress(f"bench {case.name}")
+            results[case.name] = _run_case(case, repeat)
 
     from repro.core.warp import engine_features
 
@@ -248,17 +456,25 @@ def run_perf(
                 speedups[name] = base["wall_s"] / current["wall_s"]
         report["baseline"] = base_cases
         report["speedup"] = speedups
-    # Same-process warp A/B: pair every "<key>.nowarp" with "<key>.warp".
+    # Same-process A/B pairs: "<key>.nowarp"/"<key>.warp" for the exact
+    # fast-forward, "<key>.exact"/"<key>.fluid" for the fluid tier.
     warp_speedups: dict[str, float] = {}
+    fluid_speedups: dict[str, float] = {}
     for name, row in results.items():
-        if not name.endswith(".nowarp"):
-            continue
-        key = name[: -len(".nowarp")]
-        partner = results.get(key + ".warp")
-        if partner and partner.get("wall_s") and row.get("wall_s"):
-            warp_speedups[key] = row["wall_s"] / partner["wall_s"]
+        if name.endswith(".nowarp"):
+            key = name[: -len(".nowarp")]
+            partner = results.get(key + ".warp")
+            if partner and partner.get("wall_s") and row.get("wall_s"):
+                warp_speedups[key] = row["wall_s"] / partner["wall_s"]
+        elif name.endswith(".exact"):
+            key = name[: -len(".exact")]
+            partner = results.get(key + ".fluid")
+            if partner and partner.get("wall_s") and row.get("wall_s"):
+                fluid_speedups[key] = row["wall_s"] / partner["wall_s"]
     if warp_speedups:
         report["warp_speedup"] = warp_speedups
+    if fluid_speedups:
+        report["fluid_speedup"] = fluid_speedups
     return report
 
 
@@ -318,7 +534,36 @@ def format_report(report: dict[str, Any]) -> str:
         lines.append(f"  {name:<26} {row['wall_s'] * 1e3:9.1f} ms  {rate}{extra}")
     warp_speedups = report.get("warp_speedup", {})
     if warp_speedups:
-        lines.append("  warp fast-forward (same-process A/B, bit-identical results):")
+        lines.append("  warp fast-forward (interleaved A/B, bit-identical results):")
         for key, ratio in sorted(warp_speedups.items()):
             lines.append(f"    {key:<24} x{ratio:.2f} wall-clock")
+    fluid_speedups = report.get("fluid_speedup", {})
+    if fluid_speedups:
+        lines.append("  fluid tier (interleaved A/B, tolerance-gated results):")
+        for key, ratio in sorted(fluid_speedups.items()):
+            lines.append(f"    {key:<24} x{ratio:.2f} wall-clock")
     return "\n".join(lines)
+
+
+def _pair_worker(argv: list[str]) -> int:
+    """``python -m repro.bench.perf A B N``: run one A/B pair, JSON out.
+
+    The worker half of :func:`_run_pair_isolated` -- a fresh interpreter
+    runs the interleaved pair and prints ``{name: result}`` on stdout.
+    """
+    if len(argv) != 3:
+        print("usage: python -m repro.bench.perf CASE_A CASE_B REPEAT", file=sys.stderr)
+        return 2
+    by_name = {case.name: case for case in ALL_CASES}
+    try:
+        case_a, case_b = by_name[argv[0]], by_name[argv[1]]
+    except KeyError as missing:
+        print(f"unknown perf case {missing}", file=sys.stderr)
+        return 2
+    res_a, res_b = _run_pair(case_a, case_b, int(argv[2]))
+    json.dump({case_a.name: res_a, case_b.name: res_b}, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_pair_worker(sys.argv[1:]))

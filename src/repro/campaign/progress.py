@@ -16,6 +16,22 @@ from typing import Callable
 from repro.campaign.spec import RunFailure, RunRecord
 
 
+def run_tier(outcome: RunRecord | RunFailure) -> str:
+    """Cost tier of one run, from its record's ``warp`` column.
+
+    Warped (replay/turbo) and fluid runs complete orders of magnitude
+    faster than event-by-event runs, so averaging their wall-clocks into
+    one pace would wreck the ETA whenever the mix shifts; the reporter
+    tracks each tier's cost separately and blends them explicitly.
+    """
+    label = getattr(outcome, "warp", None) or ""
+    if label == "fluid":
+        return "fluid"
+    if label and not label.startswith("declined:"):
+        return "warped"
+    return "exact"
+
+
 def emit_to_stderr(message: str) -> None:
     """Progress sink that keeps stdout clean for piped data.
 
@@ -47,6 +63,10 @@ class ProgressReporter:
         self.events = 0
         self.sim_wall_clock_s = 0.0
         self._started: float | None = None
+        #: Executed-run wall-clock per fast-forward tier:
+        #: ``tier -> [runs, wall_clock_s]``.  Cache hits and store
+        #: resumes never land here, so the pace stays cache-hit-blind.
+        self.tier_costs: dict[str, list] = {}
         #: Per-run completion records, in completion order -- enough to
         #: reconstruct a campaign-execution timeline (``--trace-out``).
         self.timeline: list[dict] = []
@@ -67,6 +87,9 @@ class ProgressReporter:
             self.resumed += 1
         else:
             self.executed += 1
+            bucket = self.tier_costs.setdefault(run_tier(outcome), [0, 0.0])
+            bucket[0] += 1
+            bucket[1] += outcome.wall_clock_s
         self.sim_wall_clock_s += outcome.wall_clock_s
         if isinstance(outcome, RunFailure):
             self.failures += 1
@@ -110,22 +133,38 @@ class ProgressReporter:
         return self.clock() - self._started
 
     def eta_s(self) -> float | None:
-        """Wall-clock estimate for the remainder, from the mean pace so far.
+        """Wall-clock estimate for the remainder, from the pace so far.
 
         Pace is derived from *executed* runs only: cache hits and store
         resumes complete in microseconds, and folding them into the mean
         would forecast a near-zero ETA for a campaign that still has real
-        runs ahead of it.  Returns ``None`` when there is no basis for an
-        estimate -- empty or fully-done grids (including the degenerate
-        zero- and single-run grids) and campaigns that have only served
-        hits so far.
+        runs ahead of it.  Executed runs are costed per fast-forward tier
+        (warped/fluid/exact, see :func:`run_tier`) and blended by the
+        observed mix -- a campaign whose early runs all warped no longer
+        forecasts warp pace for the event-by-event runs still queued,
+        because the exact tier's own mean enters the blend the moment one
+        completes.  The per-run cost model also keeps the estimate
+        honest under parallel workers (recorded run cost is divided by
+        the observed concurrency) and blind to reporter overhead between
+        runs.  Falls back to elapsed-over-executed when the records
+        carry no wall-clock telemetry.  Returns ``None`` when there is
+        no basis for an estimate -- empty or fully-done grids (including
+        the degenerate zero- and single-run grids) and campaigns that
+        have only served hits so far.
         """
         if self._started is None or self.executed == 0:
             return None
         remaining = self.total - self.done
         if remaining <= 0:
             return None
-        return self.elapsed_s / self.executed * remaining
+        runs = sum(count for count, _ in self.tier_costs.values())
+        cost = sum(spent for _, spent in self.tier_costs.values())
+        if runs == 0 or cost <= 0.0:
+            return self.elapsed_s / self.executed * remaining
+        blended = cost / runs
+        elapsed = self.elapsed_s
+        concurrency = max(1.0, cost / elapsed) if elapsed > 0 else 1.0
+        return remaining * blended / concurrency
 
     def _eta_suffix(self) -> str:
         eta = self.eta_s()
@@ -145,6 +184,10 @@ class ProgressReporter:
         parts.append(f"{self.failures} failed")
         parts.append(f"{self.events} sim events")
         parts.append(f"{self.elapsed_s:.1f}s elapsed")
+        for tier in ("warped", "fluid", "exact"):
+            bucket = self.tier_costs.get(tier)
+            if bucket and bucket[1] > 0.0:
+                parts.append(f"{tier} pace {bucket[1] / bucket[0]:.3f}s/run x{bucket[0]}")
         return "campaign summary: " + ", ".join(parts)
 
     def _say(self, message: str) -> None:

@@ -175,6 +175,12 @@ class RunRecord:
     #: runs and omitted from :meth:`to_dict` so older stored records
     #: stay valid.
     trials: dict | None = None
+    #: Which fast-forward tier handled the run: an engaged mode
+    #: (``"replay"``, ``"turbo"``, ``"fluid"``) or ``"declined:<reason>"``.
+    #: None when the engine reported nothing (warp disabled, latency
+    #: kinds) and omitted from :meth:`to_dict` so older stored records
+    #: stay valid.
+    warp: str | None = None
 
     # Convenience mirrors of RunResult so suite/table code can treat a
     # record like a measurement.
@@ -229,6 +235,8 @@ class RunRecord:
             data["flowstats"] = self.flowstats
         if self.trials is not None:
             data["trials"] = self.trials
+        if self.warp is not None:
+            data["warp"] = self.warp
         return data
 
     @classmethod
@@ -668,7 +676,18 @@ def execute_run(spec: RunSpec) -> RunRecord:
         metrics=metrics,
         resilience=resilience,
         flowstats=flowstats,
+        warp=_warp_label(result),
     )
+
+
+def _warp_label(result) -> str | None:
+    """Compact record column for what the fast-forward engine did."""
+    report = getattr(result, "warp", None)
+    if report is None:
+        return None
+    if report.engaged:
+        return report.mode
+    return f"declined:{report.reason}"
 
 
 def _obs_config_for_spec(spec: RunSpec):

@@ -36,6 +36,7 @@ CSV_COLUMNS = (
     "metrics",
     "flowstats",
     "trials",
+    "warp",
 )
 
 
@@ -117,6 +118,7 @@ def _row_for(outcome: RunRecord | RunFailure, key: str) -> dict:
         "metrics": "",
         "flowstats": "",
         "trials": "",
+        "warp": "",
     }
     if isinstance(outcome, RunFailure):
         row["error"] = f"{outcome.error}: {outcome.message}"
@@ -134,6 +136,8 @@ def _row_for(outcome: RunRecord | RunFailure, key: str) -> dict:
         row["flowstats"] = json.dumps(outcome.flowstats, sort_keys=True)
     if getattr(outcome, "trials", None) is not None:
         row["trials"] = json.dumps(outcome.trials, sort_keys=True)
+    if getattr(outcome, "warp", None) is not None:
+        row["warp"] = outcome.warp
     return row
 
 

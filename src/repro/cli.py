@@ -27,6 +27,7 @@ cleanly.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis.tables import format_table
@@ -67,6 +68,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--warp", action=argparse.BooleanOptionalAction, default=None,
         help="steady-state fast-forward (default: REPRO_WARP env, on); "
         "results are bit-identical either way",
+    )
+    parser.add_argument(
+        "--fluid", action=argparse.BooleanOptionalAction, default=None,
+        help="fluid tier: rate-based extrapolation for long horizons "
+        "(default: REPRO_FLUID env, off); approximate within "
+        "--fluid-tolerance, changes campaign cache keys",
+    )
+    parser.add_argument(
+        "--fluid-tolerance", type=float, default=None, metavar="REL",
+        help="declared max relative error for --fluid (default: "
+        "REPRO_FLUID_TOLERANCE env, 0.05)",
     )
     parser.add_argument(
         "--warmup-ns", type=float, default=None, metavar="NS",
@@ -620,7 +632,10 @@ def _run_campaign_command(args) -> int:
         if path is not None:
             _note(f"wrote {path}")
     if args.metrics_out:
-        from repro.obs.exporters import snapshot_prometheus_text
+        from repro.obs.exporters import (
+            snapshot_prometheus_text,
+            warp_decline_prometheus_text,
+        )
 
         snapshots = [
             ({"run": outcome.spec.label}, outcome.metrics["metrics"])
@@ -629,6 +644,11 @@ def _run_campaign_command(args) -> int:
         ]
         with open(args.metrics_out, "w") as fh:
             snapshot_prometheus_text(snapshots, fh)
+            fh.write(
+                warp_decline_prometheus_text(
+                    result.outcomes, labels={"campaign": spec.name}
+                )
+            )
         _note(f"wrote Prometheus metrics {args.metrics_out} ({len(snapshots)} runs)")
     if args.trace_out:
         from repro.obs.exporters import write_chrome_trace
@@ -876,15 +896,13 @@ def _run_perf_command(args) -> int:
 
     from repro.bench.perf import (
         ALL_CASES,
-        FLOW_LONG_CASES,
         PERF_CASES,
-        WARP_CASES,
         format_report,
         perf_regressions,
         run_perf,
     )
 
-    cases = PERF_CASES + WARP_CASES + FLOW_LONG_CASES if args.long_horizon else PERF_CASES
+    cases = ALL_CASES if args.long_horizon else PERF_CASES
     if args.cases:
         want = {name.strip() for name in args.cases.split(",") if name.strip()}
         unknown = sorted(want - {case.name for case in ALL_CASES})
@@ -941,6 +959,18 @@ def main(argv: list[str] | None = None) -> int:
     if error is not None:
         _note(error)
         return 1
+
+    # --fluid/--fluid-tolerance flow through the environment so every
+    # execution path (single runs, campaign workers, sweeps) and the
+    # campaign cache fingerprint (engine_features) see one consistent
+    # setting without threading a kwarg through each call chain.
+    if args.fluid is not None:
+        os.environ["REPRO_FLUID"] = "1" if args.fluid else "0"
+    if args.fluid_tolerance is not None:
+        if args.fluid_tolerance <= 0:
+            _note("--fluid-tolerance must be positive")
+            return 1
+        os.environ["REPRO_FLUID_TOLERANCE"] = repr(args.fluid_tolerance)
 
     # One --repeat semantics for the statistical commands: repeating
     # without stating how replicas differ would silently pick one

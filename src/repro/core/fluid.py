@@ -1,0 +1,188 @@
+"""Fluid tier: rate-based counter extrapolation for long steady horizons.
+
+The exact tiers (:mod:`repro.core.warp`, :mod:`repro.core.turbo`) are
+bit-identical and always safe, but their cost still grows with the
+number of *busy* events -- a saturating NDR probe over an hour-scale
+horizon executes billions of switch breaths no matter how cleverly the
+idle gaps are skipped.  The fluid tier trades bit-identity for a bounded
+relative error: it runs the testbed exactly through warm-up plus a short
+**calibration slice** of the measurement window, checks that the slice
+is rate-stable (two halves agree within tolerance), then evolves every
+meter's counters piecewise-linearly to the window edge and discards the
+remaining events.  Flow-table effects (EMC/MAC/flow-table hit rates)
+need no special casing: the calibration slice executes them exactly, so
+their folded cost is already inside the measured rate.
+
+Fluid mode is **opt-in** (``REPRO_FLUID=1`` or ``--fluid``) and carries
+its own validation tier: ``tools/fluid_check.py`` A/B-compares fluid
+against exact mode on a switch grid and CI gates the relative error at
+the declared tolerance (``REPRO_FLUID_TOLERANCE``, default 5%).  When
+enabled it joins the campaign cache fingerprint (via
+:func:`repro.core.warp.engine_features`) so fluid rows can never collide
+with exact rows.  Probes and transients stay exact: latency samples come
+from the calibration slice, and runs with fault plans, churn, telemetry
+sessions or per-packet tracing decline to the exact tiers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.scenarios.base import Testbed
+
+#: Fluid algorithm revision; joins the campaign cache fingerprint
+#: whenever fluid mode is enabled.
+FLUID_VERSION = 1
+
+#: Fraction of the measurement window executed exactly for calibration,
+#: and its clamps.  The cap is what buys hour-scale speedups: a 1-hour
+#: window calibrates for 8 ms of simulated time (~450000x less event
+#: work), a short CI window still calibrates over at least 1 ms.
+CAL_FRACTION = 0.02
+CAL_FLOOR_NS = 1_000_000.0
+CAL_CAP_NS = 8_000_000.0
+
+#: Half-vs-half packet-count slack that absorbs burst quantisation at
+#: low rates (sources emit up to 32-frame bursts).
+QUANT_SLACK_PACKETS = 64
+
+
+def fluid_enabled(default: bool = False) -> bool:
+    """Whether the environment enables fluid mode (``REPRO_FLUID``)."""
+    value = os.environ.get("REPRO_FLUID", "").strip().lower()
+    if value in ("0", "false", "off", "no"):
+        return False
+    if value in ("1", "true", "on", "yes"):
+        return True
+    return default
+
+
+def fluid_tolerance(default: float = 0.05) -> float:
+    """Declared max relative error vs exact mode (``REPRO_FLUID_TOLERANCE``)."""
+    value = os.environ.get("REPRO_FLUID_TOLERANCE", "").strip()
+    if not value:
+        return default
+    try:
+        tolerance = float(value)
+    except ValueError:
+        return default
+    return tolerance if tolerance > 0 else default
+
+
+@dataclass
+class FluidReport:
+    """What the fluid tier did (or why it declined) for one driven run."""
+
+    engaged: bool
+    reason: str = ""
+    #: Simulated time covered by extrapolation instead of events.
+    fluid_ns: float = 0.0
+    #: Simulated time of the exact calibration slice.
+    calibration_ns: float = 0.0
+    tolerance: float = 0.05
+    #: Whether the attempt already advanced the clock past the window
+    #: open (a mid-window decline); the replay warp must then be skipped
+    #: because its pre-scan assumes a pre-window heap.
+    advanced: bool = False
+
+    def describe(self) -> str:
+        if self.engaged:
+            return (
+                f"engaged[fluid]: extrapolated {self.fluid_ns / 1e6:.3f} ms from a "
+                f"{self.calibration_ns / 1e6:.3f} ms calibration slice "
+                f"(tolerance {self.tolerance:.1%})"
+            )
+        return f"declined[fluid]: {self.reason}"
+
+
+class _FluidDecline(Exception):
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+def _eligibility(tb: "Testbed", watchdog_active: bool) -> None:
+    if watchdog_active:
+        # The watchdog scans live state on a period; a cleared heap would
+        # silently stop its invariant coverage mid-window.
+        raise _FluidDecline("watchdog-active")
+    if tb.sim._observer is not None or tb.switch.obs is not None:
+        raise _FluidDecline("per-packet-tracing")
+    if tb.extras.get("fault_injector") is not None:
+        # Faults are exactly the transients fluid cannot extrapolate
+        # across; resilience runs stay on the exact tiers.
+        raise _FluidDecline("fault-plan-active")
+    population = tb.extras.get("flow_population")
+    if population is not None and population.churn_fps:
+        raise _FluidDecline("flow-churn")
+    if tb.switch.flowstats is not None or tb.extras.get("flowstats") is not None:
+        # Per-flow telemetry counts events; extrapolated counters would
+        # leave it silently truncated at the calibration edge.
+        raise _FluidDecline("flow-telemetry")
+
+
+def try_fluid(
+    tb: "Testbed", t_open: float, t_close: float, watchdog_active: bool = False
+) -> FluidReport:
+    """Attempt the fluid fast-forward for the window ``[t_open, t_close]``.
+
+    On engagement the meters hold extrapolated window counts, the event
+    heap is empty, and the caller's ``run_until(t_close)`` merely clamps
+    the clock.  On a pre-window decline the simulator is untouched; on a
+    mid-window decline (``unstable-rate``) the run has simply executed
+    exactly up to the calibration edge and ``advanced`` is set.
+    """
+    tolerance = fluid_tolerance()
+    try:
+        _eligibility(tb, watchdog_active)
+    except _FluidDecline as decline:
+        return FluidReport(engaged=False, reason=decline.reason, tolerance=tolerance)
+
+    span = t_close - t_open
+    cal_ns = min(CAL_CAP_NS, max(CAL_FLOOR_NS, CAL_FRACTION * span))
+    if span < 2.0 * cal_ns:
+        return FluidReport(engaged=False, reason="span-too-short", tolerance=tolerance)
+
+    sim = tb.sim
+    meters = list(tb.meters)
+    sim.run_until(t_open)
+    base = [(meter.packets, meter.bytes) for meter in meters]
+    t_cal = t_open + cal_ns
+    sim.run_until(t_open + cal_ns / 2.0)
+    mid = [meter.packets for meter in meters]
+    sim.run_until(t_cal)
+    cal = [(meter.packets, meter.bytes) for meter in meters]
+
+    for (packets0, _), packets_mid, (packets1, _) in zip(base, mid, cal):
+        first = packets_mid - packets0
+        second = packets1 - packets_mid
+        peak = max(first, second)
+        if not peak:
+            continue
+        drift = abs(first - second)
+        if drift / peak > tolerance and drift > QUANT_SLACK_PACKETS:
+            return FluidReport(
+                engaged=False,
+                reason="unstable-rate",
+                calibration_ns=cal_ns,
+                tolerance=tolerance,
+                advanced=True,
+            )
+
+    remaining = t_close - t_cal
+    for meter, (packets0, bytes0), (packets1, bytes1) in zip(meters, base, cal):
+        add_packets = int(round((packets1 - packets0) * remaining / cal_ns))
+        add_bytes = int(round((bytes1 - bytes0) * remaining / cal_ns))
+        meter.set_counts(
+            packets1 + add_packets, bytes1 + add_bytes, meter.warmup_packets
+        )
+    sim._queue.clear()
+    return FluidReport(
+        engaged=True,
+        fluid_ns=remaining,
+        calibration_ns=cal_ns,
+        tolerance=tolerance,
+    )

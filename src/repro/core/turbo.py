@@ -1,0 +1,673 @@
+"""Chain-turbo: generalized exact fast-forward for multi-hop testbeds.
+
+The p2p monolith in :mod:`repro.core.warp` fast-forwards by *mirroring*
+the whole steady-state event cycle analytically.  That approach does not
+extend to multi-hop chains (p2v/v2v vring hops, loopback VNF chains,
+bidirectional p2p): the cycle spans guest apps, virtio notify delays and
+memory-bus state whose exact mirror would duplicate half the simulator.
+
+The turbo takes the complementary route: **every datapath event stays on
+real dispatch** -- generator ticks, wire arrivals, PCIe pushes, switch
+breaths that move packets, vring notifies, fault flips -- so multi-hop
+runs are bit-identical *by construction*.  What it accelerates is the
+one event class that dominates long sub-capacity horizons: the idle poll.
+A poll-mode core whose every task is provably idle (all watched rings
+empty, no pending TX-drain buffers, no strict-batch timeout armed)
+executes a poll iteration whose complete effect is::
+
+    sim._now = t            # the event's own time
+    events_executed += 1
+    core._idle_streak += 1
+    re-arm at (t + idle_delay, seq++)   # exact repeated float addition
+
+Nothing else in the simulation can change until the next *non-poll* heap
+event, because every ring fill and state flip arrives via the heap.  The
+turbo therefore bulk-advances idle-poll chains -- replaying exactly those
+register updates, including the repeated float addition and the global
+``(time, seq)`` ordering across several concurrent chains (loopback runs
+one chain per VNF vCPU) -- and stops strictly before the next non-poll
+event.  Fault events, timeline-sampler ticks and probe batches are plain
+heap events, so the *between-fault* segments of resilience runs warp
+automatically and faulted intervals (frozen vrings, preempted cores)
+fall back to real dispatch through the same per-span eligibility checks.
+
+Verification mirrors the monolith's shadow-replay contract: the first
+spans of a run are *predicted* and then dispatched for real, and every
+register the bulk path would have written (clock, seq, event count, idle
+streaks, core busy time, per-task idle state, re-arm heap entries) is
+compared.  A mismatch permanently disables bulk advance for the run --
+real dispatch has already produced the correct state, so a failed
+verification costs speed, never correctness.  After any unrecognized
+event (fault injections in particular) the next span is re-verified.
+"""
+
+from __future__ import annotations
+
+import types
+from heapq import heapify, heappop, heappush
+from math import inf
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.engine import SimulationError
+from repro.core.warp import (
+    WarpReport,
+    _ARRIVE_CODES,
+    _DELIVER_CODES,
+    _Decline,
+    _PUSH_CODES,
+)
+from repro.cpu.cores import Core
+from repro.switches.base import PhyAttachment, SoftwareSwitch, VifAttachment, _Worker
+from repro.traffic.generator import PacedSource
+from repro.vm.apps import GuestL2Fwd, GuestValeBridge, GuestValeXConnect
+
+if TYPE_CHECKING:
+    from repro.scenarios.base import Testbed
+
+#: Turbo algorithm revision (documentation / report surface only: results
+#: are bit-identical to event-by-event execution, so it deliberately does
+#: not participate in campaign cache fingerprints).
+TURBO_VERSION = 1
+
+#: Spans verified by full real dispatch before bulk advance is trusted.
+VERIFY_SPANS = 2
+
+#: Minimum idle polls a span must promise before the bulk path engages;
+#: shorter gaps dispatch for real (the span setup would cost more than
+#: the handful of events it skips).
+MIN_SPAN_POLLS = 8
+
+_ITERATE = Core._iterate
+_MethodType = types.MethodType
+
+#: Scenario families whose wiring has been vetted for the turbo.  The
+#: per-span checks are what guarantee correctness; this gate exists so
+#: unknown scenario shapes decline with the same stable reason string the
+#: monolith uses.
+_SCENARIOS = ("p2p", "p2v", "v2v", "v2v-latency")
+_SCENARIO_PREFIXES = ("loopback-",)
+
+
+def _lambda_codes(func: Callable) -> tuple:
+    return tuple(
+        const
+        for const in func.__code__.co_consts
+        if isinstance(const, types.CodeType) and const.co_name == "<lambda>"
+    )
+
+
+def _benign_codes() -> set:
+    """Code objects of event callbacks that cannot change poll semantics.
+
+    Any dispatched event whose callback is *not* recognized here (fault
+    start/stop closures, watchdog scans, anything new) forces the next
+    bulk span through a fresh verification pass.
+    """
+    from repro.nic.port import NicPort
+
+    codes = {PacedSource._tick.__code__}
+    for owner in (
+        NicPort.send_batch,
+        NicPort._receive,
+        PhyAttachment.deliver,
+        VifAttachment.deliver,
+        SoftwareSwitch._serve_pipeline_rx,
+        GuestL2Fwd.poll,
+        GuestValeXConnect.poll,
+        GuestValeBridge.poll,
+    ):
+        codes.update(_lambda_codes(owner))
+    codes.update(_ARRIVE_CODES)
+    codes.update(_PUSH_CODES)
+    codes.update(_DELIVER_CODES)
+    return codes
+
+
+_BENIGN = _benign_codes()
+_benign_extras_added = False
+
+
+def _add_lazy_benign() -> None:
+    """Register benign callbacks from modules that import the runner.
+
+    The resilience timeline sampler only *reads* cumulative counters on a
+    bin grid, so its ticks must not trigger re-verification (they fire in
+    every bin of every resilience run).  Imported lazily to avoid a cycle
+    (measure.resilience -> measure.runner -> core.turbo).
+    """
+    global _benign_extras_added
+    if _benign_extras_added:
+        return
+    _benign_extras_added = True
+    try:
+        from repro.measure.resilience import _TimelineSampler
+
+        _BENIGN.add(_TimelineSampler._tick.__code__)
+    except Exception:  # pragma: no cover - sampler is optional surface
+        pass
+
+
+# -- per-core idle predicates -------------------------------------------------
+#
+# A check returns the absolute sim time before which the task's polls are
+# pure no-ops: ``-inf`` means the very next poll does work, ``inf`` means
+# idle until an external event intervenes, and a finite value is a known
+# self-imposed deadline (l2fwd's TX drain timer: polls are no-ops while
+# frames sit buffered below the burst threshold, until the drain interval
+# elapses and a poll flushes).  Deadlines are stable within a span --
+# they only move when a poll does work, which ends the span.
+
+
+def _switch_check(switch: SoftwareSwitch, paths) -> Callable[[], float] | None:
+    params = switch.params
+    if params.pipeline or switch._stalls is not None:
+        return None  # stalls/pipeline links carry time-based obligations
+    if params.interrupt_driven or switch.obs is not None:
+        return None
+
+    def check(paths=tuple(paths)) -> float:
+        for path in paths:
+            if (
+                path.input.input_ring._frames
+                or path.wait_started_ns is not None
+                or path.tx_buffer
+            ):
+                return -inf
+        return inf
+
+    return check
+
+
+def _l2fwd_check(task: GuestL2Fwd) -> Callable[[], float]:
+    ring = task.rx_vif.to_guest
+
+    def check(task=task, ring=ring) -> float:
+        if ring._frames:
+            return -inf
+        if not task._tx_buffer:
+            return inf
+        if task._tx_frames >= task.burst:
+            return -inf
+        # Buffered below the burst threshold: polls no-op until the
+        # drain timer fires (poll at t flushes iff t >= last + drain).
+        return task._last_flush_ns + task.drain_ns
+
+    return check
+
+
+def _rings_check(rings) -> Callable[[], float]:
+    def check(rings=tuple(rings)) -> float:
+        for ring in rings:
+            if ring._frames:
+                return -inf
+        return inf
+
+    return check
+
+
+def _task_check(task) -> Callable[[], float] | None:
+    """Build the no-op-deadline predicate for one task, or None."""
+    kind = type(task)
+    if isinstance(task, SoftwareSwitch):
+        return _switch_check(task, task.paths)
+    if kind is _Worker:
+        return _switch_check(task.switch, task.paths)
+    if kind is GuestL2Fwd:
+        return _l2fwd_check(task)
+    if kind is GuestValeXConnect:
+        return _rings_check((task.vif_a.to_guest, task.vif_b.to_guest))
+    if kind is GuestValeBridge:
+        return _rings_check((task.gen_to_bridge, task.vif.to_guest))
+    rings = getattr(task, "park_rings", None)
+    if rings is not None:
+        # Pure-reactive drainers (guest monitors, FloWatcher): idle iff
+        # every watched ring is empty.  (A monitor-only core parks itself
+        # and never reaches the bulk path; this covers mixed cores.)
+        return _rings_check(rings)
+    return None
+
+
+class _Profile:
+    """Bulk-advance profile of one core: its task deadline predicates."""
+
+    __slots__ = ("core", "checks")
+
+    def __init__(self, core: Core, checks) -> None:
+        self.core = core
+        self.checks = checks
+
+    def deadline(self) -> float:
+        """Polls strictly before this time are no-ops; -inf means busy."""
+        core = self.core
+        if core._sleeping or not core._started:
+            return -inf
+        deadline = inf
+        for check in self.checks:
+            value = check()
+            if value < deadline:
+                deadline = value
+                if deadline == -inf:
+                    break
+        return deadline
+
+
+def _core_profile(core: Core) -> _Profile | None:
+    if (
+        core.interrupt_driven
+        or core._park_rings is not None
+        or core.obs is not None
+        or not core.tasks
+    ):
+        return None
+    checks = []
+    for task in core.tasks:
+        check = _task_check(task)
+        if check is None:
+            return None
+        checks.append(check)
+    return _Profile(core, checks)
+
+
+def _chain_delay(core: Core) -> float:
+    """The idle re-arm delay, via the same memo ``Core._iterate`` keeps."""
+    idle_cycles, delay = core._idle_cache
+    if idle_cycles != core.idle_loop_cycles:
+        idle_cycles = core.idle_loop_cycles
+        delay = core.cycles_to_ns(idle_cycles)
+        core._idle_cache = (idle_cycles, delay)
+    return delay
+
+
+# -- eligibility --------------------------------------------------------------
+
+
+def _eligibility(tb: "Testbed", watchdog_active: bool) -> None:
+    if watchdog_active:
+        raise _Decline("watchdog-active")
+    if tb.sim._observer is not None:
+        raise _Decline("per-packet-tracing")
+    scenario = tb.scenario
+    if scenario not in _SCENARIOS and not scenario.startswith(_SCENARIO_PREFIXES):
+        raise _Decline(f"scenario:{scenario}")
+    population = tb.extras.get("flow_population")
+    if population is not None:
+        # Same contract as the replay tier: flow-diverse load keeps the
+        # stateful caches (EMC, MAC table, flow table) churning, so the
+        # cores rarely idle long enough for bulk spans to pay off — and
+        # callers rely on the stable PR 6 decline reasons.
+        raise _Decline("flow-churn" if population.churn_fps else "multi-flow-traffic")
+    if tb.extras.get("flowstats") is not None:
+        raise _Decline("flow-telemetry")
+    sw = tb.switch
+    if sw.params.pipeline or sw._stalls is not None:
+        raise _Decline("pipeline-switch")
+    if sw.params.interrupt_driven:
+        raise _Decline("interrupt-driven")
+    if sw.obs is not None:
+        raise _Decline("per-packet-tracing")
+
+
+# -- the drive loop -----------------------------------------------------------
+
+
+class _LoopState:
+    __slots__ = (
+        "verified", "reverify", "dead", "dead_reason",
+        "bulk_events", "bulk_ns", "verify_ns", "spans",
+    )
+
+    def __init__(self) -> None:
+        self.verified = 0
+        self.reverify = False
+        self.dead = False
+        self.dead_reason = ""
+        self.bulk_events = 0
+        self.bulk_ns = 0.0
+        self.verify_ns = 0.0
+        self.spans = 0
+
+
+def _advance(chains, bound_t, bound_s, t_end, seq):
+    """Merged k-way idle-chain advance (pure computation on ``chains``).
+
+    ``chains`` rows are ``[t, seq, cb, core, delay, fired, deadline]``;
+    rows mutate in place.  Returns ``(total_fired, last_time, next_seq)``.
+    Ordering matches the heap exactly: the earliest ``(time, seq)`` chain
+    head fires, takes the next global seq for its re-arm, and steps by
+    its own delay; everything stops strictly before the first non-chain
+    event and before the first poll that reaches its chain's no-op
+    deadline (that poll does real work, so it bounds every chain).
+    """
+    if len(chains) == 1:
+        # Single chain (p2p/p2v/v2v spans): a pure float-accumulation
+        # loop.  After the first fire the chain's re-arm seqs exceed
+        # every pending heap seq, so a time tie with the bound always
+        # resolves to the bound and the seq test collapses away.
+        chain = chains[0]
+        t = chain[0]
+        if (
+            t > t_end
+            or t > bound_t
+            or (t == bound_t and chain[1] > bound_s)
+            or t >= chain[6]
+        ):
+            return 0, None, seq
+        delay = chain[4]
+        stop = bound_t if bound_t < chain[6] else chain[6]
+        total = 0
+        last_t = t
+        while True:
+            total += 1
+            last_t = t
+            t += delay
+            if t >= stop or t > t_end:
+                break
+        chain[0] = t
+        chain[1] = seq + total - 1
+        chain[5] += total
+        return total, last_t, seq + total
+    total = 0
+    last_t = None
+    while True:
+        best = None
+        bt = bs = None
+        for chain in chains:
+            ct = chain[0]
+            if best is None or ct < bt or (ct == bt and chain[1] < bs):
+                best = chain
+                bt = ct
+                bs = chain[1]
+        if bt > t_end or bt > bound_t or (bt == bound_t and bs > bound_s):
+            break
+        if bt >= best[6]:
+            break
+        total += 1
+        best[5] += 1
+        last_t = bt
+        best[1] = seq
+        seq += 1
+        best[0] = bt + best[4]
+    return total, last_t, seq
+
+
+def _scan_horizon(queue, profiles) -> float:
+    """Earliest pending event that is not an eligible idle chain poll."""
+    horizon = inf
+    for entry in queue:
+        ecb = entry[2]
+        if ecb.__class__ is _MethodType and ecb.__func__ is _ITERATE:
+            ecore = ecb.__self__
+            key = id(ecore)
+            eprofile = profiles.get(key, False)
+            if eprofile is False:
+                eprofile = _core_profile(ecore)
+                profiles[key] = eprofile
+            if eprofile is not None and eprofile.deadline() > entry[0]:
+                continue
+        if entry[0] < horizon:
+            horizon = entry[0]
+    return horizon
+
+
+def turbo_drive(tb: "Testbed", t_end: float, watchdog_active: bool = False) -> WarpReport:
+    """Run ``tb`` to ``t_end`` with bulk idle-poll advance; exact always.
+
+    Replaces the caller's dispatch loop (the caller's ``run_until(t_end)``
+    afterwards only clamps the clock).  Returns a :class:`WarpReport` with
+    ``mode="turbo"``; on decline the simulator has not been touched.
+    """
+    try:
+        _eligibility(tb, watchdog_active)
+    except _Decline as decline:
+        return WarpReport(engaged=False, reason=decline.reason, mode="turbo")
+    _add_lazy_benign()
+
+    sim = tb.sim
+    if sim._running:
+        raise SimulationError("dispatch is not reentrant")
+    st = _LoopState()
+    # Profile every core upfront (the core set and the profile inputs are
+    # fixed for the duration of a drive -- the per-drive cache below
+    # already relies on that).  Knowing there is exactly one eligible
+    # chain core lets the solo fast path skip its per-span queue scan.
+    profiles: dict[int, _Profile | None] = {}
+    n_eligible = 0
+    for node in tb.machine.nodes:
+        for candidate in node.cores:
+            candidate_profile = _core_profile(candidate)
+            profiles[id(candidate)] = candidate_profile
+            if candidate_profile is not None:
+                n_eligible += 1
+    solo_core = n_eligible == 1
+    # Cached time of the earliest pending event that is *not* an idle
+    # chain poll.  Only dispatched callbacks can schedule new events, so
+    # the cache stays valid until a non-chain callback (or a busy poll)
+    # runs; it lets the hot loop skip span setup for the short idle gaps
+    # that pepper saturated stretches.
+    horizon_t = None
+    sim._running = True
+    try:
+        queue = sim._queue
+        while queue and queue[0][0] <= t_end:
+            t, s, cb = heappop(queue)
+            if cb.__class__ is _MethodType and cb.__func__ is _ITERATE:
+                core = cb.__self__
+                key = id(core)
+                profile = profiles.get(key, False)
+                if profile is False:
+                    profile = _core_profile(core)
+                    profiles[key] = profile
+                if profile is not None and not st.dead:
+                    delay = core._idle_cache[1] or _chain_delay(core)
+                    if horizon_t is None:
+                        horizon_t = _scan_horizon(queue, profiles)
+                    deadline = profile.deadline()
+                    limit = horizon_t if horizon_t < deadline else deadline
+                    if limit - t >= delay * MIN_SPAN_POLLS:
+                        if st.verified >= VERIFY_SPANS and not st.reverify:
+                            # Solo-chain fast path: when no *other*
+                            # eligible idle chain is pending (the common
+                            # p2p/p2v shape -- one run-to-completion
+                            # core), the k-way merge in _bulk_span
+                            # degenerates to a single float-accumulation
+                            # loop, so run it inline: no chain rows, no
+                            # queue rebuild, no heapify.  The float ops,
+                            # stop rule and seq assignment are exactly
+                            # _advance's single-chain case.
+                            solo = solo_core
+                            if not solo:
+                                solo = True
+                                for entry in queue:
+                                    ecb = entry[2]
+                                    if (
+                                        ecb.__class__ is _MethodType
+                                        and ecb.__func__ is _ITERATE
+                                    ):
+                                        eid = id(ecb.__self__)
+                                        eprofile = profiles.get(eid, False)
+                                        if eprofile is False:
+                                            eprofile = _core_profile(ecb.__self__)
+                                            profiles[eid] = eprofile
+                                        if eprofile is not None:
+                                            solo = False
+                                            break
+                            if solo:
+                                delay = _chain_delay(core)
+                                bound_t = queue[0][0] if queue else inf
+                                stop = bound_t if bound_t < deadline else deadline
+                                total = 0
+                                last_t = tt = t
+                                while True:
+                                    total += 1
+                                    last_t = tt
+                                    tt += delay
+                                    if tt >= stop or tt > t_end:
+                                        break
+                                seq = sim._seq
+                                sim._seq = seq + total
+                                sim.events_executed += total
+                                sim._now = last_t
+                                core._idle_streak += total
+                                heappush(queue, (tt, seq + total - 1, cb))
+                                st.spans += 1
+                                st.bulk_events += total
+                                st.bulk_ns += last_t - t
+                                continue
+                        _bulk_span(sim, queue, t, s, cb, core, deadline,
+                                   _chain_delay(core), profiles, t_end, st)
+                        if st.verified <= VERIFY_SPANS:
+                            horizon_t = None
+                        continue
+                    # Short gap: dispatch for real.  An idle poll only
+                    # re-arms itself, so the horizon survives unless the
+                    # poll turns out busy (it then schedules deliveries).
+                    busy0 = core.busy_ns
+                    sim._now = t
+                    cb()
+                    sim.events_executed += 1
+                    if core.busy_ns != busy0:
+                        horizon_t = None
+                    continue
+                sim._now = t
+                cb()
+                sim.events_executed += 1
+                horizon_t = None
+                continue
+            if not st.dead and getattr(cb, "__code__", None) not in _BENIGN:
+                st.reverify = True
+            sim._now = t
+            cb()
+            sim.events_executed += 1
+            horizon_t = None
+    finally:
+        sim._running = False
+
+    if st.dead:
+        return WarpReport(
+            engaged=False, reason=st.dead_reason, mode="turbo",
+            verify_ns=st.verify_ns,
+        )
+    return WarpReport(
+        engaged=True,
+        mode="turbo",
+        warped_ns=st.bulk_ns,
+        events_replayed=st.bulk_events,
+        verify_ns=st.verify_ns,
+    )
+
+
+def _bulk_span(sim, queue, t0, s0, cb0, core0, deadline0, delay0, profiles, t_end, st):
+    """Advance every currently-idle chain from ``t0`` to the next event."""
+    chains = [[t0, s0, cb0, core0, delay0, 0, deadline0]]
+    if queue:
+        kept = []
+        moved = False
+        for entry in queue:
+            ecb = entry[2]
+            if ecb.__class__ is _MethodType and ecb.__func__ is _ITERATE:
+                ecore = ecb.__self__
+                key = id(ecore)
+                eprofile = profiles.get(key, False)
+                if eprofile is False:
+                    eprofile = _core_profile(ecore)
+                    profiles[key] = eprofile
+                if eprofile is not None:
+                    edeadline = eprofile.deadline()
+                    if edeadline > entry[0]:
+                        chains.append(
+                            [entry[0], entry[1], ecb, ecore,
+                             _chain_delay(ecore), 0, edeadline]
+                        )
+                        moved = True
+                        continue
+            kept.append(entry)
+        if moved:
+            queue[:] = kept
+            heapify(queue)
+    if queue:
+        bound_t, bound_s = queue[0][0], queue[0][1]
+    else:
+        bound_t, bound_s = inf, 0
+
+    st.spans += 1
+    if st.verified >= VERIFY_SPANS and not st.reverify:
+        total, last_t, seq = _advance(chains, bound_t, bound_s, t_end, sim._seq)
+        sim._seq = seq
+        sim.events_executed += total
+        sim._now = last_t
+        for t, s, cb, core, _delay, fired, _deadline in chains:
+            if fired:
+                core._idle_streak += fired
+            heappush(queue, (t, s, cb))
+        st.bulk_events += total
+        st.bulk_ns += last_t - t0
+        return
+
+    # Verification span: predict, then dispatch for real and compare.
+    predicted = [list(chain) for chain in chains]
+    p_total, p_last_t, p_seq = _advance(predicted, bound_t, bound_s, t_end, sim._seq)
+    before = [
+        (chain[3].busy_ns, chain[3]._idle_streak) for chain in chains
+    ]
+    # Each re-arm builds a fresh bound method, so identify chain entries
+    # by the core they are bound to, never by callback object identity.
+    core_index = {}
+    for index, chain in enumerate(chains):
+        core_index[id(chain[3])] = index
+        heappush(queue, (chain[0], chain[1], chain[2]))
+
+    fired = 0
+    while queue and queue[0][0] <= t_end and fired <= p_total:
+        ft, fs, fcb = queue[0]
+        if not (
+            fcb.__class__ is _MethodType
+            and fcb.__func__ is _ITERATE
+            and id(fcb.__self__) in core_index
+        ):
+            break
+        if ft > bound_t or (ft == bound_t and fs > bound_s):
+            break
+        if ft >= chains[core_index[id(fcb.__self__)]][6]:
+            break  # this poll reaches its no-op deadline: real work ahead
+        heappop(queue)
+        sim._now = ft
+        fcb()
+        sim.events_executed += 1
+        fired += 1
+
+    ok = (
+        fired == p_total
+        and sim._seq == p_seq
+        and sim._now == p_last_t
+    )
+    if ok:
+        rearms = {}
+        for entry in queue:
+            ecb = entry[2]
+            if not (ecb.__class__ is _MethodType and ecb.__func__ is _ITERATE):
+                continue
+            index = core_index.get(id(ecb.__self__))
+            if index is not None:
+                rearms[index] = (entry[0], entry[1], rearms.get(index, (None, None, 0))[2] + 1)
+        for index, chain in enumerate(chains):
+            busy0, streak0 = before[index]
+            pred = predicted[index]
+            core = chain[3]
+            rearm = rearms.get(index)
+            if (
+                core.busy_ns != busy0
+                or core._idle_streak != streak0 + pred[5]
+                or rearm is None
+                or rearm[2] != 1
+                or rearm[0] != pred[0]
+                or rearm[1] != pred[1]
+            ):
+                ok = False
+                break
+    if ok:
+        st.verified += 1
+        st.reverify = False
+        st.verify_ns += (p_last_t - t0) if p_last_t is not None else 0.0
+    else:
+        st.dead = True
+        st.dead_reason = "verify-mismatch"

@@ -84,27 +84,47 @@ def warp_enabled(default: bool = True) -> bool:
 
 
 def engine_features() -> dict[str, Any]:
-    """Engine feature flags that must invalidate cached campaign rows."""
-    return {"warp": warp_enabled(), "warp_version": WARP_VERSION}
+    """Engine feature flags that must invalidate cached campaign rows.
+
+    The exact tiers (replay warp, chain turbo) are bit-identical to
+    event-by-event execution, so they share one fingerprint.  Fluid mode
+    approximates, so its participation -- and its tolerance -- become
+    extra fingerprint keys, but only when enabled: rows cached before
+    fluid mode existed stay valid for exact runs.
+    """
+    features: dict[str, Any] = {"warp": warp_enabled(), "warp_version": WARP_VERSION}
+    from repro.core.fluid import FLUID_VERSION, fluid_enabled, fluid_tolerance
+
+    if fluid_enabled():
+        features["fluid"] = True
+        features["fluid_version"] = FLUID_VERSION
+        features["fluid_tolerance"] = fluid_tolerance()
+    return features
 
 
 @dataclass
 class WarpReport:
-    """What the warp did (or why it declined) for one driven run."""
+    """What the fast-forward engine did (or why it declined) for one run.
+
+    ``mode`` names the tier that produced the report: ``"replay"`` for
+    the p2p steady-state mirror, ``"turbo"`` for the multi-hop chain
+    turbo, ``"fluid"`` for the rate-based approximation tier.
+    """
 
     engaged: bool
     reason: str = ""
     warped_ns: float = 0.0
     events_replayed: int = 0
     verify_ns: float = 0.0
+    mode: str = "replay"
 
     def describe(self) -> str:
         if self.engaged:
             return (
-                f"engaged: replayed {self.events_replayed} events over "
+                f"engaged[{self.mode}]: replayed {self.events_replayed} events over "
                 f"{self.warped_ns / 1e6:.3f} ms (verified {self.verify_ns / 1e3:.0f} us)"
             )
-        return f"declined: {self.reason}"
+        return f"declined[{self.mode}]: {self.reason}"
 
 
 class _Decline(Exception):
@@ -1187,6 +1207,28 @@ def state_fingerprint(tb: "Testbed") -> tuple:
             tuple(repr(s) for s in meter.latency.samples_ns),
         )
 
+    def vif_view(vif) -> tuple:
+        return (vif.name, ring_view(vif.to_guest), ring_view(vif.to_host))
+
+    def app_view(task) -> tuple:
+        # Guest apps share a small mutable surface: forwarded counters,
+        # buffered tx frames and the drain-timer origin.  Unknown task
+        # types degrade to their counter-ish public attributes.
+        view = [type(task).__name__]
+        for attr in ("forwarded", "_tx_frames"):
+            if hasattr(task, attr):
+                view.append((attr, getattr(task, attr)))
+        if hasattr(task, "_last_flush_ns"):
+            view.append(("_last_flush_ns", repr(task._last_flush_ns)))
+        buf = getattr(task, "_tx_buffer", None)
+        if buf is not None:
+            view.append(("_tx_buffer", tuple(canon(b, 1) for b in buf)))
+        for attr in ("gen_to_bridge", "bridge_to_monitor"):
+            ring = getattr(task, attr, None)
+            if ring is not None:
+                view.append((attr, ring_view(ring)))
+        return tuple(view)
+
     sw = tb.switch
     sim = tb.sim
     ports = []
@@ -1195,6 +1237,18 @@ def state_fingerprint(tb: "Testbed") -> tuple:
             ports.append(port_view(attachment.port))
             if attachment.port.peer is not None:
                 ports.append(port_view(attachment.port.peer))
+    vif_views = []
+    core_views = []
+    app_views = []
+    for vm in tb.vms:
+        for vif in vm.interfaces:
+            vif_views.append(vif_view(vif))
+        for core in vm.cores:
+            core_views.append(
+                (core.name, repr(core.busy_ns), core._idle_streak)
+            )
+            for task in core.tasks:
+                app_views.append(app_view(task))
     path_views = tuple(
         (
             path.forwarded, repr(path.wait_started_ns),
@@ -1220,9 +1274,18 @@ def state_fingerprint(tb: "Testbed") -> tuple:
         path_views,
         sw_view,
         (repr(tb.sut_core.busy_ns), tb.sut_core._idle_streak),
+        tuple(vif_views),
+        tuple(core_views),
+        tuple(app_views),
         tuple(meter_view(m) for m in tb.meters),
         tuple(sorted(
             (src.name, src.packets_sent, src.probes_sent)
-            for src in tb.extras.get("tx", [])
+            for src in _tx_sources(tb)
         )),
     )
+
+
+def _tx_sources(tb: "Testbed") -> list:
+    """Every traffic source wired into a testbed (p2v stores a scalar)."""
+    tx = tb.extras.get("tx", [])
+    return [tx] if not isinstance(tx, (list, tuple)) else list(tx)

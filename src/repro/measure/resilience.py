@@ -280,6 +280,7 @@ def measure_resilience(
     measure_ns: float = DEFAULT_MEASURE_NS,
     seed: int = 1,
     observe_config=None,
+    warp: bool | None = None,
     **build_kwargs,
 ) -> tuple[RunResult, ResilienceReport, Any]:
     """Throughput run + fault plan + recovery analysis in one drive.
@@ -287,6 +288,12 @@ def measure_resilience(
     Returns ``(run_result, resilience_report, observation)``;
     ``observation`` is None unless ``observe_config`` asks for an obs
     session (fault spans are then exported onto its tracer).
+
+    ``warp`` pins the exact fast-forward tiers (``None`` follows
+    ``REPRO_WARP``).  The chain turbo warps the idle stretches *between*
+    fault events bit-identically -- injector callbacks force a
+    re-verification, so fault transients and the recovery timeline stay
+    event-exact.
     """
     if not plan:
         raise ValueError("measure_resilience needs a non-empty FaultPlan")
@@ -309,7 +316,11 @@ def measure_resilience(
     sampler = _TimelineSampler(tb, bin_ns, warmup_ns + measure_ns)
     sampler.start()
     result = drive(
-        tb, warmup_ns=warmup_ns, measure_ns=measure_ns, bidirectional=bidirectional
+        tb,
+        warmup_ns=warmup_ns,
+        measure_ns=measure_ns,
+        bidirectional=bidirectional,
+        warp=warp,
     )
     report = analyze(tb, plan, sampler, injector, warmup_ns, epsilon)
     if observation is not None:

@@ -15,7 +15,9 @@ import math
 import os
 from dataclasses import dataclass, field
 
+from repro.core.fluid import FluidReport, fluid_enabled, try_fluid
 from repro.core.stats import LatencySample
+from repro.core.turbo import turbo_drive
 from repro.core.warp import WarpReport, try_warp, warp_enabled
 from repro.scenarios.base import Testbed
 
@@ -53,6 +55,8 @@ class RunResult:
     events: int = 0
     #: What the steady-state fast-forward did (None when warp disabled).
     warp: WarpReport | None = None
+    #: What the fluid tier did (None when fluid mode is off).
+    fluid: FluidReport | None = None
 
     @property
     def gbps(self) -> float:
@@ -70,13 +74,20 @@ def drive(
     measure_ns: float = DEFAULT_MEASURE_NS,
     bidirectional: bool | None = None,
     warp: bool | None = None,
+    fluid: bool | None = None,
 ) -> RunResult:
     """Run a wired testbed through warm-up + measurement; collect results.
 
-    ``warp`` controls the steady-state fast-forward (:mod:`repro.core.warp`):
+    ``warp`` controls the exact fast-forward tiers (:mod:`repro.core.warp`
+    steady-state replay, then the :mod:`repro.core.turbo` chain turbo):
     ``None`` follows the ``REPRO_WARP`` environment switch (default on).
-    Results are bit-identical either way -- the warp declines automatically
-    whenever the run is not provably replay-safe.
+    Results are bit-identical either way -- both tiers decline
+    automatically whenever the run is not provably safe.
+
+    ``fluid`` opts into the approximate tier (:mod:`repro.core.fluid`):
+    ``None`` follows ``REPRO_FLUID`` (default off).  When fluid engages
+    it supersedes the exact tiers for that run; when it declines the run
+    falls through to them.
     """
     if warmup_ns < 0:
         raise ValueError("warmup_ns must be non-negative")
@@ -89,8 +100,24 @@ def drive(
         meter.close_window(t_close)
     watchdog = _env_watchdog(tb)
     warp_report: WarpReport | None = None
-    if warp if warp is not None else warp_enabled():
-        warp_report = try_warp(tb, t_open, t_close, watchdog is not None)
+    fluid_report: FluidReport | None = None
+    if fluid if fluid is not None else fluid_enabled():
+        fluid_report = try_fluid(tb, t_open, t_close, watchdog is not None)
+    if fluid_report is not None and fluid_report.engaged:
+        warp_report = WarpReport(
+            engaged=True,
+            mode="fluid",
+            warped_ns=fluid_report.fluid_ns,
+            verify_ns=fluid_report.calibration_ns,
+        )
+    elif warp if warp is not None else warp_enabled():
+        if fluid_report is None or not fluid_report.advanced:
+            warp_report = try_warp(tb, t_open, t_close, watchdog is not None)
+        if warp_report is None or not warp_report.engaged:
+            # The replay warp handles clean unidirectional p2p; everything
+            # else falls through to the chain turbo, which dispatches the
+            # run itself (bit-identically) while bulk-advancing idle spans.
+            warp_report = turbo_drive(tb, t_close, watchdog is not None)
     tb.sim.run_until(t_close)
     if watchdog is not None:
         watchdog.finalize()
@@ -127,4 +154,5 @@ def drive(
         latency=latency,
         events=tb.sim.events_executed,
         warp=warp_report,
+        fluid=fluid_report,
     )

@@ -276,7 +276,9 @@ def summarize_trials(
     if not data:
         raise ValueError("summarize_trials of an empty sample")
     n = len(data)
-    mean = sum(data) / n
+    # The true mean lies in [min, max]; float summation can round just
+    # outside (e.g. sum([1.9]*3)/3 < 1.9), so clamp it back in.
+    mean = min(max(sum(data) / n, min(data)), max(data))
     var = sum((v - mean) ** 2 for v in data) / (n - 1) if n > 1 else 0.0
     std = math.sqrt(var)
     cv = std / abs(mean) if mean else (0.0 if std == 0.0 else math.inf)

@@ -287,6 +287,52 @@ def write_trial_prometheus(
     return path
 
 
+def warp_decline_prometheus_text(
+    outcomes: Iterable[tuple[str, object]],
+    labels: dict[str, str] | None = None,
+) -> str:
+    """Render campaign fast-forward outcomes as Prometheus counters.
+
+    Consumes ``(key, outcome)`` pairs (the campaign result list) and
+    aggregates each record's ``warp`` column: engaged runs count into
+    ``repro_warp_engaged_total{mode="..."}``, declines into
+    ``repro_warp_declined_total{reason="..."}``.  Records without the
+    column (warp disabled, failures, pre-column stored rows) are skipped.
+    """
+    base_items = sorted((labels or {}).items())
+    engaged: dict[str, int] = {}
+    declined: dict[str, int] = {}
+    for _, outcome in outcomes:
+        label = getattr(outcome, "warp", None)
+        if not label:
+            continue
+        if label.startswith("declined:"):
+            reason = label.split(":", 1)[1]
+            declined[reason] = declined.get(reason, 0) + 1
+        else:
+            engaged[label] = engaged.get(label, 0) + 1
+
+    def fmt(extra: tuple[tuple[str, str], ...]) -> str:
+        items = base_items + list(extra)
+        if not items:
+            return ""
+        return "{" + ",".join(f'{k}="{v}"' for k, v in items) + "}"
+
+    lines = [f"# TYPE {prometheus_name('warp.engaged.total')} counter"]
+    for mode in sorted(engaged):
+        lines.append(
+            f"{prometheus_name('warp.engaged.total')}"
+            f"{fmt((('mode', mode),))} {engaged[mode]}"
+        )
+    lines.append(f"# TYPE {prometheus_name('warp.declined.total')} counter")
+    for reason in sorted(declined):
+        lines.append(
+            f"{prometheus_name('warp.declined.total')}"
+            f"{fmt((('reason', _flow_label(reason)),))} {declined[reason]}"
+        )
+    return "\n".join(lines) + "\n"
+
+
 def snapshot_prometheus_text(
     snapshots: Iterable[tuple[dict[str, str], dict]],
     fh: IO[str],

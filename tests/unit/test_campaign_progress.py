@@ -2,16 +2,20 @@
 
 from __future__ import annotations
 
-from repro.campaign.progress import ProgressReporter
+from repro.campaign.progress import ProgressReporter, run_tier
 from repro.campaign.spec import RunFailure, RunRecord, RunSpec
 
 
-def _record(status: str = "ok") -> RunRecord:
+def _record(
+    status: str = "ok", warp: str | None = None, wall_clock_s: float = 0.0
+) -> RunRecord:
     return RunRecord(
         spec=RunSpec("p2p", "vpp"),
         status=status,
         per_direction_gbps=[9.5] if status == "ok" else [],
         events=100 if status == "ok" else 0,
+        warp=warp,
+        wall_clock_s=wall_clock_s,
     )
 
 
@@ -149,6 +153,67 @@ def test_retire_ignores_nonpositive_counts():
     reporter.retire(0)
     reporter.retire(-3)
     assert reporter.total == 5
+
+
+def test_run_tier_classification():
+    assert run_tier(_record(warp="replay")) == "warped"
+    assert run_tier(_record(warp="turbo")) == "warped"
+    assert run_tier(_record(warp="fluid")) == "fluid"
+    assert run_tier(_record(warp="declined:probes-active")) == "exact"
+    assert run_tier(_record(warp=None)) == "exact"
+    assert run_tier(RunFailure(spec=RunSpec("p2p", "vale"), error="E", message="m")) == "exact"
+
+
+def test_eta_blends_tier_costs():
+    """A fast warped prefix must not forecast warp pace for exact runs:
+    the blend reflects the observed executed mix, from per-run recorded
+    wall-clocks rather than reporter elapsed time."""
+    clock = FakeClock()
+    reporter = ProgressReporter(total=4, clock=clock)
+    reporter.start()
+    clock.now = 11.0
+    reporter.update(_record(warp="turbo", wall_clock_s=1.0))
+    reporter.update(_record(warp="declined:scenario:v2v", wall_clock_s=10.0))
+    # Blended pace (1 + 10) / 2 = 5.5s/run at concurrency 1, 2 remaining.
+    assert reporter.eta_s() == 11.0
+    assert reporter.tier_costs["warped"] == [1, 1.0]
+    assert reporter.tier_costs["exact"] == [1, 10.0]
+
+
+def test_eta_tier_costs_stay_cache_hit_blind():
+    clock = FakeClock()
+    reporter = ProgressReporter(total=10, clock=clock)
+    reporter.start()
+    for _ in range(5):
+        reporter.update(_record(warp="fluid", wall_clock_s=123.0), source="cache")
+    assert reporter.eta_s() is None
+    assert reporter.tier_costs == {}
+    clock.now = 2.0
+    reporter.update(_record(warp="fluid", wall_clock_s=2.0), source="executed")
+    # 2s/run, 4 remaining, concurrency 1.
+    assert reporter.eta_s() == 8.0
+
+
+def test_eta_discounts_parallel_workers():
+    """Two workers each burning 10s inside a 10s elapsed window means
+    the remainder drains at ~2 runs per 10s, not 1."""
+    clock = FakeClock()
+    reporter = ProgressReporter(total=6, clock=clock)
+    reporter.start()
+    clock.now = 10.0
+    reporter.update(_record(warp="declined:pipeline-switch", wall_clock_s=10.0))
+    reporter.update(_record(warp="declined:pipeline-switch", wall_clock_s=10.0))
+    # Blended 10s/run over concurrency 2 -> 5s/run, 4 remaining.
+    assert reporter.eta_s() == 20.0
+
+
+def test_summary_reports_tier_pace():
+    reporter = ProgressReporter(total=2)
+    reporter.update(_record(warp="turbo", wall_clock_s=0.5))
+    reporter.update(_record(warp="declined:interrupt-driven", wall_clock_s=4.0))
+    summary = reporter.summary()
+    assert "warped pace 0.500s/run x1" in summary
+    assert "exact pace 4.000s/run x1" in summary
 
 
 def test_retire_keeps_pace_cache_hit_blind():

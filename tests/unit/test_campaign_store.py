@@ -150,3 +150,27 @@ def test_trials_column_round_trips(tmp_path):
         rows = list(csv.DictReader(fh))
     assert json.loads(rows[0]["trials"])["verdict"] == "stable"
     assert rows[1]["trials"] == ""  # single-trial records stay blank
+
+
+def test_warp_column_round_trips(tmp_path):
+    """The fast-forward tier label persists through the JSONL log and
+    exports as a CSV column; records without it stay blank."""
+    spec = RunSpec("p2p", "vpp")
+    warped = _record(spec)
+    warped.warp = "turbo"
+    declined = _record(spec)
+    declined.warp = "declined:interrupt-driven"
+    store = CampaignStore(tmp_path / "campaign.jsonl")
+    store.append("w", warped)
+    loaded = store.load()["w"]
+    assert loaded.warp == "turbo"
+
+    path = export_csv(
+        [("w", warped), ("d", declined), ("p", _record(spec))],
+        tmp_path / "out.csv",
+    )
+    with path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert rows[0]["warp"] == "turbo"
+    assert rows[1]["warp"] == "declined:interrupt-driven"
+    assert rows[2]["warp"] == ""

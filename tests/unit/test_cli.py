@@ -208,7 +208,7 @@ def test_profile_surfaces_warp_state(capsys):
     -- per-packet profiling is one of the replay-safety guard rails)."""
     assert main(["p2p", "--switch", "vpp", "--profile"]) == 0
     out = capsys.readouterr().out
-    assert "warp: declined: per-packet-tracing" in out
+    assert "warp: declined[turbo]: per-packet-tracing" in out
 
 
 def test_no_warp_flag(capsys):

@@ -1,0 +1,145 @@
+"""Unit tests for the fluid (rate-based) fast-forward tier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fluid import (
+    CAL_CAP_NS,
+    CAL_FLOOR_NS,
+    FluidReport,
+    fluid_enabled,
+    fluid_tolerance,
+    try_fluid,
+)
+from repro.core.warp import engine_features
+from repro.measure.runner import drive
+from repro.scenarios import p2p
+
+
+def test_fluid_enabled_parses_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_FLUID", raising=False)
+    assert fluid_enabled() is False
+    assert fluid_enabled(default=True) is True
+    for value, expected in [
+        ("1", True), ("true", True), ("on", True), ("yes", True),
+        ("0", False), ("false", False), ("off", False), ("", False),
+    ]:
+        monkeypatch.setenv("REPRO_FLUID", value)
+        assert fluid_enabled() is expected, value
+
+
+def test_fluid_tolerance_parses_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_FLUID_TOLERANCE", raising=False)
+    assert fluid_tolerance() == 0.05
+    monkeypatch.setenv("REPRO_FLUID_TOLERANCE", "0.02")
+    assert fluid_tolerance() == 0.02
+    monkeypatch.setenv("REPRO_FLUID_TOLERANCE", "garbage")
+    assert fluid_tolerance() == 0.05
+
+
+def test_engine_features_gain_fluid_keys_only_when_enabled(monkeypatch):
+    """Cache-key safety: a fluid-off session must fingerprint exactly as
+    it did before the fluid tier existed."""
+    monkeypatch.delenv("REPRO_FLUID", raising=False)
+    off = dict(engine_features())
+    assert not any(key.startswith("fluid") for key in off)
+    monkeypatch.setenv("REPRO_FLUID", "1")
+    on = dict(engine_features())
+    assert on["fluid_version"] >= 1
+    assert on["fluid_tolerance"] == fluid_tolerance()
+
+
+def test_report_describe_both_shapes():
+    engaged = FluidReport(
+        engaged=True, fluid_ns=9e6, calibration_ns=1e6, tolerance=0.05
+    )
+    assert engaged.describe().startswith("engaged[fluid]:")
+    declined = FluidReport(engaged=False, reason="span-too-short")
+    assert declined.describe() == "declined[fluid]: span-too-short"
+
+
+def test_engages_on_clean_run_and_extrapolates():
+    tb = p2p.build("vpp", frame_size=64, rate_pps=3e6, seed=1)
+    result = drive(tb, warmup_ns=6e5, measure_ns=6e7, fluid=True)
+    report = result.fluid
+    assert report is not None and report.engaged, result
+    assert CAL_FLOOR_NS <= report.calibration_ns <= CAL_CAP_NS
+    assert report.fluid_ns == pytest.approx(6e7 - report.calibration_ns)
+    # The heap was drained and meters hold extrapolated window counts.
+    assert result.mpps == pytest.approx(3.0, rel=0.05)
+    total = sum(m.packets for m in tb.meters)
+    assert total == pytest.approx(3e6 * 6e7 / 1e9, rel=0.05)
+
+
+def test_declines_below_double_calibration_span():
+    tb = p2p.build("vpp", frame_size=64, seed=1)
+    report = try_fluid(tb, 6e5, 6e5 + 1.5 * CAL_FLOOR_NS)
+    assert not report.engaged
+    assert report.reason == "span-too-short"
+    assert not report.advanced
+
+
+def test_declines_under_watchdog():
+    tb = p2p.build("vpp", frame_size=64, seed=1)
+    report = try_fluid(tb, 6e5, 6e7, watchdog_active=True)
+    assert not report.engaged
+    assert report.reason == "watchdog-active"
+
+
+def test_declines_on_armed_fault_plan():
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultEvent, FaultPlan
+
+    tb = p2p.build("vpp", frame_size=64, seed=1)
+    plan = FaultPlan.of(
+        FaultEvent.from_dict(
+            {"kind": "nic-link-flap", "target": "sut-nic.p1",
+             "at_ns": 1.2e6, "duration_ns": 3e5}
+        )
+    )
+    FaultInjector(tb, plan).arm()
+    report = try_fluid(tb, 6e5, 6e7)
+    assert not report.engaged
+    assert report.reason == "fault-plan-active"
+
+
+def test_declines_on_flow_telemetry():
+    tb = p2p.build("ovs-dpdk", frame_size=64, seed=1)
+    tb.extras["flowstats"] = object()  # what obs attach leaves behind
+    report = try_fluid(tb, 6e5, 6e7)
+    assert not report.engaged
+    assert report.reason == "flow-telemetry"
+
+
+def test_declines_on_flow_churn():
+    tb = p2p.build(
+        "ovs-dpdk", frame_size=64, seed=1,
+        flow_dist="uniform", flows=64, churn=1000.0,
+    )
+    report = try_fluid(tb, 6e5, 6e7)
+    assert not report.engaged
+    assert report.reason == "flow-churn"
+
+
+def test_drive_fluid_kwarg_pins_the_tier(monkeypatch):
+    monkeypatch.delenv("REPRO_FLUID", raising=False)
+    tb = p2p.build("vpp", frame_size=64, rate_pps=3e6, seed=1)
+    result = drive(tb, measure_ns=6e7, fluid=True)
+    assert result.fluid is not None and result.fluid.engaged
+    assert result.warp is not None
+    assert result.warp.engaged and result.warp.mode == "fluid"
+    # Default-off: no fluid attempt at all without the kwarg or env.
+    tb = p2p.build("vpp", frame_size=64, rate_pps=3e6, seed=1)
+    result = drive(tb, measure_ns=6e7)
+    assert result.fluid is None
+
+
+def test_fluid_rate_within_declared_tolerance():
+    tb = p2p.build("vpp", frame_size=64, rate_pps=3e6, seed=1)
+    exact = drive(tb, measure_ns=6e7)
+    tb = p2p.build("vpp", frame_size=64, rate_pps=3e6, seed=1)
+    fluid = drive(tb, measure_ns=6e7, fluid=True)
+    assert fluid.fluid.engaged
+    rel_err = abs(fluid.mpps - exact.mpps) / exact.mpps
+    assert rel_err <= fluid_tolerance()

@@ -1,0 +1,107 @@
+"""Unit tests for the chain turbo (tier-1 exact fast-forward).
+
+The heavyweight bit-identity sweep lives in ``tools/warp_check.py`` and
+the property suite; these tests pin the engage/decline contract and the
+report plumbing on small windows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.turbo import turbo_drive
+from repro.core.warp import state_fingerprint
+from repro.measure.runner import drive
+from repro.scenarios import loopback, p2p, p2v, v2v
+
+FAST = dict(warmup_ns=2e5, measure_ns=3e6)
+
+#: (builder, build kwargs, sub-capacity rate) for every turbo-eligible
+#: shape beyond clean unidirectional p2p (which the replay warp takes).
+MULTI_HOP = [
+    (p2p.build, {"bidirectional": True}, 2_000_000.0),
+    (p2v.build, {}, 1_000_000.0),
+    (v2v.build, {}, 800_000.0),
+    (loopback.build, {"n_vnfs": 2}, 500_000.0),
+]
+
+
+@pytest.mark.parametrize("build,kwargs,rate", MULTI_HOP)
+def test_turbo_engages_bit_identically_on_multi_hop_shapes(build, kwargs, rate):
+    bidir = kwargs.get("bidirectional", False)
+    tb_off = build("vpp", frame_size=64, rate_pps=rate, seed=1, **kwargs)
+    r_off = drive(tb_off, bidirectional=bidir, warp=False, **FAST)
+    tb_on = build("vpp", frame_size=64, rate_pps=rate, seed=1, **kwargs)
+    r_on = drive(tb_on, bidirectional=bidir, warp=True, **FAST)
+    assert r_on.warp is not None and r_on.warp.engaged
+    assert r_on.warp.mode == "turbo"
+    assert r_on.warp.describe().startswith("engaged[turbo]:")
+    assert state_fingerprint(tb_off) == state_fingerprint(tb_on)
+    assert [repr(v) for v in r_off.per_direction_gbps] == [
+        repr(v) for v in r_on.per_direction_gbps
+    ]
+    assert r_off.events == r_on.events
+
+
+def test_turbo_skips_simulated_time_in_bulk():
+    tb = p2p.build("vpp", frame_size=64, rate_pps=1e6, seed=1, bidirectional=True)
+    result = drive(tb, bidirectional=True, warp=True, **FAST)
+    report = result.warp
+    assert report.engaged and report.warped_ns > 0
+    assert report.events_replayed > 0
+    assert report.verify_ns > 0  # shadow verification actually ran
+
+
+def test_declines_on_pipeline_switch():
+    tb = p2v.build("snabb", frame_size=64, seed=1)
+    report = turbo_drive(tb, 1e6)
+    assert not report.engaged
+    assert report.reason == "pipeline-switch"
+    assert report.mode == "turbo"
+
+
+def test_declines_on_interrupt_driven_switch():
+    tb = v2v.build("vale", frame_size=64, seed=1)
+    report = turbo_drive(tb, 1e6)
+    assert not report.engaged
+    assert report.reason == "interrupt-driven"
+
+
+def test_declines_under_watchdog():
+    tb = p2p.build("vpp", frame_size=64, seed=1)
+    report = turbo_drive(tb, 1e6, watchdog_active=True)
+    assert not report.engaged
+    assert report.reason == "watchdog-active"
+
+
+def test_declines_on_unknown_scenario():
+    tb = p2p.build("vpp", frame_size=64, seed=1)
+    tb.scenario = "weird-shape"
+    report = turbo_drive(tb, 1e6)
+    assert not report.engaged
+    assert report.reason == "scenario:weird-shape"
+
+
+def test_resilience_between_fault_warp_is_bit_identical():
+    """Timeline, recovery metrics and end state match event-exact runs."""
+    from repro.faults.plan import FaultEvent, FaultPlan
+    from repro.measure.resilience import measure_resilience
+
+    def run(warp):
+        plan = FaultPlan.of(
+            FaultEvent.from_dict(
+                {"kind": "nic-link-flap", "target": "sut-nic.p1",
+                 "at_ns": 1.2e6, "duration_ns": 4e5}
+            )
+        )
+        return measure_resilience(
+            p2p.build, "vpp", 64, plan,
+            warmup_ns=6e5, measure_ns=5e6, rate_pps=1e6, warp=warp,
+        )
+
+    res_off, rep_off, _ = run(False)
+    res_on, rep_on, _ = run(True)
+    assert res_on.warp is not None and res_on.warp.engaged
+    assert rep_off.to_dict() == rep_on.to_dict()
+    assert repr(res_off.gbps) == repr(res_on.gbps)
+    assert res_off.events == res_on.events

@@ -65,7 +65,9 @@ def test_report_describe_both_shapes():
     ok = WarpReport(engaged=True, warped_ns=2e6, events_replayed=7, verify_ns=2.5e5)
     assert "engaged" in ok.describe() and "7 events" in ok.describe()
     no = WarpReport(engaged=False, reason="probes-active")
-    assert no.describe() == "declined: probes-active"
+    assert no.describe() == "declined[replay]: probes-active"
+    turbo = WarpReport(engaged=True, mode="turbo", warped_ns=1e6)
+    assert turbo.describe().startswith("engaged[turbo]")
 
 
 # -- engagement and bit-identity --------------------------------------------
@@ -215,3 +217,51 @@ def test_rate_meter_set_counts():
     assert meter.packets == 100
     assert meter.bytes == 6_400
     assert meter.warmup_packets == 7
+
+
+def test_warp_label_maps_reports_to_record_column():
+    from types import SimpleNamespace
+
+    from repro.campaign.spec import _warp_label
+    from repro.core.warp import WarpReport
+
+    assert _warp_label(SimpleNamespace(warp=None)) is None
+    engaged = WarpReport(engaged=True, mode="turbo", warped_ns=1e6)
+    assert _warp_label(SimpleNamespace(warp=engaged)) == "turbo"
+    declined = WarpReport(engaged=False, mode="replay", reason="interrupt-driven")
+    assert _warp_label(SimpleNamespace(warp=declined)) == "declined:interrupt-driven"
+
+
+def test_warp_decline_prometheus_counters():
+    from types import SimpleNamespace
+
+    from repro.obs.exporters import warp_decline_prometheus_text
+
+    outcomes = [
+        ("a", SimpleNamespace(warp="replay")),
+        ("b", SimpleNamespace(warp="turbo")),
+        ("c", SimpleNamespace(warp="turbo")),
+        ("d", SimpleNamespace(warp="declined:interrupt-driven")),
+        ("e", SimpleNamespace(warp="declined:interrupt-driven")),
+        ("f", SimpleNamespace(warp="declined:scenario:weird")),
+        ("g", SimpleNamespace(warp=None)),  # warp off: not counted
+    ]
+    text = warp_decline_prometheus_text(outcomes, labels={"campaign": "x"})
+    assert "# TYPE repro_warp_engaged_total counter" in text
+    assert "# TYPE repro_warp_declined_total counter" in text
+    assert 'repro_warp_engaged_total{campaign="x",mode="turbo"} 2' in text
+    assert 'repro_warp_engaged_total{campaign="x",mode="replay"} 1' in text
+    # Label values are sanitised for Prometheus (hyphens and colons
+    # become underscores).
+    assert (
+        'repro_warp_declined_total{campaign="x",reason="interrupt_driven"} 2'
+        in text
+    )
+    assert 'reason="scenario_weird"' in text
+
+
+def test_warp_decline_prometheus_empty_is_just_headers():
+    from repro.obs.exporters import warp_decline_prometheus_text
+
+    text = warp_decline_prometheus_text([])
+    assert text.count("# TYPE") == 2

@@ -1,4 +1,20 @@
-"""Dev harness: assert warp-on vs warp-off bit-identity across switches."""
+"""Dev harness: warp-on vs warp-off bit-identity across the shape matrix.
+
+Sweeps every switch over the fast-forward-eligible scenario shapes --
+unidirectional and bidirectional p2p, p2v, v2v and a loopback VNF chain
+-- under saturating and sub-capacity input, and asserts per cell that
+
+* the end-state fingerprint (every counter, timestamp, stats accumulator
+  and RNG stream; :func:`repro.core.warp.state_fingerprint`) and the
+  measured results are bit-identical between warp-off and warp-on runs;
+* the engine's engage/decline decision matches the contract: exact
+  switches engage (replay on clean uni p2p, the chain turbo elsewhere),
+  VALE declines as ``interrupt-driven``, Snabb as ``pipeline-switch``.
+
+Usage: ``PYTHONPATH=src python tools/warp_check.py [measure_ns]``
+(default 3 ms; CI runs the 10x window where warp covers most of the
+simulated horizon).
+"""
 
 import sys
 import time
@@ -7,13 +23,28 @@ sys.path.insert(0, "src")
 
 from repro.core.warp import state_fingerprint
 from repro.measure.runner import drive
-from repro.scenarios.p2p import build
+from repro.scenarios import loopback, p2p, p2v, v2v
 
 SWITCHES = ["bess", "fastclick", "ovs-dpdk", "vpp", "t4p4s", "snabb", "vale"]
 
+#: Expected decline reasons for switches the fast-forward cannot prove
+#: safe; everything else must engage in every cell.
+EXPECTED_DECLINE = {"snabb": "pipeline-switch", "vale": "interrupt-driven"}
 
-def run(switch, warp, warmup, measure, rate=None, probe=None, seed=1):
-    tb = build(switch, frame_size=64, rate_pps=rate, probe_interval_ns=probe, seed=seed)
+#: (label, builder, build kwargs, sub-capacity rate in pps).  Rates sit
+#: at roughly 0.3x the slowest switch's capacity for the shape so the
+#: sub-capacity cell is idle-dominated for every switch.
+SHAPES = [
+    ("p2p", p2p.build, {}, 3_000_000.0),
+    ("p2p-bidi", p2p.build, {"bidirectional": True}, 2_000_000.0),
+    ("p2v", p2v.build, {}, 1_000_000.0),
+    ("v2v", v2v.build, {}, 800_000.0),
+    ("loopback", loopback.build, {"n_vnfs": 2}, 500_000.0),
+]
+
+
+def run(build, switch, warp, warmup, measure, rate, kwargs):
+    tb = build(switch, frame_size=64, rate_pps=rate, seed=1, **kwargs)
     t0 = time.perf_counter()
     res = drive(tb, warmup_ns=warmup, measure_ns=measure, warp=warp)
     wall = time.perf_counter() - t0
@@ -30,35 +61,57 @@ def diff(a, b, path="root"):
         print(f"  MISMATCH at {path}:\n    off: {a!r}\n    on:  {b!r}")
 
 
+def check_engagement(switch, report):
+    """The engage/decline contract for one cell; returns an error or None."""
+    if report is None:
+        return "no warp report"
+    expected = EXPECTED_DECLINE.get(switch)
+    if expected is None:
+        if not report.engaged:
+            return f"expected engagement, got {report.describe()}"
+        return None
+    if report.engaged:
+        return f"expected decline ({expected}), got {report.describe()}"
+    if report.reason != expected:
+        return f"expected decline reason {expected!r}, got {report.reason!r}"
+    return None
+
+
 def main():
     measure = float(sys.argv[1]) if len(sys.argv) > 1 else 3_000_000.0
     failures = 0
     for switch in SWITCHES:
-        for label, kwargs in [
-            ("saturating", {}),
-            ("sub-capacity", {"rate": 3_000_000.0}),
-        ]:
-            r_off, f_off, w_off = run(switch, False, 600_000.0, measure, **kwargs)
-            r_on, f_on, w_on = run(switch, True, 600_000.0, measure, **kwargs)
-            ident = f_off == f_on
-            same_res = (
-                [repr(v) for v in r_off.per_direction_gbps]
-                == [repr(v) for v in r_on.per_direction_gbps]
-                and r_off.events == r_on.events
-            )
-            status = "OK " if ident and same_res else "FAIL"
-            if not (ident and same_res):
-                failures += 1
-            wr = r_on.warp.describe() if r_on.warp else "none"
-            print(
-                f"{status} {switch:10s} {label:12s} off={w_off:6.3f}s on={w_on:6.3f}s "
-                f"x{w_off / w_on:5.2f}  {wr}"
-            )
-            if not ident:
-                diff(f_off, f_on)
-            if not same_res:
-                print(f"  result off={r_off.per_direction_gbps} ev={r_off.events}")
-                print(f"  result on ={r_on.per_direction_gbps} ev={r_on.events}")
+        for shape, build, kwargs, sub_rate in SHAPES:
+            for label, rate in [("saturating", None), ("sub-capacity", sub_rate)]:
+                r_off, f_off, w_off = run(
+                    build, switch, False, 600_000.0, measure, rate, kwargs
+                )
+                r_on, f_on, w_on = run(
+                    build, switch, True, 600_000.0, measure, rate, kwargs
+                )
+                ident = f_off == f_on
+                same_res = (
+                    [repr(v) for v in r_off.per_direction_gbps]
+                    == [repr(v) for v in r_on.per_direction_gbps]
+                    and r_off.events == r_on.events
+                )
+                engage_err = check_engagement(switch, r_on.warp)
+                ok = ident and same_res and engage_err is None
+                if not ok:
+                    failures += 1
+                wr = r_on.warp.describe() if r_on.warp else "none"
+                print(
+                    f"{'OK ' if ok else 'FAIL'} {switch:10s} {shape:9s} "
+                    f"{label:12s} off={w_off:6.3f}s on={w_on:6.3f}s "
+                    f"x{w_off / w_on:5.2f}  {wr}"
+                )
+                if engage_err is not None:
+                    print(f"  ENGAGEMENT: {engage_err}")
+                if not ident:
+                    diff(f_off, f_on)
+                if not same_res:
+                    print(f"  result off={r_off.per_direction_gbps} ev={r_off.events}")
+                    print(f"  result on ={r_on.per_direction_gbps} ev={r_on.events}")
     print("failures:", failures)
     return 1 if failures else 0
 
